@@ -1,0 +1,35 @@
+//! Ablation bench for the paper's training-window claim (§2.3): the cost of
+//! one retraining event as a function of the training window (50–500 jobs).
+//! The paper settled on 500 because larger windows cost more for little
+//! accuracy gain; this bench regenerates the cost side of that curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prionn_core::{Prionn, PrionnConfig};
+use prionn_workload::{Trace, TraceConfig, TracePreset};
+
+fn bench_window(c: &mut Criterion) {
+    let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 200));
+    let scripts: Vec<&str> = trace.jobs.iter().map(|j| j.script.as_str()).collect();
+    let runtimes: Vec<f64> = trace.jobs.iter().map(|j| j.runtime_minutes()).collect();
+
+    let mut group = c.benchmark_group("ablation_training_window");
+    group.sample_size(10);
+    for &window in &[25usize, 50, 100, 200] {
+        let cfg = PrionnConfig {
+            predict_io: false,
+            base_width: 2,
+            runtime_bins: 96,
+            epochs: 1,
+            ..Default::default()
+        };
+        group.throughput(Throughput::Elements(window as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            let mut model = Prionn::new(cfg.clone(), &scripts[..w]).unwrap();
+            b.iter(|| model.retrain(&scripts[..w], &runtimes[..w], &[], &[]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench behind Figure 3: script→pixel transform time per
+//! transform type.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prionn_text::{
+    map_corpus_2d, BinaryTransform, CharTransform, OneHotTransform, SimpleTransform,
+    Word2vecConfig, Word2vecTransform,
+};
+use prionn_workload::{Trace, TraceConfig, TracePreset};
+
+fn bench_transforms(c: &mut Criterion) {
+    let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 100));
+    let scripts: Vec<&str> = trace.jobs.iter().map(|j| j.script.as_str()).collect();
+    let w2v = Word2vecTransform::train(&scripts[..20], &Word2vecConfig::default());
+
+    let transforms: Vec<(&str, Box<dyn CharTransform>)> = vec![
+        ("binary", Box::new(BinaryTransform)),
+        ("simple", Box::new(SimpleTransform)),
+        ("one-hot", Box::new(OneHotTransform)),
+        ("word2vec", Box::new(w2v)),
+    ];
+
+    let mut group = c.benchmark_group("fig03_transform_time");
+    group.sample_size(10);
+    for (name, t) in &transforms {
+        group.bench_with_input(BenchmarkId::from_parameter(name), t, |b, t| {
+            b.iter(|| map_corpus_2d(&scripts, t.as_ref(), 64, 64).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench behind Figure 4: one 2D-CNN retraining event per
+//! transform type. Batch and epoch counts are reduced so the bench finishes
+//! on one core; the *ordering* across transforms is the figure's result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prionn_core::{Prionn, PrionnConfig};
+use prionn_text::TransformKind;
+use prionn_workload::{Trace, TraceConfig, TracePreset};
+
+fn bench_training(c: &mut Criterion) {
+    // Micro-scale: a 32x32 grid and 8 jobs keep even the 128-channel
+    // one-hot iteration around a second on a memory-bandwidth-starved
+    // machine; the figure-scale comparison lives in `experiments fig4`.
+    let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 8));
+    let scripts: Vec<&str> = trace.jobs.iter().map(|j| j.script.as_str()).collect();
+    let runtimes: Vec<f64> = trace.jobs.iter().map(|j| j.runtime_minutes()).collect();
+
+    let mut group = c.benchmark_group("fig04_train_time_transform");
+    group.sample_size(10);
+    for kind in TransformKind::ALL {
+        let cfg = PrionnConfig {
+            transform: kind,
+            predict_io: false,
+            grid: (32, 32),
+            base_width: 2,
+            runtime_bins: 96,
+            epochs: 1,
+            batch_size: 8,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &cfg, |b, cfg| {
+            let mut model = Prionn::new(cfg.clone(), &scripts).unwrap();
+            b.iter(|| model.retrain(&scripts, &runtimes, &[], &[]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench behind Figure 6: one retraining event per deep model
+//! (NN / 1D-CNN / 2D-CNN), word2vec mapping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prionn_core::{Prionn, PrionnConfig};
+use prionn_nn::ModelKind;
+use prionn_workload::{Trace, TraceConfig, TracePreset};
+
+fn bench_models(c: &mut Criterion) {
+    // Micro-scale for the same reason as the fig04 bench; figure-scale
+    // numbers come from `experiments fig6`.
+    let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 16));
+    let scripts: Vec<&str> = trace.jobs.iter().map(|j| j.script.as_str()).collect();
+    let runtimes: Vec<f64> = trace.jobs.iter().map(|j| j.runtime_minutes()).collect();
+
+    let mut group = c.benchmark_group("fig06_train_time_model");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        let cfg = PrionnConfig {
+            model: kind,
+            predict_io: false,
+            grid: (32, 32),
+            base_width: 2,
+            runtime_bins: 96,
+            epochs: 1,
+            batch_size: 8,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &cfg, |b, cfg| {
+            let mut model = Prionn::new(cfg.clone(), &scripts).unwrap();
+            b.iter(|| model.retrain(&scripts, &runtimes, &[], &[]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

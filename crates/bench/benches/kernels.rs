@@ -1,0 +1,50 @@
+//! Micro-benchmarks for the tensor kernels underpinning everything else:
+//! the three matmul variants and im2col/col2im.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prionn_tensor::ops::{self, Conv2dGeom};
+use prionn_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for &n in &[64usize, 128, 256] {
+        let a = prionn_tensor::init::uniform([n, n], -1.0, 1.0, &mut rng);
+        let b = prionn_tensor::init::uniform([n, n], -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |bch, _| {
+            bch.iter(|| ops::matmul(&a, &b).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt", n), &n, |bch, _| {
+            bch.iter(|| ops::matmul_a_bt(&a, &b).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("at_b", n), &n, |bch, _| {
+            bch.iter(|| ops::matmul_at_b(&a, &b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let g = Conv2dGeom::new(4, 64, 64, 3, 3, 1, 1).unwrap();
+    let x = prionn_tensor::init::uniform([4 * 64 * 64], -1.0, 1.0, &mut rng);
+    let cols = ops::im2col(x.as_slice(), &g).unwrap();
+    let grad = Tensor::full([g.col_rows(), g.col_cols()], 0.5);
+
+    let mut group = c.benchmark_group("im2col");
+    group.sample_size(30);
+    group.bench_function("im2col_4x64x64_k3", |b| {
+        b.iter(|| ops::im2col(x.as_slice(), &g).unwrap());
+    });
+    group.bench_function("col2im_4x64x64_k3", |b| {
+        b.iter(|| ops::col2im(&grad, &g).unwrap());
+    });
+    let _ = cols;
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_im2col);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p prionn-bench --bin experiments -- all
+//! cargo run --release -p prionn-bench --bin experiments -- fig8 fig9 --scale standard
+//! ```
+//!
+//! Results print as paper-style rows and persist as JSON under `results/`.
+
+use prionn_bench::{
+    ablations, fig03, ioaware_ext, fig04, fig05, fig06, fig07, fig08, fig09, fig11, fig12_13, fig14_15, table2,
+    ExperimentScale,
+};
+
+const USAGE: &str = "usage: experiments [fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig11|fig12|fig13|fig14|fig15|table2|ablation|ioaware|all]... [--scale quick|standard|full]
+
+fig12/fig13 run together (one harness), as do fig14/fig15.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExperimentScale::Quick;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let Some(s) = it.next().and_then(|v| ExperimentScale::parse(v)) else {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                };
+                scale = s;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = ["fig3", "fig4", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "fig11",
+            "fig12", "fig14", "ablation"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    println!("PRIONN experiment harness — scale: {scale}\n");
+    let start = std::time::Instant::now();
+    for t in &targets {
+        let run_start = std::time::Instant::now();
+        match t.as_str() {
+            "fig3" => drop(fig03::run(&scale)),
+            "fig4" => drop(fig04::run(&scale)),
+            "fig5" => drop(fig05::run(&scale)),
+            "fig6" => drop(fig06::run(&scale)),
+            "fig7" => drop(fig07::run(&scale)),
+            "fig8" => drop(fig08::run(&scale)),
+            "fig9" => drop(fig09::run(&scale)),
+            "fig11" => drop(fig11::run(&scale)),
+            "fig12" | "fig13" => drop(fig12_13::run(&scale)),
+            "fig14" | "fig15" => drop(fig14_15::run(&scale)),
+            "table2" => drop(table2::run(&scale)),
+            "ablation" | "ablations" => drop(ablations::run(&scale)),
+            "ioaware" => drop(ioaware_ext::run(&scale)),
+            other => {
+                eprintln!("unknown experiment: {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        println!("  [{t} took {:.1}s]\n", run_start.elapsed().as_secs_f64());
+    }
+    println!("all experiments done in {:.1}s", start.elapsed().as_secs_f64());
+}

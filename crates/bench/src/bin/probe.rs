@@ -1,0 +1,112 @@
+//! Dev probe: train/holdout accuracy of the PRIONN CNN as a function of
+//! epochs and width, to tune the quick-scale experiment configs.
+
+use prionn_bench::support::cab_trace;
+use prionn_core::metrics::relative_accuracy;
+use prionn_core::{Prionn, PrionnConfig};
+use prionn_workload::stats;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let epochs: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let width: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let bins: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(192);
+    let lr: f32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1e-3);
+    let batch: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let model_kind = match args.get(5).map(|s| s.as_str()) {
+        Some("nn") => prionn_nn::ModelKind::Nn,
+        Some("cnn1d") => prionn_nn::ModelKind::Cnn1d,
+        _ => prionn_nn::ModelKind::Cnn2d,
+    };
+    let transform = match args.get(6).map(|s| s.as_str()) {
+        Some("binary") => prionn_text::TransformKind::Binary,
+        Some("simple") => prionn_text::TransformKind::Simple,
+        Some("onehot") => prionn_text::TransformKind::OneHot,
+        _ => prionn_text::TransformKind::Word2vec,
+    };
+
+    let trace = cab_trace(600);
+    let jobs: Vec<_> = trace.executed_jobs().cloned().collect();
+    let (train, test) = jobs.split_at(400);
+
+    let scripts: Vec<&str> = train.iter().map(|j| j.script.as_str()).collect();
+    let runtimes: Vec<f64> = train.iter().map(|j| j.runtime_minutes()).collect();
+    let test_scripts: Vec<&str> = test.iter().map(|j| j.script.as_str()).collect();
+    let test_runtimes: Vec<f64> = test.iter().map(|j| j.runtime_minutes()).collect();
+
+    // Online oracle ceiling: for each submission, predict the median runtime
+    // of the same script among jobs *completed* before it (the information a
+    // memorising model could have at prediction time).
+    {
+        let mut acc = Vec::new();
+        let mut seen = 0usize;
+        let mut n = 0usize;
+        for (i, j) in jobs.iter().enumerate() {
+            if i < 100 {
+                continue; // warm-up, as in the online protocol
+            }
+            let now = j.submit_time;
+            let prior: Vec<f64> = jobs[..i]
+                .iter()
+                .filter(|p| {
+                    p.script == j.script && p.submit_time + p.runtime_seconds <= now
+                })
+                .map(|p| p.runtime_minutes())
+                .collect();
+            n += 1;
+            let pred = if prior.is_empty() {
+                stats::median(
+                    &jobs[..i].iter().map(|p| p.runtime_minutes()).collect::<Vec<_>>(),
+                )
+            } else {
+                seen += 1;
+                stats::median(&prior)
+            };
+            acc.push(relative_accuracy(j.runtime_minutes(), pred));
+        }
+        println!(
+            "online oracle (per-script median of completed): mean={:.3} median={:.3} ({seen}/{n} had history)",
+            stats::mean(&acc),
+            stats::median(&acc),
+        );
+    }
+
+    let cfg = PrionnConfig {
+        predict_io: false,
+        base_width: width,
+        runtime_bins: bins,
+        epochs: 1,
+        lr,
+        batch_size: batch,
+        model: model_kind,
+        transform,
+        ..Default::default()
+    };
+    let mut model = Prionn::new(cfg, &scripts).unwrap();
+    println!("epochs width={width} bins={bins} lr={lr} batch={batch} model={model_kind:?} transform={transform:?}");
+    for e in 1..=epochs {
+        let t = std::time::Instant::now();
+        let loss = model.probe_runtime_loss(&scripts, &runtimes).unwrap();
+        model.retrain(&scripts, &runtimes, &[], &[]).unwrap();
+        let train_preds = model.predict(&scripts).unwrap();
+        let test_preds = model.predict(&test_scripts).unwrap();
+        let train_acc: Vec<f64> = train_preds
+            .iter()
+            .zip(&runtimes)
+            .map(|(p, &t)| relative_accuracy(t, p.runtime_minutes))
+            .collect();
+        let test_acc: Vec<f64> = test_preds
+            .iter()
+            .zip(&test_runtimes)
+            .map(|(p, &t)| relative_accuracy(t, p.runtime_minutes))
+            .collect();
+        println!(
+            "epoch {e:>2}: loss={loss:.4} train mean={:.3} median={:.3} | test mean={:.3} median={:.3} | {:.1}s",
+            stats::mean(&train_acc),
+            stats::median(&train_acc),
+            stats::mean(&test_acc),
+            stats::median(&test_acc),
+            t.elapsed().as_secs_f64()
+        );
+    }
+}

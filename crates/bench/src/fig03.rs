@@ -1,0 +1,38 @@
+//! Figure 3: time to transform a training batch of job scripts into
+//! pixel-like representations, for each of the four transforms.
+
+use crate::support::{cab_trace, time_it, write_results};
+use crate::ExperimentScale;
+use prionn_core::{Prionn, PrionnConfig};
+use prionn_text::TransformKind;
+use serde_json::json;
+
+/// Run the experiment; returns `{transform: seconds}` plus metadata.
+pub fn run(scale: &ExperimentScale) -> serde_json::Value {
+    let n = scale.timing_batch();
+    let trace = cab_trace(n);
+    let scripts: Vec<&str> = trace.jobs.iter().map(|j| j.script.as_str()).collect();
+
+    println!("Figure 3 — script→pixel transform time for {n} scripts");
+    let mut rows = serde_json::Map::new();
+    for kind in TransformKind::ALL {
+        let mut cfg = PrionnConfig {
+            transform: kind,
+            predict_io: false,
+            ..scale.prionn()
+        };
+        cfg.epochs = 0;
+        let model = Prionn::new(cfg, &scripts).expect("prionn construction");
+        let (_, secs) = time_it(|| model.map_scripts(&scripts).expect("mapping"));
+        println!("  {:<10} {secs:8.3} s", kind.label());
+        rows.insert(kind.label().to_string(), json!(secs));
+    }
+    let out = json!({
+        "figure": "3",
+        "batch_scripts": n,
+        "seconds_per_batch": rows,
+        "paper_shape": "one-hot is the slowest; binary/simple/word2vec are each fast",
+    });
+    write_results("fig03_transform_time", &out);
+    out
+}

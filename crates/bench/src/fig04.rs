@@ -1,0 +1,37 @@
+//! Figure 4: time to train a 2D-CNN for one retraining event on a batch of
+//! jobs, for each of the four transforms.
+
+use crate::support::{cab_trace, time_it, write_results};
+use crate::ExperimentScale;
+use prionn_core::{Prionn, PrionnConfig};
+use prionn_text::TransformKind;
+use serde_json::json;
+
+/// Run the experiment; returns `{transform: seconds}` plus metadata.
+pub fn run(scale: &ExperimentScale) -> serde_json::Value {
+    let n = scale.timing_batch();
+    let trace = cab_trace(n);
+    let scripts: Vec<&str> = trace.jobs.iter().map(|j| j.script.as_str()).collect();
+    let runtimes: Vec<f64> = trace.jobs.iter().map(|j| j.runtime_minutes()).collect();
+    let epochs = scale.prionn().epochs;
+
+    println!("Figure 4 — 2D-CNN training time ({epochs} epochs, {n} jobs) per transform");
+    let mut rows = serde_json::Map::new();
+    for kind in TransformKind::ALL {
+        let cfg = PrionnConfig { transform: kind, predict_io: false, ..scale.prionn() };
+        let mut model = Prionn::new(cfg, &scripts).expect("prionn construction");
+        let (_, secs) =
+            time_it(|| model.retrain(&scripts, &runtimes, &[], &[]).expect("training"));
+        println!("  {:<10} {secs:8.2} s", kind.label());
+        rows.insert(kind.label().to_string(), json!(secs));
+    }
+    let out = json!({
+        "figure": "4",
+        "batch_jobs": n,
+        "epochs": epochs,
+        "seconds_per_retrain": rows,
+        "paper_shape": "one-hot (128 channels) costs far more than the scalar/word2vec transforms",
+    });
+    write_results("fig04_train_time_transform", &out);
+    out
+}

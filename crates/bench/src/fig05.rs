@@ -1,0 +1,35 @@
+//! Figure 5: distribution of runtime-prediction relative accuracy for each
+//! transform, with the 2D-CNN, under the online protocol.
+
+use crate::support::{boxplot_json, cab_trace, print_boxplot, runtime_accuracy, write_results};
+use crate::ExperimentScale;
+use prionn_core::run_online_prionn;
+use prionn_nn::ModelKind;
+use prionn_text::TransformKind;
+use serde_json::json;
+
+/// Run the experiment; returns a boxplot summary per transform.
+pub fn run(scale: &ExperimentScale) -> serde_json::Value {
+    let trace = cab_trace(scale.comparison_jobs());
+    println!(
+        "Figure 5 — runtime relative accuracy per transform (2D-CNN, {} jobs)",
+        trace.jobs.len()
+    );
+    let mut rows = serde_json::Map::new();
+    for kind in TransformKind::ALL {
+        let mut cfg = scale.online_with(kind, ModelKind::Cnn2d);
+        cfg.prionn.predict_io = false;
+        let preds = run_online_prionn(&trace.jobs, &cfg).expect("online run");
+        let acc = runtime_accuracy(&trace.jobs, &preds, true);
+        let summary = print_boxplot(kind.label(), &acc);
+        rows.insert(kind.label().to_string(), boxplot_json(&summary));
+    }
+    let out = json!({
+        "figure": "5",
+        "jobs": trace.jobs.len(),
+        "accuracy_by_transform": rows,
+        "paper_shape": "word2vec attains the best accuracy of the four transforms",
+    });
+    write_results("fig05_accuracy_transform", &out);
+    out
+}

@@ -1,0 +1,37 @@
+//! Figure 6: time to train each deep model (NN, 1D-CNN, 2D-CNN) for one
+//! retraining event, with the word2vec mapping.
+
+use crate::support::{cab_trace, time_it, write_results};
+use crate::ExperimentScale;
+use prionn_core::{Prionn, PrionnConfig};
+use prionn_nn::ModelKind;
+use serde_json::json;
+
+/// Run the experiment; returns `{model: seconds}`.
+pub fn run(scale: &ExperimentScale) -> serde_json::Value {
+    let n = scale.timing_batch();
+    let trace = cab_trace(n);
+    let scripts: Vec<&str> = trace.jobs.iter().map(|j| j.script.as_str()).collect();
+    let runtimes: Vec<f64> = trace.jobs.iter().map(|j| j.runtime_minutes()).collect();
+    let epochs = scale.prionn().epochs;
+
+    println!("Figure 6 — training time per deep model (word2vec, {epochs} epochs, {n} jobs)");
+    let mut rows = serde_json::Map::new();
+    for kind in ModelKind::ALL {
+        let cfg = PrionnConfig { model: kind, predict_io: false, ..scale.prionn() };
+        let mut model = Prionn::new(cfg, &scripts).expect("prionn construction");
+        let (_, secs) =
+            time_it(|| model.retrain(&scripts, &runtimes, &[], &[]).expect("training"));
+        println!("  {:<8} {secs:8.2} s", kind.label());
+        rows.insert(kind.label().to_string(), json!(secs));
+    }
+    let out = json!({
+        "figure": "6",
+        "batch_jobs": n,
+        "epochs": epochs,
+        "seconds_per_retrain": rows,
+        "paper_shape": "NN slowest (huge dense input layer); 1D-CNN fastest; 2D-CNN between",
+    });
+    write_results("fig06_train_time_model", &out);
+    out
+}

@@ -1,0 +1,35 @@
+//! Figure 7: distribution of runtime-prediction relative accuracy for each
+//! deep model, with the word2vec mapping, under the online protocol.
+
+use crate::support::{boxplot_json, cab_trace, print_boxplot, runtime_accuracy, write_results};
+use crate::ExperimentScale;
+use prionn_core::run_online_prionn;
+use prionn_nn::ModelKind;
+use prionn_text::TransformKind;
+use serde_json::json;
+
+/// Run the experiment; returns a boxplot summary per model kind.
+pub fn run(scale: &ExperimentScale) -> serde_json::Value {
+    let trace = cab_trace(scale.comparison_jobs());
+    println!(
+        "Figure 7 — runtime relative accuracy per deep model (word2vec, {} jobs)",
+        trace.jobs.len()
+    );
+    let mut rows = serde_json::Map::new();
+    for kind in ModelKind::ALL {
+        let mut cfg = scale.online_with(TransformKind::Word2vec, kind);
+        cfg.prionn.predict_io = false;
+        let preds = run_online_prionn(&trace.jobs, &cfg).expect("online run");
+        let acc = runtime_accuracy(&trace.jobs, &preds, true);
+        let summary = print_boxplot(kind.label(), &acc);
+        rows.insert(kind.label().to_string(), boxplot_json(&summary));
+    }
+    let out = json!({
+        "figure": "7",
+        "jobs": trace.jobs.len(),
+        "accuracy_by_model": rows,
+        "paper_shape": "NN and 2D-CNN clearly beat the 1D-CNN",
+    });
+    write_results("fig07_accuracy_model", &out);
+    out
+}

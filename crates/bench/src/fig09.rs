@@ -1,0 +1,71 @@
+//! Figure 9: (a) the actual read/write bandwidth distribution; (b, c) the
+//! relative accuracy of predicted read and write bandwidth for RF and
+//! PRIONN. Users provide no IO estimates, so there is no user baseline.
+
+use crate::support::{
+    bandwidth_accuracy, boxplot_json, cab_trace, print_boxplot, write_results,
+};
+use crate::ExperimentScale;
+use prionn_core::{run_online_baseline, run_online_prionn, BaselineKind};
+use prionn_workload::stats;
+use serde_json::json;
+
+/// Run the experiment.
+pub fn run(scale: &ExperimentScale) -> serde_json::Value {
+    let trace = cab_trace(scale.trace_jobs());
+    let read_bw: Vec<f64> = trace.executed_jobs().map(|j| j.read_bandwidth()).collect();
+    let write_bw: Vec<f64> = trace.executed_jobs().map(|j| j.write_bandwidth()).collect();
+
+    println!("Figure 9a — actual bandwidth distribution ({} executed jobs)", read_bw.len());
+    println!(
+        "  read : mean={:.3e} B/s  median={:.3e} B/s",
+        stats::mean(&read_bw),
+        stats::median(&read_bw)
+    );
+    println!(
+        "  write: mean={:.3e} B/s  median={:.3e} B/s",
+        stats::mean(&write_bw),
+        stats::median(&write_bw)
+    );
+
+    let online = scale.online();
+    let rf = run_online_baseline(
+        &trace.jobs,
+        BaselineKind::RandomForest,
+        online.train_window,
+        online.retrain_every,
+        online.min_history,
+    )
+    .expect("RF online run");
+    let prionn = run_online_prionn(&trace.jobs, &online).expect("PRIONN online run");
+
+    println!("Figure 9b — bandwidth accuracy with RF");
+    let (rf_read, rf_write) = bandwidth_accuracy(&trace.jobs, &rf);
+    let s_rf_read = print_boxplot("RF read", &rf_read);
+    let s_rf_write = print_boxplot("RF write", &rf_write);
+
+    println!("Figure 9c — bandwidth accuracy with PRIONN");
+    let (pr_read, pr_write) = bandwidth_accuracy(&trace.jobs, &prionn);
+    let s_pr_read = print_boxplot("PRIONN read", &pr_read);
+    let s_pr_write = print_boxplot("PRIONN write", &pr_write);
+
+    let out = json!({
+        "figure": "9",
+        "jobs": read_bw.len(),
+        "bandwidth_distribution": {
+            "read_mean": stats::mean(&read_bw),
+            "read_median": stats::median(&read_bw),
+            "write_mean": stats::mean(&write_bw),
+            "write_median": stats::median(&write_bw),
+        },
+        "accuracy": {
+            "rf_read": boxplot_json(&s_rf_read),
+            "rf_write": boxplot_json(&s_rf_write),
+            "prionn_read": boxplot_json(&s_pr_read),
+            "prionn_write": boxplot_json(&s_pr_write),
+        },
+        "paper_shape": "PRIONN beats RF on both read and write bandwidth (paper: +12.1/+9.6 pp); mean bandwidth >> median",
+    });
+    write_results("fig09_io_accuracy", &out);
+    out
+}

@@ -1,0 +1,100 @@
+//! Figure 11: (a) distribution of simulated turnaround times; (b) relative
+//! accuracy of turnaround-time predictions with user-requested runtimes vs
+//! PRIONN runtimes, over several sampled job subsets.
+
+use crate::support::{boxplot_json, print_boxplot, write_results};
+use crate::ExperimentScale;
+use prionn_core::metrics::relative_accuracy;
+use prionn_core::run_online_prionn;
+use prionn_sched::{predict_turnarounds, SimJob};
+use prionn_workload::{stats, Trace, TraceConfig, TracePreset};
+use serde_json::json;
+use std::collections::HashMap;
+
+/// Build the simulator jobs for a trace sample (executed jobs only).
+pub fn sim_jobs(trace: &Trace) -> Vec<SimJob> {
+    trace
+        .executed_jobs()
+        .map(|j| SimJob {
+            id: j.id,
+            submit: j.submit_time,
+            nodes: j.nodes,
+            runtime: j.runtime_seconds.max(1),
+            estimate: j.requested_seconds.max(1),
+        })
+        .collect()
+}
+
+/// Run the experiment.
+pub fn run(scale: &ExperimentScale) -> serde_json::Value {
+    let n_samples = scale.turnaround_samples();
+    let sample_size = scale.turnaround_sample();
+    let nodes = scale.sim_nodes();
+    println!(
+        "Figure 11 — turnaround prediction over {n_samples} samples of {sample_size} jobs \
+         on a {nodes}-node simulated cluster"
+    );
+
+    let mut tat_minutes = Vec::new();
+    let mut acc_user = Vec::new();
+    let mut acc_prionn = Vec::new();
+
+    for s in 0..n_samples {
+        let mut cfg = TraceConfig::preset(TracePreset::CabLike, sample_size);
+        cfg.seed ^= (s as u64 + 1) * 0x9e37_79b9;
+        let trace = Trace::generate(&cfg);
+
+        // PRIONN runtime predictions under the online protocol.
+        let mut online = scale.online();
+        online.prionn.predict_io = false;
+        let preds = run_online_prionn(&trace.jobs, &online).expect("online run");
+        let prionn_runtime: HashMap<u64, u64> = preds
+            .iter()
+            .map(|p| (p.job_id, (p.runtime_minutes * 60.0).max(1.0) as u64))
+            .collect();
+
+        let jobs = sim_jobs(&trace);
+        let user_runtime: HashMap<u64, u64> =
+            jobs.iter().map(|j| (j.id, j.estimate)).collect();
+
+        let with_user = predict_turnarounds(nodes, &jobs, &user_runtime);
+        let with_prionn = predict_turnarounds(nodes, &jobs, &prionn_runtime);
+
+        for ((a_u, p_u), (a_p, p_p)) in with_user.iter().zip(&with_prionn) {
+            debug_assert_eq!(a_u, a_p);
+            tat_minutes.push(*a_u as f64 / 60.0);
+            acc_user.push(relative_accuracy(*a_u as f64, *p_u as f64));
+            acc_prionn.push(relative_accuracy(*a_p as f64, *p_p as f64));
+        }
+    }
+
+    println!("Figure 11a — simulated turnaround distribution");
+    println!(
+        "  mean={:.1} min  median={:.1} min  p95={:.1} min",
+        stats::mean(&tat_minutes),
+        stats::median(&tat_minutes),
+        stats::percentile(&tat_minutes, 95.0)
+    );
+    println!("Figure 11b — turnaround prediction accuracy");
+    let s_user = print_boxplot("user runtime", &acc_user);
+    let s_prionn = print_boxplot("PRIONN runtime", &acc_prionn);
+
+    let out = json!({
+        "figure": "11",
+        "samples": n_samples,
+        "sample_size": sample_size,
+        "sim_nodes": nodes,
+        "turnaround_minutes": {
+            "mean": stats::mean(&tat_minutes),
+            "median": stats::median(&tat_minutes),
+            "p95": stats::percentile(&tat_minutes, 95.0),
+        },
+        "accuracy": {
+            "user": boxplot_json(&s_user),
+            "prionn": boxplot_json(&s_prionn),
+        },
+        "paper_shape": "PRIONN improves mean/median turnaround accuracy over user requests (paper: +14.0/+14.1 pp)",
+    });
+    write_results("fig11_turnaround", &out);
+    out
+}

@@ -1,0 +1,123 @@
+//! Beyond-paper extension: close the loop the paper motivates. Feed
+//! PRIONN's IO predictions into the IO-aware admission policy
+//! ([`prionn_sched::io_aware`]) and compare the resulting *actual* system
+//! IO against plain FCFS+EASY on the same jobs: fewer/lower IO bursts at
+//! some turnaround cost.
+
+use crate::fig11::sim_jobs;
+use crate::support::write_results;
+use crate::ExperimentScale;
+use prionn_core::run_online_prionn;
+use prionn_sched::engine::simulate;
+use prionn_sched::{
+    burst_threshold, io_timeline, simulate_io_aware, IoAwareConfig, JobIoInterval, Schedule,
+};
+use prionn_workload::{stats, JobRecord, Trace, TraceConfig, TracePreset};
+use serde_json::json;
+use std::collections::HashMap;
+
+fn actual_io_stats(
+    schedule: &Schedule,
+    jobs: &HashMap<u64, &JobRecord>,
+    threshold: f64,
+) -> (f64, f64, usize, f64) {
+    let intervals: Vec<JobIoInterval> = schedule
+        .entries
+        .iter()
+        .map(|e| {
+            let j = jobs[&e.id];
+            JobIoInterval {
+                start: e.start,
+                end: e.end,
+                bandwidth: j.read_bandwidth() + j.write_bandwidth(),
+            }
+        })
+        .collect();
+    let horizon = prionn_sched::io::horizon_minutes(&intervals);
+    let timeline = io_timeline(&intervals, horizon);
+    let peak = timeline.iter().cloned().fold(0.0, f64::max);
+    let p99 = stats::percentile(&timeline, 99.0);
+    let burst_minutes = timeline.iter().filter(|&&v| v > threshold).count();
+    let mean_turnaround =
+        schedule.entries.iter().map(|e| e.turnaround() as f64).sum::<f64>()
+            / schedule.entries.len().max(1) as f64;
+    (peak, p99, burst_minutes, mean_turnaround / 60.0)
+}
+
+/// Run the extension study.
+pub fn run(scale: &ExperimentScale) -> serde_json::Value {
+    let mut cfg = TraceConfig::preset(TracePreset::CabLike, scale.turnaround_sample());
+    cfg.n_users = (cfg.n_jobs / 15).clamp(40, 492);
+    let trace = Trace::generate(&cfg);
+    let nodes = scale.sim_nodes();
+    println!(
+        "Extension — IO-aware admission vs FCFS ({} jobs, {nodes} nodes)",
+        trace.jobs.len()
+    );
+
+    // PRIONN's per-job bandwidth predictions drive the policy.
+    let online = scale.online();
+    let preds = run_online_prionn(&trace.jobs, &online).expect("online run");
+    let predicted_bw: HashMap<u64, f64> = preds
+        .iter()
+        .map(|p| {
+            let secs = (p.runtime_minutes * 60.0).max(1.0);
+            (p.job_id, (p.read_bytes + p.write_bytes) / secs)
+        })
+        .collect();
+
+    let jobs = sim_jobs(&trace);
+    let by_id: HashMap<u64, &JobRecord> = trace.executed_jobs().map(|j| (j.id, j)).collect();
+
+    let fcfs = simulate(nodes, &jobs);
+
+    // Budget: the burst threshold of the FCFS run (mean + 1σ of actual IO) —
+    // "keep predicted load under what used to be a burst".
+    let fcfs_intervals: Vec<JobIoInterval> = fcfs
+        .entries
+        .iter()
+        .map(|e| {
+            let j = by_id[&e.id];
+            JobIoInterval {
+                start: e.start,
+                end: e.end,
+                bandwidth: j.read_bandwidth() + j.write_bandwidth(),
+            }
+        })
+        .collect();
+    let horizon = prionn_sched::io::horizon_minutes(&fcfs_intervals);
+    let fcfs_timeline = io_timeline(&fcfs_intervals, horizon);
+    let threshold = burst_threshold(&fcfs_timeline);
+
+    let policy = IoAwareConfig { bandwidth_budget: threshold, max_io_delay: 4 * 3600 };
+    let ioaware = simulate_io_aware(nodes, &jobs, policy, predicted_bw);
+    // Oracle row: the same policy fed with *true* bandwidths, separating
+    // the policy's effect from PRIONN's prediction error.
+    let true_bw: HashMap<u64, f64> = trace
+        .executed_jobs()
+        .map(|j| (j.id, j.read_bandwidth() + j.write_bandwidth()))
+        .collect();
+    let oracle = simulate_io_aware(nodes, &jobs, policy, true_bw);
+
+    let (f_peak, f_p99, f_bursts, f_tat) = actual_io_stats(&fcfs, &by_id, threshold);
+    let (a_peak, a_p99, a_bursts, a_tat) = actual_io_stats(&ioaware, &by_id, threshold);
+    let (o_peak, o_p99, o_bursts, o_tat) = actual_io_stats(&oracle, &by_id, threshold);
+
+    println!("  {:<18} {:>12} {:>12} {:>14} {:>16}", "policy", "peak B/s", "p99 B/s", "burst minutes", "mean TAT (min)");
+    println!("  {:<18} {f_peak:>12.3e} {f_p99:>12.3e} {f_bursts:>14} {f_tat:>16.1}", "FCFS");
+    println!("  {:<18} {a_peak:>12.3e} {a_p99:>12.3e} {a_bursts:>14} {a_tat:>16.1}", "IO-aware (PRIONN)");
+    println!("  {:<18} {o_peak:>12.3e} {o_p99:>12.3e} {o_bursts:>14} {o_tat:>16.1}", "IO-aware (oracle)");
+
+    let out = json!({
+        "experiment": "ioaware_extension",
+        "jobs": jobs.len(),
+        "sim_nodes": nodes,
+        "bandwidth_budget": threshold,
+        "fcfs": {"peak": f_peak, "p99": f_p99, "burst_minutes": f_bursts, "mean_tat_min": f_tat},
+        "io_aware": {"peak": a_peak, "p99": a_p99, "burst_minutes": a_bursts, "mean_tat_min": a_tat},
+        "io_aware_oracle": {"peak": o_peak, "p99": o_p99, "burst_minutes": o_bursts, "mean_tat_min": o_tat},
+        "expected_shape": "IO-aware trades some turnaround for fewer/lower actual IO bursts",
+    });
+    write_results("ioaware_extension", &out);
+    out
+}

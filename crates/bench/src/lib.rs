@@ -1,0 +1,26 @@
+//! The experiment harness behind every table and figure of the PRIONN
+//! evaluation (see DESIGN.md §4 for the experiment index).
+//!
+//! Each `figXX` module exposes `run(&ExperimentScale) -> serde_json::Value`;
+//! the `experiments` binary prints the paper-style rows and persists the
+//! JSON under `results/`. Timing figures additionally have Criterion
+//! benches under `benches/`.
+
+pub mod scale;
+pub mod support;
+
+pub mod ablations;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig11;
+pub mod ioaware_ext;
+pub mod fig12_13;
+pub mod fig14_15;
+pub mod table2;
+
+pub use scale::ExperimentScale;

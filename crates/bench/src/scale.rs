@@ -1,0 +1,196 @@
+//! Experiment scaling presets.
+//!
+//! The paper ran on 295,077 jobs with dual-K40 GPUs; this reproduction runs
+//! the identical pipeline on CPU, so each experiment supports three scales.
+//! The *shape* of every result (orderings, ratios, crossovers) is what the
+//! scales preserve; absolute wall-clock and job counts differ by design.
+
+use prionn_core::{OnlineConfig, PrionnConfig};
+use prionn_nn::ModelKind;
+use prionn_text::TransformKind;
+
+/// How large to run each experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Minutes on a single core: reduced trace slices, narrow CNN, coarse
+    /// heads. The default for `cargo run -p prionn-bench --bin experiments`.
+    Quick,
+    /// Tens of minutes: closer to paper batch sizes (500-job window,
+    /// 100-submission cadence).
+    Standard,
+    /// The paper's full protocol (500/100, 10 epochs, 960 bins, 64×64,
+    /// width-8 CNN) over large slices. Hours to days on one CPU core.
+    Full,
+}
+
+impl ExperimentScale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "quick" => Some(ExperimentScale::Quick),
+            "standard" => Some(ExperimentScale::Standard),
+            "full" => Some(ExperimentScale::Full),
+            _ => None,
+        }
+    }
+
+    /// Jobs in the Cab-like trace slice driving the online experiments.
+    pub fn trace_jobs(&self) -> usize {
+        match self {
+            ExperimentScale::Quick => 1_200,
+            ExperimentScale::Standard => 3_000,
+            ExperimentScale::Full => 50_000,
+        }
+    }
+
+    /// Jobs used for the per-transform / per-model comparisons
+    /// (Figs 5 & 7), which run several online loops.
+    pub fn comparison_jobs(&self) -> usize {
+        match self {
+            ExperimentScale::Quick => 600,
+            ExperimentScale::Standard => 1_500,
+            ExperimentScale::Full => 20_000,
+        }
+    }
+
+    /// The per-sample job count for the turnaround studies (paper: five
+    /// samples of 10,000).
+    pub fn turnaround_sample(&self) -> usize {
+        match self {
+            ExperimentScale::Quick => 1_000,
+            ExperimentScale::Standard => 2_000,
+            ExperimentScale::Full => 10_000,
+        }
+    }
+
+    /// Number of turnaround samples (paper: 5).
+    pub fn turnaround_samples(&self) -> usize {
+        match self {
+            ExperimentScale::Quick => 2,
+            ExperimentScale::Standard => 3,
+            ExperimentScale::Full => 5,
+        }
+    }
+
+    /// Simulated cluster size for the turnaround studies. Sampling a subset
+    /// of the trace onto the full 1,296-node machine would leave it idle;
+    /// shrinking the simulated cluster restores the original contention
+    /// level (documented in EXPERIMENTS.md).
+    pub fn sim_nodes(&self) -> u32 {
+        match self {
+            ExperimentScale::Quick => 416,
+            ExperimentScale::Standard => 416,
+            ExperimentScale::Full => 448,
+        }
+    }
+
+    /// The PRIONN model configuration at this scale.
+    pub fn prionn(&self) -> PrionnConfig {
+        match self {
+            ExperimentScale::Quick => PrionnConfig {
+                base_width: 4,
+                runtime_bins: 960,
+                io_bins: 64,
+                epochs: 16,
+                batch_size: 8,
+                ..Default::default()
+            },
+            ExperimentScale::Standard => PrionnConfig {
+                base_width: 4,
+                runtime_bins: 960,
+                io_bins: 64,
+                epochs: 12,
+                batch_size: 8,
+                ..Default::default()
+            },
+            ExperimentScale::Full => PrionnConfig::default(),
+        }
+    }
+
+    /// The online-protocol configuration at this scale.
+    pub fn online(&self) -> OnlineConfig {
+        match self {
+            ExperimentScale::Quick => OnlineConfig {
+                train_window: 250,
+                retrain_every: 100,
+                min_history: 80,
+                cold_start: false,
+                prionn: self.prionn(),
+            },
+            ExperimentScale::Standard => OnlineConfig {
+                train_window: 300,
+                retrain_every: 100,
+                min_history: 100,
+                cold_start: false,
+                prionn: self.prionn(),
+            },
+            ExperimentScale::Full => OnlineConfig {
+                train_window: 500,
+                retrain_every: 100,
+                min_history: 100,
+                cold_start: false,
+                prionn: self.prionn(),
+            },
+        }
+    }
+
+    /// An online config for a specific transform/model combination.
+    pub fn online_with(&self, transform: TransformKind, model: ModelKind) -> OnlineConfig {
+        let mut cfg = self.online();
+        cfg.prionn.transform = transform;
+        cfg.prionn.model = model;
+        cfg
+    }
+
+    /// SDSC trace sizes for Table 2 (paper: 76,840 / 32,100).
+    pub fn sdsc_jobs(&self) -> (usize, usize) {
+        match self {
+            ExperimentScale::Quick => (6_000, 3_000),
+            ExperimentScale::Standard => (20_000, 10_000),
+            ExperimentScale::Full => (76_840, 32_100),
+        }
+    }
+
+    /// Scripts per timing batch for Figs 3–4 & 6 (paper: 500).
+    pub fn timing_batch(&self) -> usize {
+        match self {
+            ExperimentScale::Quick => 100,
+            ExperimentScale::Standard => 500,
+            ExperimentScale::Full => 500,
+        }
+    }
+}
+
+impl std::fmt::Display for ExperimentScale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentScale::Quick => write!(f, "quick"),
+            ExperimentScale::Standard => write!(f, "standard"),
+            ExperimentScale::Full => write!(f, "full"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for s in [ExperimentScale::Quick, ExperimentScale::Standard, ExperimentScale::Full] {
+            assert_eq!(ExperimentScale::parse(&s.to_string()), Some(s));
+        }
+        assert_eq!(ExperimentScale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn scales_are_monotone() {
+        let (q, s, f) =
+            (ExperimentScale::Quick, ExperimentScale::Standard, ExperimentScale::Full);
+        assert!(q.trace_jobs() < s.trace_jobs() && s.trace_jobs() < f.trace_jobs());
+        assert!(q.prionn().base_width <= f.prionn().base_width);
+        assert!(f.online().train_window == 500 && f.online().retrain_every == 100);
+        assert_eq!(f.prionn().runtime_bins, 960);
+        assert_eq!(f.prionn().epochs, 10, "paper protocol: 10 epochs per retrain");
+    }
+}

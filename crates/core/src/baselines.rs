@@ -1,0 +1,262 @@
+//! Traditional-ML and user baselines under the same online protocol.
+//!
+//! Unlike PRIONN, the traditional models are re-fitted from scratch at every
+//! retraining event — "this characteristic of deep learning models
+//! [knowledge retention] is not present in traditional machine learning
+//! models" (§2.3).
+
+use crate::online::JobPrediction;
+use prionn_ml::{
+    DecisionTreeConfig, DecisionTreeRegressor, FeatureExtractor, FeatureMatrix, KnnRegressor,
+    RandomForestConfig, RandomForestRegressor, RawJobFeatures,
+};
+use prionn_workload::JobRecord;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which traditional model to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// Random forest (the strongest traditional baseline, per §2.4).
+    RandomForest,
+    /// Single CART decision tree.
+    DecisionTree,
+    /// k-nearest neighbours (k = 5).
+    Knn,
+}
+
+impl BaselineKind {
+    /// Paper-style label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselineKind::RandomForest => "RF",
+            BaselineKind::DecisionTree => "DT",
+            BaselineKind::Knn => "kNN",
+        }
+    }
+}
+
+enum FittedBaseline {
+    Forest { runtime: RandomForestRegressor, read: RandomForestRegressor, write: RandomForestRegressor },
+    Tree { runtime: DecisionTreeRegressor, read: DecisionTreeRegressor, write: DecisionTreeRegressor },
+    Knn { runtime: KnnRegressor, read: KnnRegressor, write: KnnRegressor },
+}
+
+impl FittedBaseline {
+    fn predict(&self, row: &[f32]) -> (f64, f64, f64) {
+        let p = |r: Result<f32, prionn_ml::MlError>| r.map(|v| v.max(0.0) as f64).unwrap_or(0.0);
+        match self {
+            FittedBaseline::Forest { runtime, read, write } => (
+                p(runtime.predict_one(row)),
+                p(read.predict_one(row)),
+                p(write.predict_one(row)),
+            ),
+            FittedBaseline::Tree { runtime, read, write } => (
+                p(runtime.predict_one(row)),
+                p(read.predict_one(row)),
+                p(write.predict_one(row)),
+            ),
+            FittedBaseline::Knn { runtime, read, write } => (
+                p(runtime.predict_one(row)),
+                p(read.predict_one(row)),
+                p(write.predict_one(row)),
+            ),
+        }
+    }
+}
+
+fn fit_baseline(
+    kind: BaselineKind,
+    x: &FeatureMatrix,
+    runtime: &[f32],
+    read: &[f32],
+    write: &[f32],
+    seed: u64,
+) -> Result<FittedBaseline, prionn_ml::MlError> {
+    match kind {
+        BaselineKind::RandomForest => {
+            // scikit-learn's RandomForestRegressor default at the paper's time
+            // (n_estimators = 10 until sklearn 0.22).
+            let cfg = RandomForestConfig { n_trees: 10, seed, ..Default::default() };
+            Ok(FittedBaseline::Forest {
+                runtime: RandomForestRegressor::fit(x, runtime, &cfg)?,
+                read: RandomForestRegressor::fit(x, read, &cfg)?,
+                write: RandomForestRegressor::fit(x, write, &cfg)?,
+            })
+        }
+        BaselineKind::DecisionTree => {
+            let cfg = DecisionTreeConfig::default();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            Ok(FittedBaseline::Tree {
+                runtime: DecisionTreeRegressor::fit(x, runtime, &cfg, &mut rng)?,
+                read: DecisionTreeRegressor::fit(x, read, &cfg, &mut rng)?,
+                write: DecisionTreeRegressor::fit(x, write, &cfg, &mut rng)?,
+            })
+        }
+        BaselineKind::Knn => Ok(FittedBaseline::Knn {
+            runtime: KnnRegressor::fit(x.clone(), runtime.to_vec(), 5)?,
+            read: KnnRegressor::fit(x.clone(), read.to_vec(), 5)?,
+            write: KnnRegressor::fit(x.clone(), write.to_vec(), 5)?,
+        }),
+    }
+}
+
+/// Run a traditional baseline through the online protocol: parse Table-1
+/// features, refit every `retrain_every` submissions on the `train_window`
+/// most recently completed jobs, predict at submission.
+///
+/// Returns predictions aligned with the executed jobs in submission order.
+pub fn run_online_baseline(
+    jobs: &[JobRecord],
+    kind: BaselineKind,
+    train_window: usize,
+    retrain_every: usize,
+    min_history: usize,
+) -> Result<Vec<JobPrediction>, prionn_ml::MlError> {
+    let mut extractor = FeatureExtractor::new();
+    // Pre-encode every executed job's feature vector (encoders extend
+    // online exactly as they would in deployment).
+    let mut features: Vec<Option<Vec<f32>>> = vec![None; jobs.len()];
+
+    let mut predictions = Vec::new();
+    let mut pending: Vec<(u64, usize)> = Vec::new();
+    let mut completed: Vec<usize> = Vec::new();
+    let mut fitted: Option<FittedBaseline> = None;
+    let mut since_retrain = 0usize;
+    let mut retrain_id = 0u64;
+
+    for (idx, job) in jobs.iter().enumerate() {
+        if job.cancelled {
+            continue;
+        }
+        let raw = RawJobFeatures::parse(&job.script, &job.user, &job.group, &job.submit_dir);
+        features[idx] = Some(extractor.extract(&raw));
+        let now = job.submit_time;
+        pending.sort_unstable_by_key(|&(end, _)| end);
+        while let Some(&(end, j)) = pending.first() {
+            if end <= now {
+                completed.push(j);
+                pending.remove(0);
+            } else {
+                break;
+            }
+        }
+
+        if completed.len() >= min_history && (fitted.is_none() || since_retrain >= retrain_every)
+        {
+            let start = completed.len().saturating_sub(train_window);
+            let window = &completed[start..];
+            let mut x = FeatureMatrix::new(extractor.n_features());
+            let mut runtime = Vec::with_capacity(window.len());
+            let mut read = Vec::with_capacity(window.len());
+            let mut write = Vec::with_capacity(window.len());
+            for &j in window {
+                x.push_row(features[j].as_ref().expect("completed jobs were featurised"))?;
+                runtime.push(jobs[j].runtime_minutes() as f32);
+                read.push(jobs[j].bytes_read as f32);
+                write.push(jobs[j].bytes_written as f32);
+            }
+            retrain_id += 1;
+            fitted = Some(fit_baseline(kind, &x, &runtime, &read, &write, retrain_id)?);
+            since_retrain = 0;
+        }
+
+        let row = features[idx].as_ref().expect("featurised above");
+        let prediction = match &fitted {
+            Some(model) => {
+                let (rt, rd, wr) = model.predict(row);
+                JobPrediction {
+                    job_id: job.id,
+                    runtime_minutes: rt,
+                    read_bytes: rd,
+                    write_bytes: wr,
+                    model_trained: true,
+                }
+            }
+            None => JobPrediction {
+                job_id: job.id,
+                runtime_minutes: job.requested_minutes(),
+                read_bytes: 0.0,
+                write_bytes: 0.0,
+                model_trained: false,
+            },
+        };
+        predictions.push(prediction);
+        since_retrain += 1;
+        pending.push((job.submit_time + job.runtime_seconds, idx));
+    }
+    Ok(predictions)
+}
+
+/// The "user prediction" baseline: the requested wall time, per executed job
+/// in submission order (IO is not user-predictable — the paper has no user
+/// IO baseline).
+pub fn user_predictions(jobs: &[JobRecord]) -> Vec<JobPrediction> {
+    jobs.iter()
+        .filter(|j| !j.cancelled)
+        .map(|j| JobPrediction {
+            job_id: j.id,
+            runtime_minutes: j.requested_minutes(),
+            read_bytes: 0.0,
+            write_bytes: 0.0,
+            model_trained: false,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prionn_workload::{Trace, TraceConfig, TracePreset};
+
+    fn tiny_trace(n: usize) -> Trace {
+        let mut cfg = TraceConfig::preset(TracePreset::CabLike, n);
+        cfg.mean_interarrival_seconds = 200.0;
+        Trace::generate(&cfg)
+    }
+
+    #[test]
+    fn all_baselines_produce_full_prediction_sets() {
+        let trace = tiny_trace(250);
+        let executed = trace.jobs.iter().filter(|j| !j.cancelled).count();
+        for kind in [BaselineKind::RandomForest, BaselineKind::DecisionTree, BaselineKind::Knn] {
+            let preds = run_online_baseline(&trace.jobs, kind, 80, 50, 30).unwrap();
+            assert_eq!(preds.len(), executed, "{kind:?}");
+            assert!(preds.iter().any(|p| p.model_trained), "{kind:?} never trained");
+        }
+    }
+
+    #[test]
+    fn trained_rf_beats_blind_guessing_on_runtime() {
+        use crate::metrics::relative_accuracy;
+        let trace = tiny_trace(400);
+        let preds =
+            run_online_baseline(&trace.jobs, BaselineKind::RandomForest, 100, 50, 50).unwrap();
+        let by_id: std::collections::HashMap<u64, &JobPrediction> =
+            preds.iter().map(|p| (p.job_id, p)).collect();
+        let mut acc_model = Vec::new();
+        let mut acc_user = Vec::new();
+        for j in trace.jobs.iter().filter(|j| !j.cancelled) {
+            let p = by_id[&j.id];
+            if p.model_trained {
+                acc_model.push(relative_accuracy(j.runtime_minutes(), p.runtime_minutes));
+                acc_user.push(relative_accuracy(j.runtime_minutes(), j.requested_minutes()));
+            }
+        }
+        let m_model = acc_model.iter().sum::<f64>() / acc_model.len() as f64;
+        let m_user = acc_user.iter().sum::<f64>() / acc_user.len() as f64;
+        assert!(
+            m_model > m_user,
+            "RF ({m_model:.3}) should beat user requests ({m_user:.3})"
+        );
+    }
+
+    #[test]
+    fn user_baseline_covers_executed_jobs() {
+        let trace = tiny_trace(100);
+        let preds = user_predictions(&trace.jobs);
+        let executed = trace.jobs.iter().filter(|j| !j.cancelled).count();
+        assert_eq!(preds.len(), executed);
+        assert!(preds.iter().all(|p| !p.model_trained));
+    }
+}

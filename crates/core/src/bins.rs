@@ -1,0 +1,163 @@
+//! Value binning for the classifier heads.
+//!
+//! The paper's deep models are classifiers: "each node in the final output
+//! layer is associated with a value or range of values … for runtime
+//! predictions, the output layer is 960 nodes in size where each node is
+//! associated with a runtime in minutes between 0 and 960 minutes". IO
+//! volumes span ten orders of magnitude, so their bins are logarithmic.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotone mapping between values and classifier bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ValueBins {
+    /// `n` equal-width bins over `[lo, hi]`; bin `i` decodes to its centre.
+    Linear {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Bin count.
+        n: usize,
+    },
+    /// `n` equal-ratio bins over `[lo, hi]` (`lo > 0`); bin `i` decodes to
+    /// its geometric centre. Values `<= lo` land in bin 0.
+    Log {
+        /// Lower bound (> 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Bin count.
+        n: usize,
+    },
+}
+
+impl ValueBins {
+    /// The paper's runtime head: 960 one-minute bins.
+    pub fn runtime_minutes() -> Self {
+        ValueBins::Linear { lo: 0.0, hi: 960.0, n: 960 }
+    }
+
+    /// A runtime head with a custom resolution (used by reduced-scale
+    /// experiment configs).
+    pub fn runtime_minutes_with(n: usize) -> Self {
+        ValueBins::Linear { lo: 0.0, hi: 960.0, n }
+    }
+
+    /// IO-volume head: logarithmic bins from 100 KB to 100 TB.
+    pub fn io_bytes(n: usize) -> Self {
+        ValueBins::Log { lo: 1e5, hi: 1e14, n }
+    }
+
+    /// Bin count (the classifier head width).
+    pub fn n_bins(&self) -> usize {
+        match self {
+            ValueBins::Linear { n, .. } | ValueBins::Log { n, .. } => *n,
+        }
+    }
+
+    /// The class index for a value (clamped to the range).
+    pub fn encode(&self, value: f64) -> usize {
+        match *self {
+            ValueBins::Linear { lo, hi, n } => {
+                let v = value.clamp(lo, hi);
+                (((v - lo) / (hi - lo) * n as f64) as usize).min(n - 1)
+            }
+            ValueBins::Log { lo, hi, n } => {
+                let v = value.clamp(lo, hi);
+                let t = (v / lo).ln() / (hi / lo).ln();
+                ((t * n as f64) as usize).min(n - 1)
+            }
+        }
+    }
+
+    /// The representative value of a class index.
+    pub fn decode(&self, bin: usize) -> f64 {
+        match *self {
+            ValueBins::Linear { lo, hi, n } => {
+                let width = (hi - lo) / n as f64;
+                lo + (bin.min(n - 1) as f64 + 0.5) * width
+            }
+            ValueBins::Log { lo, hi, n } => {
+                let ratio = (hi / lo).powf(1.0 / n as f64);
+                lo * ratio.powf(bin.min(n - 1) as f64 + 0.5)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_bins_are_one_minute_wide() {
+        let b = ValueBins::runtime_minutes();
+        assert_eq!(b.n_bins(), 960);
+        assert_eq!(b.encode(0.0), 0);
+        assert_eq!(b.encode(44.4), 44);
+        assert_eq!(b.encode(959.9), 959);
+        assert_eq!(b.encode(5000.0), 959, "clamps to the cap");
+    }
+
+    #[test]
+    fn decode_returns_bin_centres() {
+        let b = ValueBins::runtime_minutes();
+        assert!((b.decode(44) - 44.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_error_is_at_most_half_a_bin() {
+        let b = ValueBins::runtime_minutes();
+        for v in [0.2, 17.0, 44.0, 333.3, 959.0] {
+            let back = b.decode(b.encode(v));
+            assert!((back - v).abs() <= 0.5 + 1e-9, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn log_bins_cover_decades_evenly() {
+        let b = ValueBins::io_bytes(90);
+        // Nine decades (1e5..1e14) over 90 bins: each decade spans 10 bins,
+        // with decade boundaries landing in the upper bin.
+        assert_eq!(b.encode(1e5), 0);
+        assert_eq!(b.encode(1e6), 10);
+        assert_eq!(b.encode(1e10), 50);
+        assert_eq!(b.encode(9e13), b.n_bins() - 1);
+    }
+
+    #[test]
+    fn log_round_trip_is_ratio_bounded() {
+        let b = ValueBins::io_bytes(256);
+        let ratio_cap = (1e14f64 / 1e5).powf(1.0 / 256.0);
+        for v in [3e5, 1e7, 4.2e9, 8e13] {
+            let back = b.decode(b.encode(v));
+            let ratio = if back > v { back / v } else { v / back };
+            assert!(ratio <= ratio_cap * 1.001, "{v} -> {back} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn log_bins_clamp_small_values() {
+        let b = ValueBins::io_bytes(64);
+        assert_eq!(b.encode(0.0), 0);
+        assert_eq!(b.encode(-5.0), 0);
+    }
+
+    #[test]
+    fn encode_is_monotone() {
+        let lin = ValueBins::runtime_minutes_with(120);
+        let log = ValueBins::io_bytes(64);
+        let mut last_lin = 0;
+        let mut last_log = 0;
+        for i in 1..=1000 {
+            let v = i as f64 * 1e9 / 1000.0;
+            let bl = lin.encode(v / 1e7); // 0..100 minutes
+            let bg = log.encode(v);
+            assert!(bl >= last_lin);
+            assert!(bg >= last_log);
+            last_lin = bl;
+            last_log = bg;
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Evaluation metrics, foremost the paper's Equation 1.
+
+/// Relative accuracy (Equation 1):
+///
+/// ```text
+/// relativeAccuracy = 1 − |true − pred| / (max(true, pred) + ε)
+/// ```
+///
+/// Bounded to `[0, 1]` for non-negative inputs; the `max` in the denominator
+/// penalises underprediction more than overprediction (an underpredicted IO
+/// budget causes contention), and ε guards `true = pred = 0`.
+pub fn relative_accuracy(truth: f64, pred: f64) -> f64 {
+    let denom = truth.max(pred) + f64::EPSILON;
+    1.0 - (truth - pred).abs() / denom
+}
+
+/// Relative accuracy over paired slices.
+pub fn relative_accuracy_vec(truth: &[f64], pred: &[f64]) -> Vec<f64> {
+    truth.iter().zip(pred).map(|(&t, &p)| relative_accuracy(t, p)).collect()
+}
+
+/// Mean absolute error (Table 2's metric).
+pub fn mean_absolute_error(truth: &[f64], pred: &[f64]) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    truth.iter().zip(pred).map(|(&t, &p)| (t - p).abs()).sum::<f64>() / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_prediction_scores_one() {
+        assert!((relative_accuracy(42.0, 42.0) - 1.0).abs() < 1e-12);
+        assert!((relative_accuracy(0.0, 0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_miss_scores_zero() {
+        assert!(relative_accuracy(0.0, 100.0).abs() < 1e-12);
+        assert!(relative_accuracy(100.0, 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_bounded_and_symmetric_in_ratio() {
+        // Equation 1 is symmetric under swapping true/pred (both divide by
+        // the max), even though *scheduling* consequences differ.
+        for &(t, p) in &[(10.0, 25.0), (25.0, 10.0), (1.0, 1000.0)] {
+            let acc = relative_accuracy(t, p);
+            assert!((0.0..=1.0).contains(&acc));
+            assert!((acc - relative_accuracy(p, t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_example_values() {
+        // Predicting 10 MB/s for a 25 MB/s job: 1 - 15/25 = 0.4.
+        assert!((relative_accuracy(25.0, 10.0) - 0.4).abs() < 1e-9);
+        // A 30-minute error on a 60-minute job is worse than on a 720-minute
+        // job — the paper's motivation for a relative metric.
+        assert!(relative_accuracy(60.0, 90.0) < relative_accuracy(720.0, 750.0));
+    }
+
+    #[test]
+    fn underprediction_penalised_as_much_as_scaled_overprediction() {
+        // 1 - |t-p|/max: overpredicting by 2x scores 0.5, underpredicting
+        // to half scores 0.5 — the max() keeps the scale ratio-based.
+        assert!((relative_accuracy(10.0, 20.0) - 0.5).abs() < 1e-9);
+        assert!((relative_accuracy(10.0, 5.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mae_basics() {
+        assert_eq!(mean_absolute_error(&[1.0, 2.0], &[2.0, 0.0]), 1.5);
+        assert_eq!(mean_absolute_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn vectorised_matches_scalar() {
+        let t = [1.0, 5.0, 9.0];
+        let p = [1.5, 4.0, 9.0];
+        let v = relative_accuracy_vec(&t, &p);
+        for i in 0..3 {
+            assert_eq!(v[i], relative_accuracy(t[i], p[i]));
+        }
+    }
+}

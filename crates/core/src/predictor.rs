@@ -1,0 +1,658 @@
+//! The PRIONN predictor: whole-script mapping + deep classifier heads.
+
+use crate::bins::ValueBins;
+use prionn_nn::{Adam, ArchConfig, ModelKind, Sequential, SoftmaxCrossEntropy};
+use prionn_tensor::{Tensor, TensorError};
+use prionn_text::{
+    map_corpus_1d, map_corpus_2d, BinaryTransform, CharTransform, OneHotTransform,
+    SimpleTransform, TransformKind, Word2vecConfig, Word2vecTransform,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Result alias matching the tensor substrate.
+pub type Result<T> = prionn_tensor::Result<T>;
+
+/// How the runtime head produces a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadKind {
+    /// The paper's choice: a softmax over value bins (960 runtime minutes).
+    Classifier,
+    /// Ablation: a single-output regressor trained with MSE on
+    /// `log1p(minutes)`, decoded with `expm1`.
+    Regressor,
+}
+
+/// Configuration of a [`Prionn`] instance.
+#[derive(Debug, Clone)]
+pub struct PrionnConfig {
+    /// Character transform (paper's production choice: word2vec).
+    pub transform: TransformKind,
+    /// Deep model family (paper's production choice: the 2-D CNN).
+    pub model: ModelKind,
+    /// Script grid (paper: 64 × 64).
+    pub grid: (usize, usize),
+    /// Convolution base width; channel counts scale from this.
+    pub base_width: usize,
+    /// Insert batch normalisation after every convolution (extension; off
+    /// reproduces the paper's architecture).
+    pub batch_norm: bool,
+    /// Runtime head bins (paper: 960 one-minute bins).
+    pub runtime_bins: usize,
+    /// Runtime head kind (paper: classifier; regressor is the ablation).
+    pub head: HeadKind,
+    /// IO head bins (logarithmic byte bins).
+    pub io_bins: usize,
+    /// Whether to build and train the two IO heads.
+    pub predict_io: bool,
+    /// Whether to build the power head (watt bins) — the paper's named
+    /// future-work resource, implemented here as an extension.
+    pub predict_power: bool,
+    /// Epochs per retraining event (paper: 10).
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// word2vec training config (used when `transform == Word2vec`).
+    pub w2v: Word2vecConfig,
+    /// Seed for weight init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for PrionnConfig {
+    fn default() -> Self {
+        PrionnConfig {
+            transform: TransformKind::Word2vec,
+            model: ModelKind::Cnn2d,
+            grid: (64, 64),
+            base_width: 8,
+            batch_norm: false,
+            runtime_bins: 960,
+            head: HeadKind::Classifier,
+            io_bins: 128,
+            predict_io: true,
+            predict_power: false,
+            epochs: 10,
+            batch_size: 32,
+            lr: 1e-3,
+            w2v: Word2vecConfig::default(),
+            seed: 0x9a7e,
+        }
+    }
+}
+
+impl PrionnConfig {
+    /// A configuration sized for single-core CI-style machines: the same
+    /// pipeline with a narrower CNN, coarser heads, and fewer epochs.
+    pub fn reduced() -> Self {
+        PrionnConfig {
+            base_width: 4,
+            runtime_bins: 240, // 4-minute resolution
+            io_bins: 64,
+            epochs: 4,
+            ..Default::default()
+        }
+    }
+}
+
+/// One job's predicted resources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourcePrediction {
+    /// Runtime, minutes.
+    pub runtime_minutes: f64,
+    /// Total bytes read (0 when IO heads are disabled).
+    pub read_bytes: f64,
+    /// Total bytes written (0 when IO heads are disabled).
+    pub write_bytes: f64,
+}
+
+/// The PRIONN tool: a shared script mapping feeding one classifier head per
+/// predicted resource. Retraining is warm-started — weights and optimiser
+/// state persist across [`Prionn::retrain`] calls, the property the paper
+/// relies on to train on only 500 jobs at a time.
+pub struct Prionn {
+    cfg: PrionnConfig,
+    transform: Box<dyn CharTransform>,
+    runtime_bins: ValueBins,
+    io_bins: ValueBins,
+    runtime_model: Sequential,
+    read_model: Option<Sequential>,
+    write_model: Option<Sequential>,
+    power_model: Option<Sequential>,
+    power_bins: ValueBins,
+    opt_runtime: Adam,
+    opt_read: Adam,
+    opt_write: Adam,
+    opt_power: Adam,
+    rng: ChaCha8Rng,
+    retrain_count: usize,
+}
+
+impl Prionn {
+    /// Build a PRIONN instance. `w2v_corpus` seeds the word2vec character
+    /// embedding (any representative set of scripts; the paper trains it on
+    /// historical job scripts).
+    pub fn new(cfg: PrionnConfig, w2v_corpus: &[&str]) -> Result<Self> {
+        let transform: Box<dyn CharTransform> = match cfg.transform {
+            TransformKind::Binary => Box::new(BinaryTransform),
+            TransformKind::Simple => Box::new(SimpleTransform),
+            TransformKind::OneHot => Box::new(OneHotTransform),
+            TransformKind::Word2vec => Box::new(Word2vecTransform::train(w2v_corpus, &cfg.w2v)),
+        };
+        let arch = |classes: usize, seed_salt: u64| -> ArchConfig {
+            ArchConfig {
+                emb_dim: transform.dim(),
+                grid_h: cfg.grid.0,
+                grid_w: cfg.grid.1,
+                classes,
+                base_width: cfg.base_width,
+                batch_norm: cfg.batch_norm,
+                seed: cfg.seed ^ seed_salt,
+            }
+        };
+        let runtime_classes = match cfg.head {
+            HeadKind::Classifier => cfg.runtime_bins,
+            HeadKind::Regressor => 1,
+        };
+        let runtime_model = arch(runtime_classes, 0x1).build(cfg.model)?;
+        let (read_model, write_model) = if cfg.predict_io {
+            (
+                Some(arch(cfg.io_bins, 0x2).build(cfg.model)?),
+                Some(arch(cfg.io_bins, 0x3).build(cfg.model)?),
+            )
+        } else {
+            (None, None)
+        };
+        let power_model = if cfg.predict_power {
+            Some(arch(cfg.io_bins, 0x4).build(cfg.model)?)
+        } else {
+            None
+        };
+        Ok(Prionn {
+            runtime_bins: ValueBins::runtime_minutes_with(cfg.runtime_bins),
+            io_bins: ValueBins::io_bytes(cfg.io_bins),
+            // Whole-machine power spans ~100 W to ~1 MW; log bins as for IO.
+            power_bins: ValueBins::Log { lo: 1e2, hi: 1e6, n: cfg.io_bins },
+            runtime_model,
+            read_model,
+            write_model,
+            power_model,
+            opt_runtime: Adam::new(cfg.lr),
+            opt_read: Adam::new(cfg.lr),
+            opt_write: Adam::new(cfg.lr),
+            opt_power: Adam::new(cfg.lr),
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            transform,
+            cfg,
+        retrain_count: 0,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PrionnConfig {
+        &self.cfg
+    }
+
+    /// Number of completed retraining events.
+    pub fn retrain_count(&self) -> usize {
+        self.retrain_count
+    }
+
+    /// Map scripts to the model's input tensor (the paper's "data mapping").
+    pub fn map_scripts(&self, scripts: &[&str]) -> Result<Tensor> {
+        let (h, w) = self.cfg.grid;
+        match self.cfg.model {
+            ModelKind::Cnn2d => map_corpus_2d(scripts, self.transform.as_ref(), h, w),
+            ModelKind::Nn | ModelKind::Cnn1d => {
+                map_corpus_1d(scripts, self.transform.as_ref(), h, w)
+            }
+        }
+    }
+
+    /// Warm-started retraining on recently completed jobs. IO targets may be
+    /// empty when the IO heads are disabled.
+    pub fn retrain(
+        &mut self,
+        scripts: &[&str],
+        runtime_minutes: &[f64],
+        read_bytes: &[f64],
+        write_bytes: &[f64],
+    ) -> Result<()> {
+        if scripts.is_empty() {
+            return Err(TensorError::InvalidArgument("retrain on empty batch".into()));
+        }
+        if scripts.len() != runtime_minutes.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: scripts.len(),
+                actual: runtime_minutes.len(),
+            });
+        }
+        let x = self.map_scripts(scripts)?;
+        match self.cfg.head {
+            HeadKind::Classifier => {
+                let runtime_classes: Vec<usize> =
+                    runtime_minutes.iter().map(|&m| self.runtime_bins.encode(m)).collect();
+                self.runtime_model.fit_classes(
+                    &x,
+                    &runtime_classes,
+                    &SoftmaxCrossEntropy,
+                    &mut self.opt_runtime,
+                    self.cfg.epochs,
+                    self.cfg.batch_size,
+                    &mut self.rng,
+                )?;
+            }
+            HeadKind::Regressor => {
+                let scale = (961.0f64).ln() as f32;
+                let targets: Vec<f32> = runtime_minutes
+                    .iter()
+                    .map(|&m| (m.max(0.0) + 1.0).ln() as f32 / scale)
+                    .collect();
+                let y = Tensor::from_vec([targets.len(), 1], targets)?;
+                self.runtime_model.fit_values(
+                    &x,
+                    &y,
+                    &prionn_nn::MseLoss,
+                    &mut self.opt_runtime,
+                    self.cfg.epochs,
+                    self.cfg.batch_size,
+                    &mut self.rng,
+                )?;
+            }
+        }
+        if let Some(read_model) = self.read_model.as_mut() {
+            if read_bytes.len() != scripts.len() || write_bytes.len() != scripts.len() {
+                return Err(TensorError::LengthMismatch {
+                    expected: scripts.len(),
+                    actual: read_bytes.len().min(write_bytes.len()),
+                });
+            }
+            let read_classes: Vec<usize> =
+                read_bytes.iter().map(|&b| self.io_bins.encode(b)).collect();
+            read_model.fit_classes(
+                &x,
+                &read_classes,
+                &SoftmaxCrossEntropy,
+                &mut self.opt_read,
+                self.cfg.epochs,
+                self.cfg.batch_size,
+                &mut self.rng,
+            )?;
+            let write_model = self.write_model.as_mut().expect("io heads built together");
+            let write_classes: Vec<usize> =
+                write_bytes.iter().map(|&b| self.io_bins.encode(b)).collect();
+            write_model.fit_classes(
+                &x,
+                &write_classes,
+                &SoftmaxCrossEntropy,
+                &mut self.opt_write,
+                self.cfg.epochs,
+                self.cfg.batch_size,
+                &mut self.rng,
+            )?;
+        }
+        self.retrain_count += 1;
+        Ok(())
+    }
+
+    /// Predict resources for a batch of scripts.
+    pub fn predict(&mut self, scripts: &[&str]) -> Result<Vec<ResourcePrediction>> {
+        if scripts.is_empty() {
+            return Ok(Vec::new());
+        }
+        let x = self.map_scripts(scripts)?;
+        let bs = self.cfg.batch_size.max(1);
+        let runtime: Vec<f64> = match self.cfg.head {
+            HeadKind::Classifier => self
+                .runtime_model
+                .predict_classes(&x, bs)?
+                .into_iter()
+                .map(|c| self.runtime_bins.decode(c))
+                .collect(),
+            HeadKind::Regressor => {
+                let scale = (961.0f64).ln();
+                self.runtime_model
+                    .predict(&x, bs)?
+                    .as_slice()
+                    .iter()
+                    .map(|&v| ((v as f64 * scale).exp() - 1.0).clamp(0.0, 960.0))
+                    .collect()
+            }
+        };
+        let read = match self.read_model.as_mut() {
+            Some(m) => Some(m.predict_classes(&x, bs)?),
+            None => None,
+        };
+        let write = match self.write_model.as_mut() {
+            Some(m) => Some(m.predict_classes(&x, bs)?),
+            None => None,
+        };
+        Ok((0..scripts.len())
+            .map(|i| ResourcePrediction {
+                runtime_minutes: runtime[i],
+                read_bytes: read.as_ref().map_or(0.0, |r| self.io_bins.decode(r[i])),
+                write_bytes: write.as_ref().map_or(0.0, |w| self.io_bins.decode(w[i])),
+            })
+            .collect())
+    }
+
+    /// Train the power head (extension) on completed jobs' mean watt draw.
+    /// Requires `predict_power` in the config.
+    pub fn retrain_power(&mut self, scripts: &[&str], watts: &[f64]) -> Result<()> {
+        let Some(model) = self.power_model.as_mut() else {
+            return Err(TensorError::InvalidArgument(
+                "power head disabled (set predict_power)".into(),
+            ));
+        };
+        if scripts.is_empty() || scripts.len() != watts.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: scripts.len(),
+                actual: watts.len(),
+            });
+        }
+        let (h, w) = self.cfg.grid;
+        let x = match self.cfg.model {
+            ModelKind::Cnn2d => map_corpus_2d(scripts, self.transform.as_ref(), h, w)?,
+            _ => map_corpus_1d(scripts, self.transform.as_ref(), h, w)?,
+        };
+        let classes: Vec<usize> = watts.iter().map(|&p| self.power_bins.encode(p)).collect();
+        model.fit_classes(
+            &x,
+            &classes,
+            &SoftmaxCrossEntropy,
+            &mut self.opt_power,
+            self.cfg.epochs,
+            self.cfg.batch_size,
+            &mut self.rng,
+        )?;
+        Ok(())
+    }
+
+    /// Predict mean power draw (watts) for scripts (extension head).
+    pub fn predict_power(&mut self, scripts: &[&str]) -> Result<Vec<f64>> {
+        let Some(model) = self.power_model.as_mut() else {
+            return Err(TensorError::InvalidArgument(
+                "power head disabled (set predict_power)".into(),
+            ));
+        };
+        if scripts.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (h, w) = self.cfg.grid;
+        let x = match self.cfg.model {
+            ModelKind::Cnn2d => map_corpus_2d(scripts, self.transform.as_ref(), h, w)?,
+            _ => map_corpus_1d(scripts, self.transform.as_ref(), h, w)?,
+        };
+        let classes = model.predict_classes(&x, self.cfg.batch_size.max(1))?;
+        Ok(classes.into_iter().map(|c| self.power_bins.decode(c)).collect())
+    }
+
+    /// Snapshot all learned parameters (runtime head first, then the IO
+    /// heads when present) for persistence or transfer to another node.
+    pub fn export_state(&self) -> Vec<Tensor> {
+        let mut state = self.runtime_model.state();
+        if let (Some(r), Some(w)) = (&self.read_model, &self.write_model) {
+            state.extend(r.state());
+            state.extend(w.state());
+        }
+        state
+    }
+
+    /// Restore parameters exported by [`Prionn::export_state`] from a model
+    /// with the identical configuration.
+    pub fn import_state(&mut self, state: &[Tensor]) -> Result<()> {
+        let runtime_len = self.runtime_model.state().len();
+        self.runtime_model.load_state(&state[..runtime_len.min(state.len())])?;
+        if let (Some(r), Some(w)) = (self.read_model.as_mut(), self.write_model.as_mut()) {
+            let r_len = r.state().len();
+            let expected = runtime_len + 2 * r_len;
+            if state.len() != expected {
+                return Err(TensorError::LengthMismatch { expected, actual: state.len() });
+            }
+            r.load_state(&state[runtime_len..runtime_len + r_len])?;
+            w.load_state(&state[runtime_len + r_len..])?;
+        } else if state.len() != runtime_len {
+            return Err(TensorError::LengthMismatch {
+                expected: runtime_len,
+                actual: state.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Mean cross-entropy of the runtime head on a labelled batch, without
+    /// updating weights. Diagnostic/tuning helper.
+    pub fn probe_runtime_loss(&mut self, scripts: &[&str], runtime_minutes: &[f64]) -> Result<f64> {
+        let x = self.map_scripts(scripts)?;
+        let logits = self.runtime_model.predict(&x, self.cfg.batch_size.max(1))?;
+        let classes: Vec<usize> =
+            runtime_minutes.iter().map(|&m| self.runtime_bins.encode(m)).collect();
+        let (loss, _) = prionn_nn::Loss::loss_and_grad(
+            &SoftmaxCrossEntropy,
+            &logits,
+            &prionn_nn::LossTarget::Classes(&classes),
+        )?;
+        Ok(loss as f64)
+    }
+
+    /// Predicted read/write *bandwidths* (bytes/s) derived the paper's way:
+    /// predicted volume divided by predicted runtime (§3.2).
+    pub fn bandwidth_of(pred: &ResourcePrediction) -> (f64, f64) {
+        let secs = (pred.runtime_minutes * 60.0).max(1.0);
+        (pred.read_bytes / secs, pred.write_bytes / secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> PrionnConfig {
+        PrionnConfig {
+            grid: (16, 16),
+            base_width: 2,
+            runtime_bins: 16,
+            io_bins: 8,
+            epochs: 6,
+            batch_size: 8,
+            lr: 3e-3,
+            ..Default::default()
+        }
+    }
+
+    fn corpus() -> Vec<String> {
+        // Two visually distinct script families with distinct runtimes/IO.
+        let mut scripts = Vec::new();
+        for i in 0..12 {
+            scripts.push(format!(
+                "#!/bin/bash\n#SBATCH -N 2\nsrun ./short_app run{i}\n"
+            ));
+            scripts.push(format!(
+                "#!/bin/bash\n#SBATCH -N 64\nmodule load big\nsrun ./long_app case{i}\nsync\n"
+            ));
+        }
+        scripts
+    }
+
+    #[test]
+    fn learns_to_separate_two_script_families() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut p = Prionn::new(tiny_cfg(), &refs).unwrap();
+        // short_app -> ~100 min bin range; long_app -> ~800 min.
+        let runtimes: Vec<f64> =
+            (0..refs.len()).map(|i| if i % 2 == 0 { 100.0 } else { 800.0 }).collect();
+        let reads: Vec<f64> =
+            (0..refs.len()).map(|i| if i % 2 == 0 { 1e7 } else { 1e12 }).collect();
+        let writes = reads.clone();
+        for _ in 0..8 {
+            p.retrain(&refs, &runtimes, &reads, &writes).unwrap();
+        }
+        let preds = p.predict(&refs[..4]).unwrap();
+        assert!(preds[0].runtime_minutes < preds[1].runtime_minutes,
+            "short {} vs long {}", preds[0].runtime_minutes, preds[1].runtime_minutes);
+        assert!(preds[0].read_bytes < preds[1].read_bytes);
+    }
+
+    #[test]
+    fn retrain_counts_and_is_warm() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut cfg = tiny_cfg();
+        cfg.predict_io = false;
+        let mut p = Prionn::new(cfg, &refs).unwrap();
+        let runtimes = vec![100.0; refs.len()];
+        p.retrain(&refs, &runtimes, &[], &[]).unwrap();
+        p.retrain(&refs, &runtimes, &[], &[]).unwrap();
+        assert_eq!(p.retrain_count(), 2);
+    }
+
+    #[test]
+    fn io_heads_disabled_predict_zero_bytes() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut cfg = tiny_cfg();
+        cfg.predict_io = false;
+        let mut p = Prionn::new(cfg, &refs).unwrap();
+        p.retrain(&refs, &vec![50.0; refs.len()], &[], &[]).unwrap();
+        let preds = p.predict(&refs[..2]).unwrap();
+        assert_eq!(preds[0].read_bytes, 0.0);
+        assert_eq!(preds[0].write_bytes, 0.0);
+    }
+
+    #[test]
+    fn rejects_mismatched_targets_and_empty_batches() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut p = Prionn::new(tiny_cfg(), &refs).unwrap();
+        assert!(p.retrain(&refs, &[1.0], &[], &[]).is_err());
+        assert!(p.retrain(&[], &[], &[], &[]).is_err());
+        let empty: Vec<ResourcePrediction> = p.predict(&[]).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn power_head_learns_to_separate_draws() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut cfg = tiny_cfg();
+        cfg.predict_io = false;
+        cfg.predict_power = true;
+        cfg.epochs = 10;
+        let mut p = Prionn::new(cfg, &refs).unwrap();
+        // short_app draws ~600 W (2 nodes), long_app ~19 kW (64 nodes).
+        let watts: Vec<f64> =
+            (0..refs.len()).map(|i| if i % 2 == 0 { 600.0 } else { 19_000.0 }).collect();
+        for _ in 0..4 {
+            p.retrain_power(&refs, &watts).unwrap();
+        }
+        let preds = p.predict_power(&refs[..4]).unwrap();
+        assert!(preds[0] < preds[1], "low {} vs high {}", preds[0], preds[1]);
+        assert!(preds.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn power_head_disabled_errors() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut p = Prionn::new(tiny_cfg(), &refs).unwrap();
+        assert!(p.retrain_power(&refs, &vec![100.0; refs.len()]).is_err());
+        assert!(p.predict_power(&refs[..1]).is_err());
+    }
+
+    #[test]
+    fn exported_state_transfers_predictions_to_a_fresh_model() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut a = Prionn::new(tiny_cfg(), &refs).unwrap();
+        let runtimes: Vec<f64> =
+            (0..refs.len()).map(|i| if i % 2 == 0 { 30.0 } else { 500.0 }).collect();
+        let io: Vec<f64> = vec![1e9; refs.len()];
+        a.retrain(&refs, &runtimes, &io, &io).unwrap();
+
+        let mut cfg_b = tiny_cfg();
+        cfg_b.seed ^= 0xdead; // different init...
+        let mut b = Prionn::new(cfg_b, &refs).unwrap();
+        b.import_state(&a.export_state()).unwrap();
+        assert_eq!(a.predict(&refs[..3]).unwrap(), b.predict(&refs[..3]).unwrap());
+    }
+
+    #[test]
+    fn import_state_rejects_wrong_length() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let a = Prionn::new(tiny_cfg(), &refs).unwrap();
+        let mut b = Prionn::new(tiny_cfg(), &refs).unwrap();
+        let mut state = a.export_state();
+        state.pop();
+        assert!(b.import_state(&state).is_err());
+    }
+
+    #[test]
+    fn bandwidth_derivation_divides_by_runtime() {
+        let pred = ResourcePrediction {
+            runtime_minutes: 10.0,
+            read_bytes: 6e8,
+            write_bytes: 1.2e9,
+        };
+        let (r, w) = Prionn::bandwidth_of(&pred);
+        assert!((r - 1e6).abs() < 1.0);
+        assert!((w - 2e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn regression_head_learns_the_same_separation() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut cfg = tiny_cfg();
+        cfg.head = HeadKind::Regressor;
+        cfg.predict_io = false;
+        cfg.epochs = 20;
+        cfg.lr = 5e-3;
+        let mut p = Prionn::new(cfg, &refs).unwrap();
+        let runtimes: Vec<f64> =
+            (0..refs.len()).map(|i| if i % 2 == 0 { 20.0 } else { 700.0 }).collect();
+        for _ in 0..4 {
+            p.retrain(&refs, &runtimes, &[], &[]).unwrap();
+        }
+        let preds = p.predict(&refs[..4]).unwrap();
+        assert!(
+            preds[0].runtime_minutes < preds[1].runtime_minutes,
+            "short {} vs long {}",
+            preds[0].runtime_minutes,
+            preds[1].runtime_minutes
+        );
+        for pr in &preds {
+            assert!((0.0..=960.0).contains(&pr.runtime_minutes));
+        }
+    }
+
+    #[test]
+    fn all_transforms_construct() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        for t in TransformKind::ALL {
+            let mut cfg = tiny_cfg();
+            cfg.transform = t;
+            cfg.predict_io = false;
+            let p = Prionn::new(cfg, &refs).unwrap();
+            assert!(p.map_scripts(&refs[..2]).is_ok(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn all_model_kinds_train_one_step() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        for m in ModelKind::ALL {
+            let mut cfg = tiny_cfg();
+            cfg.model = m;
+            cfg.predict_io = false;
+            cfg.epochs = 1;
+            let mut p = Prionn::new(cfg, &refs).unwrap();
+            p.retrain(&refs, &vec![10.0; refs.len()], &[], &[]).unwrap();
+            assert_eq!(p.predict(&refs[..1]).unwrap().len(), 1, "{m:?}");
+        }
+    }
+}

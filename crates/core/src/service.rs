@@ -1,0 +1,281 @@
+//! The PRIONN *service*: Figure 1's deployment shape.
+//!
+//! The paper runs PRIONN "on a single dedicated node … asynchronously to
+//! the scheduling of jobs": the scheduler's critical path only ever asks
+//! for predictions, while (re)training happens in the background as jobs
+//! complete. This module provides that process structure:
+//!
+//! * a dedicated worker thread owns the [`Prionn`] model;
+//! * [`PrionnService::predict`] is a synchronous RPC (the scheduler blocks
+//!   only for a forward pass);
+//! * [`PrionnService::retrain_async`] enqueues a training batch and returns
+//!   immediately — retraining never blocks a scheduling decision;
+//! * shared [`ServiceStats`] report queue depth and training activity.
+
+use crate::predictor::{Prionn, PrionnConfig, ResourcePrediction, Result};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A training batch: completed jobs' scripts and resource usage.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingBatch {
+    /// Job scripts.
+    pub scripts: Vec<String>,
+    /// True runtimes, minutes.
+    pub runtime_minutes: Vec<f64>,
+    /// True bytes read (empty when the IO heads are disabled).
+    pub read_bytes: Vec<f64>,
+    /// True bytes written (empty when the IO heads are disabled).
+    pub write_bytes: Vec<f64>,
+}
+
+/// Live counters for the service.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Completed retraining events.
+    pub retrains_done: AtomicUsize,
+    /// Retraining batches waiting in the queue.
+    pub retrains_pending: AtomicUsize,
+    /// Prediction requests served.
+    pub predictions_served: AtomicUsize,
+}
+
+enum Request {
+    Predict {
+        scripts: Vec<String>,
+        reply: Sender<Result<Vec<ResourcePrediction>>>,
+    },
+    Retrain(TrainingBatch),
+    Shutdown,
+}
+
+/// Handle to the background PRIONN worker.
+pub struct PrionnService {
+    tx: Sender<Request>,
+    stats: Arc<ServiceStats>,
+    last_error: Arc<Mutex<Option<String>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PrionnService {
+    /// Spawn the worker thread with a fresh model.
+    pub fn spawn(cfg: PrionnConfig, w2v_corpus: &[&str]) -> Result<Self> {
+        let model = Prionn::new(cfg, w2v_corpus)?;
+        let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
+        let stats = Arc::new(ServiceStats::default());
+        let last_error = Arc::new(Mutex::new(None));
+        let worker_stats = Arc::clone(&stats);
+        let worker_error = Arc::clone(&last_error);
+        let handle = std::thread::Builder::new()
+            .name("prionn-service".into())
+            .spawn(move || worker_loop(model, rx, worker_stats, worker_error))
+            .map_err(|e| {
+                prionn_tensor::TensorError::InvalidArgument(format!("spawn failed: {e}"))
+            })?;
+        Ok(PrionnService { tx, stats, last_error, handle: Some(handle) })
+    }
+
+    /// Predict resources for newly submitted scripts (synchronous RPC).
+    pub fn predict(&self, scripts: &[String]) -> Result<Vec<ResourcePrediction>> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(Request::Predict { scripts: scripts.to_vec(), reply: reply_tx })
+            .map_err(|_| {
+                prionn_tensor::TensorError::InvalidArgument("service stopped".into())
+            })?;
+        reply_rx.recv().map_err(|_| {
+            prionn_tensor::TensorError::InvalidArgument("service dropped reply".into())
+        })?
+    }
+
+    /// Enqueue a retraining batch; returns immediately. Failures are
+    /// recorded in [`PrionnService::last_error`].
+    pub fn retrain_async(&self, batch: TrainingBatch) {
+        self.stats.retrains_pending.fetch_add(1, Ordering::SeqCst);
+        // A send can only fail after shutdown; then the pending count no
+        // longer matters.
+        let _ = self.tx.send(Request::Retrain(batch));
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// The most recent background-training error, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error.lock().clone()
+    }
+
+    /// Stop the worker after draining queued work.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Request::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PrionnService {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Request::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    mut model: Prionn,
+    rx: Receiver<Request>,
+    stats: Arc<ServiceStats>,
+    last_error: Arc<Mutex<Option<String>>>,
+) {
+    while let Ok(req) = rx.recv() {
+        match req {
+            Request::Predict { scripts, reply } => {
+                let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+                let out = model.predict(&refs);
+                stats.predictions_served.fetch_add(1, Ordering::SeqCst);
+                let _ = reply.send(out);
+            }
+            Request::Retrain(batch) => {
+                let refs: Vec<&str> = batch.scripts.iter().map(|s| s.as_str()).collect();
+                let result = model.retrain(
+                    &refs,
+                    &batch.runtime_minutes,
+                    &batch.read_bytes,
+                    &batch.write_bytes,
+                );
+                stats.retrains_pending.fetch_sub(1, Ordering::SeqCst);
+                match result {
+                    Ok(()) => {
+                        stats.retrains_done.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(e) => *last_error.lock() = Some(e.to_string()),
+                }
+            }
+            Request::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn tiny_cfg() -> PrionnConfig {
+        PrionnConfig {
+            grid: (16, 16),
+            base_width: 2,
+            runtime_bins: 32,
+            predict_io: false,
+            epochs: 2,
+            batch_size: 8,
+            ..Default::default()
+        }
+    }
+
+    fn scripts(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| format!("#!/bin/bash\n#SBATCH -N {}\nsrun ./app_{}\n", 1 + i % 8, i % 3))
+            .collect()
+    }
+
+    #[test]
+    fn predicts_before_any_training() {
+        let corpus = scripts(8);
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let svc = PrionnService::spawn(tiny_cfg(), &refs).unwrap();
+        let preds = svc.predict(&corpus[..3]).unwrap();
+        assert_eq!(preds.len(), 3);
+        assert_eq!(svc.stats().predictions_served.load(Ordering::SeqCst), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn async_retrain_completes_and_counts() {
+        let corpus = scripts(16);
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let svc = PrionnService::spawn(tiny_cfg(), &refs).unwrap();
+        svc.retrain_async(TrainingBatch {
+            scripts: corpus.clone(),
+            runtime_minutes: vec![10.0; corpus.len()],
+            ..Default::default()
+        });
+        // A prediction queued after the batch proves the queue drained.
+        let preds = svc.predict(&corpus[..1]).unwrap();
+        assert_eq!(preds.len(), 1);
+        assert_eq!(svc.stats().retrains_done.load(Ordering::SeqCst), 1);
+        assert_eq!(svc.stats().retrains_pending.load(Ordering::SeqCst), 0);
+        assert!(svc.last_error().is_none());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn bad_batches_surface_as_last_error_not_panics() {
+        let corpus = scripts(8);
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let svc = PrionnService::spawn(tiny_cfg(), &refs).unwrap();
+        svc.retrain_async(TrainingBatch {
+            scripts: corpus.clone(),
+            runtime_minutes: vec![1.0], // wrong length
+            ..Default::default()
+        });
+        let _ = svc.predict(&corpus[..1]).unwrap(); // barrier
+        assert!(svc.last_error().is_some());
+        assert_eq!(svc.stats().retrains_done.load(Ordering::SeqCst), 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn training_improves_served_predictions() {
+        // Two textually distinct script families: 5 vs 300 minutes.
+        let corpus: Vec<String> = (0..24)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("#!/bin/bash\n#SBATCH -N 2\nsrun ./tiny {i}\n")
+                } else {
+                    format!(
+                        "#!/bin/bash\n#SBATCH -N 64\nmodule load big\nsrun ./huge case{i}\nsync\n"
+                    )
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let mut cfg = tiny_cfg();
+        cfg.epochs = 6;
+        cfg.lr = 3e-3;
+        let svc = PrionnService::spawn(cfg, &refs).unwrap();
+        let runtimes: Vec<f64> =
+            (0..corpus.len()).map(|i| if i % 2 == 0 { 5.0 } else { 300.0 }).collect();
+        for _ in 0..6 {
+            svc.retrain_async(TrainingBatch {
+                scripts: corpus.clone(),
+                runtime_minutes: runtimes.clone(),
+                ..Default::default()
+            });
+        }
+        let preds = svc.predict(&corpus[..2]).unwrap();
+        assert!(
+            preds[0].runtime_minutes < preds[1].runtime_minutes,
+            "{} vs {}",
+            preds[0].runtime_minutes,
+            preds[1].runtime_minutes
+        );
+        assert_eq!(svc.stats().retrains_done.load(Ordering::SeqCst), 6);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let corpus = scripts(4);
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let svc = PrionnService::spawn(tiny_cfg(), &refs).unwrap();
+        drop(svc); // must not hang or panic
+    }
+}

@@ -1,0 +1,74 @@
+//! Label encoding for categorical string features (paper §2.1: "We use a
+//! label encoder to transform each parsed feature into a numerical value in
+//! which we assign a unique integer to each unique string value").
+
+use std::collections::HashMap;
+
+/// Assigns a stable unique integer to each distinct string value.
+///
+/// Values first seen at transform time are assigned fresh ids (the online
+/// protocol keeps encountering new users/job names), so the encoder is
+/// `fit`-free: [`LabelEncoder::encode`] both looks up and extends.
+#[derive(Debug, Default, Clone)]
+pub struct LabelEncoder {
+    map: HashMap<String, usize>,
+}
+
+impl LabelEncoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        LabelEncoder::default()
+    }
+
+    /// The integer code for `value`, allocating a new one on first sight.
+    pub fn encode(&mut self, value: &str) -> usize {
+        let next = self.map.len();
+        *self.map.entry(value.to_string()).or_insert(next)
+    }
+
+    /// The code for `value` if it has been seen, without extending.
+    pub fn lookup(&self, value: &str) -> Option<usize> {
+        self.map.get(value).copied()
+    }
+
+    /// Number of distinct values seen.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assigns_sequential_codes() {
+        let mut e = LabelEncoder::new();
+        assert_eq!(e.encode("alice"), 0);
+        assert_eq!(e.encode("bob"), 1);
+        assert_eq!(e.encode("alice"), 0);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_extend() {
+        let mut e = LabelEncoder::new();
+        e.encode("x");
+        assert_eq!(e.lookup("x"), Some(0));
+        assert_eq!(e.lookup("y"), None);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn codes_are_stable_across_repeats() {
+        let mut e = LabelEncoder::new();
+        let first: Vec<usize> = ["a", "b", "c", "a"].iter().map(|s| e.encode(s)).collect();
+        let second: Vec<usize> = ["a", "b", "c", "a"].iter().map(|s| e.encode(s)).collect();
+        assert_eq!(first, second);
+    }
+}

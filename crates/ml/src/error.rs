@@ -1,0 +1,35 @@
+//! Error type for the classic-ML crate.
+
+use std::fmt;
+
+/// Errors raised by the classic-ML models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// A matrix/target dimension disagreement.
+    DimensionMismatch {
+        /// What was being done.
+        op: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// The model was asked to predict before being fitted.
+    NotFitted(&'static str),
+    /// An invalid hyperparameter.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::DimensionMismatch { op, expected, actual } => {
+                write!(f, "{op}: expected {expected} elements, got {actual}")
+            }
+            MlError::NotFitted(model) => write!(f, "{model} used before fit"),
+            MlError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}

@@ -1,0 +1,238 @@
+//! Manual feature extraction from SLURM job scripts — the Table-1 pipeline
+//! the paper replicates from Smith et al. for its traditional-ML baselines.
+//!
+//! The parser recognises the common `#SBATCH` directive spellings. As the
+//! paper notes, this style of parsing "proved difficult due to
+//! inconsistencies in job script format" — which is exactly the motivation
+//! for PRIONN's whole-script mapping. Fields the script does not carry
+//! (user, group, submission directory) come from scheduler metadata and are
+//! supplied alongside the script text.
+
+use crate::encoder::LabelEncoder;
+
+/// Names of the nine Table-1 features, in order.
+pub const TABLE1_FEATURES: [&str; 9] = [
+    "requested_time_hours",
+    "requested_nodes",
+    "requested_tasks",
+    "user",
+    "group",
+    "account",
+    "job_name",
+    "working_directory",
+    "submission_directory",
+];
+
+/// Raw (pre-encoding) features for one job: parsed script fields plus
+/// scheduler metadata.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RawJobFeatures {
+    /// User-requested wall time, hours.
+    pub requested_time_hours: f32,
+    /// User-requested node count.
+    pub requested_nodes: f32,
+    /// User-requested task count.
+    pub requested_tasks: f32,
+    /// Login user (metadata).
+    pub user: String,
+    /// Login group (metadata).
+    pub group: String,
+    /// Account / bank.
+    pub account: String,
+    /// Job name.
+    pub job_name: String,
+    /// Working directory for execution.
+    pub working_directory: String,
+    /// Directory the job was submitted from (metadata).
+    pub submission_directory: String,
+}
+
+impl RawJobFeatures {
+    /// Parse the script-resident fields out of a SLURM job script and merge
+    /// in the metadata-only fields.
+    pub fn parse(script: &str, user: &str, group: &str, submission_directory: &str) -> Self {
+        let mut f = RawJobFeatures {
+            user: user.to_string(),
+            group: group.to_string(),
+            submission_directory: submission_directory.to_string(),
+            ..Default::default()
+        };
+        for line in script.lines() {
+            let line = line.trim();
+            let Some(rest) = line.strip_prefix("#SBATCH") else { continue };
+            let rest = rest.trim();
+            if let Some(v) = directive_value(rest, "-t", "--time") {
+                f.requested_time_hours = parse_time_to_hours(&v).unwrap_or(0.0);
+            } else if let Some(v) = directive_value(rest, "-N", "--nodes") {
+                f.requested_nodes = v.parse().unwrap_or(0.0);
+            } else if let Some(v) = directive_value(rest, "-n", "--ntasks") {
+                f.requested_tasks = v.parse().unwrap_or(0.0);
+            } else if let Some(v) = directive_value(rest, "-J", "--job-name") {
+                f.job_name = v;
+            } else if let Some(v) = directive_value(rest, "-A", "--account") {
+                f.account = v;
+            } else if let Some(v) = directive_value(rest, "-D", "--chdir") {
+                f.working_directory = v;
+            }
+        }
+        f
+    }
+}
+
+/// Extract the value of `#SBATCH <short> v` / `#SBATCH <long>=v` /
+/// `#SBATCH <long> v` forms.
+fn directive_value(rest: &str, short: &str, long: &str) -> Option<String> {
+    if let Some(v) = rest.strip_prefix(short) {
+        // Short option must be followed by whitespace or '=': avoid matching
+        // "-n" against "-nodes"-style typos or "-N" against "-Nfoo".
+        let v = v.strip_prefix('=').unwrap_or(v);
+        if v.starts_with(char::is_whitespace) || v.is_empty() {
+            let val = v.trim();
+            if !val.is_empty() {
+                return Some(val.to_string());
+            }
+        }
+        // fall through: might still match the long form below
+    }
+    if let Some(v) = rest.strip_prefix(long) {
+        let v = v.strip_prefix('=').unwrap_or(v);
+        let val = v.trim();
+        if !val.is_empty() && (rest.as_bytes().get(long.len()) != Some(&b'-')) {
+            return Some(val.to_string());
+        }
+    }
+    None
+}
+
+/// Parse SLURM time formats (`minutes`, `MM:SS`, `HH:MM:SS`, `D-HH:MM:SS`)
+/// into hours.
+pub fn parse_time_to_hours(s: &str) -> Option<f32> {
+    let s = s.trim();
+    let (days, rest) = match s.split_once('-') {
+        Some((d, r)) => (d.parse::<f32>().ok()?, r),
+        None => (0.0, s),
+    };
+    let parts: Vec<&str> = rest.split(':').collect();
+    let hours = match parts.as_slice() {
+        [m] => m.parse::<f32>().ok()? / 60.0,
+        [m, sec] => m.parse::<f32>().ok()? / 60.0 + sec.parse::<f32>().ok()? / 3600.0,
+        [h, m, sec] => {
+            h.parse::<f32>().ok()?
+                + m.parse::<f32>().ok()? / 60.0
+                + sec.parse::<f32>().ok()? / 3600.0
+        }
+        _ => return None,
+    };
+    Some(days * 24.0 + hours)
+}
+
+/// Turns [`RawJobFeatures`] into the 9-wide numeric vectors Table 1
+/// describes, label-encoding every categorical field.
+#[derive(Debug, Default, Clone)]
+pub struct FeatureExtractor {
+    user: LabelEncoder,
+    group: LabelEncoder,
+    account: LabelEncoder,
+    job_name: LabelEncoder,
+    workdir: LabelEncoder,
+    submit_dir: LabelEncoder,
+}
+
+impl FeatureExtractor {
+    /// A fresh extractor with empty encoders.
+    pub fn new() -> Self {
+        FeatureExtractor::default()
+    }
+
+    /// Encode one job's features, extending the label encoders as needed.
+    pub fn extract(&mut self, raw: &RawJobFeatures) -> Vec<f32> {
+        vec![
+            raw.requested_time_hours,
+            raw.requested_nodes,
+            raw.requested_tasks,
+            self.user.encode(&raw.user) as f32,
+            self.group.encode(&raw.group) as f32,
+            self.account.encode(&raw.account) as f32,
+            self.job_name.encode(&raw.job_name) as f32,
+            self.workdir.encode(&raw.working_directory) as f32,
+            self.submit_dir.encode(&raw.submission_directory) as f32,
+        ]
+    }
+
+    /// Feature vector width.
+    pub fn n_features(&self) -> usize {
+        TABLE1_FEATURES.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRIPT: &str = "#!/bin/bash\n\
+        #SBATCH -N 16\n\
+        #SBATCH --ntasks=256\n\
+        #SBATCH -t 04:30:00\n\
+        #SBATCH -J lammps_prod\n\
+        #SBATCH --account=phys_dept\n\
+        #SBATCH -D /p/lustre/alice/run42\n\
+        srun ./lmp -in in.melt\n";
+
+    #[test]
+    fn parses_all_script_fields() {
+        let f = RawJobFeatures::parse(SCRIPT, "alice", "physics", "/home/alice");
+        assert_eq!(f.requested_nodes, 16.0);
+        assert_eq!(f.requested_tasks, 256.0);
+        assert!((f.requested_time_hours - 4.5).abs() < 1e-5);
+        assert_eq!(f.job_name, "lammps_prod");
+        assert_eq!(f.account, "phys_dept");
+        assert_eq!(f.working_directory, "/p/lustre/alice/run42");
+        assert_eq!(f.user, "alice");
+        assert_eq!(f.submission_directory, "/home/alice");
+    }
+
+    #[test]
+    fn long_and_short_forms_agree() {
+        let a = RawJobFeatures::parse("#SBATCH -N 4\n#SBATCH -t 60\n", "u", "g", "/");
+        let b = RawJobFeatures::parse("#SBATCH --nodes=4\n#SBATCH --time=60\n", "u", "g", "/");
+        assert_eq!(a.requested_nodes, b.requested_nodes);
+        assert_eq!(a.requested_time_hours, b.requested_time_hours);
+    }
+
+    #[test]
+    fn missing_directives_default_to_zero_or_empty() {
+        let f = RawJobFeatures::parse("echo hi\n", "u", "g", "/");
+        assert_eq!(f.requested_nodes, 0.0);
+        assert_eq!(f.job_name, "");
+    }
+
+    #[test]
+    fn time_formats() {
+        assert_eq!(parse_time_to_hours("60"), Some(1.0));
+        assert_eq!(parse_time_to_hours("90:00"), Some(1.5));
+        assert_eq!(parse_time_to_hours("02:30:00"), Some(2.5));
+        assert_eq!(parse_time_to_hours("1-12:00:00"), Some(36.0));
+        assert_eq!(parse_time_to_hours("junk"), None);
+    }
+
+    #[test]
+    fn n_and_upper_n_do_not_collide() {
+        let f = RawJobFeatures::parse("#SBATCH -n 32\n#SBATCH -N 2\n", "u", "g", "/");
+        assert_eq!(f.requested_tasks, 32.0);
+        assert_eq!(f.requested_nodes, 2.0);
+    }
+
+    #[test]
+    fn extractor_produces_stable_codes() {
+        let mut ex = FeatureExtractor::new();
+        let f1 = RawJobFeatures::parse(SCRIPT, "alice", "physics", "/home/alice");
+        let f2 = RawJobFeatures::parse(SCRIPT, "bob", "physics", "/home/bob");
+        let v1 = ex.extract(&f1);
+        let v2 = ex.extract(&f2);
+        let v1b = ex.extract(&f1);
+        assert_eq!(v1.len(), 9);
+        assert_eq!(v1, v1b, "same job encodes identically");
+        assert_ne!(v1[3], v2[3], "different users get different codes");
+        assert_eq!(v1[4], v2[4], "same group shares a code");
+    }
+}

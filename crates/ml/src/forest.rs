@@ -1,0 +1,228 @@
+//! Random forest regression: bagging + per-split feature subsampling, with
+//! trees grown in parallel by rayon.
+
+use crate::matrix::FeatureMatrix;
+use crate::tree::{DecisionTreeConfig, DecisionTreeRegressor};
+use crate::{MlError, Result};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Hyperparameters for [`RandomForestRegressor`].
+#[derive(Debug, Clone)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree config. If `max_features` is `None`, the forest uses
+    /// `ceil(n_features / 3)` — the scikit-learn regression default the
+    /// paper's baselines rely on.
+    pub tree: DecisionTreeConfig,
+    /// Seed for bootstrap/feature sampling.
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        RandomForestConfig { n_trees: 50, tree: DecisionTreeConfig::default(), seed: 0x5eed }
+    }
+}
+
+/// Bagged ensemble of [`DecisionTreeRegressor`]s; prediction is the mean of
+/// the per-tree predictions.
+#[derive(Debug, Clone, Default)]
+pub struct RandomForestRegressor {
+    trees: Vec<DecisionTreeRegressor>,
+}
+
+impl RandomForestRegressor {
+    /// Fit the forest. Each tree sees a bootstrap resample of the rows and
+    /// subsamples features at every split.
+    pub fn fit(x: &FeatureMatrix, y: &[f32], cfg: &RandomForestConfig) -> Result<Self> {
+        if x.n_rows() != y.len() {
+            return Err(MlError::DimensionMismatch {
+                op: "forest_fit",
+                expected: x.n_rows(),
+                actual: y.len(),
+            });
+        }
+        if y.is_empty() {
+            return Err(MlError::InvalidArgument("fit on empty dataset".into()));
+        }
+        if cfg.n_trees == 0 {
+            return Err(MlError::InvalidArgument("forest needs at least one tree".into()));
+        }
+        let mut tree_cfg = cfg.tree.clone();
+        if tree_cfg.max_features.is_none() {
+            tree_cfg.max_features = Some(x.n_cols().div_ceil(3));
+        }
+        let n = y.len();
+        let trees: Result<Vec<DecisionTreeRegressor>> = (0..cfg.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                // Independent deterministic stream per tree.
+                let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15));
+                let sample: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                let bx = x.select_rows(&sample);
+                let by: Vec<f32> = sample.iter().map(|&i| y[i]).collect();
+                DecisionTreeRegressor::fit(&bx, &by, &tree_cfg, &mut rng)
+            })
+            .collect();
+        Ok(RandomForestRegressor { trees: trees? })
+    }
+
+    /// Predict one sample (mean over trees).
+    pub fn predict_one(&self, row: &[f32]) -> Result<f32> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted("RandomForestRegressor"));
+        }
+        let mut sum = 0.0f32;
+        for t in &self.trees {
+            sum += t.predict_one(row)?;
+        }
+        Ok(sum / self.trees.len() as f32)
+    }
+
+    /// Predict a batch, parallel over rows.
+    pub fn predict(&self, x: &FeatureMatrix) -> Result<Vec<f32>> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted("RandomForestRegressor"));
+        }
+        (0..x.n_rows()).into_par_iter().map(|i| self.predict_one(x.row(i))).collect()
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_step() -> (FeatureMatrix, Vec<f32>) {
+        let mut x = FeatureMatrix::new(1);
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let v = i as f32 / 200.0;
+            let noise = ((i * 2654435761u64 as usize) % 100) as f32 / 100.0 - 0.5;
+            x.push_row(&[v]).unwrap();
+            y.push(if v < 0.5 { 10.0 } else { 20.0 } + noise);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fits_and_predicts_reasonably() {
+        let (x, y) = noisy_step();
+        let f = RandomForestRegressor::fit(&x, &y, &RandomForestConfig::default()).unwrap();
+        assert!((f.predict_one(&[0.25]).unwrap() - 10.0).abs() < 1.0);
+        assert!((f.predict_one(&[0.75]).unwrap() - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn is_deterministic_for_seed() {
+        let (x, y) = noisy_step();
+        let cfg = RandomForestConfig { n_trees: 10, ..Default::default() };
+        let a = RandomForestRegressor::fit(&x, &y, &cfg).unwrap();
+        let b = RandomForestRegressor::fit(&x, &y, &cfg).unwrap();
+        assert_eq!(a.predict_one(&[0.33]).unwrap(), b.predict_one(&[0.33]).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (x, y) = noisy_step();
+        let a = RandomForestRegressor::fit(
+            &x,
+            &y,
+            &RandomForestConfig { n_trees: 5, seed: 1, ..Default::default() },
+        )
+        .unwrap();
+        let b = RandomForestRegressor::fit(
+            &x,
+            &y,
+            &RandomForestConfig { n_trees: 5, seed: 2, ..Default::default() },
+        )
+        .unwrap();
+        // Not a hard guarantee point-wise, but with noisy data the ensembles
+        // almost surely differ somewhere on a fine grid.
+        let grid: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let ga: Vec<f32> = grid.iter().map(|&v| a.predict_one(&[v]).unwrap()).collect();
+        let gb: Vec<f32> = grid.iter().map(|&v| b.predict_one(&[v]).unwrap()).collect();
+        assert_ne!(ga, gb);
+    }
+
+    #[test]
+    fn batch_matches_pointwise() {
+        let (x, y) = noisy_step();
+        let f = RandomForestRegressor::fit(
+            &x,
+            &y,
+            &RandomForestConfig { n_trees: 8, ..Default::default() },
+        )
+        .unwrap();
+        let batch = f.predict(&x).unwrap();
+        for i in (0..x.n_rows()).step_by(37) {
+            assert_eq!(batch[i], f.predict_one(x.row(i)).unwrap());
+        }
+    }
+
+    #[test]
+    fn rejects_zero_trees_and_unfitted_use() {
+        let (x, y) = noisy_step();
+        assert!(RandomForestRegressor::fit(
+            &x,
+            &y,
+            &RandomForestConfig { n_trees: 0, ..Default::default() }
+        )
+        .is_err());
+        let f = RandomForestRegressor::default();
+        assert!(f.predict_one(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn predictions_stay_within_target_range() {
+        // Every tree leaf holds a mean of targets, and the forest averages
+        // leaves, so predictions are convex combinations of the training
+        // targets — even far outside the training domain.
+        let (x, y) = noisy_step();
+        let (lo, hi) = y.iter().fold((f32::MAX, f32::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        let f = RandomForestRegressor::fit(
+            &x,
+            &y,
+            &RandomForestConfig { n_trees: 20, ..Default::default() },
+        )
+        .unwrap();
+        for q in [-100.0f32, -1.0, 0.0, 0.5, 1.0, 100.0] {
+            let p = f.predict_one(&[q]).unwrap();
+            assert!((lo..=hi).contains(&p), "prediction {p} outside [{lo}, {hi}] at {q}");
+        }
+    }
+
+    #[test]
+    fn more_trees_converge_toward_big_ensemble() {
+        // The 10-tree forest's prediction should be closer to the 80-tree
+        // forest's than the 1-tree "forest" is, on average over a grid:
+        // Monte-Carlo convergence of bagging.
+        let (x, y) = noisy_step();
+        let fit = |n: usize| {
+            RandomForestRegressor::fit(
+                &x,
+                &y,
+                &RandomForestConfig { n_trees: n, seed: 0xabc, ..Default::default() },
+            )
+            .unwrap()
+        };
+        let (f1, f10, f80) = (fit(1), fit(10), fit(80));
+        let grid: Vec<f32> = (0..50).map(|i| i as f32 / 50.0).collect();
+        let dist = |a: &RandomForestRegressor, b: &RandomForestRegressor| -> f32 {
+            grid.iter()
+                .map(|&v| {
+                    let d = a.predict_one(&[v]).unwrap() - b.predict_one(&[v]).unwrap();
+                    d * d
+                })
+                .sum()
+        };
+        assert!(dist(&f10, &f80) < dist(&f1, &f80));
+    }
+}

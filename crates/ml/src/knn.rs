@@ -1,0 +1,137 @@
+//! Brute-force k-nearest-neighbour regression.
+
+use crate::matrix::FeatureMatrix;
+use crate::{MlError, Result};
+use rayon::prelude::*;
+
+/// kNN regression by Euclidean distance; prediction is the mean target of
+/// the `k` nearest training rows.
+///
+/// As the paper observes, label-encoded categoricals make Euclidean distance
+/// semantically shaky — kNN is the weakest baseline — but it is part of the
+/// comparison set, so it is implemented faithfully.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    x: FeatureMatrix,
+    y: Vec<f32>,
+}
+
+impl KnnRegressor {
+    /// Store the training set. `k` is clamped to the training size at
+    /// prediction time.
+    pub fn fit(x: FeatureMatrix, y: Vec<f32>, k: usize) -> Result<Self> {
+        if x.n_rows() != y.len() {
+            return Err(MlError::DimensionMismatch {
+                op: "knn_fit",
+                expected: x.n_rows(),
+                actual: y.len(),
+            });
+        }
+        if y.is_empty() {
+            return Err(MlError::InvalidArgument("fit on empty dataset".into()));
+        }
+        if k == 0 {
+            return Err(MlError::InvalidArgument("k must be >= 1".into()));
+        }
+        Ok(KnnRegressor { k, x, y })
+    }
+
+    /// Predict one sample.
+    pub fn predict_one(&self, row: &[f32]) -> Result<f32> {
+        if row.len() != self.x.n_cols() {
+            return Err(MlError::DimensionMismatch {
+                op: "knn_predict",
+                expected: self.x.n_cols(),
+                actual: row.len(),
+            });
+        }
+        let k = self.k.min(self.y.len());
+        // Keep the k smallest distances with a simple bounded insertion —
+        // k is tiny (paper-style 3..10), so this beats sorting everything.
+        let mut best: Vec<(f32, f32)> = Vec::with_capacity(k + 1); // (dist2, y)
+        for (i, train_row) in self.x.rows().enumerate() {
+            let d2: f32 =
+                train_row.iter().zip(row).map(|(&a, &b)| (a - b) * (a - b)).sum();
+            let pos = best.partition_point(|&(d, _)| d <= d2);
+            if pos < k {
+                best.insert(pos, (d2, self.y[i]));
+                best.truncate(k);
+            }
+        }
+        Ok(best.iter().map(|&(_, y)| y).sum::<f32>() / best.len() as f32)
+    }
+
+    /// Predict a batch, parallel over query rows.
+    pub fn predict(&self, x: &FeatureMatrix) -> Result<Vec<f32>> {
+        (0..x.n_rows()).into_par_iter().map(|i| self.predict_one(x.row(i))).collect()
+    }
+
+    /// The configured `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> (FeatureMatrix, Vec<f32>) {
+        let x = FeatureMatrix::from_vec(1, vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0]).unwrap();
+        let y = vec![0.0, 0.0, 0.0, 100.0, 100.0, 100.0];
+        (x, y)
+    }
+
+    #[test]
+    fn one_nn_matches_nearest_cluster() {
+        let (x, y) = data();
+        let m = KnnRegressor::fit(x, y, 1).unwrap();
+        assert_eq!(m.predict_one(&[1.4]).unwrap(), 0.0);
+        assert_eq!(m.predict_one(&[10.6]).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn k3_averages_within_cluster() {
+        let (x, y) = data();
+        let m = KnnRegressor::fit(x, y, 3).unwrap();
+        assert_eq!(m.predict_one(&[1.0]).unwrap(), 0.0);
+        assert_eq!(m.predict_one(&[11.0]).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn k_larger_than_train_set_uses_all() {
+        let (x, y) = data();
+        let m = KnnRegressor::fit(x, y, 100).unwrap();
+        assert_eq!(m.predict_one(&[5.0]).unwrap(), 50.0);
+    }
+
+    #[test]
+    fn exact_training_point_with_k1_reproduces_target() {
+        let (x, y) = data();
+        let m = KnnRegressor::fit(x.clone(), y.clone(), 1).unwrap();
+        for i in 0..x.n_rows() {
+            assert_eq!(m.predict_one(x.row(i)).unwrap(), y[i]);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let (x, y) = data();
+        assert!(KnnRegressor::fit(x.clone(), y[..3].to_vec(), 1).is_err());
+        assert!(KnnRegressor::fit(x.clone(), y.clone(), 0).is_err());
+        let m = KnnRegressor::fit(x, y, 1).unwrap();
+        assert!(m.predict_one(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn batch_matches_pointwise() {
+        let (x, y) = data();
+        let m = KnnRegressor::fit(x.clone(), y, 2).unwrap();
+        let q = FeatureMatrix::from_vec(1, vec![0.5, 5.0, 11.5]).unwrap();
+        let batch = m.predict(&q).unwrap();
+        for i in 0..q.n_rows() {
+            assert_eq!(batch[i], m.predict_one(q.row(i)).unwrap());
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Traditional machine-learning baselines for PRIONN (paper §2.1–2.2).
+//!
+//! The paper compares its deep models against the previous state of
+//! practice: **Random Forest**, **Decision Tree**, and **k-Nearest
+//! Neighbors** regressors fed with *manually extracted* job-script features
+//! (Table 1: requested time/nodes/tasks, user, group, account, job name,
+//! working directory, submission directory), each categorical feature label-
+//! encoded to an integer. This crate implements all of it from scratch:
+//!
+//! * [`matrix`] — a flat row-major feature matrix,
+//! * [`encoder`] — the label encoder for categorical string features,
+//! * [`features`] — the Table-1 SLURM job-script parser,
+//! * [`tree`] — a CART regression tree (variance-reduction splits),
+//! * [`forest`] — bagged, feature-subsampled, rayon-parallel random forest,
+//! * [`knn`] — brute-force k-nearest-neighbour regression.
+
+pub mod encoder;
+pub mod error;
+pub mod features;
+pub mod forest;
+pub mod knn;
+pub mod matrix;
+pub mod tree;
+
+pub use encoder::LabelEncoder;
+pub use error::MlError;
+pub use features::{parse_time_to_hours, FeatureExtractor, RawJobFeatures, TABLE1_FEATURES};
+pub use forest::{RandomForestConfig, RandomForestRegressor};
+pub use knn::KnnRegressor;
+pub use matrix::FeatureMatrix;
+pub use tree::{DecisionTreeConfig, DecisionTreeRegressor};
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, MlError>;

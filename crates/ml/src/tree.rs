@@ -1,0 +1,316 @@
+//! CART regression tree with variance-reduction splits.
+
+use crate::matrix::FeatureMatrix;
+use crate::{MlError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hyperparameters for [`DecisionTreeRegressor`].
+#[derive(Debug, Clone)]
+pub struct DecisionTreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a leaf may hold.
+    pub min_samples_leaf: usize,
+    /// Features to consider per split; `None` = all (single trees),
+    /// `Some(m)` = a random subset of `m` (random forests).
+    pub max_features: Option<usize>,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        DecisionTreeConfig { max_depth: 16, min_samples_leaf: 2, max_features: None }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A regression tree grown greedily by maximising the reduction in the sum
+/// of squared errors (equivalently, variance reduction).
+#[derive(Debug, Clone, Default)]
+pub struct DecisionTreeRegressor {
+    nodes: Vec<Node>,
+}
+
+impl DecisionTreeRegressor {
+    /// Fit a tree on `(x, y)` with the given config and RNG (the RNG only
+    /// matters when `max_features` subsampling is active).
+    pub fn fit(
+        x: &FeatureMatrix,
+        y: &[f32],
+        cfg: &DecisionTreeConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if x.n_rows() != y.len() {
+            return Err(MlError::DimensionMismatch {
+                op: "tree_fit",
+                expected: x.n_rows(),
+                actual: y.len(),
+            });
+        }
+        if y.is_empty() {
+            return Err(MlError::InvalidArgument("fit on empty dataset".into()));
+        }
+        if cfg.min_samples_leaf == 0 {
+            return Err(MlError::InvalidArgument("min_samples_leaf must be >= 1".into()));
+        }
+        let mut tree = DecisionTreeRegressor { nodes: Vec::new() };
+        let indices: Vec<usize> = (0..y.len()).collect();
+        tree.grow(x, y, indices, 0, cfg, rng);
+        Ok(tree)
+    }
+
+    fn grow(
+        &mut self,
+        x: &FeatureMatrix,
+        y: &[f32],
+        indices: Vec<usize>,
+        depth: usize,
+        cfg: &DecisionTreeConfig,
+        rng: &mut impl Rng,
+    ) -> usize {
+        let mean = indices.iter().map(|&i| y[i]).sum::<f32>() / indices.len() as f32;
+        let stop = depth >= cfg.max_depth
+            || indices.len() < 2 * cfg.min_samples_leaf
+            || indices.iter().all(|&i| (y[i] - mean).abs() < 1e-12);
+        if !stop {
+            if let Some((feature, threshold)) = best_split(x, y, &indices, cfg, rng) {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| x.row(i)[feature] <= threshold);
+                if left_idx.len() >= cfg.min_samples_leaf && right_idx.len() >= cfg.min_samples_leaf
+                {
+                    // Reserve this node's slot, then grow children.
+                    let id = self.nodes.len();
+                    self.nodes.push(Node::Leaf { value: mean });
+                    let left = self.grow(x, y, left_idx, depth + 1, cfg, rng);
+                    let right = self.grow(x, y, right_idx, depth + 1, cfg, rng);
+                    self.nodes[id] = Node::Split { feature, threshold, left, right };
+                    return id;
+                }
+            }
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean });
+        id
+    }
+
+    /// Predict one sample.
+    pub fn predict_one(&self, row: &[f32]) -> Result<f32> {
+        if self.nodes.is_empty() {
+            return Err(MlError::NotFitted("DecisionTreeRegressor"));
+        }
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return Ok(*value),
+                Node::Split { feature, threshold, left, right } => {
+                    node = if row.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predict a batch.
+    pub fn predict(&self, x: &FeatureMatrix) -> Result<Vec<f32>> {
+        x.rows().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+}
+
+/// Find the `(feature, threshold)` pair with maximal SSE reduction, scanning
+/// each candidate feature in sorted order with prefix sums.
+fn best_split(
+    x: &FeatureMatrix,
+    y: &[f32],
+    indices: &[usize],
+    cfg: &DecisionTreeConfig,
+    rng: &mut impl Rng,
+) -> Option<(usize, f32)> {
+    let n_features = x.n_cols();
+    let mut candidates: Vec<usize> = (0..n_features).collect();
+    if let Some(m) = cfg.max_features {
+        candidates.shuffle(rng);
+        candidates.truncate(m.clamp(1, n_features));
+    }
+
+    let n = indices.len() as f64;
+    let total: f64 = indices.iter().map(|&i| y[i] as f64).sum();
+    let mut best: Option<(usize, f32, f64)> = None; // (feature, threshold, score)
+
+    let mut order: Vec<usize> = Vec::with_capacity(indices.len());
+    for &feature in &candidates {
+        order.clear();
+        order.extend_from_slice(indices);
+        order.sort_by(|&a, &b| {
+            x.row(a)[feature].partial_cmp(&x.row(b)[feature]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut left_sum = 0.0f64;
+        for (k, &i) in order.iter().enumerate().take(order.len() - 1) {
+            left_sum += y[i] as f64;
+            let v = x.row(i)[feature];
+            let v_next = x.row(order[k + 1])[feature];
+            if v == v_next {
+                continue; // cannot split between equal values
+            }
+            let left_n = (k + 1) as f64;
+            let right_n = n - left_n;
+            if (left_n as usize) < cfg.min_samples_leaf
+                || (right_n as usize) < cfg.min_samples_leaf
+            {
+                continue;
+            }
+            // Maximising sum-of-squared-means is equivalent to minimising
+            // within-node SSE (total sum of squares is constant).
+            let right_sum = total - left_sum;
+            let score = left_sum * left_sum / left_n + right_sum * right_sum / right_n;
+            if best.map(|(_, _, s)| score > s).unwrap_or(true) {
+                best = Some((feature, (v + v_next) * 0.5, score));
+            }
+        }
+    }
+    best.map(|(f, t, _)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(13)
+    }
+
+    fn step_data() -> (FeatureMatrix, Vec<f32>) {
+        // y = 10 if x < 0.5 else 20, on a 1-D grid.
+        let xs: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let y: Vec<f32> = xs.iter().map(|&v| if v < 0.5 { 10.0 } else { 20.0 }).collect();
+        (FeatureMatrix::from_vec(1, xs).unwrap(), y)
+    }
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let (x, y) = step_data();
+        let t = DecisionTreeRegressor::fit(&x, &y, &DecisionTreeConfig::default(), &mut rng())
+            .unwrap();
+        assert_eq!(t.predict_one(&[0.2]).unwrap(), 10.0);
+        assert_eq!(t.predict_one(&[0.9]).unwrap(), 20.0);
+    }
+
+    #[test]
+    fn depth_zero_tree_predicts_mean() {
+        let (x, y) = step_data();
+        let cfg = DecisionTreeConfig { max_depth: 0, ..Default::default() };
+        let t = DecisionTreeRegressor::fit(&x, &y, &cfg, &mut rng()).unwrap();
+        let mean = y.iter().sum::<f32>() / y.len() as f32;
+        assert!((t.predict_one(&[0.3]).unwrap() - mean).abs() < 1e-4);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let (x, y) = step_data();
+        let cfg = DecisionTreeConfig { min_samples_leaf: 60, ..Default::default() };
+        let t = DecisionTreeRegressor::fit(&x, &y, &cfg, &mut rng()).unwrap();
+        // 100 samples cannot split into two leaves of >= 60.
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn splits_on_the_informative_feature() {
+        // Feature 0 is noise-ish, feature 1 carries the signal.
+        let mut x = FeatureMatrix::new(2);
+        let mut y = Vec::new();
+        for i in 0..50 {
+            let noise = (i * 7919 % 100) as f32 / 100.0;
+            let signal = if i % 2 == 0 { 0.0 } else { 1.0 };
+            x.push_row(&[noise, signal]).unwrap();
+            y.push(signal * 100.0);
+        }
+        let t = DecisionTreeRegressor::fit(&x, &y, &DecisionTreeConfig::default(), &mut rng())
+            .unwrap();
+        assert_eq!(t.predict_one(&[0.99, 0.0]).unwrap(), 0.0);
+        assert_eq!(t.predict_one(&[0.01, 1.0]).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn constant_targets_yield_single_leaf() {
+        let x = FeatureMatrix::from_vec(1, (0..20).map(|i| i as f32).collect()).unwrap();
+        let y = vec![5.0; 20];
+        let t = DecisionTreeRegressor::fit(&x, &y, &DecisionTreeConfig::default(), &mut rng())
+            .unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict_one(&[100.0]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths_and_empty() {
+        let x = FeatureMatrix::from_vec(1, vec![1.0, 2.0]).unwrap();
+        assert!(DecisionTreeRegressor::fit(&x, &[1.0], &DecisionTreeConfig::default(), &mut rng())
+            .is_err());
+        let empty = FeatureMatrix::new(1);
+        assert!(
+            DecisionTreeRegressor::fit(&empty, &[], &DecisionTreeConfig::default(), &mut rng())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn unfitted_tree_errors() {
+        let t = DecisionTreeRegressor::default();
+        assert!(matches!(t.predict_one(&[1.0]), Err(MlError::NotFitted(_))));
+    }
+
+    #[test]
+    fn deeper_trees_fit_no_worse_on_train() {
+        let xs: Vec<f32> = (0..200).map(|i| i as f32 / 200.0).collect();
+        let y: Vec<f32> = xs.iter().map(|&v| (v * 12.0).sin()).collect();
+        let x = FeatureMatrix::from_vec(1, xs).unwrap();
+        let sse = |depth: usize| {
+            let cfg = DecisionTreeConfig { max_depth: depth, min_samples_leaf: 1, ..Default::default() };
+            let t = DecisionTreeRegressor::fit(&x, &y, &cfg, &mut rng()).unwrap();
+            t.predict(&x)
+                .unwrap()
+                .iter()
+                .zip(&y)
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f32>()
+        };
+        assert!(sse(8) <= sse(2));
+        assert!(sse(2) <= sse(0));
+    }
+}

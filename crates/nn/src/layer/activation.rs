@@ -1,0 +1,88 @@
+//! Activation layers.
+
+use super::Layer;
+use crate::Result;
+use prionn_tensor::{Tensor, TensorError};
+
+/// Rectified linear unit, applied elementwise to any rank.
+#[derive(Default)]
+pub struct ReLU {
+    // 1.0 where the input was positive, 0.0 elsewhere.
+    mask: Option<Vec<f32>>,
+}
+
+impl ReLU {
+    /// A fresh ReLU layer.
+    pub fn new() -> Self {
+        ReLU::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let mut mask = vec![0.0f32; x.len()];
+        let mut out = x.clone();
+        for (v, m) in out.as_mut_slice().iter_mut().zip(&mut mask) {
+            if *v > 0.0 {
+                *m = 1.0;
+            } else {
+                *v = 0.0;
+            }
+        }
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.take().ok_or_else(|| {
+            TensorError::InvalidArgument("relu backward without forward".into())
+        })?;
+        if mask.len() != grad_out.len() {
+            return Err(TensorError::LengthMismatch { expected: mask.len(), actual: grad_out.len() });
+        }
+        let mut g = grad_out.clone();
+        for (gv, m) in g.as_mut_slice().iter_mut().zip(&mask) {
+            *gv *= m;
+        }
+        Ok(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_negatives() {
+        let mut r = ReLU::new();
+        let y = r.forward(&Tensor::from_slice(&[-1.0, 0.0, 2.0]), true).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn gradient_masked_by_activation() {
+        let mut r = ReLU::new();
+        r.forward(&Tensor::from_slice(&[-1.0, 3.0]), true).unwrap();
+        let g = r.backward(&Tensor::from_slice(&[10.0, 10.0])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 10.0]);
+    }
+
+    #[test]
+    fn zero_input_has_zero_gradient() {
+        // Subgradient convention: f'(0) = 0.
+        let mut r = ReLU::new();
+        r.forward(&Tensor::from_slice(&[0.0]), true).unwrap();
+        let g = r.backward(&Tensor::from_slice(&[1.0])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut r = ReLU::new();
+        assert!(r.backward(&Tensor::from_slice(&[1.0])).is_err());
+    }
+}

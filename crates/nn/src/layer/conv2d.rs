@@ -1,0 +1,363 @@
+//! 2-D convolution layer (im2col + matmul), with a 1-D convenience
+//! constructor used by the paper's 1D-CNN architecture.
+
+use super::Layer;
+use crate::Result;
+use prionn_tensor::ops::{self, Conv2dGeom};
+use prionn_tensor::{Tensor, TensorError};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// A 2-D convolution over `[batch, in_c, H, W]` inputs.
+///
+/// Weights are stored pre-flattened as `[out_c, in_c·kh·kw]` so forward is a
+/// single matmul against the im2col matrix of each sample. Batch rows are
+/// processed in parallel with rayon.
+pub struct Conv2d {
+    geom: Conv2dGeom,
+    out_channels: usize,
+    w: Tensor,
+    b: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    // Cached per-sample im2col matrices from the last forward pass.
+    cached_cols: Vec<Tensor>,
+}
+
+impl Conv2d {
+    /// A square-kernel conv layer with He-normal init.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        Self::with_kernel(in_channels, out_channels, in_h, in_w, kernel, kernel, stride, padding, rng)
+    }
+
+    /// A conv layer with an explicit `kh × kw` kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_kernel(
+        in_channels: usize,
+        out_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        Self::from_geom(
+            Conv2dGeom::new(in_channels, in_h, in_w, kernel_h, kernel_w, stride, padding)?,
+            out_channels,
+            rng,
+        )
+    }
+
+    /// A conv layer from a pre-validated geometry.
+    pub fn from_geom(geom: Conv2dGeom, out_channels: usize, rng: &mut impl Rng) -> Result<Self> {
+        if out_channels == 0 {
+            return Err(TensorError::InvalidArgument("conv with zero output channels".into()));
+        }
+        let fan_in = geom.col_rows();
+        let w = prionn_tensor::init::he_normal([out_channels, fan_in], fan_in, rng);
+        Ok(Conv2d {
+            geom,
+            out_channels,
+            w,
+            b: Tensor::zeros([out_channels]),
+            grad_w: Tensor::zeros([out_channels, fan_in]),
+            grad_b: Tensor::zeros([out_channels]),
+            cached_cols: Vec::new(),
+        })
+    }
+
+    /// 1-D convolution over `[batch, in_c, 1, L]` inputs: a `1 × kernel`
+    /// 2-D convolution with padding only along the sequence axis, which is
+    /// exactly how the paper's 1D-CNN consumes the flattened script sequence.
+    pub fn new_1d(
+        in_channels: usize,
+        out_channels: usize,
+        len: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        Self::from_geom(
+            Conv2dGeom::with_padding(in_channels, 1, len, 1, kernel, stride, 0, padding)?,
+            out_channels,
+            rng,
+        )
+    }
+
+    /// Convolution geometry (exposed for architecture builders).
+    pub fn geom(&self) -> &Conv2dGeom {
+        &self.geom
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Output spatial dims `(oh, ow)`.
+    pub fn out_hw(&self) -> (usize, usize) {
+        (self.geom.out_h(), self.geom.out_w())
+    }
+
+    fn check_input(&self, x: &Tensor) -> Result<usize> {
+        let g = &self.geom;
+        if x.rank() != 4
+            || x.dims()[1] != g.in_channels
+            || x.dims()[2] != g.in_h
+            || x.dims()[3] != g.in_w
+        {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d_forward",
+                lhs: vec![0, g.in_channels, g.in_h, g.in_w],
+                rhs: x.dims().to_vec(),
+            });
+        }
+        Ok(x.dims()[0])
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let batch = self.check_input(x)?;
+        let g = self.geom;
+        let sample_len = g.in_channels * g.in_h * g.in_w;
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let n_pos = oh * ow;
+        let xs = x.as_slice();
+        let w = &self.w;
+        let bias = self.b.as_slice();
+
+        // Per-sample: cols = im2col(x_i); y_i = W · cols + b.
+        let per_sample: Vec<Result<(Tensor, Vec<f32>)>> = (0..batch)
+            .into_par_iter()
+            .map(|i| {
+                let cols = ops::im2col(&xs[i * sample_len..(i + 1) * sample_len], &g)?;
+                let mut y = ops::matmul(w, &cols)?;
+                for (oc, &bv) in bias.iter().enumerate() {
+                    for v in &mut y.as_mut_slice()[oc * n_pos..(oc + 1) * n_pos] {
+                        *v += bv;
+                    }
+                }
+                Ok((cols, y.into_vec()))
+            })
+            .collect();
+
+        let mut cols_cache = Vec::with_capacity(batch);
+        let mut out = Vec::with_capacity(batch * self.out_channels * n_pos);
+        for r in per_sample {
+            let (cols, y) = r?;
+            cols_cache.push(cols);
+            out.extend_from_slice(&y);
+        }
+        self.cached_cols = cols_cache;
+        Tensor::from_vec([batch, self.out_channels, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let g = self.geom;
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let n_pos = oh * ow;
+        let batch = self.cached_cols.len();
+        if batch == 0 {
+            return Err(TensorError::InvalidArgument("conv2d backward without forward".into()));
+        }
+        if grad_out.dims() != [batch, self.out_channels, oh, ow] {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d_backward",
+                lhs: vec![batch, self.out_channels, oh, ow],
+                rhs: grad_out.dims().to_vec(),
+            });
+        }
+        let go = grad_out.as_slice();
+        let w = &self.w;
+        let cols_cache = std::mem::take(&mut self.cached_cols);
+        let out_c = self.out_channels;
+
+        // Per-sample gradient pieces, reduced afterwards.
+        type GradPiece = (Tensor, Vec<f32>, Vec<f32>); // (dW_i, db_i, dX_i)
+        let pieces: Vec<Result<GradPiece>> = cols_cache
+            .par_iter()
+            .enumerate()
+            .map(|(i, cols)| {
+                let dy = Tensor::from_vec(
+                    [out_c, n_pos],
+                    go[i * out_c * n_pos..(i + 1) * out_c * n_pos].to_vec(),
+                )?;
+                // dW_i = dY · colsᵀ ; db_i = row sums of dY ;
+                // dX_i = col2im(Wᵀ · dY).
+                let dw = ops::matmul_a_bt(&dy, cols)?;
+                let db = ops::row_sums(&dy)?;
+                let dcols = ops::matmul_at_b(w, &dy)?;
+                let dx = ops::col2im(&dcols, &g)?;
+                Ok((dw, db, dx))
+            })
+            .collect();
+
+        self.grad_w.fill_zero();
+        self.grad_b.fill_zero();
+        let sample_len = g.in_channels * g.in_h * g.in_w;
+        let mut dx_all = Vec::with_capacity(batch * sample_len);
+        for piece in pieces {
+            let (dw, db, dx) = piece?;
+            ops::add_assign(&mut self.grad_w, &dw)?;
+            for (b, d) in self.grad_b.as_mut_slice().iter_mut().zip(&db) {
+                *b += d;
+            }
+            dx_all.extend_from_slice(&dx);
+        }
+        Tensor::from_vec([batch, g.in_channels, g.in_h, g.in_w], dx_all)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.w, &self.grad_w);
+        f(&mut self.b, &self.grad_b);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn state(&self) -> Vec<Tensor> {
+        vec![self.w.clone(), self.b.clone()]
+    }
+
+    fn load_state(&mut self, state: &[Tensor]) -> Result<usize> {
+        let [w, b, ..] = state else {
+            return Err(TensorError::InvalidArgument("conv2d state needs 2 tensors".into()));
+        };
+        if w.shape() != self.w.shape() || b.shape() != self.b.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d_load_state",
+                lhs: self.w.dims().to_vec(),
+                rhs: w.dims().to_vec(),
+            });
+        }
+        self.w = w.clone();
+        self.b = b.clone();
+        Ok(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut c = Conv2d::new(2, 4, 8, 8, 3, 1, 1, &mut rng()).unwrap();
+        let x = Tensor::zeros([3, 2, 8, 8]);
+        let y = c.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[3, 4, 8, 8]);
+    }
+
+    #[test]
+    fn one_by_one_identity_kernel_passes_input_through() {
+        let mut c = Conv2d::new(1, 1, 3, 3, 1, 1, 0, &mut rng()).unwrap();
+        c.w = Tensor::from_vec([1, 1], vec![1.0]).unwrap();
+        c.b.fill_zero();
+        let x = Tensor::from_vec([1, 1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let y = c.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        // All-ones 3x3 kernel with padding 1: each output = sum of 3x3
+        // neighbourhood. Centre of a 3x3 all-ones image = 9.
+        let mut c = Conv2d::new(1, 1, 3, 3, 3, 1, 1, &mut rng()).unwrap();
+        c.w = Tensor::full([1, 9], 1.0);
+        c.b.fill_zero();
+        let x = Tensor::full([1, 1, 3, 3], 1.0);
+        let y = c.forward(&x, true).unwrap();
+        assert_eq!(y.get(&[0, 0, 1, 1]).unwrap(), 9.0);
+        assert_eq!(y.get(&[0, 0, 0, 0]).unwrap(), 4.0); // corner sees 2x2
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input() {
+        let mut c = Conv2d::new(2, 4, 8, 8, 3, 1, 1, &mut rng()).unwrap();
+        assert!(c.forward(&Tensor::zeros([3, 2, 8, 7]), true).is_err());
+        assert!(c.forward(&Tensor::zeros([3, 2, 8]), true).is_err());
+    }
+
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let mut c = Conv2d::new(1, 2, 4, 4, 3, 1, 1, &mut rng()).unwrap();
+        let x = prionn_tensor::init::uniform([2, 1, 4, 4], -1.0, 1.0, &mut rng());
+        let ones = Tensor::full([2, 2, 4, 4], 1.0);
+        c.forward(&x, true).unwrap();
+        let dx = c.backward(&ones).unwrap();
+        let eps = 1e-2f32;
+        for &(i, j) in &[(0usize, 0usize), (1, 4), (1, 8)] {
+            let orig = c.w.get(&[i, j]).unwrap();
+            c.w.set(&[i, j], orig + eps).unwrap();
+            let up = ops::sum(&c.forward(&x, true).unwrap());
+            c.w.set(&[i, j], orig - eps).unwrap();
+            let dn = ops::sum(&c.forward(&x, true).unwrap());
+            c.w.set(&[i, j], orig).unwrap();
+            let numeric = (up - dn) / (2.0 * eps);
+            let analytic = c.grad_w.get(&[i, j]).unwrap();
+            assert!(
+                (numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0),
+                "dW[{i},{j}] numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Input gradient check on one element.
+        let idx = [1usize, 0, 2, 3];
+        let orig = x.get(&idx).unwrap();
+        let mut xp = x.clone();
+        xp.set(&idx, orig + eps).unwrap();
+        let up = ops::sum(&c.forward(&xp, true).unwrap());
+        xp.set(&idx, orig - eps).unwrap();
+        let dn = ops::sum(&c.forward(&xp, true).unwrap());
+        let numeric = (up - dn) / (2.0 * eps);
+        let analytic = dx.get(&idx).unwrap();
+        assert!((numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0));
+    }
+
+    #[test]
+    fn conv1d_constructor_builds_1xl_geometry() {
+        let c = Conv2d::new_1d(4, 8, 100, 5, 2, 2, &mut rng()).unwrap();
+        assert_eq!(c.geom().in_h, 1);
+        assert_eq!(c.out_hw().0, 1);
+        assert_eq!(c.out_hw().1, 50);
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let mut a = Conv2d::new(1, 2, 4, 4, 3, 1, 1, &mut rng()).unwrap();
+        let mut b = Conv2d::new(1, 2, 4, 4, 3, 1, 1, &mut ChaCha8Rng::seed_from_u64(5)).unwrap();
+        b.load_state(&a.state()).unwrap();
+        let x = prionn_tensor::init::uniform([1, 1, 4, 4], -1.0, 1.0, &mut rng());
+        assert_eq!(a.forward(&x, false).unwrap(), b.forward(&x, false).unwrap());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut c = Conv2d::new(1, 2, 4, 4, 3, 1, 1, &mut rng()).unwrap();
+        assert!(c.backward(&Tensor::zeros([1, 2, 4, 4])).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Inverted dropout.
+
+use super::Layer;
+use crate::Result;
+use prionn_tensor::{Tensor, TensorError};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Inverted dropout: at train time each element is zeroed with probability
+/// `p` and survivors are scaled by `1/(1-p)`; at eval time it is the
+/// identity, so no rescaling is needed at inference.
+pub struct Dropout {
+    p: f32,
+    rng: ChaCha8Rng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Create a dropout layer with drop probability `p ∈ [0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(TensorError::InvalidArgument(format!("dropout p={p} outside [0,1)")));
+        }
+        Ok(Dropout { p, rng: ChaCha8Rng::seed_from_u64(seed), mask: None })
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        if !train || self.p == 0.0 {
+            self.mask = Some(vec![1.0; x.len()]);
+            return Ok(x.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mut out = x.clone();
+        for (v, m) in out.as_mut_slice().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.take().ok_or_else(|| {
+            TensorError::InvalidArgument("dropout backward without forward".into())
+        })?;
+        if mask.len() != grad_out.len() {
+            return Err(TensorError::LengthMismatch { expected: mask.len(), actual: grad_out.len() });
+        }
+        let mut g = grad_out.clone();
+        for (gv, m) in g.as_mut_slice().iter_mut().zip(&mask) {
+            *gv *= m;
+        }
+        Ok(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1).unwrap();
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.forward(&x, false).unwrap(), x);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 2).unwrap();
+        let x = Tensor::full([10_000], 1.0);
+        let y = d.forward(&x, true).unwrap();
+        let mean = prionn_tensor::ops::mean(&y);
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn dropped_elements_block_gradient() {
+        let mut d = Dropout::new(0.5, 3).unwrap();
+        let x = Tensor::full([64], 1.0);
+        let y = d.forward(&x, true).unwrap();
+        let g = d.backward(&Tensor::full([64], 1.0)).unwrap();
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(-0.1, 0).is_err());
+    }
+}

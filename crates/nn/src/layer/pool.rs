@@ -1,0 +1,166 @@
+//! Max pooling.
+
+use super::Layer;
+use crate::Result;
+use prionn_tensor::{Tensor, TensorError};
+
+/// Max pooling over `[batch, C, H, W]` with a `ph × pw` window and matching
+/// stride (the standard non-overlapping configuration).
+///
+/// Spatial dims that do not divide evenly are truncated (floor), matching
+/// common framework defaults.
+pub struct MaxPool2d {
+    ph: usize,
+    pw: usize,
+    // (input shape, linear index of the max tap for each output element)
+    cache: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// A square `p × p` pool.
+    pub fn new(p: usize) -> Result<Self> {
+        Self::with_window(p, p)
+    }
+
+    /// A `ph × pw` pool. A height of 1 gives the 1-D pooling used by the
+    /// paper's 1D-CNN.
+    pub fn with_window(ph: usize, pw: usize) -> Result<Self> {
+        if ph == 0 || pw == 0 {
+            return Err(TensorError::InvalidArgument("zero-sized pool window".into()));
+        }
+        Ok(MaxPool2d { ph, pw, cache: None })
+    }
+
+    /// Output spatial dims for a given input.
+    pub fn out_hw(&self, in_h: usize, in_w: usize) -> (usize, usize) {
+        (in_h / self.ph, in_w / self.pw)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        if x.rank() != 4 {
+            return Err(TensorError::RankMismatch { op: "maxpool", expected: 4, actual: x.rank() });
+        }
+        let [b, c, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
+        let (oh, ow) = self.out_hw(h, w);
+        if oh == 0 || ow == 0 {
+            return Err(TensorError::InvalidArgument(format!(
+                "pool {}x{} larger than input {h}x{w}",
+                self.ph, self.pw
+            )));
+        }
+        let xs = x.as_slice();
+        let mut out = vec![f32::NEG_INFINITY; b * c * oh * ow];
+        let mut argmax = vec![0usize; out.len()];
+        for bi in 0..b {
+            for ci in 0..c {
+                let plane = (bi * c + ci) * h * w;
+                let out_plane = (bi * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..self.ph {
+                            let iy = oy * self.ph + dy;
+                            for dx in 0..self.pw {
+                                let ix = ox * self.pw + dx;
+                                let idx = plane + iy * w + ix;
+                                if xs[idx] > best {
+                                    best = xs[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out[out_plane + oy * ow + ox] = best;
+                        argmax[out_plane + oy * ow + ox] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cache = Some((x.dims().to_vec(), argmax));
+        Tensor::from_vec([b, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (in_dims, argmax) = self.cache.take().ok_or_else(|| {
+            TensorError::InvalidArgument("maxpool backward without forward".into())
+        })?;
+        if grad_out.len() != argmax.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: argmax.len(),
+                actual: grad_out.len(),
+            });
+        }
+        let mut dx = vec![0.0f32; in_dims.iter().product()];
+        for (&idx, &g) in argmax.iter().zip(grad_out.as_slice()) {
+            dx[idx] += g;
+        }
+        Tensor::from_vec(in_dims, dx)
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_known_maxima() {
+        let mut p = MaxPool2d::new(2).unwrap();
+        let x = Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1., 2., 5., 3., //
+                4., 0., 1., 2., //
+                9., 1., 0., 0., //
+                1., 1., 0., 7.,
+            ],
+        )
+        .unwrap();
+        let y = p.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[4., 5., 9., 7.]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let mut p = MaxPool2d::new(2).unwrap();
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 3., 2., 0.]).unwrap();
+        p.forward(&x, true).unwrap();
+        let dy = Tensor::from_vec([1, 1, 1, 1], vec![5.0]).unwrap();
+        let dx = p.backward(&dy).unwrap();
+        assert_eq!(dx.as_slice(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn truncates_ragged_edges() {
+        let mut p = MaxPool2d::new(2).unwrap();
+        let x = Tensor::zeros([1, 1, 5, 5]);
+        let y = p.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn one_d_window() {
+        let mut p = MaxPool2d::with_window(1, 2).unwrap();
+        let x = Tensor::from_vec([1, 1, 1, 4], vec![1., 9., 2., 3.]).unwrap();
+        let y = p.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[9., 3.]);
+    }
+
+    #[test]
+    fn rejects_oversized_window() {
+        let mut p = MaxPool2d::new(4).unwrap();
+        assert!(p.forward(&Tensor::zeros([1, 1, 2, 2]), true).is_err());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut p = MaxPool2d::new(2).unwrap();
+        assert!(p.backward(&Tensor::zeros([1, 1, 1, 1])).is_err());
+    }
+}

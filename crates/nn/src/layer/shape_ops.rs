@@ -1,0 +1,122 @@
+//! Shape-adapter layers: `Flatten` and `Reshape`.
+
+use super::Layer;
+use crate::Result;
+use prionn_tensor::{Tensor, TensorError};
+
+/// Flatten `[batch, d1, d2, ...]` to `[batch, d1·d2·...]`.
+#[derive(Default)]
+pub struct Flatten {
+    in_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// A fresh flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        if x.rank() < 2 {
+            return Err(TensorError::RankMismatch { op: "flatten", expected: 2, actual: x.rank() });
+        }
+        let batch = x.dims()[0];
+        let inner: usize = x.dims()[1..].iter().product();
+        self.in_dims = Some(x.dims().to_vec());
+        x.clone().reshape([batch, inner])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self.in_dims.take().ok_or_else(|| {
+            TensorError::InvalidArgument("flatten backward without forward".into())
+        })?;
+        grad_out.clone().reshape(dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+/// Reshape the per-sample trailing axes to a fixed shape, keeping the batch
+/// axis. Used to present the flattened script sequence as `[batch, C, 1, L]`
+/// for the 1-D CNN.
+pub struct Reshape {
+    trailing: Vec<usize>,
+    in_dims: Option<Vec<usize>>,
+}
+
+impl Reshape {
+    /// Reshape each sample to `trailing` (e.g. `[4, 1, 4096]`).
+    pub fn new(trailing: impl Into<Vec<usize>>) -> Self {
+        Reshape { trailing: trailing.into(), in_dims: None }
+    }
+}
+
+impl Layer for Reshape {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        if x.rank() < 1 {
+            return Err(TensorError::RankMismatch { op: "reshape", expected: 1, actual: 0 });
+        }
+        let batch = x.dims()[0];
+        let inner: usize = x.dims()[1..].iter().product();
+        let target: usize = self.trailing.iter().product();
+        if inner != target {
+            return Err(TensorError::LengthMismatch { expected: target, actual: inner });
+        }
+        self.in_dims = Some(x.dims().to_vec());
+        let mut dims = vec![batch];
+        dims.extend_from_slice(&self.trailing);
+        x.clone().reshape(dims)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self.in_dims.take().ok_or_else(|| {
+            TensorError::InvalidArgument("reshape backward without forward".into())
+        })?;
+        grad_out.clone().reshape(dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "reshape"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros([2, 3, 4, 5]);
+        let y = f.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 60]);
+        let dx = f.backward(&y).unwrap();
+        assert_eq!(dx.dims(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn flatten_rejects_rank1() {
+        let mut f = Flatten::new();
+        assert!(f.forward(&Tensor::zeros([5]), true).is_err());
+    }
+
+    #[test]
+    fn reshape_changes_trailing_axes() {
+        let mut r = Reshape::new([4, 1, 6]);
+        let x = Tensor::zeros([3, 24]);
+        let y = r.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[3, 4, 1, 6]);
+        let dx = r.backward(&y).unwrap();
+        assert_eq!(dx.dims(), &[3, 24]);
+    }
+
+    #[test]
+    fn reshape_rejects_element_mismatch() {
+        let mut r = Reshape::new([4, 5]);
+        assert!(r.forward(&Tensor::zeros([3, 24]), true).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Loss functions: softmax cross-entropy (classifier head) and MSE
+//! (regression ablation).
+
+use crate::Result;
+use prionn_tensor::{Tensor, TensorError};
+
+/// Target values for a loss computation.
+pub enum LossTarget<'a> {
+    /// One class index per batch row (classification).
+    Classes(&'a [usize]),
+    /// A target tensor with the same shape as the model output (regression).
+    Values(&'a Tensor),
+}
+
+/// A scalar training loss with an analytic gradient w.r.t. the model output.
+pub trait Loss: Send + Sync {
+    /// Compute the mean loss over the batch and the gradient tensor
+    /// `dL/d(output)` (already divided by the batch size).
+    fn loss_and_grad(&self, output: &Tensor, target: &LossTarget<'_>) -> Result<(f32, Tensor)>;
+}
+
+/// Softmax + cross-entropy, fused for numerical stability.
+///
+/// PRIONN's heads are classifiers (e.g. 960 runtime-minute bins), so this is
+/// the production loss. The fused gradient is the familiar
+/// `(softmax(z) − onehot(y)) / batch`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Row-wise softmax of a `[batch, classes]` tensor.
+    pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+        if logits.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "softmax",
+                expected: 2,
+                actual: logits.rank(),
+            });
+        }
+        let cols = logits.dims()[1];
+        let mut out = logits.clone();
+        for row in out.as_mut_slice().chunks_mut(cols) {
+            // Max-shift for stability before exponentiating.
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Loss for SoftmaxCrossEntropy {
+    fn loss_and_grad(&self, output: &Tensor, target: &LossTarget<'_>) -> Result<(f32, Tensor)> {
+        let LossTarget::Classes(classes) = target else {
+            return Err(TensorError::InvalidArgument(
+                "SoftmaxCrossEntropy requires class targets".into(),
+            ));
+        };
+        let (batch, n_classes) = (output.dims()[0], output.dims()[1]);
+        if classes.len() != batch {
+            return Err(TensorError::LengthMismatch { expected: batch, actual: classes.len() });
+        }
+        let mut probs = Self::softmax(output)?;
+        let mut loss = 0.0f32;
+        let inv_batch = 1.0 / batch.max(1) as f32;
+        for (row, &cls) in (0..batch).zip(classes.iter()) {
+            if cls >= n_classes {
+                return Err(TensorError::IndexOutOfBounds {
+                    axis: 1,
+                    index: cls,
+                    len: n_classes,
+                });
+            }
+            let r = probs.row_mut(row)?;
+            loss -= (r[cls].max(1e-12)).ln();
+            // Fused gradient: probs - onehot, scaled by 1/batch.
+            r[cls] -= 1.0;
+            for v in r.iter_mut() {
+                *v *= inv_batch;
+            }
+        }
+        Ok((loss * inv_batch, probs))
+    }
+}
+
+/// Mean squared error over all output elements.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MseLoss;
+
+impl Loss for MseLoss {
+    fn loss_and_grad(&self, output: &Tensor, target: &LossTarget<'_>) -> Result<(f32, Tensor)> {
+        let LossTarget::Values(t) = target else {
+            return Err(TensorError::InvalidArgument("MseLoss requires value targets".into()));
+        };
+        if t.shape() != output.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "mse",
+                lhs: output.dims().to_vec(),
+                rhs: t.dims().to_vec(),
+            });
+        }
+        let n = output.len().max(1) as f32;
+        let mut grad = output.clone();
+        let mut loss = 0.0f32;
+        for (g, &tv) in grad.as_mut_slice().iter_mut().zip(t.as_slice()) {
+            let diff = *g - tv;
+            loss += diff * diff;
+            *g = 2.0 * diff / n;
+        }
+        Ok((loss / n, grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec([2, 3], vec![1., 2., 3., -5., 0., 5.]).unwrap();
+        let p = SoftmaxCrossEntropy::softmax(&logits).unwrap();
+        for r in 0..2 {
+            let s: f32 = p.row(r).unwrap().iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec([1, 3], vec![1., 2., 3.]).unwrap();
+        let b = Tensor::from_vec([1, 3], vec![101., 102., 103.]).unwrap();
+        let pa = SoftmaxCrossEntropy::softmax(&a).unwrap();
+        let pb = SoftmaxCrossEntropy::softmax(&b).unwrap();
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = Tensor::from_vec([1, 3], vec![100., 0., 0.]).unwrap();
+        let (loss, _) = SoftmaxCrossEntropy
+            .loss_and_grad(&logits, &LossTarget::Classes(&[0]))
+            .unwrap();
+        assert!(loss < 1e-5);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros([1, 4]);
+        let (loss, _) = SoftmaxCrossEntropy
+            .loss_and_grad(&logits, &LossTarget::Classes(&[2]))
+            .unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ce_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec([2, 3], vec![0.5, -1.0, 2.0, 0.1, 0.2, -0.3]).unwrap();
+        let targets = [2usize, 0usize];
+        let (_, grad) = SoftmaxCrossEntropy
+            .loss_and_grad(&logits, &LossTarget::Classes(&targets))
+            .unwrap();
+        let eps = 1e-3f32;
+        for &(i, j) in &[(0usize, 0usize), (0, 2), (1, 1)] {
+            let mut up = logits.clone();
+            up.set(&[i, j], logits.get(&[i, j]).unwrap() + eps).unwrap();
+            let mut dn = logits.clone();
+            dn.set(&[i, j], logits.get(&[i, j]).unwrap() - eps).unwrap();
+            let (lu, _) =
+                SoftmaxCrossEntropy.loss_and_grad(&up, &LossTarget::Classes(&targets)).unwrap();
+            let (ld, _) =
+                SoftmaxCrossEntropy.loss_and_grad(&dn, &LossTarget::Classes(&targets)).unwrap();
+            let numeric = (lu - ld) / (2.0 * eps);
+            let analytic = grad.get(&[i, j]).unwrap();
+            assert!((numeric - analytic).abs() < 1e-3, "({i},{j}): {numeric} vs {analytic}");
+        }
+    }
+
+    #[test]
+    fn ce_rejects_bad_class_index() {
+        let logits = Tensor::zeros([1, 3]);
+        assert!(SoftmaxCrossEntropy.loss_and_grad(&logits, &LossTarget::Classes(&[3])).is_err());
+    }
+
+    #[test]
+    fn ce_rejects_value_targets() {
+        let logits = Tensor::zeros([1, 3]);
+        let vals = Tensor::zeros([1, 3]);
+        assert!(SoftmaxCrossEntropy.loss_and_grad(&logits, &LossTarget::Values(&vals)).is_err());
+    }
+
+    #[test]
+    fn mse_zero_for_exact_match() {
+        let out = Tensor::from_slice(&[1.0, 2.0]).reshape([1, 2]).unwrap();
+        let (loss, grad) = MseLoss.loss_and_grad(&out, &LossTarget::Values(&out.clone())).unwrap();
+        assert_eq!(loss, 0.0);
+        assert!(grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_direction() {
+        let out = Tensor::from_vec([1, 2], vec![2.0, 0.0]).unwrap();
+        let tgt = Tensor::from_vec([1, 2], vec![0.0, 1.0]).unwrap();
+        let (loss, grad) = MseLoss.loss_and_grad(&out, &LossTarget::Values(&tgt)).unwrap();
+        assert!((loss - (4.0 + 1.0) / 2.0).abs() < 1e-6);
+        assert!(grad.get(&[0, 0]).unwrap() > 0.0); // overpredicted -> positive grad
+        assert!(grad.get(&[0, 1]).unwrap() < 0.0); // underpredicted -> negative
+    }
+
+    #[test]
+    fn mse_rejects_shape_mismatch() {
+        let out = Tensor::zeros([1, 2]);
+        let tgt = Tensor::zeros([2, 1]);
+        assert!(MseLoss.loss_and_grad(&out, &LossTarget::Values(&tgt)).is_err());
+    }
+}

@@ -1,0 +1,362 @@
+//! The [`Sequential`] model container: forward/backward plumbing, batched
+//! training with shuffling, prediction, and weight export/import.
+
+use crate::layer::Layer;
+use crate::loss::{Loss, LossTarget};
+use crate::optim::Optimizer;
+use crate::Result;
+use prionn_tensor::{ops, Tensor, TensorError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A feed-forward stack of layers trained with backprop.
+///
+/// Weights persist across [`Sequential::fit`] calls, which is what implements
+/// the paper's warm-started online retraining: PRIONN retrains the same model
+/// instance every 100 job submissions on the 500 most recently completed
+/// jobs, so "learned parameters pass to subsequent models".
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty model.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Append a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total learnable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// One-line-per-layer summary, e.g. for logging.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        for (i, l) in self.layers.iter().enumerate() {
+            s.push_str(&format!("{i:>2}: {:<10} params={}\n", l.name(), l.param_count()));
+        }
+        s.push_str(&format!("total params: {}", self.param_count()));
+        s
+    }
+
+    /// Run the full forward pass.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train)?;
+        }
+        Ok(cur)
+    }
+
+    /// Run the full backward pass from an output gradient.
+    pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let mut cur = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Apply one optimiser step using the gradients from the last backward.
+    pub fn step(&mut self, opt: &mut dyn Optimizer) {
+        opt.begin_step();
+        let mut slot = 0usize;
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |param, grad| {
+                opt.update(slot, param, grad);
+                slot += 1;
+            });
+        }
+    }
+
+    /// Forward + loss + backward + step on one minibatch; returns the loss.
+    pub fn train_batch(
+        &mut self,
+        x: &Tensor,
+        target: &LossTarget<'_>,
+        loss: &dyn Loss,
+        opt: &mut dyn Optimizer,
+    ) -> Result<f32> {
+        let out = self.forward(x, true)?;
+        let (loss_val, grad) = loss.loss_and_grad(&out, target)?;
+        self.backward(&grad)?;
+        self.step(opt);
+        Ok(loss_val)
+    }
+
+    /// Train for `epochs` epochs over `(x, classes)` with shuffled
+    /// minibatches; returns the mean loss of each epoch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_classes(
+        &mut self,
+        x: &Tensor,
+        classes: &[usize],
+        loss: &dyn Loss,
+        opt: &mut dyn Optimizer,
+        epochs: usize,
+        batch_size: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<f32>> {
+        let n = x.dims()[0];
+        if classes.len() != n {
+            return Err(TensorError::LengthMismatch { expected: n, actual: classes.len() });
+        }
+        if batch_size == 0 {
+            return Err(TensorError::InvalidArgument("zero batch size".into()));
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut epoch_losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            let mut total = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch_size) {
+                let bx = x.gather_axis0(chunk)?;
+                let by: Vec<usize> = chunk.iter().map(|&i| classes[i]).collect();
+                total += self.train_batch(&bx, &LossTarget::Classes(&by), loss, opt)?;
+                batches += 1;
+            }
+            epoch_losses.push(total / batches.max(1) as f32);
+        }
+        Ok(epoch_losses)
+    }
+
+    /// Train for `epochs` epochs over `(x, targets)` with shuffled
+    /// minibatches for a value-target loss (e.g. MSE); `targets` must have
+    /// the same leading dimension as `x`. Returns the mean loss per epoch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_values(
+        &mut self,
+        x: &Tensor,
+        targets: &Tensor,
+        loss: &dyn Loss,
+        opt: &mut dyn Optimizer,
+        epochs: usize,
+        batch_size: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<f32>> {
+        let n = x.dims()[0];
+        if targets.dims()[0] != n {
+            return Err(TensorError::LengthMismatch { expected: n, actual: targets.dims()[0] });
+        }
+        if batch_size == 0 {
+            return Err(TensorError::InvalidArgument("zero batch size".into()));
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut epoch_losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            let mut total = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch_size) {
+                let bx = x.gather_axis0(chunk)?;
+                let by = targets.gather_axis0(chunk)?;
+                total += self.train_batch(&bx, &LossTarget::Values(&by), loss, opt)?;
+                batches += 1;
+            }
+            epoch_losses.push(total / batches.max(1) as f32);
+        }
+        Ok(epoch_losses)
+    }
+
+    /// Run inference (eval mode) in bounded batches; returns the stacked
+    /// raw output (e.g. logits).
+    pub fn predict(&mut self, x: &Tensor, batch_size: usize) -> Result<Tensor> {
+        let n = x.dims()[0];
+        let bs = batch_size.max(1);
+        let mut outputs: Vec<Tensor> = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + bs).min(n);
+            let bx = x.slice_axis0(start, end)?;
+            outputs.push(self.forward(&bx, false)?);
+            start = end;
+        }
+        // Concatenate along axis 0.
+        let mut data = Vec::new();
+        let mut dims = outputs
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("predict on empty input".into()))?
+            .dims()
+            .to_vec();
+        let mut rows = 0usize;
+        for o in &outputs {
+            rows += o.dims()[0];
+            data.extend_from_slice(o.as_slice());
+        }
+        dims[0] = rows;
+        Tensor::from_vec(dims, data)
+    }
+
+    /// Predict the argmax class per row.
+    pub fn predict_classes(&mut self, x: &Tensor, batch_size: usize) -> Result<Vec<usize>> {
+        let logits = self.predict(x, batch_size)?;
+        ops::argmax_rows(&logits)
+    }
+
+    /// Snapshot all learned parameters, layer by layer.
+    pub fn state(&self) -> Vec<Tensor> {
+        self.layers.iter().flat_map(|l| l.state()).collect()
+    }
+
+    /// Restore parameters from a [`Sequential::state`] snapshot taken from a
+    /// model with the identical architecture.
+    pub fn load_state(&mut self, state: &[Tensor]) -> Result<()> {
+        let mut offset = 0usize;
+        for layer in &mut self.layers {
+            offset += layer.load_state(&state[offset..])?;
+        }
+        if offset != state.len() {
+            return Err(TensorError::LengthMismatch { expected: offset, actual: state.len() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, ReLU};
+    use crate::loss::SoftmaxCrossEntropy;
+    use crate::optim::Sgd;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn xor_model(seed: u64) -> Sequential {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Dense::new(2, 16, &mut rng))
+            .push(ReLU::new())
+            .push(Dense::new(16, 2, &mut rng))
+    }
+
+    fn xor_data() -> (Tensor, Vec<usize>) {
+        let x = Tensor::from_vec([4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.]).unwrap();
+        (x, vec![0, 1, 1, 0])
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut m = xor_model(3);
+        let (x, y) = xor_data();
+        let mut opt = Sgd::with_momentum(0.5, 0.9);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let losses = m
+            .fit_classes(&x, &y, &SoftmaxCrossEntropy, &mut opt, 300, 4, &mut rng)
+            .unwrap();
+        assert!(losses.last().unwrap() < &0.05, "final loss {:?}", losses.last());
+        assert_eq!(m.predict_classes(&x, 4).unwrap(), y);
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let mut m = xor_model(4);
+        let (x, y) = xor_data();
+        let mut opt = Sgd::with_momentum(0.5, 0.9);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let losses =
+            m.fit_classes(&x, &y, &SoftmaxCrossEntropy, &mut opt, 100, 4, &mut rng).unwrap();
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+    }
+
+    #[test]
+    fn state_round_trip_reproduces_outputs() {
+        let mut a = xor_model(5);
+        let mut b = xor_model(99);
+        let (x, _) = xor_data();
+        assert_ne!(a.forward(&x, false).unwrap(), b.forward(&x, false).unwrap());
+        b.load_state(&a.state()).unwrap();
+        assert_eq!(a.forward(&x, false).unwrap(), b.forward(&x, false).unwrap());
+    }
+
+    #[test]
+    fn load_state_rejects_extra_tensors() {
+        let mut m = xor_model(1);
+        let mut state = m.state();
+        state.push(Tensor::zeros([1]));
+        assert!(m.load_state(&state).is_err());
+    }
+
+    #[test]
+    fn predict_batches_match_single_pass() {
+        let mut m = xor_model(6);
+        let (x, _) = xor_data();
+        let one = m.predict(&x, 4).unwrap();
+        let many = m.predict(&x, 1).unwrap();
+        for (a, b) in one.as_slice().iter().zip(many.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fit_rejects_mismatched_targets() {
+        let mut m = xor_model(1);
+        let (x, _) = xor_data();
+        let mut opt = Sgd::new(0.1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(m
+            .fit_classes(&x, &[0, 1], &SoftmaxCrossEntropy, &mut opt, 1, 2, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn fit_values_learns_a_linear_map() {
+        use crate::loss::MseLoss;
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut m = Sequential::new().push(Dense::new(2, 1, &mut rng));
+        // y = x0 - 2*x1 on a small grid.
+        let xs: Vec<f32> = (0..40).flat_map(|i| [(i % 8) as f32 / 8.0, (i / 8) as f32 / 5.0]).collect();
+        let ys: Vec<f32> = xs.chunks(2).map(|p| p[0] - 2.0 * p[1]).collect();
+        let x = Tensor::from_vec([40, 2], xs).unwrap();
+        let y = Tensor::from_vec([40, 1], ys).unwrap();
+        let mut opt = Sgd::new(0.3);
+        let mut shuffle_rng = ChaCha8Rng::seed_from_u64(0);
+        let losses = m.fit_values(&x, &y, &MseLoss, &mut opt, 200, 8, &mut shuffle_rng).unwrap();
+        assert!(losses.last().unwrap() < &1e-3, "final loss {:?}", losses.last());
+    }
+
+    #[test]
+    fn fit_values_rejects_mismatched_rows() {
+        use crate::loss::MseLoss;
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut m = Sequential::new().push(Dense::new(2, 1, &mut rng));
+        let x = Tensor::zeros([4, 2]);
+        let y = Tensor::zeros([3, 1]);
+        let mut opt = Sgd::new(0.1);
+        let mut srng = ChaCha8Rng::seed_from_u64(0);
+        assert!(m.fit_values(&x, &y, &MseLoss, &mut opt, 1, 2, &mut srng).is_err());
+    }
+
+    #[test]
+    fn warm_start_continues_from_previous_fit() {
+        // Train briefly, snapshot loss; continue training; loss keeps falling
+        // rather than restarting at the cold-start level.
+        let mut m = xor_model(7);
+        let (x, y) = xor_data();
+        let mut opt = Sgd::with_momentum(0.5, 0.9);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let first =
+            m.fit_classes(&x, &y, &SoftmaxCrossEntropy, &mut opt, 50, 4, &mut rng).unwrap();
+        let second =
+            m.fit_classes(&x, &y, &SoftmaxCrossEntropy, &mut opt, 50, 4, &mut rng).unwrap();
+        assert!(second.first().unwrap() <= first.first().unwrap());
+    }
+}

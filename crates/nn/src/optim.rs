@@ -1,0 +1,210 @@
+//! Optimisers: SGD with momentum and Adam.
+//!
+//! State is keyed by *parameter slot* — the position of the parameter in the
+//! model's stable `visit_params` traversal — so optimiser state survives the
+//! paper's warm-started retraining cycles (the architecture never changes
+//! between retrains, only the data does).
+
+use prionn_tensor::Tensor;
+
+/// A first-order gradient-descent optimiser.
+pub trait Optimizer: Send {
+    /// Called once before each batch of `update` calls (steps time forward
+    /// for optimisers with bias correction).
+    fn begin_step(&mut self);
+
+    /// Apply one update to the parameter in `slot` given its gradient.
+    fn update(&mut self, slot: usize, param: &mut Tensor, grad: &Tensor);
+
+    /// Learning rate currently in effect.
+    fn learning_rate(&self) -> f32;
+
+    /// Replace the learning rate (for simple decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Vec<f32>>>,
+}
+
+impl Sgd {
+    /// Plain SGD (`momentum = 0`).
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum `mu` (typically 0.9).
+    pub fn with_momentum(lr: f32, mu: f32) -> Self {
+        Sgd { lr, momentum: mu, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn begin_step(&mut self) {}
+
+    fn update(&mut self, slot: usize, param: &mut Tensor, grad: &Tensor) {
+        debug_assert_eq!(param.len(), grad.len());
+        if self.momentum == 0.0 {
+            for (p, &g) in param.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                *p -= self.lr * g;
+            }
+            return;
+        }
+        if self.velocity.len() <= slot {
+            self.velocity.resize(slot + 1, None);
+        }
+        let v = self.velocity[slot].get_or_insert_with(|| vec![0.0; param.len()]);
+        debug_assert_eq!(v.len(), param.len());
+        for ((p, &g), vi) in param.as_mut_slice().iter_mut().zip(grad.as_slice()).zip(v.iter_mut())
+        {
+            *vi = self.momentum * *vi - self.lr * g;
+            *p += *vi;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    moments: Vec<Option<(Vec<f32>, Vec<f32>)>>,
+}
+
+impl Adam {
+    /// Adam with the standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn update(&mut self, slot: usize, param: &mut Tensor, grad: &Tensor) {
+        debug_assert_eq!(param.len(), grad.len());
+        if self.moments.len() <= slot {
+            self.moments.resize(slot + 1, None);
+        }
+        let (m, v) = self.moments[slot]
+            .get_or_insert_with(|| (vec![0.0; param.len()], vec![0.0; param.len()]));
+        let t = self.t.max(1) as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for (((p, &g), mi), vi) in param
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad.as_slice())
+            .zip(m.iter_mut())
+            .zip(v.iter_mut())
+        {
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+            let m_hat = *mi / bc1;
+            let v_hat = *vi / bc2;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        // Minimise f(x) = x^2 starting at x = 5; gradient is 2x.
+        let mut x = Tensor::from_slice(&[5.0]);
+        for _ in 0..steps {
+            opt.begin_step();
+            let g = Tensor::from_slice(&[2.0 * x.as_slice()[0]]);
+            opt.update(0, &mut x, &g);
+        }
+        x.as_slice()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        assert!(quadratic_descent(&mut opt, 100).abs() < 1e-4);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        assert!(quadratic_descent(&mut opt, 200).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3);
+        assert!(quadratic_descent(&mut opt, 200).abs() < 1e-2);
+    }
+
+    #[test]
+    fn sgd_single_step_is_lr_times_grad() {
+        let mut opt = Sgd::new(0.5);
+        let mut p = Tensor::from_slice(&[1.0, 2.0]);
+        let g = Tensor::from_slice(&[1.0, -2.0]);
+        opt.begin_step();
+        opt.update(0, &mut p, &g);
+        assert_eq!(p.as_slice(), &[0.5, 3.0]);
+    }
+
+    #[test]
+    fn adam_first_step_size_is_about_lr() {
+        // With bias correction, the first Adam step has magnitude ~lr
+        // regardless of gradient scale.
+        for &scale in &[1e-3f32, 1.0, 1e3] {
+            let mut opt = Adam::new(0.1);
+            let mut p = Tensor::from_slice(&[0.0]);
+            let g = Tensor::from_slice(&[scale]);
+            opt.begin_step();
+            opt.update(0, &mut p, &g);
+            assert!((p.as_slice()[0].abs() - 0.1).abs() < 1e-3, "scale {scale} -> {p:?}");
+        }
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        let mut a = Tensor::from_slice(&[1.0]);
+        let mut b = Tensor::from_slice(&[1.0, 1.0]);
+        let ga = Tensor::from_slice(&[1.0]);
+        let gb = Tensor::from_slice(&[0.0, 0.0]);
+        opt.begin_step();
+        opt.update(0, &mut a, &ga);
+        opt.update(1, &mut b, &gb);
+        assert!(a.as_slice()[0] < 1.0);
+        assert_eq!(b.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

@@ -1,0 +1,89 @@
+//! The im2col-based convolution against a naive direct reference
+//! implementation, across random geometries — property-tested.
+
+use prionn_nn::layer::Conv2d;
+use prionn_nn::Layer;
+use prionn_tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Direct convolution: out[b][oc][oy][ox] =
+///   bias[oc] + sum_{ic,ky,kx} w[oc][ic][ky][kx] * x[b][ic][oy*s+ky-p][ox*s+kx-p]
+#[allow(clippy::too_many_arguments)]
+fn naive_conv(
+    x: &Tensor,
+    w: &Tensor, // [out_c, in_c*kh*kw]
+    bias: &[f32],
+    in_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let (batch, h, wid) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+    let out_c = w.dims()[0];
+    let oh = (h + 2 * pad - k) / stride + 1;
+    let ow = (wid + 2 * pad - k) / stride + 1;
+    let xs = x.as_slice();
+    let ws = w.as_slice();
+    let mut out = vec![0.0f32; batch * out_c * oh * ow];
+    for b in 0..batch {
+        for oc in 0..out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias[oc];
+                    for ic in 0..in_c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= wid as isize {
+                                    continue;
+                                }
+                                let xv = xs[((b * in_c + ic) * h + iy as usize) * wid
+                                    + ix as usize];
+                                let wv = ws[oc * (in_c * k * k) + (ic * k + ky) * k + kx];
+                                acc += xv * wv;
+                            }
+                        }
+                    }
+                    out[((b * out_c + oc) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conv2d_matches_naive_reference(
+        in_c in 1usize..3,
+        out_c in 1usize..4,
+        h in 4usize..10,
+        wid in 4usize..10,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(h + 2 * pad >= k && wid + 2 * pad >= k);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut conv =
+            Conv2d::new(in_c, out_c, h, wid, k, stride, pad, &mut rng).unwrap();
+        // Give the layer a random bias too (state round-trip sets it).
+        let mut state = conv.state();
+        state[1] = prionn_tensor::init::uniform([out_c], -1.0, 1.0, &mut rng);
+        conv.load_state(&state).unwrap();
+
+        let x = prionn_tensor::init::uniform([2, in_c, h, wid], -1.0, 1.0, &mut rng);
+        let fast = conv.forward(&x, false).unwrap();
+        let naive = naive_conv(&x, &state[0], state[1].as_slice(), in_c, k, stride, pad);
+        prop_assert_eq!(fast.len(), naive.len());
+        for (i, (a, b)) in fast.as_slice().iter().zip(&naive).enumerate() {
+            prop_assert!((a - b).abs() < 1e-4, "elem {i}: {a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! IO-burst detection and the windowed sensitivity/precision metrics of
+//! Figs 13 & 15.
+//!
+//! The paper defines a burst as any per-minute bandwidth above one standard
+//! deviation over the mean of the *actual* system IO distribution, then asks
+//! whether each actual burst has a predicted burst within a ±window, and
+//! vice versa.
+
+/// Sensitivity (recall) and precision for burst prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstMetrics {
+    /// TP / (TP + FN): the share of actual bursts that were predicted
+    /// within the window.
+    pub sensitivity: f64,
+    /// TP / (TP + FP): the share of predicted bursts that match an actual
+    /// burst within the window.
+    pub precision: f64,
+    /// Number of actual burst minutes.
+    pub actual_bursts: usize,
+    /// Number of predicted burst minutes.
+    pub predicted_bursts: usize,
+}
+
+/// The burst threshold: mean + 1σ of the actual timeline.
+pub fn burst_threshold(timeline: &[f64]) -> f64 {
+    if timeline.is_empty() {
+        return 0.0;
+    }
+    let n = timeline.len() as f64;
+    let mean = timeline.iter().sum::<f64>() / n;
+    let var = timeline.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    mean + var.sqrt()
+}
+
+/// Minute indices whose value exceeds `threshold`.
+pub fn burst_minutes(timeline: &[f64], threshold: f64) -> Vec<usize> {
+    timeline
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &v)| (v > threshold).then_some(i))
+        .collect()
+}
+
+/// Windowed burst sensitivity/precision.
+///
+/// `window_minutes` is the full window width; a window of 5 means a
+/// prediction within ±2 minutes counts (the paper: "with a three-minute
+/// window, we look … one minute before, at, and one minute after").
+///
+/// The threshold is always derived from the **actual** timeline, and the
+/// same threshold is applied to the predicted timeline.
+pub fn burst_metrics(actual: &[f64], predicted: &[f64], window_minutes: usize) -> BurstMetrics {
+    let radius = window_minutes.saturating_sub(1) / 2;
+    let threshold = burst_threshold(actual);
+    let actual_bursts = burst_minutes(actual, threshold);
+    let predicted_bursts = burst_minutes(predicted, threshold);
+
+    let within = |t: usize, sorted: &[usize]| -> bool {
+        let lo = t.saturating_sub(radius);
+        let hi = t + radius;
+        let i = sorted.partition_point(|&x| x < lo);
+        sorted.get(i).is_some_and(|&x| x <= hi)
+    };
+
+    let tp_actual =
+        actual_bursts.iter().filter(|&&t| within(t, &predicted_bursts)).count();
+    let tp_predicted =
+        predicted_bursts.iter().filter(|&&t| within(t, &actual_bursts)).count();
+
+    BurstMetrics {
+        sensitivity: if actual_bursts.is_empty() {
+            1.0
+        } else {
+            tp_actual as f64 / actual_bursts.len() as f64
+        },
+        precision: if predicted_bursts.is_empty() {
+            1.0
+        } else {
+            tp_predicted as f64 / predicted_bursts.len() as f64
+        },
+        actual_bursts: actual_bursts.len(),
+        predicted_bursts: predicted_bursts.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spiky(len: usize, spikes: &[usize]) -> Vec<f64> {
+        let mut t = vec![1.0; len];
+        for &s in spikes {
+            t[s] = 100.0;
+        }
+        t
+    }
+
+    #[test]
+    fn threshold_is_mean_plus_sigma() {
+        let t = [0.0, 0.0, 0.0, 4.0];
+        // mean 1, sigma sqrt(3) ≈ 1.732
+        assert!((burst_threshold(&t) - (1.0 + 3.0f64.sqrt())).abs() < 1e-9);
+        assert_eq!(burst_threshold(&[]), 0.0);
+    }
+
+    #[test]
+    fn exact_prediction_is_perfect() {
+        let a = spiky(100, &[10, 50, 90]);
+        let m = burst_metrics(&a, &a, 5);
+        assert_eq!(m.sensitivity, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.actual_bursts, 3);
+    }
+
+    #[test]
+    fn shifted_prediction_within_window_counts() {
+        let a = spiky(100, &[50]);
+        let p = spiky(100, &[52]);
+        let hit = burst_metrics(&a, &p, 5); // ±2
+        assert_eq!(hit.sensitivity, 1.0);
+        assert_eq!(hit.precision, 1.0);
+        let miss = burst_metrics(&a, &p, 3); // ±1
+        assert_eq!(miss.sensitivity, 0.0);
+        assert_eq!(miss.precision, 0.0);
+    }
+
+    #[test]
+    fn wider_windows_never_reduce_metrics() {
+        let a = spiky(200, &[20, 60, 100, 140]);
+        let p = spiky(200, &[25, 61, 90, 170]);
+        let mut last = burst_metrics(&a, &p, 3);
+        for w in [5, 11, 21, 41, 61] {
+            let m = burst_metrics(&a, &p, w);
+            assert!(m.sensitivity >= last.sensitivity, "window {w}");
+            assert!(m.precision >= last.precision, "window {w}");
+            last = m;
+        }
+    }
+
+    #[test]
+    fn missed_and_spurious_bursts_split_metrics() {
+        let a = spiky(100, &[10, 50]);
+        let p = spiky(100, &[10, 80]); // hits 10, misses 50, fabricates 80
+        let m = burst_metrics(&a, &p, 5);
+        assert_eq!(m.sensitivity, 0.5);
+        assert_eq!(m.precision, 0.5);
+    }
+
+    #[test]
+    fn flat_timeline_has_no_bursts_and_perfect_scores() {
+        let a = vec![5.0; 50];
+        let p = vec![5.0; 50];
+        let m = burst_metrics(&a, &p, 5);
+        assert_eq!(m.actual_bursts, 0);
+        assert_eq!(m.sensitivity, 1.0);
+        assert_eq!(m.precision, 1.0);
+    }
+
+    #[test]
+    fn burst_minutes_are_sorted_indices() {
+        let t = [0.0, 10.0, 0.0, 10.0];
+        let b = burst_minutes(&t, 5.0);
+        assert_eq!(b, vec![1, 3]);
+    }
+}

@@ -1,0 +1,420 @@
+//! The incremental scheduling engine: FCFS with EASY backfilling.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A job as the simulator sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimJob {
+    /// Stable job id.
+    pub id: u64,
+    /// Submission time, seconds.
+    pub submit: u64,
+    /// Nodes requested.
+    pub nodes: u32,
+    /// Actual runtime, seconds (drives completions).
+    pub runtime: u64,
+    /// Estimated runtime, seconds (drives planning/backfill — the user
+    /// request or a model prediction).
+    pub estimate: u64,
+}
+
+/// One scheduled job in the output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// Job id.
+    pub id: u64,
+    /// Submission time.
+    pub submit: u64,
+    /// Start time.
+    pub start: u64,
+    /// End time (`start + runtime`).
+    pub end: u64,
+}
+
+impl ScheduleEntry {
+    /// Turnaround = completion − submission.
+    pub fn turnaround(&self) -> u64 {
+        self.end - self.submit
+    }
+
+    /// Queue wait = start − submission.
+    pub fn wait(&self) -> u64 {
+        self.start - self.submit
+    }
+}
+
+/// A completed simulation: entries in job-submission order.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    /// Per-job placement, ordered by id ascending.
+    pub entries: Vec<ScheduleEntry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    id: u64,
+    nodes: u32,
+    /// When the job started.
+    start: u64,
+    /// When the job will actually complete.
+    end_actual: u64,
+    /// When the scheduler *believes* it completes (start + estimate).
+    end_estimated: u64,
+}
+
+/// The incremental FCFS + EASY-backfill engine.
+///
+/// Cloneable by design: the snapshot turnaround predictor clones the live
+/// state and rolls the copy forward under different runtimes.
+#[derive(Debug, Clone)]
+pub struct SimEngine {
+    total_nodes: u32,
+    free_nodes: u32,
+    now: u64,
+    running: Vec<Running>,
+    queue: VecDeque<SimJob>,
+    finished: Vec<ScheduleEntry>,
+}
+
+impl SimEngine {
+    /// An empty cluster of `total_nodes` nodes at time 0.
+    pub fn new(total_nodes: u32) -> Self {
+        assert!(total_nodes > 0, "cluster needs nodes");
+        SimEngine {
+            total_nodes,
+            free_nodes: total_nodes,
+            now: 0,
+            running: Vec::new(),
+            queue: VecDeque::new(),
+            finished: Vec::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Free node count.
+    pub fn free_nodes(&self) -> u32 {
+        self.free_nodes
+    }
+
+    /// Jobs currently executing: `(id, nodes, start-implied elapsed)` view.
+    pub fn running_jobs(&self) -> impl Iterator<Item = (u64, u32, u64, u64)> + '_ {
+        // (id, nodes, end_actual, end_estimated)
+        self.running.iter().map(|r| (r.id, r.nodes, r.end_actual, r.end_estimated))
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queued_jobs(&self) -> impl Iterator<Item = &SimJob> + '_ {
+        self.queue.iter()
+    }
+
+    /// Completed entries so far.
+    pub fn finished(&self) -> &[ScheduleEntry] {
+        &self.finished
+    }
+
+    /// Advance the clock to `t`, completing every job whose actual end is
+    /// `<= t` (in end-time order) and backfilling after each completion.
+    pub fn advance_to(&mut self, t: u64) {
+        debug_assert!(t >= self.now, "time cannot run backwards");
+        loop {
+            let next_end = self.running.iter().map(|r| r.end_actual).min();
+            match next_end {
+                Some(end) if end <= t => {
+                    self.now = end;
+                    let mut i = 0;
+                    while i < self.running.len() {
+                        if self.running[i].end_actual == end {
+                            let r = self.running.swap_remove(i);
+                            self.free_nodes += r.nodes;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    self.try_schedule();
+                }
+                _ => break,
+            }
+        }
+        self.now = t;
+    }
+
+    /// Submit a job at its `submit` time (the clock is advanced there) and
+    /// run the scheduling pass.
+    pub fn submit(&mut self, job: SimJob) {
+        self.advance_to(job.submit.max(self.now));
+        self.queue.push_back(job);
+        self.try_schedule();
+    }
+
+    /// Run until all submitted work has completed and return the schedule.
+    pub fn drain(mut self) -> Schedule {
+        while !self.running.is_empty() || !self.queue.is_empty() {
+            match self.running.iter().map(|r| r.end_actual).min() {
+                Some(end) => self.advance_to(end),
+                None => {
+                    // Queue non-empty but nothing running: should be
+                    // impossible (any queued head fits an empty cluster or
+                    // was rejected at submit).
+                    unreachable!("queued jobs with an idle cluster");
+                }
+            }
+        }
+        let mut entries = self.finished;
+        entries.sort_by_key(|e| e.id);
+        Schedule { entries }
+    }
+
+    /// Clone the live state, replacing every job's runtime with a predicted
+    /// total runtime — the paper's snapshot step (§4.2): "we replace the
+    /// runtime of each job in execution and in the queue with the predicted
+    /// job runtime".
+    ///
+    /// For running jobs the predicted *end* is `start + predicted_total`; if
+    /// the job has already outlived its prediction, completion is assumed
+    /// imminent (one second from now).
+    pub fn fork_with_predictions(&self, predicted: impl Fn(u64) -> u64) -> SimEngine {
+        let mut fork = self.clone();
+        fork.finished.clear();
+        for r in &mut fork.running {
+            let end = r.start + predicted(r.id).max(1);
+            let end = end.max(fork.now + 1);
+            r.end_actual = end;
+            r.end_estimated = end;
+        }
+        for q in &mut fork.queue {
+            let p = predicted(q.id).max(1);
+            q.runtime = p;
+            q.estimate = p;
+        }
+        fork
+    }
+
+    /// Roll the engine forward until `target` completes and return its
+    /// completion time, or `None` if the target is not present.
+    ///
+    /// A target that is already running resolves immediately: its end time
+    /// is determined the moment it starts.
+    pub fn run_until_finished(mut self, target: u64) -> Option<u64> {
+        loop {
+            if let Some(r) = self.running.iter().find(|r| r.id == target) {
+                return Some(r.end_actual);
+            }
+            if let Some(e) = self.finished.iter().find(|e| e.id == target) {
+                return Some(e.end);
+            }
+            if !self.queue.iter().any(|q| q.id == target) {
+                return None;
+            }
+            let next_end = self.running.iter().map(|r| r.end_actual).min()?;
+            self.advance_to(next_end);
+        }
+    }
+
+    fn start_job(&mut self, job: SimJob) {
+        self.free_nodes -= job.nodes;
+        let start = self.now;
+        self.running.push(Running {
+            id: job.id,
+            nodes: job.nodes,
+            start,
+            end_actual: start + job.runtime,
+            end_estimated: start + job.estimate,
+        });
+        self.finished.push(ScheduleEntry {
+            id: job.id,
+            submit: job.submit,
+            start,
+            end: start + job.runtime,
+        });
+    }
+
+    /// FCFS with conservative EASY backfill.
+    fn try_schedule(&mut self) {
+        // FCFS: start queue-head jobs while they fit.
+        while let Some(head) = self.queue.front() {
+            let nodes = head.nodes.min(self.total_nodes);
+            if nodes <= self.free_nodes {
+                let mut job = self.queue.pop_front().expect("checked non-empty");
+                job.nodes = nodes;
+                self.start_job(job);
+            } else {
+                break;
+            }
+        }
+        let Some(head) = self.queue.front().copied() else { return };
+
+        // Shadow time: when will the head job first fit, assuming running
+        // jobs end at their *estimated* ends?
+        let mut ends: Vec<(u64, u32)> =
+            self.running.iter().map(|r| (r.end_estimated.max(self.now), r.nodes)).collect();
+        ends.sort_unstable();
+        let mut avail = self.free_nodes;
+        let mut shadow = u64::MAX;
+        for (end, nodes) in ends {
+            avail += nodes;
+            if avail >= head.nodes.min(self.total_nodes) {
+                shadow = end;
+                break;
+            }
+        }
+
+        // Backfill: any later job that fits now and (by its estimate) will
+        // finish before the head's reservation may jump the queue.
+        let mut i = 1;
+        while i < self.queue.len() {
+            let cand = self.queue[i];
+            if cand.nodes <= self.free_nodes
+                && self.now.saturating_add(cand.estimate) <= shadow
+            {
+                self.queue.remove(i);
+                self.start_job(cand);
+                // A start never frees nodes, so the head still does not fit;
+                // the shadow computed from estimated ends is unchanged by
+                // construction (backfilled jobs finish before it).
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Simulate a whole trace: submit in time order, drain, return the schedule.
+///
+/// Jobs requesting more nodes than the cluster are clamped to the full
+/// machine (matching how real schedulers reject-or-clamp oversized asks).
+pub fn simulate(total_nodes: u32, jobs: &[SimJob]) -> Schedule {
+    let mut engine = SimEngine::new(total_nodes);
+    let mut sorted: Vec<SimJob> = jobs.to_vec();
+    sorted.sort_by_key(|j| (j.submit, j.id));
+    for job in sorted {
+        engine.submit(job);
+    }
+    engine.drain()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, submit: u64, nodes: u32, runtime: u64, estimate: u64) -> SimJob {
+        SimJob { id, submit, nodes, runtime, estimate }
+    }
+
+    #[test]
+    fn single_job_starts_immediately() {
+        let s = simulate(10, &[job(0, 5, 4, 100, 100)]);
+        assert_eq!(s.entries[0].start, 5);
+        assert_eq!(s.entries[0].end, 105);
+        assert_eq!(s.entries[0].turnaround(), 100);
+    }
+
+    #[test]
+    fn fcfs_queues_when_full() {
+        let jobs = [job(0, 0, 10, 100, 100), job(1, 1, 10, 50, 50)];
+        let s = simulate(10, &jobs);
+        assert_eq!(s.entries[0].start, 0);
+        assert_eq!(s.entries[1].start, 100, "second job waits for first");
+    }
+
+    #[test]
+    fn parallel_jobs_share_the_cluster() {
+        let jobs = [job(0, 0, 4, 100, 100), job(1, 0, 4, 100, 100)];
+        let s = simulate(10, &jobs);
+        assert_eq!(s.entries[0].start, 0);
+        assert_eq!(s.entries[1].start, 0);
+    }
+
+    #[test]
+    fn easy_backfill_lets_short_jobs_jump() {
+        // Head job (8 nodes) blocks behind job 0; a 2-node job estimated to
+        // finish before the head's reservation backfills immediately.
+        let jobs = [
+            job(0, 0, 8, 100, 100),  // runs now
+            job(1, 1, 8, 100, 100),  // head, must wait until t=100
+            job(2, 2, 2, 10, 10),    // fits the 2 free nodes, ends by t=12 <= 100
+        ];
+        let s = simulate(10, &jobs);
+        assert_eq!(s.entries[2].start, 2, "short job backfills");
+        assert_eq!(s.entries[1].start, 100);
+    }
+
+    #[test]
+    fn backfill_does_not_delay_head_reservation() {
+        // A backfill candidate whose estimate crosses the head's shadow time
+        // must NOT start even though nodes are free.
+        let jobs = [
+            job(0, 0, 8, 100, 100),
+            job(1, 1, 8, 100, 100),   // head reserved at t=100
+            job(2, 2, 2, 500, 500),   // would run past t=100 on head's nodes
+        ];
+        let s = simulate(10, &jobs);
+        assert_eq!(s.entries[1].start, 100, "head keeps its reservation");
+        assert!(s.entries[2].start >= 100, "long candidate must not backfill");
+    }
+
+    #[test]
+    fn underestimates_still_complete_at_actual_runtime() {
+        // Planning uses the estimate, execution uses the actual runtime.
+        let jobs = [job(0, 0, 10, 200, 50), job(1, 1, 10, 10, 10)];
+        let s = simulate(10, &jobs);
+        assert_eq!(s.entries[0].end, 200);
+        assert_eq!(s.entries[1].start, 200, "successor waits for the real completion");
+    }
+
+    #[test]
+    fn oversized_job_clamps_to_cluster() {
+        let s = simulate(10, &[job(0, 0, 99, 10, 10)]);
+        assert_eq!(s.entries.len(), 1);
+        assert_eq!(s.entries[0].start, 0);
+    }
+
+    #[test]
+    fn entries_are_ordered_by_id_and_complete() {
+        let jobs: Vec<SimJob> =
+            (0..50).map(|i| job(i, i * 3, 1 + (i % 7) as u32, 30 + i * 2, 40 + i * 2)).collect();
+        let s = simulate(8, &jobs);
+        assert_eq!(s.entries.len(), jobs.len());
+        for (i, e) in s.entries.iter().enumerate() {
+            assert_eq!(e.id, i as u64);
+            assert!(e.start >= e.submit);
+            assert_eq!(e.end - e.start, jobs[i].runtime);
+        }
+    }
+
+    #[test]
+    fn node_capacity_is_never_exceeded() {
+        let jobs: Vec<SimJob> = (0..200)
+            .map(|i| job(i, i, 1 + (i % 10) as u32, 20 + (i * 13) % 100, 30 + (i * 13) % 100))
+            .collect();
+        let s = simulate(16, &jobs);
+        // Sweep all start/end events and check concurrent node usage.
+        let mut events: Vec<(u64, i64)> = Vec::new();
+        for (e, j) in s.entries.iter().zip(&jobs) {
+            events.push((e.start, j.nodes as i64));
+            events.push((e.end, -(j.nodes as i64)));
+        }
+        events.sort_by_key(|&(t, d)| (t, d)); // process releases before grabs at same t
+        let mut in_use = 0i64;
+        for (_, d) in events {
+            in_use += d;
+            assert!(in_use <= 16, "capacity exceeded: {in_use}");
+        }
+    }
+
+    #[test]
+    fn better_estimates_do_not_change_actual_runtimes() {
+        let jobs: Vec<SimJob> =
+            (0..30).map(|i| job(i, i * 5, 4, 100, 400)).collect();
+        let exact: Vec<SimJob> = jobs.iter().map(|j| SimJob { estimate: j.runtime, ..*j }).collect();
+        let a = simulate(8, &jobs);
+        let b = simulate(8, &exact);
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.end - x.start, y.end - y.start);
+        }
+    }
+}

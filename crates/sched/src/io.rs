@@ -1,0 +1,114 @@
+//! System IO timelines (paper §4.3): the total IO bandwidth in use at each
+//! minute is the sum of the bandwidths of the jobs running at that minute.
+
+use serde::{Deserialize, Serialize};
+
+/// One job's contribution to system IO: an execution interval plus a mean
+/// bandwidth (bytes/second) over that interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobIoInterval {
+    /// Start time, seconds.
+    pub start: u64,
+    /// End time, seconds (exclusive).
+    pub end: u64,
+    /// Mean IO bandwidth over the interval, bytes/second.
+    pub bandwidth: f64,
+}
+
+/// Accumulate per-minute system IO bandwidth over `[0, horizon_minutes)`.
+///
+/// Minute `m` covers seconds `[60m, 60m+60)`; a job contributes its
+/// bandwidth weighted by the fraction of that minute it was running.
+pub fn io_timeline(intervals: &[JobIoInterval], horizon_minutes: usize) -> Vec<f64> {
+    let mut timeline = vec![0.0f64; horizon_minutes];
+    let horizon_secs = horizon_minutes as u64 * 60;
+    for iv in intervals {
+        if iv.end <= iv.start || iv.bandwidth <= 0.0 {
+            continue;
+        }
+        let start = iv.start.min(horizon_secs);
+        let end = iv.end.min(horizon_secs);
+        let mut m = (start / 60) as usize;
+        while (m as u64) * 60 < end {
+            let bin_start = m as u64 * 60;
+            let bin_end = bin_start + 60;
+            let overlap = end.min(bin_end).saturating_sub(start.max(bin_start));
+            if overlap > 0 {
+                timeline[m] += iv.bandwidth * overlap as f64 / 60.0;
+            }
+            m += 1;
+            if m >= horizon_minutes {
+                break;
+            }
+        }
+    }
+    timeline
+}
+
+/// Horizon (in whole minutes, rounded up) covering every interval's end.
+pub fn horizon_minutes(intervals: &[JobIoInterval]) -> usize {
+    intervals.iter().map(|iv| iv.end).max().map(|e| e.div_ceil(60) as usize).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_full_minute_contributes_full_bandwidth() {
+        let iv = [JobIoInterval { start: 0, end: 60, bandwidth: 100.0 }];
+        let t = io_timeline(&iv, 2);
+        assert_eq!(t, vec![100.0, 0.0]);
+    }
+
+    #[test]
+    fn partial_minutes_are_weighted() {
+        let iv = [JobIoInterval { start: 30, end: 90, bandwidth: 100.0 }];
+        let t = io_timeline(&iv, 2);
+        assert_eq!(t, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn concurrent_jobs_sum() {
+        let iv = [
+            JobIoInterval { start: 0, end: 120, bandwidth: 10.0 },
+            JobIoInterval { start: 60, end: 120, bandwidth: 5.0 },
+        ];
+        let t = io_timeline(&iv, 2);
+        assert_eq!(t, vec![10.0, 15.0]);
+    }
+
+    #[test]
+    fn intervals_past_horizon_are_clipped() {
+        let iv = [JobIoInterval { start: 0, end: 6000, bandwidth: 7.0 }];
+        let t = io_timeline(&iv, 3);
+        assert_eq!(t, vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn degenerate_intervals_are_ignored() {
+        let iv = [
+            JobIoInterval { start: 60, end: 60, bandwidth: 100.0 },
+            JobIoInterval { start: 90, end: 80, bandwidth: 100.0 },
+            JobIoInterval { start: 0, end: 60, bandwidth: 0.0 },
+        ];
+        let t = io_timeline(&iv, 2);
+        assert_eq!(t, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn horizon_rounds_up() {
+        let iv = [JobIoInterval { start: 0, end: 61, bandwidth: 1.0 }];
+        assert_eq!(horizon_minutes(&iv), 2);
+        assert_eq!(horizon_minutes(&[]), 0);
+    }
+
+    #[test]
+    fn total_bytes_are_conserved() {
+        // Sum over the timeline times 60 equals bandwidth * duration.
+        let iv = [JobIoInterval { start: 45, end: 400, bandwidth: 3.0 }];
+        let t = io_timeline(&iv, 10);
+        let total: f64 = t.iter().sum::<f64>() * 60.0;
+        assert!((total - 3.0 * 355.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,133 @@
+//! Turnaround-time prediction by system snapshotting (paper §4.2).
+//!
+//! For every submission the paper (1) copies the system state, (2) replaces
+//! each queued/running job's runtime with its predicted runtime, (3) rolls
+//! the copy forward until the submitted job completes, and (4) records
+//! `completion − submission` as the predicted turnaround.
+
+use crate::engine::{SimEngine, SimJob};
+use std::collections::HashMap;
+
+/// Drive a full trace through the simulator and predict every job's
+/// turnaround at its submission instant.
+///
+/// * `jobs` — the trace, with **actual** runtimes (drives the real system
+///   evolution) and scheduler-visible estimates (user requests drive
+///   planning, exactly as on the production machine);
+/// * `predicted_runtime` — the per-job runtime predictions (PRIONN's, the
+///   user's, or perfect knowledge) used inside each snapshot.
+///
+/// Returns `(simulated_turnaround, predicted_turnaround)` per job, in the
+/// submission order of `jobs`.
+pub fn predict_turnarounds(
+    total_nodes: u32,
+    jobs: &[SimJob],
+    predicted_runtime: &HashMap<u64, u64>,
+) -> Vec<(u64, u64)> {
+    let mut sorted: Vec<SimJob> = jobs.to_vec();
+    sorted.sort_by_key(|j| (j.submit, j.id));
+
+    let mut engine = SimEngine::new(total_nodes);
+    let mut predicted_turnaround: HashMap<u64, u64> = HashMap::with_capacity(sorted.len());
+
+    for job in &sorted {
+        engine.submit(*job);
+        // Snapshot with predictions and roll forward until this job is done.
+        let fork = engine.fork_with_predictions(|id| {
+            predicted_runtime.get(&id).copied().unwrap_or(1).max(1)
+        });
+        let done = fork
+            .run_until_finished(job.id)
+            .expect("submitted job must eventually finish in its own snapshot");
+        predicted_turnaround.insert(job.id, done - job.submit);
+    }
+
+    let schedule = engine.drain();
+    let actual: HashMap<u64, u64> =
+        schedule.entries.iter().map(|e| (e.id, e.turnaround())).collect();
+
+    sorted
+        .iter()
+        .map(|j| (actual[&j.id], predicted_turnaround[&j.id]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, submit: u64, nodes: u32, runtime: u64, estimate: u64) -> SimJob {
+        SimJob { id, submit, nodes, runtime, estimate }
+    }
+
+    fn exact_predictions(jobs: &[SimJob]) -> HashMap<u64, u64> {
+        jobs.iter().map(|j| (j.id, j.runtime)).collect()
+    }
+
+    #[test]
+    fn empty_cluster_prediction_is_exact_with_perfect_runtime() {
+        let jobs = [job(0, 10, 4, 100, 400)];
+        let out = predict_turnarounds(8, &jobs, &exact_predictions(&jobs));
+        assert_eq!(out, vec![(100, 100)]);
+    }
+
+    #[test]
+    fn perfect_predictions_match_simulated_turnaround_under_contention() {
+        // With exact runtime predictions, the snapshot simulation evolves
+        // identically to the real one, so predictions are exact — as long as
+        // planning estimates equal the predictions too.
+        let jobs: Vec<SimJob> = (0..20)
+            .map(|i| {
+                let rt = 50 + (i * 37) % 200;
+                job(i, i * 10, 1 + (i % 5) as u32, rt, rt)
+            })
+            .collect();
+        let out = predict_turnarounds(6, &jobs, &exact_predictions(&jobs));
+        for (i, (actual, pred)) in out.iter().enumerate() {
+            assert_eq!(actual, pred, "job {i}");
+        }
+    }
+
+    #[test]
+    fn bad_predictions_produce_turnaround_error() {
+        // Jobs run 100s each; queue them back-to-back on a full cluster and
+        // predict 10s runtimes: predicted turnaround must underestimate.
+        let jobs = [job(0, 0, 8, 100, 100), job(1, 1, 8, 100, 100)];
+        let tiny: HashMap<u64, u64> = jobs.iter().map(|j| (j.id, 10u64)).collect();
+        let out = predict_turnarounds(8, &jobs, &tiny);
+        let (actual, pred) = out[1];
+        assert_eq!(actual, 199);
+        assert!(pred < actual, "underpredicted runtimes give short turnarounds ({pred})");
+    }
+
+    #[test]
+    fn running_jobs_past_their_prediction_complete_imminently() {
+        // Job 0 predicted at 10s but actually runs 1000s; job 1 arrives at
+        // t=500 when job 0 has outlived its prediction. The snapshot should
+        // assume job 0 ends right away, not crash or hang.
+        let jobs = [job(0, 0, 8, 1000, 1000), job(1, 500, 8, 100, 100)];
+        let mut preds = exact_predictions(&jobs);
+        preds.insert(0, 10);
+        let out = predict_turnarounds(8, &jobs, &preds);
+        let (actual, pred) = out[1];
+        assert_eq!(actual, 600); // waits until t=1000, runs 100
+        assert!(pred <= 110, "snapshot believed job 0 ends imminently ({pred})");
+    }
+
+    #[test]
+    fn missing_predictions_default_to_one_second() {
+        let jobs = [job(0, 0, 4, 100, 100)];
+        let out = predict_turnarounds(8, &jobs, &HashMap::new());
+        assert_eq!(out[0].1, 1);
+    }
+
+    #[test]
+    fn output_order_tracks_submission_order() {
+        let jobs = [job(5, 100, 1, 10, 10), job(3, 0, 1, 10, 10)];
+        let out = predict_turnarounds(4, &jobs, &exact_predictions(&jobs));
+        // First output row is the earliest submission (id 3).
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], (10, 10));
+        assert_eq!(out[1], (10, 10));
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Errors raised by shape-checked tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Human-readable operation name (e.g. `"matmul"`).
+        op: &'static str,
+        /// The left-hand / expected shape.
+        lhs: Vec<usize>,
+        /// The right-hand / actual shape.
+        rhs: Vec<usize>,
+    },
+    /// The number of elements implied by a shape does not match the buffer.
+    LengthMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// An index was out of bounds for the given axis.
+    IndexOutOfBounds {
+        /// Axis being indexed.
+        axis: usize,
+        /// Offending index.
+        index: usize,
+        /// Axis length.
+        len: usize,
+    },
+    /// A tensor with an unsupported rank was passed to a rank-specific op.
+    RankMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Provided rank.
+        actual: usize,
+    },
+    /// A parameter was invalid (zero-sized kernel, zero stride, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: shape mismatch between {lhs:?} and {rhs:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer holds {actual} elements but shape implies {expected}")
+            }
+            TensorError::IndexOutOfBounds { axis, index, len } => {
+                write!(f, "index {index} out of bounds for axis {axis} of length {len}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "{op}: expected rank-{expected} tensor, got rank {actual}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

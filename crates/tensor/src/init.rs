@@ -1,0 +1,113 @@
+//! Seeded weight initialisers.
+//!
+//! Every initialiser takes the RNG by `&mut` so callers control seeding; the
+//! workspace standardises on `rand_chacha::ChaCha8Rng` for cross-platform
+//! reproducibility.
+
+use crate::{Shape, Tensor};
+use rand::Rng;
+
+/// Uniform values in `[lo, hi)`.
+pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let len = shape.len();
+    let data = (0..len).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(shape, data).expect("len derived from shape")
+}
+
+/// Normal values with the given mean and standard deviation (Box–Muller).
+pub fn normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let len = shape.len();
+    let mut data = Vec::with_capacity(len);
+    while data.len() < len {
+        // Box–Muller transform: two uniforms -> two independent normals.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < len {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(shape, data).expect("len derived from shape")
+}
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// Appropriate for the fully connected layers of the paper's NN model.
+pub fn xavier_uniform(
+    shape: impl Into<Shape>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -a, a, rng)
+}
+
+/// He normal: `N(0, sqrt(2 / fan_in))`, the standard choice ahead of ReLU
+/// activations (all of PRIONN's hidden layers use ReLU).
+pub fn he_normal(shape: impl Into<Shape>, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal(shape, 0.0, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = uniform([1000], -0.5, 0.5, &mut rng());
+        assert!(t.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn uniform_is_deterministic_for_seed() {
+        let a = uniform([64], 0.0, 1.0, &mut rng());
+        let b = uniform([64], 0.0, 1.0, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let t = normal([20_000], 1.0, 2.0, &mut rng());
+        let n = t.len() as f32;
+        let mean = t.as_slice().iter().sum::<f32>() / n;
+        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_handles_odd_lengths() {
+        assert_eq!(normal([7], 0.0, 1.0, &mut rng()).len(), 7);
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let wide = he_normal([10_000], 10_000, &mut rng());
+        let narrow = he_normal([10_000], 4, &mut rng());
+        let std = |t: &Tensor| {
+            let n = t.len() as f32;
+            let m = t.as_slice().iter().sum::<f32>() / n;
+            (t.as_slice().iter().map(|v| (v - m).powi(2)).sum::<f32>() / n).sqrt()
+        };
+        assert!(std(&wide) < std(&narrow));
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fans() {
+        let t = xavier_uniform([1000], 300, 300, &mut rng());
+        let a = (6.0f32 / 600.0).sqrt();
+        assert!(t.as_slice().iter().all(|&v| v.abs() <= a));
+    }
+}

@@ -1,0 +1,30 @@
+//! Dense `f32` tensor library backing PRIONN's from-scratch neural networks.
+//!
+//! The paper trains small models (64×64-character script images, 500-job
+//! batches), so the design favours predictable, cache-friendly, row-major
+//! storage with rayon-parallel kernels over elaborate lazy abstractions.
+//!
+//! The public surface is:
+//!
+//! * [`Shape`] — a small owned dimension list (1–4 axes in practice),
+//! * [`Tensor`] — contiguous row-major storage plus a shape,
+//! * [`ops`] — matmul (plain and transposed variants), im2col/col2im for
+//!   convolutions, elementwise arithmetic, and reductions,
+//! * [`init`] — seeded weight initialisers (uniform, normal, Xavier/Glorot,
+//!   He) used by the `prionn-nn` layers.
+//!
+//! All randomness flows through caller-provided RNGs so experiments are
+//! reproducible bit-for-bit.
+
+pub mod error;
+pub mod init;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,107 @@
+//! Shape-checked elementwise arithmetic.
+
+use crate::{Result, Tensor, TensorError};
+
+fn check_same(op: &'static str, a: &Tensor, b: &Tensor) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    Ok(())
+}
+
+/// `a + b`, elementwise.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same("add", a, b)?;
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x + y).collect();
+    Tensor::from_vec(a.shape().clone(), data)
+}
+
+/// `a - b`, elementwise.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same("sub", a, b)?;
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x - y).collect();
+    Tensor::from_vec(a.shape().clone(), data)
+}
+
+/// Hadamard (elementwise) product `a ⊙ b`.
+pub fn hadamard(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same("hadamard", a, b)?;
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x * y).collect();
+    Tensor::from_vec(a.shape().clone(), data)
+}
+
+/// `a *= s`, in place.
+pub fn scale(a: &mut Tensor, s: f32) {
+    for v in a.as_mut_slice() {
+        *v *= s;
+    }
+}
+
+/// `a += b`, in place.
+pub fn add_assign(a: &mut Tensor, b: &Tensor) -> Result<()> {
+    check_same("add_assign", a, b)?;
+    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+    Ok(())
+}
+
+/// `y += alpha * x`, in place — the SGD/momentum workhorse.
+pub fn axpy(alpha: f32, x: &Tensor, y: &mut Tensor) -> Result<()> {
+    check_same("axpy", y, x)?;
+    for (yv, &xv) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *yv += alpha * xv;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = t(&[1., 2., 3.]);
+        let b = t(&[0.5, -1.0, 2.0]);
+        let s = add(&a, &b).unwrap();
+        assert_eq!(sub(&s, &b).unwrap(), a);
+    }
+
+    #[test]
+    fn hadamard_multiplies() {
+        let a = t(&[2., 3.]);
+        let b = t(&[4., -1.]);
+        assert_eq!(hadamard(&a, &b).unwrap().as_slice(), &[8., -3.]);
+    }
+
+    #[test]
+    fn mismatched_shapes_rejected() {
+        let a = Tensor::zeros([2, 2]);
+        let b = Tensor::zeros([4]);
+        assert!(add(&a, &b).is_err());
+        assert!(hadamard(&a, &b).is_err());
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut a = t(&[1., -2.]);
+        scale(&mut a, 3.0);
+        assert_eq!(a.as_slice(), &[3., -6.]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = t(&[1., 1., 1.]);
+        let mut y = t(&[0., 1., 2.]);
+        axpy(0.5, &x, &mut y).unwrap();
+        assert_eq!(y.as_slice(), &[0.5, 1.5, 2.5]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Parallel dense matrix multiplication.
+//!
+//! Three variants cover everything backprop needs without materialising
+//! transposes:
+//!
+//! * [`matmul`]      — `C = A · B`
+//! * [`matmul_a_bt`] — `C = A · Bᵀ` (gradient w.r.t. inputs)
+//! * [`matmul_at_b`] — `C = Aᵀ · B` (gradient w.r.t. weights)
+//!
+//! Rows of the output are distributed across rayon workers; the inner loops
+//! run over contiguous memory so the compiler can vectorise them.
+
+use crate::{Result, Tensor, TensorError};
+use rayon::prelude::*;
+
+/// Matrix sizes below which threading overhead outweighs the win.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+fn check2(op: &'static str, t: &Tensor) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch { op, expected: 2, actual: t.rank() });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check2("matmul", a)?;
+    let (kb, n) = check2("matmul", b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let body = |(row_idx, out_row): (usize, &mut [f32])| {
+        let a_row = &av[row_idx * ka..(row_idx + 1) * ka];
+        // k-outer loop keeps the B row contiguous: out_row += a_ik * B[k,:].
+        for (k, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &bv[k * n..(k + 1) * n];
+            for (o, &bkn) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bkn;
+            }
+        }
+    };
+    if m * n * ka >= PAR_THRESHOLD * 8 {
+        out.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        out.chunks_mut(n).enumerate().for_each(body);
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// `C[m,n] = A[m,k] · Bᵀ` where `B` is `[n,k]`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check2("matmul_a_bt", a)?;
+    let (n, kb) = check2("matmul_a_bt", b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let body = |(row_idx, out_row): (usize, &mut [f32])| {
+        let a_row = &av[row_idx * ka..(row_idx + 1) * ka];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &bv[j * ka..(j + 1) * ka];
+            // Dot product of two contiguous rows.
+            *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+        }
+    };
+    if m * n * ka >= PAR_THRESHOLD * 8 {
+        out.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        out.chunks_mut(n).enumerate().for_each(body);
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// `C[k,n] = Aᵀ · B` where `A` is `[m,k]`, `B` is `[m,n]`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ma, k) = check2("matmul_at_b", a)?;
+    let (mb, n) = check2("matmul_at_b", b)?;
+    if ma != mb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; k * n];
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let body = |(i, out_row): (usize, &mut [f32])| {
+        // out_row (length n) = sum_m A[m,i] * B[m,:]
+        for m_idx in 0..ma {
+            let ami = av[m_idx * k + i];
+            if ami == 0.0 {
+                continue;
+            }
+            let b_row = &bv[m_idx * n..(m_idx + 1) * n];
+            for (o, &bmn) in out_row.iter_mut().zip(b_row) {
+                *o += ami * bmn;
+            }
+        }
+    };
+    if ma * n * k >= PAR_THRESHOLD * 8 {
+        out.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        out.chunks_mut(n).enumerate().for_each(body);
+    }
+    Tensor::from_vec([k, n], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dims: [usize; 2], v: &[f32]) -> Tensor {
+        Tensor::from_vec(dims, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known_product() {
+        let a = t([2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let b = t([3, 2], &[7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = t([2, 2], &[1., 2., 3., 4.]);
+        let i = t([2, 2], &[1., 0., 0., 1.]);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rejects_inner_mismatch() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 2]);
+        assert!(matches!(matmul(&a, &b), Err(TensorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn matmul_rejects_rank1() {
+        let a = Tensor::zeros([3]);
+        let b = Tensor::zeros([3, 2]);
+        assert!(matches!(matmul(&a, &b), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = t([2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let b = t([4, 3], &[1., 0., 1., 2., 1., 0., 0., 3., 1., 1., 1., 1.]);
+        let via_t = matmul(&a, &b.transpose2().unwrap()).unwrap();
+        assert_eq!(matmul_a_bt(&a, &b).unwrap(), via_t);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = t([3, 2], &[1., 2., 3., 4., 5., 6.]);
+        let b = t([3, 4], &(0..12).map(|i| i as f32).collect::<Vec<_>>());
+        let via_t = matmul(&a.transpose2().unwrap(), &b).unwrap();
+        assert_eq!(matmul_at_b(&a, &b).unwrap(), via_t);
+    }
+
+    #[test]
+    fn large_parallel_path_agrees_with_serial_reference() {
+        // 200x120x90 exceeds the parallel threshold; check against a naive
+        // triple loop on a deterministic pattern.
+        let (m, k, n) = (200usize, 120usize, 90usize);
+        let a_data: Vec<f32> = (0..m * k).map(|i| ((i * 7 + 3) % 13) as f32 - 6.0).collect();
+        let b_data: Vec<f32> = (0..k * n).map(|i| ((i * 5 + 1) % 11) as f32 - 5.0).collect();
+        let a = Tensor::from_vec([m, k], a_data.clone()).unwrap();
+        let b = Tensor::from_vec([k, n], b_data.clone()).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        for &(i, j) in &[(0usize, 0usize), (m - 1, n - 1), (m / 2, n / 3), (17, 83)] {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a_data[i * k + kk] * b_data[kk * n + j];
+            }
+            assert!((c.at2(i, j) - acc).abs() < 1e-3, "at ({i},{j})");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Reductions: sums, means, maxima, row argmax.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Sum of all elements.
+pub fn sum(t: &Tensor) -> f32 {
+    t.as_slice().iter().sum()
+}
+
+/// Mean of all elements (0 for an empty tensor).
+pub fn mean(t: &Tensor) -> f32 {
+    if t.is_empty() {
+        0.0
+    } else {
+        sum(t) / t.len() as f32
+    }
+}
+
+/// Maximum element (`None` for an empty tensor).
+pub fn max(t: &Tensor) -> Option<f32> {
+    t.as_slice().iter().copied().fold(None, |acc, v| match acc {
+        None => Some(v),
+        Some(a) => Some(a.max(v)),
+    })
+}
+
+/// Per-row sums of a rank-2 tensor.
+pub fn row_sums(t: &Tensor) -> Result<Vec<f32>> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "row_sums", expected: 2, actual: t.rank() });
+    }
+    let cols = t.dims()[1];
+    Ok(t.as_slice().chunks(cols).map(|row| row.iter().sum()).collect())
+}
+
+/// Per-column sums of a rank-2 tensor (bias gradients).
+pub fn col_sums(t: &Tensor) -> Result<Vec<f32>> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "col_sums", expected: 2, actual: t.rank() });
+    }
+    let (rows, cols) = (t.dims()[0], t.dims()[1]);
+    let mut out = vec![0.0f32; cols];
+    for r in 0..rows {
+        for (o, &v) in out.iter_mut().zip(&t.as_slice()[r * cols..(r + 1) * cols]) {
+            *o += v;
+        }
+    }
+    Ok(out)
+}
+
+/// Index of the maximum element of each row of a rank-2 tensor.
+///
+/// Ties resolve to the lowest index, matching the behaviour expected when
+/// decoding the classifier head's most likely bin.
+pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "argmax_rows", expected: 2, actual: t.rank() });
+    }
+    let cols = t.dims()[1];
+    if cols == 0 {
+        return Err(TensorError::InvalidArgument("argmax over zero columns".into()));
+    }
+    Ok(t.as_slice()
+        .chunks(cols)
+        .map(|row| {
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_mean_max_basics() {
+        let t = Tensor::from_slice(&[1., 2., 3., 4.]);
+        assert_eq!(sum(&t), 10.0);
+        assert_eq!(mean(&t), 2.5);
+        assert_eq!(max(&t), Some(4.0));
+    }
+
+    #[test]
+    fn empty_tensor_reductions() {
+        let t = Tensor::zeros([0]);
+        assert_eq!(sum(&t), 0.0);
+        assert_eq!(mean(&t), 0.0);
+        assert_eq!(max(&t), None);
+    }
+
+    #[test]
+    fn row_and_col_sums() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        assert_eq!(row_sums(&t).unwrap(), vec![6., 15.]);
+        assert_eq!(col_sums(&t).unwrap(), vec![5., 7., 9.]);
+    }
+
+    #[test]
+    fn argmax_ties_pick_first() {
+        let t = Tensor::from_vec([2, 3], vec![1., 3., 3., 9., 2., 9.]).unwrap();
+        assert_eq!(argmax_rows(&t).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn rank_checks() {
+        let t = Tensor::zeros([4]);
+        assert!(row_sums(&t).is_err());
+        assert!(argmax_rows(&t).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Tensor shapes: an owned dimension list with derived row-major strides.
+
+use crate::TensorError;
+use serde::{Deserialize, Serialize};
+
+/// An owned list of axis lengths, row-major.
+///
+/// PRIONN's models only ever need rank 1–4 (vectors, matrices, batched
+/// feature maps `[batch, channels, height, width]`), but the representation
+/// is rank-agnostic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Create a shape from axis lengths.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Axis lengths as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Total number of elements (product of axis lengths; 1 for rank 0).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True when the shape contains zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Length of one axis.
+    #[inline]
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear row-major offset of a multi-index, with bounds checking.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                op: "offset",
+                expected: self.rank(),
+                actual: index.len(),
+            });
+        }
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for axis in (0..self.rank()).rev() {
+            let (i, len) = (index[axis], self.0[axis]);
+            if i >= len {
+                return Err(TensorError::IndexOutOfBounds { axis, index: i, len });
+            }
+            off += i * stride;
+            stride *= len;
+        }
+        Ok(off)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_product_of_dims() {
+        assert_eq!(Shape::from([2, 3, 4]).len(), 24);
+        assert_eq!(Shape::from([5]).len(), 5);
+    }
+
+    #[test]
+    fn rank_zero_shape_has_one_element() {
+        assert_eq!(Shape::new(Vec::new()).len(), 1);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([7]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_walks_row_major() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[1, 0, 2]).unwrap(), 14);
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::from([2, 3]);
+        assert!(matches!(
+            s.offset(&[2, 0]),
+            Err(TensorError::IndexOutOfBounds { axis: 0, index: 2, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn offset_rejects_wrong_rank() {
+        let s = Shape::from([2, 3]);
+        assert!(matches!(s.offset(&[1]), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn zero_dim_shape_is_empty() {
+        assert!(Shape::from([3, 0, 2]).is_empty());
+        assert!(!Shape::from([1]).is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Fixed-size character grids: the paper's crop/pad step (§2.4).
+
+/// A script cropped/padded to a fixed `rows × cols` ASCII character grid.
+///
+/// * Lines beyond `rows` are cropped; missing lines are space-padded.
+/// * Characters beyond `cols` on a line are cropped; short lines are
+///   space-padded.
+/// * Tabs count as space characters (relevant to the binary transform);
+///   other control characters and non-ASCII bytes normalise to `'?'`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptGrid {
+    rows: usize,
+    cols: usize,
+    cells: Vec<u8>,
+}
+
+impl ScriptGrid {
+    /// Build a grid from raw script text.
+    pub fn from_text(text: &str, rows: usize, cols: usize) -> Self {
+        let mut cells = vec![b' '; rows * cols];
+        for (r, line) in text.lines().take(rows).enumerate() {
+            for (c, ch) in line.chars().take(cols).enumerate() {
+                cells[r * cols + c] = normalise_char(ch);
+            }
+        }
+        ScriptGrid { rows, cols, cells }
+    }
+
+    /// Grid height.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The cell at `(row, col)`.
+    pub fn at(&self, row: usize, col: usize) -> u8 {
+        self.cells[row * self.cols + col]
+    }
+
+    /// Row-major cells.
+    pub fn cells(&self) -> &[u8] {
+        &self.cells
+    }
+
+    /// The grid flattened to a single sequence, row by row — the paper's
+    /// 1-D mapping concatenates all lines into one line.
+    pub fn flattened(&self) -> &[u8] {
+        &self.cells
+    }
+
+    /// Fraction of cells that are padding/whitespace.
+    pub fn whitespace_fraction(&self) -> f64 {
+        let spaces = self.cells.iter().filter(|&&c| c == b' ' || c == b'\t').count();
+        spaces as f64 / self.cells.len().max(1) as f64
+    }
+}
+
+/// Normalise a char to the 7-bit ASCII alphabet the transforms expect.
+#[inline]
+pub fn normalise_char(ch: char) -> u8 {
+    let c = ch as u32;
+    if ch == '\t' {
+        b'\t'
+    } else if (0x20..0x7f).contains(&c) {
+        c as u8
+    } else {
+        b'?'
+    }
+}
+
+/// Corpus statistics the paper reports for the crop decision: the share of
+/// scripts taller than `rows` lines and of lines wider than `cols` chars.
+pub fn crop_statistics(scripts: &[&str], rows: usize, cols: usize) -> (f64, f64) {
+    if scripts.is_empty() {
+        return (0.0, 0.0);
+    }
+    let tall = scripts.iter().filter(|s| s.lines().count() > rows).count();
+    let mut lines = 0usize;
+    let mut wide = 0usize;
+    for s in scripts {
+        for line in s.lines() {
+            lines += 1;
+            if line.chars().count() > cols {
+                wide += 1;
+            }
+        }
+    }
+    (tall as f64 / scripts.len() as f64, wide as f64 / lines.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pads_short_scripts_with_spaces() {
+        let g = ScriptGrid::from_text("ab\ncd", 4, 3);
+        assert_eq!(g.at(0, 0), b'a');
+        assert_eq!(g.at(0, 2), b' ');
+        assert_eq!(g.at(2, 0), b' ');
+        assert_eq!(g.at(3, 2), b' ');
+    }
+
+    #[test]
+    fn crops_long_lines_and_extra_rows() {
+        let g = ScriptGrid::from_text("abcdef\nxyz\nrow3", 2, 4);
+        assert_eq!(&g.cells()[0..4], b"abcd");
+        assert_eq!(g.at(1, 0), b'x');
+        assert_eq!(g.rows(), 2);
+    }
+
+    #[test]
+    fn normalises_non_ascii_to_question_mark() {
+        let g = ScriptGrid::from_text("é\u{1}x", 1, 4);
+        assert_eq!(g.at(0, 0), b'?');
+        assert_eq!(g.at(0, 1), b'?');
+        assert_eq!(g.at(0, 2), b'x');
+    }
+
+    #[test]
+    fn tabs_survive_as_tabs() {
+        let g = ScriptGrid::from_text("a\tb", 1, 4);
+        assert_eq!(g.at(0, 1), b'\t');
+    }
+
+    #[test]
+    fn empty_script_is_all_spaces() {
+        let g = ScriptGrid::from_text("", 2, 2);
+        assert_eq!(g.cells(), b"    ");
+        assert_eq!(g.whitespace_fraction(), 1.0);
+    }
+
+    #[test]
+    fn flattened_is_row_major() {
+        let g = ScriptGrid::from_text("ab\ncd", 2, 2);
+        assert_eq!(g.flattened(), b"abcd");
+    }
+
+    #[test]
+    fn crop_statistics_counts_tall_and_wide() {
+        let scripts = ["a\nb\nc", "x", "one-very-long-line"];
+        let (tall, wide) = crop_statistics(&scripts, 2, 5);
+        assert!((tall - 1.0 / 3.0).abs() < 1e-9);
+        assert!((wide - 1.0 / 5.0).abs() < 1e-9); // 1 of 5 lines wide
+    }
+
+    #[test]
+    fn crop_statistics_empty_corpus() {
+        assert_eq!(crop_statistics(&[], 64, 64), (0.0, 0.0));
+    }
+}

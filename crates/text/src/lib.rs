@@ -1,0 +1,37 @@
+//! PRIONN's job-script data processing (paper §2.1).
+//!
+//! The paper's novelty is mapping *whole job scripts* to image-like tensors
+//! so a CNN can consume them without any manual feature extraction:
+//!
+//! 1. [`grid`] — crop/pad the raw script text to a fixed `64×64` character
+//!    grid (scripts shorter than 64 rows/columns are padded with spaces,
+//!    longer ones are cropped);
+//! 2. [`transform`] — encode each character as a pixel via one of four
+//!    transforms: **binary** (space vs non-space), **simple** (unique scalar
+//!    per character), **one-hot** (128-wide indicator), and **word2vec**
+//!    (learned dense embedding);
+//! 3. [`word2vec`] — the character-level skip-gram with negative sampling
+//!    that learns the word2vec embedding table from a corpus of scripts;
+//! 4. [`mapping`] — assemble per-script tensors (`[dim, H, W]` for the
+//!    2-D-preserving mapping, `[dim, H·W]` for the flattened 1-D mapping)
+//!    and rayon-parallel corpus batches.
+
+pub mod grid;
+pub mod mapping;
+pub mod transform;
+pub mod word2vec;
+
+pub use grid::ScriptGrid;
+pub use mapping::{map_corpus_1d, map_corpus_2d, map_script_1d, map_script_2d};
+pub use transform::{
+    BinaryTransform, CharTransform, OneHotTransform, SimpleTransform, TransformKind,
+};
+pub use word2vec::{CharEmbedding, Word2vecConfig, Word2vecTransform};
+
+/// Errors bubbled up from the tensor substrate.
+pub type Result<T> = prionn_tensor::Result<T>;
+
+/// The paper's fixed script image size: 64 rows × 64 columns.
+pub const GRID_ROWS: usize = 64;
+/// See [`GRID_ROWS`].
+pub const GRID_COLS: usize = 64;

@@ -1,0 +1,151 @@
+//! The four character-to-pixel transforms (paper §2.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of distinct input symbols: 7-bit ASCII.
+pub const VOCAB: usize = 128;
+
+/// A character-to-pixel encoding. `dim()` is the number of pixel channels a
+/// single character produces (1 for scalar transforms, 128 for one-hot, the
+/// embedding width for word2vec).
+pub trait CharTransform: Send + Sync {
+    /// Channels per character.
+    fn dim(&self) -> usize;
+
+    /// Write the encoding of `c` into `out` (length `dim()`).
+    fn encode(&self, c: u8, out: &mut [f32]);
+
+    /// Paper-style transform name.
+    fn name(&self) -> &'static str;
+}
+
+/// Which transform to use; mirrors the paper's four options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransformKind {
+    /// Lossy space/non-space indicator.
+    Binary,
+    /// Lossless unique scalar per character.
+    Simple,
+    /// Lossless 128-wide indicator vector.
+    OneHot,
+    /// Lossless learned embedding (see [`crate::word2vec`]).
+    Word2vec,
+}
+
+impl TransformKind {
+    /// The three parameter-free transforms plus word2vec, in paper order.
+    pub const ALL: [TransformKind; 4] =
+        [TransformKind::Binary, TransformKind::Simple, TransformKind::OneHot, TransformKind::Word2vec];
+
+    /// Paper-style display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransformKind::Binary => "binary",
+            TransformKind::Simple => "simple",
+            TransformKind::OneHot => "one-hot",
+            TransformKind::Word2vec => "word2vec",
+        }
+    }
+}
+
+/// Lossy transform: spaces/tabs → 0, everything else → 1.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BinaryTransform;
+
+impl CharTransform for BinaryTransform {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn encode(&self, c: u8, out: &mut [f32]) {
+        out[0] = if c == b' ' || c == b'\t' { 0.0 } else { 1.0 };
+    }
+
+    fn name(&self) -> &'static str {
+        "binary"
+    }
+}
+
+/// Lossless transform: each character maps to a unique scalar, normalised to
+/// `[0, 1]` so it plays well with He-initialised layers.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SimpleTransform;
+
+impl CharTransform for SimpleTransform {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn encode(&self, c: u8, out: &mut [f32]) {
+        out[0] = (c as usize % VOCAB) as f32 / (VOCAB - 1) as f32;
+    }
+
+    fn name(&self) -> &'static str {
+        "simple"
+    }
+}
+
+/// Lossless transform: 128-wide one-hot indicator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OneHotTransform;
+
+impl CharTransform for OneHotTransform {
+    fn dim(&self) -> usize {
+        VOCAB
+    }
+
+    fn encode(&self, c: u8, out: &mut [f32]) {
+        out.fill(0.0);
+        out[c as usize % VOCAB] = 1.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "one-hot"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_separates_space_from_text() {
+        let t = BinaryTransform;
+        let mut out = [9.0f32];
+        t.encode(b' ', &mut out);
+        assert_eq!(out[0], 0.0);
+        t.encode(b'\t', &mut out);
+        assert_eq!(out[0], 0.0);
+        t.encode(b'x', &mut out);
+        assert_eq!(out[0], 1.0);
+    }
+
+    #[test]
+    fn simple_is_injective_over_ascii() {
+        let t = SimpleTransform;
+        let mut seen = std::collections::HashSet::new();
+        for c in 0u8..128 {
+            let mut out = [0.0f32];
+            t.encode(c, &mut out);
+            assert!((0.0..=1.0).contains(&out[0]));
+            assert!(seen.insert(out[0].to_bits()), "collision at {c}");
+        }
+    }
+
+    #[test]
+    fn one_hot_has_single_unit_component() {
+        let t = OneHotTransform;
+        let mut out = [0.5f32; VOCAB];
+        t.encode(b'A', &mut out);
+        assert_eq!(out.iter().filter(|&&v| v == 1.0).count(), 1);
+        assert_eq!(out.iter().filter(|&&v| v == 0.0).count(), VOCAB - 1);
+        assert_eq!(out[b'A' as usize], 1.0);
+    }
+
+    #[test]
+    fn kind_labels_match_paper() {
+        assert_eq!(TransformKind::Binary.label(), "binary");
+        assert_eq!(TransformKind::Word2vec.label(), "word2vec");
+        assert_eq!(TransformKind::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,280 @@
+//! Character-level word2vec: skip-gram with negative sampling
+//! (Mikolov et al., NIPS 2013), applied at the granularity PRIONN uses —
+//! individual script characters, embedding their surrounding context.
+
+use crate::transform::{CharTransform, VOCAB};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Training configuration for the skip-gram model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Word2vecConfig {
+    /// Embedding width. The paper settles on 4 for PRIONN (§2.4) after
+    /// describing an 8-wide variant (§2.1).
+    pub dim: usize,
+    /// Context window radius (characters either side of the centre).
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Word2vecConfig {
+    fn default() -> Self {
+        Word2vecConfig { dim: 4, window: 2, negatives: 4, lr: 0.05, epochs: 2, seed: 0x77 }
+    }
+}
+
+/// A trained character embedding table: one `dim`-wide vector per ASCII
+/// character.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CharEmbedding {
+    dim: usize,
+    table: Vec<f32>, // VOCAB * dim, row per character
+}
+
+impl CharEmbedding {
+    /// Train on a corpus of scripts with skip-gram + negative sampling.
+    ///
+    /// Both the input (centre) and output (context) tables are learned; the
+    /// input table becomes the embedding, per standard practice.
+    pub fn train(corpus: &[&str], cfg: &Word2vecConfig) -> Self {
+        assert!(cfg.dim > 0, "embedding dim must be positive");
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let scale = 0.5 / cfg.dim as f32;
+        let mut input: Vec<f32> =
+            (0..VOCAB * cfg.dim).map(|_| rng.gen_range(-scale..scale)).collect();
+        let mut output = vec![0.0f32; VOCAB * cfg.dim];
+
+        // Unigram distribution (3/4 power) for negative sampling.
+        let mut counts = [1.0f64; VOCAB];
+        for s in corpus {
+            for b in s.bytes() {
+                counts[(b as usize) % VOCAB] += 1.0;
+            }
+        }
+        let weights: Vec<f64> = counts.iter().map(|c| c.powf(0.75)).collect();
+        let total: f64 = weights.iter().sum();
+        // Cumulative table for inverse-CDF sampling.
+        let mut cdf = Vec::with_capacity(VOCAB);
+        let mut acc = 0.0f64;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        let sample_negative = |rng: &mut ChaCha8Rng| -> usize {
+            let u: f64 = rng.gen();
+            cdf.partition_point(|&c| c < u).min(VOCAB - 1)
+        };
+
+        let sigmoid = |x: f32| 1.0 / (1.0 + (-x).exp());
+        let dim = cfg.dim;
+        let mut grad_centre = vec![0.0f32; dim];
+
+        for _ in 0..cfg.epochs.max(1) {
+            for s in corpus {
+                let bytes: Vec<usize> =
+                    s.bytes().map(|b| (b as usize) % VOCAB).collect();
+                for (i, &centre) in bytes.iter().enumerate() {
+                    let lo = i.saturating_sub(cfg.window);
+                    let hi = (i + cfg.window + 1).min(bytes.len());
+                    for (j, &context) in bytes.iter().enumerate().take(hi).skip(lo) {
+                        if j == i {
+                            continue;
+                        }
+                        grad_centre.iter_mut().for_each(|g| *g = 0.0);
+                        // One positive + k negative logistic updates.
+                        for k in 0..=cfg.negatives {
+                            let (target, label) = if k == 0 {
+                                (context, 1.0f32)
+                            } else {
+                                (sample_negative(&mut rng), 0.0f32)
+                            };
+                            let (ci, oi) = (centre * dim, target * dim);
+                            let dot: f32 = (0..dim)
+                                .map(|d| input[ci + d] * output[oi + d])
+                                .sum();
+                            let err = (sigmoid(dot) - label) * cfg.lr;
+                            for d in 0..dim {
+                                grad_centre[d] += err * output[oi + d];
+                                output[oi + d] -= err * input[ci + d];
+                            }
+                        }
+                        let ci = centre * dim;
+                        for d in 0..dim {
+                            input[ci + d] -= grad_centre[d];
+                        }
+                    }
+                }
+            }
+        }
+        CharEmbedding { dim, table: input }
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The embedding vector for a character.
+    pub fn vector(&self, c: u8) -> &[f32] {
+        let i = (c as usize % VOCAB) * self.dim;
+        &self.table[i..i + self.dim]
+    }
+
+    /// Cosine similarity between two characters' embeddings.
+    pub fn cosine(&self, a: u8, b: u8) -> f32 {
+        let (va, vb) = (self.vector(a), self.vector(b));
+        let dot: f32 = va.iter().zip(vb).map(|(&x, &y)| x * y).sum();
+        let na: f32 = va.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let nb: f32 = vb.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+/// A [`CharTransform`] backed by a trained [`CharEmbedding`].
+#[derive(Debug, Clone)]
+pub struct Word2vecTransform {
+    emb: CharEmbedding,
+}
+
+impl Word2vecTransform {
+    /// Wrap a trained embedding.
+    pub fn new(emb: CharEmbedding) -> Self {
+        Word2vecTransform { emb }
+    }
+
+    /// Train an embedding on `corpus` and wrap it.
+    pub fn train(corpus: &[&str], cfg: &Word2vecConfig) -> Self {
+        Word2vecTransform { emb: CharEmbedding::train(corpus, cfg) }
+    }
+
+    /// The underlying embedding table.
+    pub fn embedding(&self) -> &CharEmbedding {
+        &self.emb
+    }
+}
+
+impl CharTransform for Word2vecTransform {
+    fn dim(&self) -> usize {
+        self.emb.dim()
+    }
+
+    fn encode(&self, c: u8, out: &mut [f32]) {
+        out.copy_from_slice(self.emb.vector(c));
+    }
+
+    fn name(&self) -> &'static str {
+        "word2vec"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_corpus() -> Vec<&'static str> {
+        vec![
+            "#!/bin/bash\n#SBATCH -N 4\n#SBATCH -t 02:00:00\nsrun ./app input.nml\n",
+            "#!/bin/bash\n#SBATCH -N 8\n#SBATCH -t 01:30:00\nsrun ./sim run.cfg\n",
+            "#!/bin/bash\n#SBATCH -N 2\n#SBATCH -t 00:45:00\nsrun python train.py\n",
+        ]
+    }
+
+    #[test]
+    fn trains_and_exposes_vectors_of_right_width() {
+        let cfg = Word2vecConfig { dim: 4, epochs: 1, ..Default::default() };
+        let emb = CharEmbedding::train(&tiny_corpus(), &cfg);
+        assert_eq!(emb.dim(), 4);
+        assert_eq!(emb.vector(b'a').len(), 4);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_seed() {
+        let cfg = Word2vecConfig::default();
+        let a = CharEmbedding::train(&tiny_corpus(), &cfg);
+        let b = CharEmbedding::train(&tiny_corpus(), &cfg);
+        assert_eq!(a.vector(b'S'), b.vector(b'S'));
+    }
+
+    #[test]
+    fn digits_in_shared_context_are_more_similar_than_unrelated_chars() {
+        // Digits appear in interchangeable contexts (node counts), so
+        // skip-gram should place them closer to each other on average than
+        // to letters that never share context with them.
+        let mut corpus = String::new();
+        for d in 0..10 {
+            for _ in 0..20 {
+                corpus.push_str(&format!("#SBATCH -N {d}\n"));
+            }
+        }
+        for _ in 0..50 {
+            corpus.push_str("echo hello_world\n");
+        }
+        let scripts = [corpus.as_str()];
+        let cfg = Word2vecConfig { epochs: 4, ..Default::default() };
+        let emb = CharEmbedding::train(&scripts, &cfg);
+        let digits = [b'1', b'3', b'5', b'7', b'9'];
+        let letters = [b'e', b'h', b'l', b'o', b'w'];
+        let mut digit_sim = 0.0f32;
+        let mut cross_sim = 0.0f32;
+        let mut pairs = 0;
+        for (i, &a) in digits.iter().enumerate() {
+            for &b in &digits[i + 1..] {
+                digit_sim += emb.cosine(a, b);
+                pairs += 1;
+            }
+        }
+        digit_sim /= pairs as f32;
+        for &a in &digits {
+            for &b in &letters {
+                cross_sim += emb.cosine(a, b);
+            }
+        }
+        cross_sim /= (digits.len() * letters.len()) as f32;
+        assert!(
+            digit_sim > cross_sim,
+            "mean digit-digit {digit_sim} should exceed mean digit-letter {cross_sim}"
+        );
+    }
+
+    #[test]
+    fn embedding_changes_with_training() {
+        let cfg = Word2vecConfig::default();
+        let trained = CharEmbedding::train(&tiny_corpus(), &cfg);
+        let blank = CharEmbedding::train(&[], &cfg);
+        assert_ne!(trained.vector(b'S'), blank.vector(b'S'));
+    }
+
+    #[test]
+    fn transform_encodes_via_table() {
+        let cfg = Word2vecConfig::default();
+        let t = Word2vecTransform::train(&tiny_corpus(), &cfg);
+        let mut out = vec![0.0f32; t.dim()];
+        t.encode(b'N', &mut out);
+        assert_eq!(out.as_slice(), t.embedding().vector(b'N'));
+    }
+
+    #[test]
+    fn cosine_is_bounded() {
+        let cfg = Word2vecConfig { epochs: 1, ..Default::default() };
+        let emb = CharEmbedding::train(&tiny_corpus(), &cfg);
+        for a in [b'a', b'0', b'#'] {
+            for b in [b'z', b'9', b' '] {
+                let c = emb.cosine(a, b);
+                assert!((-1.01..=1.01).contains(&c), "cosine {c}");
+            }
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Application families: the script templates and hidden resource models
+//! behind the synthetic corpus.
+
+/// How an application's runtime scales with its inputs. All times are in
+/// minutes; the generator adds lognormal noise and clamps to the cluster's
+/// runtime cap.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceModel {
+    /// Baseline runtime at size 1.0 on one node, minutes.
+    pub base_minutes: f64,
+    /// Runtime multiplier per unit of the problem-size parameter.
+    pub size_exponent: f64,
+    /// Node-count scaling exponent: negative = strong scaling speedup,
+    /// 0 = embarrassingly parallel per-node work.
+    pub node_exponent: f64,
+    /// Bytes read per unit size per node.
+    pub read_bytes_per_unit: f64,
+    /// Bytes written per unit size per node.
+    pub write_bytes_per_unit: f64,
+}
+
+/// A synthetic application family: a distinctive job-script template plus a
+/// hidden resource model.
+#[derive(Debug, Clone)]
+pub struct AppTemplate {
+    /// Short family name, used in job names and binaries.
+    pub name: &'static str,
+    /// Hidden ground truth for runtime and IO.
+    pub model: ResourceModel,
+    /// Typical node request range (inclusive).
+    pub node_range: (u32, u32),
+    /// Problem-size parameter range sampled per run.
+    pub size_range: (f64, f64),
+    /// Script body lines; `{size}`, `{nodes}`, `{tasks}`, `{run}`, `{app}`
+    /// placeholders are substituted at render time.
+    pub body: &'static [&'static str],
+}
+
+impl AppTemplate {
+    /// The hidden true runtime (minutes, pre-noise, un-clamped) for a run.
+    pub fn true_runtime_minutes(&self, size: f64, nodes: u32) -> f64 {
+        let m = &self.model;
+        m.base_minutes * size.powf(m.size_exponent) * (nodes as f64).powf(m.node_exponent)
+    }
+
+    /// The hidden true IO volumes `(bytes_read, bytes_written)`.
+    pub fn true_io_bytes(&self, size: f64, nodes: u32) -> (f64, f64) {
+        let m = &self.model;
+        let units = size * nodes as f64;
+        (m.read_bytes_per_unit * units, m.write_bytes_per_unit * units)
+    }
+}
+
+const MB: f64 = 1.0e6;
+const GB: f64 = 1.0e9;
+
+/// The library of application families. Sizes and scalings are chosen so
+/// the aggregate runtime distribution matches the paper's Cab statistics
+/// (mean ≈ 44 min, ~half under an hour, a thin tail to the 960-minute cap)
+/// and IO is heavy-tailed (a few IO-hungry families dominate the mean).
+pub static APP_LIBRARY: &[AppTemplate] = &[
+    AppTemplate {
+        name: "lammps",
+        model: ResourceModel {
+            base_minutes: 9.0,
+            size_exponent: 1.1,
+            node_exponent: -0.35,
+            read_bytes_per_unit: 60.0 * MB,
+            write_bytes_per_unit: 280.0 * MB,
+        },
+        node_range: (4, 64),
+        size_range: (1.0, 24.0),
+        body: &[
+            "module load intel mvapich2",
+            "export OMP_NUM_THREADS=1",
+            "srun -n {tasks} ./lmp_mpi -in in.melt_{run} -var scale {size}",
+            "gzip -f log.lammps",
+        ],
+    },
+    AppTemplate {
+        name: "namd",
+        model: ResourceModel {
+            base_minutes: 14.0,
+            size_exponent: 1.0,
+            node_exponent: -0.4,
+            read_bytes_per_unit: 120.0 * MB,
+            write_bytes_per_unit: 160.0 * MB,
+        },
+        node_range: (8, 128),
+        size_range: (1.0, 30.0),
+        body: &[
+            "module load namd/2.12",
+            "cd $SLURM_SUBMIT_DIR",
+            "srun -n {tasks} namd2 +ppn 15 stmv_{run}.namd --steps {size}000",
+            "cp output/*.coor /p/lustre/{app}/archive/",
+        ],
+    },
+    AppTemplate {
+        name: "hpl",
+        model: ResourceModel {
+            base_minutes: 25.0,
+            size_exponent: 1.4,
+            node_exponent: -0.2,
+            read_bytes_per_unit: 2.0 * MB,
+            write_bytes_per_unit: 8.0 * MB,
+        },
+        node_range: (16, 256),
+        size_range: (1.0, 10.0),
+        body: &[
+            "module load mkl",
+            "export HPL_N=$(( {size} * 24576 ))",
+            "srun -n {tasks} ./xhpl",
+            "grep WR hpl.out | tail -1",
+        ],
+    },
+    AppTemplate {
+        name: "qmc",
+        model: ResourceModel {
+            base_minutes: 45.0,
+            size_exponent: 1.2,
+            node_exponent: -0.1,
+            read_bytes_per_unit: 30.0 * MB,
+            write_bytes_per_unit: 900.0 * MB,
+        },
+        node_range: (16, 128),
+        size_range: (1.0, 12.0),
+        body: &[
+            "module load qmcpack",
+            "srun -n {tasks} qmcpack dmc_{run}.xml",
+            "echo walkers={size}00 >> qmc.meta",
+        ],
+    },
+    AppTemplate {
+        name: "climate",
+        model: ResourceModel {
+            base_minutes: 60.0,
+            size_exponent: 1.0,
+            node_exponent: -0.15,
+            read_bytes_per_unit: 1.4 * GB,
+            write_bytes_per_unit: 2.2 * GB,
+        },
+        node_range: (32, 256),
+        size_range: (1.0, 10.0),
+        body: &[
+            "module load netcdf hdf5",
+            "cd /p/lustre/{app}/cesm/case_{run}",
+            "srun -n {tasks} ./cesm.exe -months {size}",
+            "ncdump -h hist/latest.nc | head",
+        ],
+    },
+    AppTemplate {
+        name: "mcnp",
+        model: ResourceModel {
+            base_minutes: 18.0,
+            size_exponent: 1.05,
+            node_exponent: -0.3,
+            read_bytes_per_unit: 10.0 * MB,
+            write_bytes_per_unit: 120.0 * MB,
+        },
+        node_range: (2, 32),
+        size_range: (1.0, 20.0),
+        body: &[
+            "module load mcnp6",
+            "srun -n {tasks} mcnp6 i=crit_{run}.inp tasks {tasks}",
+            "echo nps {size}e6 >> run.meta",
+        ],
+    },
+    AppTemplate {
+        name: "ale3d",
+        model: ResourceModel {
+            base_minutes: 80.0,
+            size_exponent: 1.25,
+            node_exponent: -0.25,
+            read_bytes_per_unit: 400.0 * MB,
+            write_bytes_per_unit: 3.5 * GB,
+        },
+        node_range: (16, 192),
+        size_range: (1.0, 8.0),
+        body: &[
+            "module load ale3d",
+            "srun -n {tasks} ale3d -i impact_{run}.ale -cycles {size}0000",
+            "ls -l restart/ | wc -l",
+        ],
+    },
+    AppTemplate {
+        name: "pytrain",
+        model: ResourceModel {
+            base_minutes: 30.0,
+            size_exponent: 1.15,
+            node_exponent: 0.0,
+            read_bytes_per_unit: 2.5 * GB,
+            write_bytes_per_unit: 150.0 * MB,
+        },
+        node_range: (1, 4),
+        size_range: (1.0, 16.0),
+        body: &[
+            "module load python/3.6 cuda/9.1",
+            "source ~/venvs/torch/bin/activate",
+            "srun -n {nodes} python train.py --epochs {size}0 --data /p/lustre/{app}/imagenet_{run}",
+            "python eval.py --ckpt checkpoints/last.pt",
+        ],
+    },
+    AppTemplate {
+        name: "postproc",
+        model: ResourceModel {
+            base_minutes: 4.0,
+            size_exponent: 0.9,
+            node_exponent: -0.5,
+            read_bytes_per_unit: 5.0 * GB,
+            write_bytes_per_unit: 600.0 * MB,
+        },
+        node_range: (1, 8),
+        size_range: (0.5, 6.0),
+        body: &[
+            "module load visit",
+            "srun -n {tasks} visit -nowin -cli -s extract_{run}.py -frames {size}00",
+            "rsync -a frames/ /p/lustre/{app}/frames_{run}/",
+        ],
+    },
+    AppTemplate {
+        name: "iocheck",
+        model: ResourceModel {
+            base_minutes: 6.0,
+            size_exponent: 1.0,
+            node_exponent: 0.0,
+            read_bytes_per_unit: 12.0 * GB,
+            write_bytes_per_unit: 12.0 * GB,
+        },
+        node_range: (4, 64),
+        size_range: (0.5, 8.0),
+        body: &[
+            "module load ior",
+            "srun -n {tasks} ior -a POSIX -b {size}g -t 4m -o /p/lustre/{app}/ior_{run}.dat",
+            "rm -f /p/lustre/{app}/ior_{run}.dat",
+        ],
+    },
+    AppTemplate {
+        name: "seismic",
+        model: ResourceModel {
+            base_minutes: 35.0,
+            size_exponent: 1.1,
+            node_exponent: -0.3,
+            read_bytes_per_unit: 800.0 * MB,
+            write_bytes_per_unit: 1.1 * GB,
+        },
+        node_range: (8, 96),
+        size_range: (1.0, 14.0),
+        body: &[
+            "module load sw4",
+            "srun -n {tasks} sw4 berkeley_{run}.in",
+            "echo grid={size}00m >> sw4.meta",
+        ],
+    },
+    AppTemplate {
+        name: "bioseq",
+        model: ResourceModel {
+            base_minutes: 12.0,
+            size_exponent: 1.0,
+            node_exponent: -0.45,
+            read_bytes_per_unit: 3.2 * GB,
+            write_bytes_per_unit: 400.0 * MB,
+        },
+        node_range: (1, 16),
+        size_range: (0.5, 10.0),
+        body: &[
+            "module load blast samtools",
+            "srun -n {tasks} blastn -db nt -query reads_{run}.fa -num_threads 16",
+            "samtools sort -@ 8 aln_{run}.bam -o sorted_{run}.bam",
+        ],
+    },
+    AppTemplate {
+        name: "cfd",
+        model: ResourceModel {
+            base_minutes: 55.0,
+            size_exponent: 1.3,
+            node_exponent: -0.35,
+            read_bytes_per_unit: 250.0 * MB,
+            write_bytes_per_unit: 1.8 * GB,
+        },
+        node_range: (16, 160),
+        size_range: (1.0, 9.0),
+        body: &[
+            "module load openfoam",
+            "decomposePar -case cavity_{run}",
+            "srun -n {tasks} simpleFoam -parallel -case cavity_{run}",
+            "reconstructPar -case cavity_{run} -latestTime",
+        ],
+    },
+    AppTemplate {
+        name: "montecarlo",
+        model: ResourceModel {
+            base_minutes: 8.0,
+            size_exponent: 1.0,
+            node_exponent: 0.0,
+            read_bytes_per_unit: 1.0 * MB,
+            write_bytes_per_unit: 40.0 * MB,
+        },
+        node_range: (1, 32),
+        size_range: (0.5, 12.0),
+        body: &[
+            "srun -n {tasks} ./mc_sweep --paths {size}e7 --seed {run}",
+            "cat results_*.csv > sweep_{run}.csv",
+        ],
+    },
+    AppTemplate {
+        name: "chemtable",
+        model: ResourceModel {
+            base_minutes: 20.0,
+            size_exponent: 1.2,
+            node_exponent: -0.2,
+            read_bytes_per_unit: 90.0 * MB,
+            write_bytes_per_unit: 700.0 * MB,
+        },
+        node_range: (4, 48),
+        size_range: (1.0, 10.0),
+        body: &[
+            "module load gaussian",
+            "srun -n {tasks} g16 < mol_{run}.gjf > mol_{run}.log",
+            "formchk mol_{run}.chk",
+        ],
+    },
+    AppTemplate {
+        name: "debugrun",
+        model: ResourceModel {
+            base_minutes: 1.5,
+            size_exponent: 0.8,
+            node_exponent: -0.2,
+            read_bytes_per_unit: 0.5 * MB,
+            write_bytes_per_unit: 2.0 * MB,
+        },
+        node_range: (1, 4),
+        size_range: (0.2, 3.0),
+        body: &[
+            "make -j 16",
+            "srun -n {tasks} ./a.out --smoke {size}",
+            "echo exit=$? >> smoke.log",
+        ],
+    },
+    AppTemplate {
+        name: "paramsweep",
+        model: ResourceModel {
+            base_minutes: 10.0,
+            size_exponent: 1.05,
+            node_exponent: -0.1,
+            read_bytes_per_unit: 25.0 * MB,
+            write_bytes_per_unit: 220.0 * MB,
+        },
+        node_range: (2, 24),
+        size_range: (0.5, 16.0),
+        body: &[
+            "for p in $(seq 1 {size}); do",
+            "  srun -n {tasks} ./model --param $p --tag {run} &",
+            "done",
+            "wait",
+        ],
+    },
+    AppTemplate {
+        name: "fusion",
+        model: ResourceModel {
+            base_minutes: 90.0,
+            size_exponent: 1.15,
+            node_exponent: -0.25,
+            read_bytes_per_unit: 650.0 * MB,
+            write_bytes_per_unit: 4.2 * GB,
+        },
+        node_range: (32, 256),
+        size_range: (1.0, 7.0),
+        body: &[
+            "module load gene",
+            "srun -n {tasks} gene_cab parameters_{run}.nml",
+            "h5dump -H out/field_{run}.h5 | head",
+        ],
+    },
+    AppTemplate {
+        name: "astro",
+        model: ResourceModel {
+            base_minutes: 40.0,
+            size_exponent: 1.2,
+            node_exponent: -0.3,
+            read_bytes_per_unit: 1.9 * GB,
+            write_bytes_per_unit: 2.8 * GB,
+        },
+        node_range: (16, 128),
+        size_range: (1.0, 11.0),
+        body: &[
+            "module load enzo hdf5",
+            "srun -n {tasks} enzo -d halo_{run}.enzo",
+            "python yt_project.py --level {size}",
+        ],
+    },
+    AppTemplate {
+        name: "archive",
+        model: ResourceModel {
+            base_minutes: 3.0,
+            size_exponent: 1.0,
+            node_exponent: 0.0,
+            read_bytes_per_unit: 8.0 * GB,
+            write_bytes_per_unit: 8.0 * GB,
+        },
+        node_range: (1, 2),
+        size_range: (0.2, 10.0),
+        body: &[
+            "htar -cvf /hpss/{app}/run_{run}.tar /p/lustre/{app}/run_{run}",
+            "echo archived {size}TB",
+        ],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_has_twenty_families() {
+        assert_eq!(APP_LIBRARY.len(), 20);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = APP_LIBRARY.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), APP_LIBRARY.len());
+    }
+
+    #[test]
+    fn runtime_grows_with_size() {
+        for app in APP_LIBRARY {
+            let (lo, hi) = app.size_range;
+            let nodes = app.node_range.0;
+            assert!(
+                app.true_runtime_minutes(hi, nodes) >= app.true_runtime_minutes(lo, nodes),
+                "{}",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn strong_scaling_apps_speed_up_with_nodes() {
+        let lammps = APP_LIBRARY.iter().find(|a| a.name == "lammps").unwrap();
+        let t4 = lammps.true_runtime_minutes(8.0, 4);
+        let t64 = lammps.true_runtime_minutes(8.0, 64);
+        assert!(t64 < t4);
+    }
+
+    #[test]
+    fn io_volumes_are_positive_and_scale_with_nodes() {
+        for app in APP_LIBRARY {
+            let (r1, w1) = app.true_io_bytes(2.0, 1);
+            let (r8, w8) = app.true_io_bytes(2.0, 8);
+            assert!(r1 > 0.0 && w1 > 0.0, "{}", app.name);
+            assert!(r8 > r1 && w8 > w1, "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn node_ranges_are_sane() {
+        for app in APP_LIBRARY {
+            assert!(app.node_range.0 >= 1);
+            assert!(app.node_range.0 <= app.node_range.1);
+            assert!(app.node_range.1 <= 256, "{} exceeds typical Cab allocations", app.name);
+        }
+    }
+
+    #[test]
+    fn bodies_reference_templates() {
+        for app in APP_LIBRARY {
+            assert!(!app.body.is_empty(), "{} has an empty body", app.name);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Generate a synthetic job trace and write it as JSON.
+//!
+//! ```text
+//! cargo run --release -p prionn-workload --bin tracegen -- \
+//!     --preset cab --jobs 5000 --seed 7 --out trace.json
+//! ```
+
+use prionn_workload::{stats, Trace, TraceConfig, TracePreset};
+
+const USAGE: &str = "usage: tracegen [--preset cab|sdsc95|sdsc96] [--jobs N] \
+[--users N] [--seed N] [--out PATH]";
+
+fn main() {
+    let mut preset = TracePreset::CabLike;
+    let mut jobs = 1_000usize;
+    let mut users: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut out: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--preset" => {
+                preset = match value("--preset").as_str() {
+                    "cab" => TracePreset::CabLike,
+                    "sdsc95" => TracePreset::Sdsc95,
+                    "sdsc96" => TracePreset::Sdsc96,
+                    other => {
+                        eprintln!("unknown preset {other}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--jobs" => jobs = value("--jobs").parse().expect("--jobs N"),
+            "--users" => users = Some(value("--users").parse().expect("--users N")),
+            "--seed" => seed = Some(value("--seed").parse().expect("--seed N")),
+            "--out" => out = Some(value("--out").clone()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cfg = TraceConfig::preset(preset, jobs);
+    if let Some(u) = users {
+        cfg.n_users = u;
+    }
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    let trace = Trace::generate(&cfg);
+
+    let minutes: Vec<f64> = trace.executed_jobs().map(|j| j.runtime_minutes()).collect();
+    let read_bw: Vec<f64> = trace.executed_jobs().map(|j| j.read_bandwidth()).collect();
+    eprintln!(
+        "generated {} jobs ({} executed, {} unique scripts)",
+        trace.jobs.len(),
+        minutes.len(),
+        trace.unique_scripts()
+    );
+    eprintln!(
+        "runtime: mean {:.1} min, median {:.1} min; read bw: mean {:.3e} B/s, median {:.3e} B/s",
+        stats::mean(&minutes),
+        stats::median(&minutes),
+        stats::mean(&read_bw),
+        stats::median(&read_bw)
+    );
+
+    let json = trace.to_json();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json).expect("write trace file");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

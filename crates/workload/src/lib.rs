@@ -1,0 +1,33 @@
+//! Synthetic HPC workload generation: the stand-in for the paper's
+//! (non-public) 295,077-job LLNL Cab trace.
+//!
+//! The generator is calibrated against every distributional fact the paper
+//! states about its dataset (§2.3, §3.1, §3.2):
+//!
+//! * ~1,296-node cluster, 16-hour (960-minute) runtime cap;
+//! * mean job runtime ≈ 44 min, roughly half of the jobs under an hour;
+//! * 492 users running ~20 application families;
+//! * ~10 % of submissions cancelled before execution;
+//! * only ~37 % of job scripts unique (users resubmit);
+//! * user-requested runtimes heavily overestimated (mean error ≈ 172 min,
+//!   ≈ 24 % mean relative accuracy), snapped to round wall-time values;
+//! * heavy-tailed IO: mean read/write bandwidth orders of magnitude above
+//!   the median.
+//!
+//! Crucially, the *hidden ground-truth model* makes runtime and IO
+//! deterministic functions (plus small noise) of information that lives in
+//! the script text: the application family, node count, and a per-run
+//! problem-size parameter embedded in the `srun` line. Table-1 features
+//! capture the first two but not the third — the regime in which the paper
+//! found whole-script models to beat parsed-feature models.
+
+pub mod apps;
+pub mod job;
+pub mod stats;
+pub mod trace;
+pub mod users;
+
+pub use apps::{AppTemplate, APP_LIBRARY};
+pub use job::JobRecord;
+pub use trace::{Trace, TraceConfig, TracePreset};
+pub use users::UserPopulation;

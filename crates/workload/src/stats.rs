@@ -1,0 +1,147 @@
+//! Small statistics helpers shared by tests and the experiment harness.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Population standard deviation.
+pub fn std_dev(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let m = mean(v);
+    (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+/// Percentile in `[0, 100]` by linear interpolation (0 for empty input).
+pub fn percentile(v: &[f64], p: f64) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = v.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median.
+pub fn median(v: &[f64]) -> f64 {
+    percentile(v, 50.0)
+}
+
+/// Five-number summary plus mean: (min, q1, median, q3, max, mean) — the
+/// numbers behind every boxplot in the paper.
+pub fn boxplot_summary(v: &[f64]) -> BoxplotSummary {
+    BoxplotSummary {
+        min: percentile(v, 0.0),
+        q1: percentile(v, 25.0),
+        median: percentile(v, 50.0),
+        q3: percentile(v, 75.0),
+        max: percentile(v, 100.0),
+        mean: mean(v),
+    }
+}
+
+/// The six numbers a boxplot displays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxplotSummary {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl std::fmt::Display for BoxplotSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min={:.3} q1={:.3} med={:.3} q3={:.3} max={:.3} mean={:.3}",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean
+        )
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with `bins` buckets; values
+/// outside the range clamp into the edge buckets.
+pub fn histogram(v: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0 && hi > lo);
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in v {
+        let b = (((x - lo) / width) as isize).clamp(0, bins as isize - 1) as usize;
+        counts[b] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), 5.0);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(median(&v), 2.5);
+        assert_eq!(percentile(&v, 25.0), 1.75);
+    }
+
+    #[test]
+    fn percentile_is_order_independent() {
+        let a = [5.0, 1.0, 3.0];
+        let b = [1.0, 3.0, 5.0];
+        assert_eq!(median(&a), median(&b));
+    }
+
+    #[test]
+    fn boxplot_summary_is_ordered() {
+        let v: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let s = boxplot_summary(&v);
+        assert!(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 && s.q3 <= s.max);
+        assert_eq!(s.median, 50.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let v = [-1.0, 0.0, 0.5, 0.99, 5.0];
+        let h = histogram(&v, 0.0, 1.0, 2);
+        assert_eq!(h, vec![2, 3]); // -1,0 -> bin0; 0.5,0.99,5.0 -> bin1
+        assert_eq!(h.iter().sum::<usize>(), v.len());
+    }
+}

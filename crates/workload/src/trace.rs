@@ -1,0 +1,519 @@
+//! The trace generator: renders job scripts and ground-truth resource usage
+//! for a Cab-like year of submissions.
+
+use crate::apps::{AppTemplate, APP_LIBRARY};
+use crate::job::JobRecord;
+use crate::users::{snap_request_minutes, UserPopulation};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Per-app relative submission popularity, aligned with [`APP_LIBRARY`].
+/// Short jobs (debug runs, post-processing, archiving) dominate submission
+/// counts on real machines, which is what pushes the trace's mean runtime
+/// down to the paper's ≈ 44 minutes while keeping a long tail.
+const APP_POPULARITY: [f64; 20] = [
+    6.0,  // lammps
+    4.0,  // namd
+    1.0,  // hpl
+    1.5,  // qmc
+    1.0,  // climate
+    3.0,  // mcnp
+    0.8,  // ale3d
+    5.0,  // pytrain
+    10.0, // postproc
+    2.0,  // iocheck
+    1.5,  // seismic
+    4.0,  // bioseq
+    1.0,  // cfd
+    6.0,  // montecarlo
+    2.0,  // chemtable
+    14.0, // debugrun
+    4.0,  // paramsweep
+    0.6,  // fusion
+    1.2,  // astro
+    5.0,  // archive
+];
+
+/// Named calibrations of the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePreset {
+    /// The paper's primary dataset: LLNL Cab, 2016.
+    CabLike,
+    /// The SDSC Paragon 1995 trace used in Table 2 (76,840 jobs).
+    Sdsc95,
+    /// The SDSC Paragon 1996 trace used in Table 2 (32,100 jobs).
+    Sdsc96,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Number of submissions to generate.
+    pub n_jobs: usize,
+    /// User population size.
+    pub n_users: usize,
+    /// Cluster node count (Cab: 1,296).
+    pub cluster_nodes: u32,
+    /// Runtime cap, minutes (Cab: 960).
+    pub cap_minutes: f64,
+    /// Probability a submission is cancelled before running (§2.3: ~9.9 %).
+    pub cancel_rate: f64,
+    /// Probability a submission reuses one of the user's previous scripts
+    /// verbatim (drives the paper's ~37 % unique-script share).
+    pub resubmit_prob: f64,
+    /// Global multiplier on true runtimes (used by the SDSC presets).
+    pub runtime_scale: f64,
+    /// Lognormal sigma of run-to-run runtime noise.
+    pub runtime_noise_sigma: f64,
+    /// Lognormal sigma of run-to-run IO-volume noise.
+    pub io_noise_sigma: f64,
+    /// Mean seconds between submissions.
+    pub mean_interarrival_seconds: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// A preset calibration at a chosen job count (pass the preset's real
+    /// job count for a full-size trace, or something smaller for tests).
+    pub fn preset(preset: TracePreset, n_jobs: usize) -> Self {
+        match preset {
+            TracePreset::CabLike => TraceConfig {
+                n_jobs,
+                n_users: 492,
+                cluster_nodes: 1296,
+                cap_minutes: 960.0,
+                cancel_rate: 0.099,
+                resubmit_prob: 0.63,
+                runtime_scale: 1.0,
+                runtime_noise_sigma: 0.08,
+                io_noise_sigma: 0.5,
+                mean_interarrival_seconds: 110.0,
+                seed: 0xcab,
+            },
+            TracePreset::Sdsc95 => TraceConfig {
+                n_jobs,
+                n_users: 98,
+                cluster_nodes: 416,
+                cap_minutes: 2880.0,
+                cancel_rate: 0.05,
+                resubmit_prob: 0.55,
+                runtime_scale: 2.4,
+                runtime_noise_sigma: 0.45,
+                io_noise_sigma: 0.5,
+                mean_interarrival_seconds: 400.0,
+                seed: 0x5d5c95,
+            },
+            TracePreset::Sdsc96 => TraceConfig {
+                n_jobs,
+                n_users: 60,
+                cluster_nodes: 416,
+                cap_minutes: 2880.0,
+                cancel_rate: 0.05,
+                resubmit_prob: 0.50,
+                runtime_scale: 3.1,
+                runtime_noise_sigma: 0.55,
+                io_noise_sigma: 0.5,
+                mean_interarrival_seconds: 900.0,
+                seed: 0x5d5c96,
+            },
+        }
+    }
+}
+
+/// A generated trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Jobs ordered by submission time.
+    pub jobs: Vec<JobRecord>,
+    /// Cluster node count the trace was generated for.
+    pub cluster_nodes: u32,
+    /// Runtime cap in minutes.
+    pub cap_minutes: f64,
+}
+
+/// One remembered run configuration (for verbatim resubmissions).
+#[derive(Clone)]
+struct RunConfig {
+    app_idx: usize,
+    size: f64,
+    nodes: u32,
+    script: String,
+    requested_seconds: u64,
+}
+
+impl Trace {
+    /// Generate a trace. Deterministic for a given config.
+    pub fn generate(cfg: &TraceConfig) -> Trace {
+        assert!(cfg.n_jobs > 0, "trace needs at least one job");
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let population = UserPopulation::generate(cfg.n_users, APP_LIBRARY.len(), &mut rng);
+        let mut histories: HashMap<usize, Vec<RunConfig>> = HashMap::new();
+        let mut jobs = Vec::with_capacity(cfg.n_jobs);
+        let mut clock = 0.0f64;
+        let mut next_run_id = 1u32;
+
+        for id in 0..cfg.n_jobs {
+            // Poisson arrivals with a diurnal modulation (nights are quiet).
+            let phase = (clock / 86_400.0).fract();
+            let diurnal = 0.55 + 0.9 * (std::f64::consts::TAU * (phase - 0.25)).sin().max(0.0);
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            clock += -u.ln() * cfg.mean_interarrival_seconds / diurnal;
+
+            let user_idx = population.sample(&mut rng);
+            let user = &population.users()[user_idx];
+
+            let history = histories.entry(user_idx).or_default();
+            let reuse = !history.is_empty() && rng.gen::<f64>() < cfg.resubmit_prob;
+            let run = if reuse {
+                // Recency-weighted reuse: users overwhelmingly re-run one of
+                // their last few configurations (parameter sweeps, restarts),
+                // occasionally dusting off something older. Geometric decay
+                // with ratio ~0.55 over positions from the end.
+                let h = history.len();
+                let mut pos = h - 1;
+                for back in 0..h {
+                    if rng.gen::<f64>() < 0.45 {
+                        pos = h - 1 - back;
+                        break;
+                    }
+                    if back == h - 1 {
+                        pos = rng.gen_range(0..h);
+                    }
+                }
+                history[pos].clone()
+            } else {
+                // Pick one of the user's app families, weighted by global
+                // popularity.
+                let weights: Vec<f64> = user.apps.iter().map(|&a| APP_POPULARITY[a]).collect();
+                let total: f64 = weights.iter().sum();
+                let mut pick: f64 = rng.gen_range(0.0..total);
+                let mut app_idx = user.apps[0];
+                for (i, w) in weights.iter().enumerate() {
+                    if pick < *w {
+                        app_idx = user.apps[i];
+                        break;
+                    }
+                    pick -= w;
+                }
+                let app = &APP_LIBRARY[app_idx];
+                // Log-uniform size: plenty of small runs, a heavy tail.
+                let (lo, hi) = app.size_range;
+                let size = lo * (hi / lo).powf(rng.gen::<f64>().powf(1.3));
+                let nodes = rng
+                    .gen_range(app.node_range.0..=app.node_range.1)
+                    .min(cfg.cluster_nodes);
+                let run_id = next_run_id;
+                next_run_id += 1;
+
+                // The user requests wall time from the app's *typical*
+                // runtime at these settings, padded and snapped.
+                let typical = app.true_runtime_minutes(size, nodes) * cfg.runtime_scale;
+                let requested_minutes = snap_request_minutes(
+                    typical * user.overestimate_factor,
+                    cfg.cap_minutes,
+                );
+                let requested_seconds = (requested_minutes * 60.0) as u64;
+                let script = render_script(
+                    app,
+                    &user.account,
+                    size,
+                    nodes,
+                    run_id,
+                    requested_seconds,
+                );
+                let run = RunConfig { app_idx, size, nodes, script, requested_seconds };
+                history.push(run.clone());
+                run
+            };
+
+            let app = &APP_LIBRARY[run.app_idx];
+            let cancelled = rng.gen::<f64>() < cfg.cancel_rate;
+            let (runtime_seconds, bytes_read, bytes_written, mean_power_watts) = if cancelled {
+                (0u64, 0.0, 0.0, 0.0)
+            } else {
+                let noise = lognormal(cfg.runtime_noise_sigma, &mut rng);
+                let minutes = (app.true_runtime_minutes(run.size, run.nodes)
+                    * cfg.runtime_scale
+                    * noise)
+                    .clamp(0.5, cfg.cap_minutes);
+                let (r, w) = app.true_io_bytes(run.size, run.nodes);
+                // Power: idle floor plus a per-app compute intensity (a
+                // stable pseudo-random trait of the family), per node. The
+                // per-run jitter is derived from the job id rather than the
+                // shared RNG so adding this field did not perturb the rest
+                // of the trace stream.
+                let intensity = (app.name.bytes().map(u64::from).sum::<u64>() % 100) as f64 / 100.0;
+                let watts_per_node = 140.0 + 180.0 * intensity;
+                let jitter = 0.95 + 0.1 * (((id as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 40) as f64
+                    / (1u64 << 24) as f64);
+                let power = run.nodes as f64 * watts_per_node * jitter;
+                (
+                    (minutes * 60.0) as u64,
+                    r * lognormal(cfg.io_noise_sigma, &mut rng),
+                    w * lognormal(cfg.io_noise_sigma, &mut rng),
+                    power,
+                )
+            };
+
+            jobs.push(JobRecord {
+                id: id as u64,
+                user: user.login.clone(),
+                group: user.group.clone(),
+                account: user.account.clone(),
+                app: app.name.to_string(),
+                script: run.script.clone(),
+                submit_dir: user.submit_dir.clone(),
+                submit_time: clock as u64,
+                requested_seconds: run.requested_seconds,
+                nodes: run.nodes,
+                runtime_seconds,
+                bytes_read,
+                bytes_written,
+                mean_power_watts,
+                cancelled,
+            });
+        }
+        Trace { jobs, cluster_nodes: cfg.cluster_nodes, cap_minutes: cfg.cap_minutes }
+    }
+
+    /// Jobs that actually ran (the paper excludes cancelled submissions).
+    pub fn executed_jobs(&self) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.iter().filter(|j| !j.cancelled)
+    }
+
+    /// Serialise the trace to JSON (jobs plus cluster metadata), so a
+    /// generated corpus can be pinned and shared between experiments.
+    pub fn to_json(&self) -> String {
+        let value = serde_json::json!({
+            "cluster_nodes": self.cluster_nodes,
+            "cap_minutes": self.cap_minutes,
+            "jobs": self.jobs,
+        });
+        serde_json::to_string(&value).expect("trace serialisation cannot fail")
+    }
+
+    /// Load a trace previously produced by [`Trace::to_json`].
+    pub fn from_json(s: &str) -> Result<Trace, serde_json::Error> {
+        #[derive(serde::Deserialize)]
+        struct Wire {
+            cluster_nodes: u32,
+            cap_minutes: f64,
+            jobs: Vec<JobRecord>,
+        }
+        let w: Wire = serde_json::from_str(s)?;
+        Ok(Trace { jobs: w.jobs, cluster_nodes: w.cluster_nodes, cap_minutes: w.cap_minutes })
+    }
+
+    /// Number of distinct script texts.
+    pub fn unique_scripts(&self) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for j in &self.jobs {
+            set.insert(j.script.as_str());
+        }
+        set.len()
+    }
+}
+
+/// Standard normal via Box–Muller, exponentiated to a lognormal with median
+/// 1 and the given sigma.
+fn lognormal(sigma: f64, rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (sigma * z).exp()
+}
+
+/// Render a full SLURM job script for a run configuration.
+fn render_script(
+    app: &AppTemplate,
+    account: &str,
+    size: f64,
+    nodes: u32,
+    run_id: u32,
+    requested_seconds: u64,
+) -> String {
+    let tasks = nodes * 16;
+    let hours = requested_seconds / 3600;
+    let mins = (requested_seconds % 3600) / 60;
+    let mut s = String::with_capacity(512);
+    s.push_str("#!/bin/bash\n");
+    s.push_str(&format!("#SBATCH -J {}_{run_id}\n", app.name));
+    s.push_str(&format!("#SBATCH -N {nodes}\n"));
+    s.push_str(&format!("#SBATCH -n {tasks}\n"));
+    s.push_str(&format!("#SBATCH -t {hours:02}:{mins:02}:00\n"));
+    s.push_str(&format!("#SBATCH -A {account}\n"));
+    s.push_str(&format!("#SBATCH -D /p/lustre/{}/{}_{run_id}\n", app.name, app.name));
+    s.push_str("#SBATCH -p pbatch\n");
+    let size_str = format!("{size:.1}");
+    let run_str = run_id.to_string();
+    let nodes_str = nodes.to_string();
+    let tasks_str = tasks.to_string();
+    for line in app.body {
+        let rendered = line
+            .replace("{size}", &size_str)
+            .replace("{run}", &run_str)
+            .replace("{nodes}", &nodes_str)
+            .replace("{tasks}", &tasks_str)
+            .replace("{app}", app.name);
+        s.push_str(&rendered);
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    fn small_cab(n: usize) -> Trace {
+        Trace::generate(&TraceConfig::preset(TracePreset::CabLike, n))
+    }
+
+    #[test]
+    fn generates_requested_job_count_in_time_order() {
+        let t = small_cab(2000);
+        assert_eq!(t.jobs.len(), 2000);
+        for w in t.jobs.windows(2) {
+            assert!(w[0].submit_time <= w[1].submit_time);
+        }
+    }
+
+    #[test]
+    fn is_deterministic_for_seed() {
+        let a = small_cab(500);
+        let b = small_cab(500);
+        assert_eq!(a.jobs.len(), b.jobs.len());
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.script, y.script);
+            assert_eq!(x.runtime_seconds, y.runtime_seconds);
+        }
+    }
+
+    #[test]
+    fn cancel_rate_is_near_ten_percent() {
+        let t = small_cab(10_000);
+        let cancelled = t.jobs.iter().filter(|j| j.cancelled).count();
+        let rate = cancelled as f64 / t.jobs.len() as f64;
+        assert!((0.07..0.13).contains(&rate), "cancel rate {rate}");
+    }
+
+    #[test]
+    fn script_reuse_matches_paper_uniqueness() {
+        // Paper: 97,361 unique of 265,786 executed (~37 %); accept 25-50 %.
+        let t = small_cab(10_000);
+        let frac = t.unique_scripts() as f64 / t.jobs.len() as f64;
+        assert!((0.25..0.50).contains(&frac), "unique fraction {frac}");
+    }
+
+    #[test]
+    fn runtime_distribution_matches_cab_statistics() {
+        let t = small_cab(10_000);
+        let minutes: Vec<f64> = t.executed_jobs().map(|j| j.runtime_minutes()).collect();
+        let mean = stats::mean(&minutes);
+        let under_hour = minutes.iter().filter(|&&m| m < 60.0).count() as f64
+            / minutes.len() as f64;
+        let max = minutes.iter().cloned().fold(0.0, f64::max);
+        assert!((25.0..70.0).contains(&mean), "mean runtime {mean} min");
+        assert!((0.40..0.75).contains(&under_hour), "under-hour share {under_hour}");
+        assert!(max <= 960.0 + 1e-6, "max runtime {max}");
+    }
+
+    #[test]
+    fn user_requests_overestimate_like_cab_users() {
+        // Paper: mean request error ≈ 172 min on Cab. Accept a broad band.
+        let t = small_cab(10_000);
+        let errors: Vec<f64> = t
+            .executed_jobs()
+            .map(|j| j.requested_minutes() - j.runtime_minutes())
+            .collect();
+        let mean_error = stats::mean(&errors);
+        assert!(mean_error > 0.0, "users must overestimate on average");
+        assert!((60.0..420.0).contains(&mean_error), "mean request error {mean_error} min");
+        let never_killed = errors.iter().filter(|&&e| e >= 0.0).count() as f64
+            / errors.len() as f64;
+        assert!(never_killed > 0.8, "most jobs fit the request ({never_killed})");
+    }
+
+    #[test]
+    fn io_bandwidth_is_heavy_tailed() {
+        let t = small_cab(10_000);
+        let read_bw: Vec<f64> = t.executed_jobs().map(|j| j.read_bandwidth()).collect();
+        let mean = stats::mean(&read_bw);
+        let median = stats::percentile(&read_bw, 50.0);
+        assert!(
+            mean > 5.0 * median,
+            "mean {mean:.3e} should dwarf median {median:.3e} (paper: orders of magnitude)"
+        );
+    }
+
+    #[test]
+    fn scripts_parse_back_with_slurm_directives() {
+        let t = small_cab(200);
+        for j in t.jobs.iter().take(50) {
+            assert!(j.script.starts_with("#!/bin/bash\n"));
+            assert!(j.script.contains("#SBATCH -N "), "missing nodes: {}", j.script);
+            assert!(j.script.contains("#SBATCH -t "), "missing time: {}", j.script);
+            assert!(j.script.contains("srun") || j.script.contains("htar"), "{}", j.script);
+        }
+    }
+
+    #[test]
+    fn cancelled_jobs_use_no_resources() {
+        let t = small_cab(5_000);
+        for j in t.jobs.iter().filter(|j| j.cancelled) {
+            assert_eq!(j.runtime_seconds, 0);
+            assert_eq!(j.bytes_read, 0.0);
+            assert_eq!(j.bytes_written, 0.0);
+        }
+    }
+
+    #[test]
+    fn trace_json_round_trips() {
+        let t = small_cab(120);
+        let json = t.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(back.jobs.len(), t.jobs.len());
+        assert_eq!(back.cluster_nodes, t.cluster_nodes);
+        assert_eq!(back.jobs[7].script, t.jobs[7].script);
+        assert_eq!(back.jobs[7].runtime_seconds, t.jobs[7].runtime_seconds);
+    }
+
+    #[test]
+    fn trace_from_bad_json_errors() {
+        assert!(Trace::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn sdsc_presets_scale_runtimes_up() {
+        let cab = small_cab(3_000);
+        let sdsc = Trace::generate(&TraceConfig::preset(TracePreset::Sdsc95, 3_000));
+        let mean = |t: &Trace| {
+            let v: Vec<f64> = t.executed_jobs().map(|j| j.runtime_minutes()).collect();
+            stats::mean(&v)
+        };
+        assert!(mean(&sdsc) > mean(&cab));
+        assert!(sdsc.cap_minutes > cab.cap_minutes);
+    }
+
+    #[test]
+    fn resubmitted_scripts_share_request_but_vary_runtime() {
+        let t = small_cab(5_000);
+        let mut by_script: HashMap<&str, Vec<&JobRecord>> = HashMap::new();
+        for j in t.executed_jobs() {
+            by_script.entry(j.script.as_str()).or_default().push(j);
+        }
+        let mut found_varying = false;
+        for group in by_script.values().filter(|g| g.len() >= 3) {
+            let first = group[0];
+            assert!(group.iter().all(|j| j.requested_seconds == first.requested_seconds));
+            if group.iter().any(|j| j.runtime_seconds != first.runtime_seconds) {
+                found_varying = true;
+            }
+        }
+        assert!(found_varying, "noise should vary runtimes of identical scripts");
+    }
+}

@@ -1,0 +1,166 @@
+//! The synthetic user population.
+
+use rand::Rng;
+
+/// One synthetic user: identity, app preferences, and the runtime-request
+/// habits that make user estimates bad (§1: mean error ≈ 172 min).
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    /// Login name, e.g. `user042`.
+    pub login: String,
+    /// Login group.
+    pub group: String,
+    /// Account / bank.
+    pub account: String,
+    /// Home-ish submit directory.
+    pub submit_dir: String,
+    /// Indices into the app library this user runs, most-preferred first.
+    pub apps: Vec<usize>,
+    /// Multiplier the user applies to a job's *typical* runtime when
+    /// requesting wall time (users pad heavily to avoid termination).
+    pub overestimate_factor: f64,
+    /// Relative submission activity weight.
+    pub activity: f64,
+}
+
+/// A population of [`UserProfile`]s with Zipf-like activity.
+#[derive(Debug, Clone)]
+pub struct UserPopulation {
+    users: Vec<UserProfile>,
+    cumulative_activity: Vec<f64>,
+}
+
+impl UserPopulation {
+    /// Generate `n_users` users over an app library of `n_apps` families.
+    pub fn generate(n_users: usize, n_apps: usize, rng: &mut impl Rng) -> Self {
+        assert!(n_users > 0 && n_apps > 0);
+        let groups = ["pls", "wci", "eng", "comp", "bio", "phys"];
+        let mut users = Vec::with_capacity(n_users);
+        for i in 0..n_users {
+            let group = groups[rng.gen_range(0..groups.len())];
+            // Each user works on 1-4 app families.
+            let n_user_apps = rng.gen_range(1..=4usize.min(n_apps));
+            let mut apps = Vec::with_capacity(n_user_apps);
+            while apps.len() < n_user_apps {
+                let a = rng.gen_range(0..n_apps);
+                if !apps.contains(&a) {
+                    apps.push(a);
+                }
+            }
+            users.push(UserProfile {
+                login: format!("user{i:03}"),
+                group: group.to_string(),
+                account: format!("{group}_acct{}", rng.gen_range(0..4)),
+                submit_dir: format!("/g/g{}/user{i:03}", rng.gen_range(10..25)),
+                apps,
+                // Factors 2x-12x produce the paper's ~24% mean relative
+                // accuracy for user requests once snapped to round values.
+                overestimate_factor: 2.0 + rng.gen::<f64>().powi(2) * 10.0,
+                activity: 1.0 / (i + 1) as f64, // Zipf rank weight
+            });
+        }
+        let mut cumulative_activity = Vec::with_capacity(n_users);
+        let mut acc = 0.0;
+        for u in &users {
+            acc += u.activity;
+            cumulative_activity.push(acc);
+        }
+        UserPopulation { users, cumulative_activity }
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The users.
+    pub fn users(&self) -> &[UserProfile] {
+        &self.users
+    }
+
+    /// Sample a user index proportionally to activity.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative_activity.last().expect("non-empty population");
+        let u: f64 = rng.gen_range(0.0..total);
+        self.cumulative_activity.partition_point(|&c| c <= u).min(self.users.len() - 1)
+    }
+}
+
+/// Snap a wall-time request (minutes) to the round values users actually
+/// type: 15/30 min, then whole hours, capped at `cap_minutes`.
+pub fn snap_request_minutes(m: f64, cap_minutes: f64) -> f64 {
+    let snapped = if m <= 15.0 {
+        15.0
+    } else if m <= 30.0 {
+        30.0
+    } else if m <= 60.0 {
+        60.0
+    } else {
+        (m / 60.0).ceil() * 60.0
+    };
+    snapped.min(cap_minutes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn generates_requested_count_with_unique_logins() {
+        let p = UserPopulation::generate(492, 20, &mut rng());
+        assert_eq!(p.len(), 492);
+        let mut logins: Vec<_> = p.users().iter().map(|u| u.login.clone()).collect();
+        logins.sort();
+        logins.dedup();
+        assert_eq!(logins.len(), 492);
+    }
+
+    #[test]
+    fn users_have_at_least_one_app() {
+        let p = UserPopulation::generate(100, 20, &mut rng());
+        for u in p.users() {
+            assert!(!u.apps.is_empty());
+            assert!(u.apps.iter().all(|&a| a < 20));
+        }
+    }
+
+    #[test]
+    fn sampling_favours_low_ranks() {
+        let p = UserPopulation::generate(50, 10, &mut rng());
+        let mut r = rng();
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[p.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[49]);
+    }
+
+    #[test]
+    fn overestimate_factors_are_padded() {
+        let p = UserPopulation::generate(200, 10, &mut rng());
+        assert!(p.users().iter().all(|u| u.overestimate_factor >= 2.0));
+        assert!(p.users().iter().any(|u| u.overestimate_factor > 6.0));
+    }
+
+    #[test]
+    fn snapping_produces_round_values() {
+        assert_eq!(snap_request_minutes(7.0, 960.0), 15.0);
+        assert_eq!(snap_request_minutes(22.0, 960.0), 30.0);
+        assert_eq!(snap_request_minutes(45.0, 960.0), 60.0);
+        assert_eq!(snap_request_minutes(61.0, 960.0), 120.0);
+        assert_eq!(snap_request_minutes(700.0, 960.0), 720.0);
+        assert_eq!(snap_request_minutes(5000.0, 960.0), 960.0);
+    }
+}

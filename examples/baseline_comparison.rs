@@ -1,0 +1,60 @@
+//! Compare PRIONN against the paper's traditional baselines (RF, DT, kNN on
+//! manually parsed Table-1 features) and raw user requests, all under the
+//! same online protocol.
+//!
+//! ```text
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use prionn::core::baselines::user_predictions;
+use prionn::core::{
+    relative_accuracy, run_online_baseline, run_online_prionn, BaselineKind, JobPrediction,
+    OnlineConfig, PrionnConfig,
+};
+use prionn::workload::{stats, JobRecord, Trace, TraceConfig, TracePreset};
+use std::collections::HashMap;
+
+fn score(label: &str, jobs: &[JobRecord], preds: &[JobPrediction]) {
+    let by_id: HashMap<u64, &JobPrediction> = preds.iter().map(|p| (p.job_id, p)).collect();
+    let acc: Vec<f64> = jobs
+        .iter()
+        .filter(|j| !j.cancelled)
+        .filter_map(|j| by_id.get(&j.id).map(|p| (j, p)))
+        .map(|(j, p)| relative_accuracy(j.runtime_minutes(), p.runtime_minutes))
+        .collect();
+    println!(
+        "  {label:<14} mean={:5.1}%  median={:5.1}%",
+        stats::mean(&acc) * 100.0,
+        stats::median(&acc) * 100.0
+    );
+}
+
+fn main() {
+    let mut trace_cfg = TraceConfig::preset(TracePreset::CabLike, 700);
+    trace_cfg.n_users = 45;
+    let trace = Trace::generate(&trace_cfg);
+    println!("runtime prediction accuracy over {} submissions:", trace.jobs.len());
+
+    score("user request", &trace.jobs, &user_predictions(&trace.jobs));
+    for kind in [BaselineKind::Knn, BaselineKind::DecisionTree, BaselineKind::RandomForest] {
+        let preds =
+            run_online_baseline(&trace.jobs, kind, 150, 80, 60).expect("baseline run");
+        score(kind.label(), &trace.jobs, &preds);
+    }
+
+    let online = OnlineConfig {
+        train_window: 150,
+        retrain_every: 80,
+        min_history: 60,
+        cold_start: false,
+        prionn: PrionnConfig {
+            base_width: 4,
+            epochs: 10,
+            batch_size: 8,
+            predict_io: false,
+            ..Default::default()
+        },
+    };
+    let preds = run_online_prionn(&trace.jobs, &online).expect("PRIONN run");
+    score("PRIONN", &trace.jobs, &preds);
+}

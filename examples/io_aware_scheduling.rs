@@ -1,0 +1,104 @@
+//! The paper's phase 2 end-to-end: per-job predictions drive an IO-aware
+//! scheduler simulation that forecasts system IO and IO bursts.
+//!
+//! ```text
+//! cargo run --release --example io_aware_scheduling
+//! ```
+
+use prionn::core::{run_online_prionn, OnlineConfig, PrionnConfig};
+use prionn::sched::{
+    burst_metrics, io_timeline, predict_turnarounds, JobIoInterval, SimJob,
+};
+use prionn::workload::{stats, Trace, TraceConfig, TracePreset};
+use std::collections::HashMap;
+
+fn main() {
+    // A 600-job Cab-like slice on a deliberately small simulated cluster so
+    // the queue actually backs up (that is where turnaround prediction
+    // matters).
+    let mut trace_cfg = TraceConfig::preset(TracePreset::CabLike, 600);
+    trace_cfg.n_users = 40;
+    let trace = Trace::generate(&trace_cfg);
+
+    // Per-job runtime + IO predictions under the online protocol.
+    let online = OnlineConfig {
+        train_window: 150,
+        retrain_every: 80,
+        min_history: 60,
+        cold_start: false,
+        prionn: PrionnConfig {
+            base_width: 3,
+            io_bins: 48,
+            epochs: 6,
+            batch_size: 8,
+            ..Default::default()
+        },
+    };
+    println!("running PRIONN online over {} submissions ...", trace.jobs.len());
+    let preds = run_online_prionn(&trace.jobs, &online).expect("online protocol");
+    let by_id: HashMap<u64, _> = preds.iter().map(|p| (p.job_id, *p)).collect();
+
+    // Turnaround prediction by system snapshotting.
+    let sim_jobs: Vec<SimJob> = trace
+        .executed_jobs()
+        .map(|j| SimJob {
+            id: j.id,
+            submit: j.submit_time,
+            nodes: j.nodes,
+            runtime: j.runtime_seconds.max(1),
+            estimate: j.requested_seconds.max(1),
+        })
+        .collect();
+    let predicted_runtime: HashMap<u64, u64> = preds
+        .iter()
+        .map(|p| (p.job_id, (p.runtime_minutes * 60.0).max(1.0) as u64))
+        .collect();
+    let nodes = 160;
+    let tat = predict_turnarounds(nodes, &sim_jobs, &predicted_runtime);
+    let acc: Vec<f64> = tat
+        .iter()
+        .map(|&(actual, pred)| prionn::core::relative_accuracy(actual as f64, pred as f64))
+        .collect();
+    println!(
+        "turnaround prediction: mean accuracy {:.1}% over {} jobs",
+        stats::mean(&acc) * 100.0,
+        acc.len()
+    );
+
+    // System IO forecast: sum predicted bandwidths over predicted windows.
+    let mut actual_iv = Vec::new();
+    let mut predicted_iv = Vec::new();
+    for j in trace.executed_jobs() {
+        let p = by_id[&j.id];
+        if !p.model_trained {
+            continue;
+        }
+        let (start, end) = (j.submit_time, j.submit_time + j.runtime_seconds);
+        actual_iv.push(JobIoInterval {
+            start,
+            end,
+            bandwidth: j.read_bandwidth() + j.write_bandwidth(),
+        });
+        let secs = j.runtime_seconds.max(1) as f64;
+        predicted_iv.push(JobIoInterval {
+            start,
+            end,
+            bandwidth: (p.read_bytes + p.write_bytes) / secs,
+        });
+    }
+    let horizon = prionn::sched::io::horizon_minutes(&actual_iv);
+    let actual = io_timeline(&actual_iv, horizon);
+    let predicted = io_timeline(&predicted_iv, horizon);
+
+    println!("\nIO-burst forecast (threshold = mean + 1 sigma of actual system IO):");
+    for window in [5usize, 15, 30, 60] {
+        let m = burst_metrics(&actual, &predicted, window);
+        println!(
+            "  +/-{:>2} min window: sensitivity {:5.1}%  precision {:5.1}%  ({} actual bursts)",
+            window / 2,
+            m.sensitivity * 100.0,
+            m.precision * 100.0,
+            m.actual_bursts
+        );
+    }
+}

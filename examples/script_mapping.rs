@@ -1,0 +1,56 @@
+//! Visualise the paper's data mapping: one job script rendered through all
+//! four character transforms, plus the binary image as ASCII art.
+//!
+//! ```text
+//! cargo run --example script_mapping
+//! ```
+
+use prionn::text::{
+    map_script_2d, BinaryTransform, CharTransform, OneHotTransform, SimpleTransform,
+    Word2vecConfig, Word2vecTransform,
+};
+
+const SCRIPT: &str = "#!/bin/bash
+#SBATCH -J lammps_42
+#SBATCH -N 16
+#SBATCH -n 256
+#SBATCH -t 04:00:00
+#SBATCH -A phys_acct1
+module load intel mvapich2
+srun -n 256 ./lmp_mpi -in in.melt_42 -var scale 8.5
+gzip -f log.lammps
+";
+
+fn main() {
+    println!("input script:\n{SCRIPT}");
+
+    let w2v = Word2vecTransform::train(&[SCRIPT], &Word2vecConfig::default());
+    let transforms: Vec<(&str, Box<dyn CharTransform>)> = vec![
+        ("binary", Box::new(BinaryTransform)),
+        ("simple", Box::new(SimpleTransform)),
+        ("one-hot", Box::new(OneHotTransform)),
+        ("word2vec", Box::new(w2v)),
+    ];
+
+    println!("{:<10} {:>9} {:>22}", "transform", "channels", "tensor shape");
+    for (name, t) in &transforms {
+        let img = map_script_2d(SCRIPT, t.as_ref(), 64, 64).expect("mapping");
+        println!("{name:<10} {:>9} {:>22}", t.dim(), format!("{:?}", img.dims()));
+    }
+
+    // The binary mapping as ASCII art (cropped to the script's extent).
+    let img = map_script_2d(SCRIPT, &BinaryTransform, 64, 64).expect("mapping");
+    println!("\nbinary image (top-left 10x60 of the 64x64 grid; '#' = non-space):");
+    for row in 0..10 {
+        let line: String = (0..60)
+            .map(|col| {
+                if img.get(&[0, row, col]).unwrap() > 0.5 {
+                    '#'
+                } else {
+                    '.'
+                }
+            })
+            .collect();
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,54 @@
+//! **PRIONN** — Predicting Runtime and IO using Neural Networks.
+//!
+//! A from-scratch Rust reproduction of the ICPP 2018 paper by Wyatt et al.
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`tensor`] — dense `f32` tensors and parallel kernels;
+//! * [`nn`] — the deep-learning substrate (layers, losses, optimisers, the
+//!   paper's NN / 1D-CNN / 2D-CNN architectures);
+//! * [`text`] — job-script grids, the four character transforms, and the
+//!   character-level word2vec;
+//! * [`ml`] — traditional baselines (random forest, decision tree, kNN) and
+//!   the Table-1 SLURM feature parser;
+//! * [`workload`] — the synthetic Cab-like trace generator standing in for
+//!   LLNL's non-public dataset;
+//! * [`sched`] — the event-driven cluster simulator (FCFS + EASY backfill),
+//!   snapshot turnaround prediction, IO timelines, and burst metrics;
+//! * [`core`] — the PRIONN tool itself: whole-script models, warm-started
+//!   online retraining, and the evaluation metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use prionn::core::{Prionn, PrionnConfig};
+//! use prionn::workload::{Trace, TraceConfig, TracePreset};
+//!
+//! // A tiny synthetic workload and a tiny model (CI-friendly sizes).
+//! let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 60));
+//! let jobs: Vec<_> = trace.executed_jobs().collect();
+//! let scripts: Vec<&str> = jobs.iter().map(|j| j.script.as_str()).collect();
+//! let runtimes: Vec<f64> = jobs.iter().map(|j| j.runtime_minutes()).collect();
+//!
+//! let cfg = PrionnConfig {
+//!     grid: (16, 16),
+//!     base_width: 2,
+//!     runtime_bins: 64,
+//!     predict_io: false,
+//!     epochs: 1,
+//!     batch_size: 8,
+//!     ..Default::default()
+//! };
+//! let mut model = Prionn::new(cfg, &scripts).unwrap();
+//! model.retrain(&scripts, &runtimes, &[], &[]).unwrap();
+//! let predictions = model.predict(&scripts[..3]).unwrap();
+//! assert_eq!(predictions.len(), 3);
+//! ```
+
+pub use prionn_core as core;
+pub use prionn_ml as ml;
+pub use prionn_nn as nn;
+pub use prionn_sched as sched;
+pub use prionn_tensor as tensor;
+pub use prionn_text as text;
+pub use prionn_workload as workload;

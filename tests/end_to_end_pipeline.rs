@@ -1,0 +1,76 @@
+//! End-to-end integration: synthetic trace → online PRIONN → predictions
+//! that beat the user baseline, exercising every crate through the facade.
+
+use prionn::core::baselines::user_predictions;
+use prionn::core::{relative_accuracy, run_online_prionn, OnlineConfig, PrionnConfig};
+use prionn::workload::{stats, Trace, TraceConfig, TracePreset};
+use std::collections::HashMap;
+
+fn tiny_trace(n: usize) -> Trace {
+    let mut cfg = TraceConfig::preset(TracePreset::CabLike, n);
+    cfg.n_users = 25;
+    cfg.mean_interarrival_seconds = 240.0;
+    Trace::generate(&cfg)
+}
+
+fn tiny_online() -> OnlineConfig {
+    OnlineConfig {
+        train_window: 60,
+        retrain_every: 50,
+        min_history: 40,
+        cold_start: false,
+        prionn: PrionnConfig {
+            grid: (16, 16),
+            base_width: 2,
+            runtime_bins: 96,
+            io_bins: 16,
+            epochs: 4,
+            batch_size: 8,
+            ..Default::default()
+        },
+    }
+}
+
+#[test]
+fn online_prionn_beats_user_requests_on_runtime() {
+    let trace = tiny_trace(260);
+    let preds = run_online_prionn(&trace.jobs, &tiny_online()).expect("online run");
+    let user = user_predictions(&trace.jobs);
+    let pr: HashMap<u64, _> = preds.iter().map(|p| (p.job_id, p)).collect();
+    let us: HashMap<u64, _> = user.iter().map(|p| (p.job_id, p)).collect();
+
+    let mut acc_pr = Vec::new();
+    let mut acc_us = Vec::new();
+    for j in trace.executed_jobs() {
+        let p = pr[&j.id];
+        if !p.model_trained {
+            continue;
+        }
+        acc_pr.push(relative_accuracy(j.runtime_minutes(), p.runtime_minutes));
+        acc_us.push(relative_accuracy(j.runtime_minutes(), us[&j.id].runtime_minutes));
+    }
+    assert!(acc_pr.len() > 50, "enough trained predictions ({})", acc_pr.len());
+    let (m_pr, m_us) = (stats::mean(&acc_pr), stats::mean(&acc_us));
+    assert!(
+        m_pr > m_us,
+        "PRIONN ({m_pr:.3}) must beat padded user requests ({m_us:.3})"
+    );
+}
+
+#[test]
+fn predictions_cover_every_executed_job_exactly_once() {
+    let trace = tiny_trace(150);
+    let preds = run_online_prionn(&trace.jobs, &tiny_online()).expect("online run");
+    let executed: Vec<u64> = trace.executed_jobs().map(|j| j.id).collect();
+    let predicted: Vec<u64> = preds.iter().map(|p| p.job_id).collect();
+    assert_eq!(executed, predicted, "aligned, in submission order, no cancelled jobs");
+}
+
+#[test]
+fn io_predictions_are_produced_and_positive_once_trained() {
+    let trace = tiny_trace(200);
+    let preds = run_online_prionn(&trace.jobs, &tiny_online()).expect("online run");
+    let trained: Vec<_> = preds.iter().filter(|p| p.model_trained).collect();
+    assert!(!trained.is_empty());
+    assert!(trained.iter().all(|p| p.read_bytes > 0.0 && p.write_bytes > 0.0));
+}

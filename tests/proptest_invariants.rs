@@ -1,0 +1,113 @@
+//! Cross-crate property tests on the invariants the evaluation depends on.
+
+use proptest::prelude::*;
+use prionn::core::bins::ValueBins;
+use prionn::core::relative_accuracy;
+use prionn::sched::{burst_metrics, io_timeline, JobIoInterval};
+use prionn::text::{map_script_2d, BinaryTransform, SimpleTransform};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Equation 1 stays in [0, 1] and is exact iff the prediction is exact.
+    #[test]
+    fn relative_accuracy_bounds(truth in 0.0f64..1e12, pred in 0.0f64..1e12) {
+        let acc = relative_accuracy(truth, pred);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        if (truth - pred).abs() < f64::EPSILON {
+            prop_assert!((acc - 1.0).abs() < 1e-9);
+        }
+    }
+
+    // Underprediction by a factor scores the same as overprediction by the
+    // same factor (the max() denominator makes the metric ratio-based).
+    #[test]
+    fn relative_accuracy_ratio_symmetry(truth in 1.0f64..1e9, factor in 1.0f64..100.0) {
+        let over = relative_accuracy(truth, truth * factor);
+        let under = relative_accuracy(truth, truth / factor);
+        prop_assert!((over - under).abs() < 1e-6, "{over} vs {under}");
+    }
+
+    // Runtime bins: encode is monotone and decode lands within half a bin.
+    #[test]
+    fn runtime_bins_roundtrip(minutes in 0.0f64..960.0, n in 16usize..1024) {
+        let bins = ValueBins::runtime_minutes_with(n);
+        let decoded = bins.decode(bins.encode(minutes));
+        let half_bin = 960.0 / n as f64 / 2.0;
+        prop_assert!((decoded - minutes).abs() <= half_bin + 1e-9);
+    }
+
+    // IO bins: decode error is bounded by half a bin ratio.
+    #[test]
+    fn io_bins_roundtrip(log_bytes in 5.0f64..14.0, n in 16usize..512) {
+        let bytes = 10f64.powf(log_bytes);
+        let bins = ValueBins::io_bytes(n);
+        let decoded = bins.decode(bins.encode(bytes));
+        let ratio = if decoded > bytes { decoded / bytes } else { bytes / decoded };
+        let bin_ratio = (1e14f64 / 1e5).powf(1.0 / n as f64);
+        prop_assert!(ratio <= bin_ratio * 1.001, "ratio {ratio} bin {bin_ratio}");
+    }
+
+    // The IO timeline conserves total bytes for arbitrary interval sets.
+    #[test]
+    fn io_timeline_conserves_bytes(
+        intervals in proptest::collection::vec(
+            (0u64..5_000, 1u64..5_000, 0.1f64..100.0), 1..20)
+    ) {
+        let ivs: Vec<JobIoInterval> = intervals
+            .iter()
+            .map(|&(start, len, bandwidth)| JobIoInterval {
+                start,
+                end: start + len,
+                bandwidth,
+            })
+            .collect();
+        let horizon = prionn::sched::io::horizon_minutes(&ivs);
+        let timeline = io_timeline(&ivs, horizon);
+        let timeline_bytes: f64 = timeline.iter().sum::<f64>() * 60.0;
+        let true_bytes: f64 =
+            ivs.iter().map(|iv| iv.bandwidth * (iv.end - iv.start) as f64).sum();
+        prop_assert!((timeline_bytes - true_bytes).abs() < 1e-6 * true_bytes.max(1.0));
+    }
+
+    // Burst metrics never degrade as the matching window widens.
+    #[test]
+    fn burst_metrics_monotone_in_window(
+        actual_spikes in proptest::collection::btree_set(0usize..500, 1..12),
+        predicted_spikes in proptest::collection::btree_set(0usize..500, 1..12),
+    ) {
+        let mut actual = vec![1.0f64; 500];
+        let mut predicted = vec![1.0f64; 500];
+        for &s in &actual_spikes { actual[s] = 1000.0; }
+        for &s in &predicted_spikes { predicted[s] = 1000.0; }
+        let mut last_s = -1.0f64;
+        let mut last_p = -1.0f64;
+        for w in [3usize, 5, 11, 21, 41] {
+            let m = burst_metrics(&actual, &predicted, w);
+            prop_assert!(m.sensitivity >= last_s);
+            prop_assert!(m.precision >= last_p);
+            last_s = m.sensitivity;
+            last_p = m.precision;
+        }
+    }
+
+    // The script mapping is deterministic and injective over distinct texts
+    // for the lossless "simple" transform (on scripts that fit the grid).
+    #[test]
+    fn simple_mapping_separates_scripts(a in "[a-z]{1,8}", b in "[a-z]{1,8}") {
+        let ma = map_script_2d(&a, &SimpleTransform, 8, 8).unwrap();
+        let mb = map_script_2d(&b, &SimpleTransform, 8, 8).unwrap();
+        if a == b {
+            prop_assert_eq!(ma, mb);
+        } else {
+            prop_assert_ne!(ma, mb);
+        }
+    }
+
+    // The binary transform only distinguishes space vs text.
+    #[test]
+    fn binary_mapping_in_unit_range(s in "[ -~]{0,64}") {
+        let m = map_script_2d(&s, &BinaryTransform, 8, 8).unwrap();
+        prop_assert!(m.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+}

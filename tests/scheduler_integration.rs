@@ -1,0 +1,189 @@
+//! Integration of the workload generator with the scheduler simulator:
+//! conservation properties, turnaround prediction, and burst metrics.
+
+use prionn::sched::{
+    burst_metrics, io_timeline, predict_turnarounds, JobIoInterval, SimJob,
+};
+use prionn::sched::engine::simulate;
+use prionn::workload::{Trace, TraceConfig, TracePreset};
+use std::collections::HashMap;
+
+fn sim_jobs(trace: &Trace) -> Vec<SimJob> {
+    trace
+        .executed_jobs()
+        .map(|j| SimJob {
+            id: j.id,
+            submit: j.submit_time,
+            nodes: j.nodes,
+            runtime: j.runtime_seconds.max(1),
+            estimate: j.requested_seconds.max(1),
+        })
+        .collect()
+}
+
+#[test]
+fn every_executed_job_gets_scheduled_exactly_once() {
+    let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 500));
+    let jobs = sim_jobs(&trace);
+    let schedule = simulate(256, &jobs);
+    assert_eq!(schedule.entries.len(), jobs.len());
+    for e in &schedule.entries {
+        assert!(e.start >= e.submit);
+    }
+}
+
+#[test]
+fn turnaround_never_less_than_runtime() {
+    let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 400));
+    let jobs = sim_jobs(&trace);
+    let by_id: HashMap<u64, &SimJob> = jobs.iter().map(|j| (j.id, j)).collect();
+    let schedule = simulate(128, &jobs);
+    for e in &schedule.entries {
+        assert!(e.turnaround() >= by_id[&e.id].runtime, "job {}", e.id);
+    }
+}
+
+#[test]
+fn perfect_runtime_predictions_give_near_perfect_turnarounds() {
+    // With exact runtime knowledge the only error source left is future
+    // arrivals the snapshot cannot see (they can backfill ahead of queued
+    // jobs) — the paper's predictor shares this property. On a contended
+    // cluster the predictions should still be exact for most jobs and very
+    // accurate on average.
+    let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 200));
+    let jobs: Vec<SimJob> = sim_jobs(&trace)
+        .into_iter()
+        .map(|j| SimJob { estimate: j.runtime, ..j })
+        .collect();
+    let perfect: HashMap<u64, u64> = jobs.iter().map(|j| (j.id, j.runtime)).collect();
+    let out = predict_turnarounds(96, &jobs, &perfect);
+    let exact = out.iter().filter(|(a, p)| a == p).count();
+    assert!(
+        exact * 2 > out.len(),
+        "majority exact: {exact}/{}",
+        out.len()
+    );
+    let mean_acc: f64 = out
+        .iter()
+        .map(|&(a, p)| prionn::core::relative_accuracy(a as f64, p as f64))
+        .sum::<f64>()
+        / out.len() as f64;
+    assert!(mean_acc > 0.85, "mean turnaround accuracy {mean_acc:.3}");
+}
+
+#[test]
+fn perfect_predictions_are_exact_on_an_uncontended_cluster() {
+    // With no queueing, turnaround == runtime and the snapshot sees it.
+    let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 120));
+    let jobs: Vec<SimJob> = sim_jobs(&trace)
+        .into_iter()
+        .map(|j| SimJob { estimate: j.runtime, ..j })
+        .collect();
+    let perfect: HashMap<u64, u64> = jobs.iter().map(|j| (j.id, j.runtime)).collect();
+    let out = predict_turnarounds(100_000, &jobs, &perfect);
+    for (i, (actual, pred)) in out.iter().enumerate() {
+        assert_eq!(actual, pred, "row {i}");
+    }
+}
+
+#[test]
+fn smaller_clusters_increase_turnarounds() {
+    let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 400));
+    let jobs = sim_jobs(&trace);
+    let total =
+        |nodes: u32| simulate(nodes, &jobs).entries.iter().map(|e| e.turnaround()).sum::<u64>();
+    assert!(total(64) >= total(1296), "contention grows on smaller machines");
+}
+
+#[test]
+fn io_timeline_from_schedule_conserves_bytes() {
+    let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 300));
+    let jobs = sim_jobs(&trace);
+    let by_id: HashMap<u64, _> = trace.executed_jobs().map(|j| (j.id, j)).collect();
+    let schedule = simulate(256, &jobs);
+    let intervals: Vec<JobIoInterval> = schedule
+        .entries
+        .iter()
+        .map(|e| {
+            let j = by_id[&e.id];
+            JobIoInterval {
+                start: e.start,
+                end: e.end,
+                bandwidth: j.read_bandwidth() + j.write_bandwidth(),
+            }
+        })
+        .collect();
+    let horizon = prionn::sched::io::horizon_minutes(&intervals);
+    let timeline = io_timeline(&intervals, horizon);
+    let timeline_bytes: f64 = timeline.iter().sum::<f64>() * 60.0;
+    let trace_bytes: f64 =
+        trace.executed_jobs().map(|j| j.bytes_read + j.bytes_written).sum();
+    let rel_err = (timeline_bytes - trace_bytes).abs() / trace_bytes;
+    assert!(rel_err < 0.02, "IO volume conserved within 2% (err {rel_err:.4})");
+}
+
+#[test]
+fn io_aware_policy_reduces_bursts_with_perfect_predictions() {
+    use prionn::sched::{simulate_io_aware, IoAwareConfig};
+
+    let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 400));
+    let jobs = sim_jobs(&trace);
+    let by_id: HashMap<u64, _> = trace.executed_jobs().map(|j| (j.id, j)).collect();
+    let true_bw: HashMap<u64, f64> =
+        trace.executed_jobs().map(|j| (j.id, j.read_bandwidth() + j.write_bandwidth())).collect();
+
+    let timeline_of = |schedule: &prionn::sched::Schedule| {
+        let intervals: Vec<JobIoInterval> = schedule
+            .entries
+            .iter()
+            .map(|e| JobIoInterval {
+                start: e.start,
+                end: e.end,
+                bandwidth: true_bw[&e.id],
+            })
+            .collect();
+        let horizon = prionn::sched::io::horizon_minutes(&intervals);
+        io_timeline(&intervals, horizon)
+    };
+
+    let fcfs = simulate(256, &jobs);
+    let fcfs_timeline = timeline_of(&fcfs);
+    // A budget above every single job's bandwidth: all remaining bursts are
+    // *stacked* bursts, which the admission cap provably prevents (a job
+    // that fits the budget alone is only admitted while the stacked total
+    // stays under it).
+    let max_single = true_bw.values().cloned().fold(0.0f64, f64::max);
+    let budget = max_single * 1.05;
+    let fcfs_bursts = fcfs_timeline.iter().filter(|&&v| v > budget).count();
+    assert!(fcfs_bursts > 0, "baseline must have stacked bursts for the test to mean anything");
+
+    let cfg = IoAwareConfig { bandwidth_budget: budget, max_io_delay: 365 * 24 * 3600 };
+    let gated = simulate_io_aware(256, &jobs, cfg, true_bw.clone());
+    assert_eq!(gated.entries.len(), jobs.len(), "every job still completes");
+    let gated_timeline = timeline_of(&gated);
+    let gated_bursts = gated_timeline.iter().filter(|&&v| v > budget).count();
+    assert_eq!(gated_bursts, 0, "stacked bursts are fully prevented: {gated_bursts} remain");
+
+    // The price is throughput: total turnaround must not decrease.
+    let tat = |s: &prionn::sched::Schedule| s.entries.iter().map(|e| e.turnaround()).sum::<u64>();
+    assert!(tat(&gated) >= tat(&fcfs));
+}
+
+#[test]
+fn identical_timelines_score_perfect_burst_metrics() {
+    let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 300));
+    let intervals: Vec<JobIoInterval> = trace
+        .executed_jobs()
+        .map(|j| JobIoInterval {
+            start: j.submit_time,
+            end: j.submit_time + j.runtime_seconds,
+            bandwidth: j.read_bandwidth() + j.write_bandwidth(),
+        })
+        .collect();
+    let horizon = prionn::sched::io::horizon_minutes(&intervals);
+    let timeline = io_timeline(&intervals, horizon);
+    let m = burst_metrics(&timeline, &timeline, 5);
+    assert_eq!(m.sensitivity, 1.0);
+    assert_eq!(m.precision, 1.0);
+    assert!(m.actual_bursts > 0, "a Cab-like slice has IO bursts");
+}
