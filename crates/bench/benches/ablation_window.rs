@@ -25,7 +25,11 @@ fn bench_window(c: &mut Criterion) {
         group.throughput(Throughput::Elements(window as u64));
         group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
             let mut model = Prionn::new(cfg.clone(), &scripts[..w]).unwrap();
-            b.iter(|| model.retrain(&scripts[..w], &runtimes[..w], &[], &[]).unwrap());
+            b.iter(|| {
+                model
+                    .retrain(&scripts[..w], &runtimes[..w], &[], &[])
+                    .unwrap()
+            });
         });
     }
     group.finish();

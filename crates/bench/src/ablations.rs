@@ -43,7 +43,10 @@ pub fn run(scale: &ExperimentScale) -> serde_json::Value {
     for window in [60usize, 120, 250] {
         let acc = accuracy_with(&|c| c.train_window = window);
         let s = print_boxplot(&format!("window {window}"), &acc);
-        window_rows.insert(window.to_string(), json!({"mean": s.mean, "median": s.median}));
+        window_rows.insert(
+            window.to_string(),
+            json!({"mean": s.mean, "median": s.median}),
+        );
     }
 
     println!("4. batch normalisation after each conv (extension; paper: none)");

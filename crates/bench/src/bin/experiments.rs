@@ -8,8 +8,8 @@
 //! Results print as paper-style rows and persist as JSON under `results/`.
 
 use prionn_bench::{
-    ablations, fig03, ioaware_ext, fig04, fig05, fig06, fig07, fig08, fig09, fig11, fig12_13, fig14_15, table2,
-    ExperimentScale,
+    ablations, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig11, fig12_13, fig14_15,
+    ioaware_ext, table2, ExperimentScale,
 };
 
 const USAGE: &str = "usage: experiments [fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig11|fig12|fig13|fig14|fig15|table2|ablation|ioaware|all]... [--scale quick|standard|full]
@@ -42,11 +42,13 @@ fn main() {
         std::process::exit(2);
     }
     if targets.iter().any(|t| t == "all") {
-        targets = ["fig3", "fig4", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "fig11",
-            "fig12", "fig14", "ablation"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        targets = [
+            "fig3", "fig4", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "fig11", "fig12",
+            "fig14", "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     println!("PRIONN experiment harness — scale: {scale}\n");
@@ -74,5 +76,8 @@ fn main() {
         }
         println!("  [{t} took {:.1}s]\n", run_start.elapsed().as_secs_f64());
     }
-    println!("all experiments done in {:.1}s", start.elapsed().as_secs_f64());
+    println!(
+        "all experiments done in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
 }

@@ -48,15 +48,16 @@ fn main() {
             let now = j.submit_time;
             let prior: Vec<f64> = jobs[..i]
                 .iter()
-                .filter(|p| {
-                    p.script == j.script && p.submit_time + p.runtime_seconds <= now
-                })
+                .filter(|p| p.script == j.script && p.submit_time + p.runtime_seconds <= now)
                 .map(|p| p.runtime_minutes())
                 .collect();
             n += 1;
             let pred = if prior.is_empty() {
                 stats::median(
-                    &jobs[..i].iter().map(|p| p.runtime_minutes()).collect::<Vec<_>>(),
+                    &jobs[..i]
+                        .iter()
+                        .map(|p| p.runtime_minutes())
+                        .collect::<Vec<_>>(),
                 )
             } else {
                 seen += 1;

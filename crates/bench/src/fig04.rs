@@ -18,10 +18,17 @@ pub fn run(scale: &ExperimentScale) -> serde_json::Value {
     println!("Figure 4 — 2D-CNN training time ({epochs} epochs, {n} jobs) per transform");
     let mut rows = serde_json::Map::new();
     for kind in TransformKind::ALL {
-        let cfg = PrionnConfig { transform: kind, predict_io: false, ..scale.prionn() };
+        let cfg = PrionnConfig {
+            transform: kind,
+            predict_io: false,
+            ..scale.prionn()
+        };
         let mut model = Prionn::new(cfg, &scripts).expect("prionn construction");
-        let (_, secs) =
-            time_it(|| model.retrain(&scripts, &runtimes, &[], &[]).expect("training"));
+        let (_, secs) = time_it(|| {
+            model
+                .retrain(&scripts, &runtimes, &[], &[])
+                .expect("training")
+        });
         println!("  {:<10} {secs:8.2} s", kind.label());
         rows.insert(kind.label().to_string(), json!(secs));
     }

@@ -18,10 +18,17 @@ pub fn run(scale: &ExperimentScale) -> serde_json::Value {
     println!("Figure 6 — training time per deep model (word2vec, {epochs} epochs, {n} jobs)");
     let mut rows = serde_json::Map::new();
     for kind in ModelKind::ALL {
-        let cfg = PrionnConfig { model: kind, predict_io: false, ..scale.prionn() };
+        let cfg = PrionnConfig {
+            model: kind,
+            predict_io: false,
+            ..scale.prionn()
+        };
         let mut model = Prionn::new(cfg, &scripts).expect("prionn construction");
-        let (_, secs) =
-            time_it(|| model.retrain(&scripts, &runtimes, &[], &[]).expect("training"));
+        let (_, secs) = time_it(|| {
+            model
+                .retrain(&scripts, &runtimes, &[], &[])
+                .expect("training")
+        });
         println!("  {:<8} {secs:8.2} s", kind.label());
         rows.insert(kind.label().to_string(), json!(secs));
     }

@@ -2,9 +2,7 @@
 //! prediction accuracy of user requests, the best traditional model (RF),
 //! and PRIONN.
 
-use crate::support::{
-    boxplot_json, cab_trace, print_boxplot, runtime_accuracy, write_results,
-};
+use crate::support::{boxplot_json, cab_trace, print_boxplot, runtime_accuracy, write_results};
 use crate::ExperimentScale;
 use prionn_core::baselines::user_predictions;
 use prionn_core::{run_online_baseline, run_online_prionn, BaselineKind};
@@ -14,10 +12,12 @@ use serde_json::json;
 /// Run the experiment.
 pub fn run(scale: &ExperimentScale) -> serde_json::Value {
     let trace = cab_trace(scale.trace_jobs());
-    let minutes: Vec<f64> =
-        trace.executed_jobs().map(|j| j.runtime_minutes()).collect();
+    let minutes: Vec<f64> = trace.executed_jobs().map(|j| j.runtime_minutes()).collect();
 
-    println!("Figure 8a — actual runtime distribution ({} executed jobs)", minutes.len());
+    println!(
+        "Figure 8a — actual runtime distribution ({} executed jobs)",
+        minutes.len()
+    );
     let hist = stats::histogram(&minutes, 0.0, 960.0, 16);
     for (i, count) in hist.iter().enumerate() {
         println!("  [{:>3}-{:>3} min] {count}", i * 60, (i + 1) * 60);
@@ -51,10 +51,17 @@ pub fn run(scale: &ExperimentScale) -> serde_json::Value {
 
     // Restrict all three methods to the post-warm-up jobs PRIONN predicted
     // with a trained model, so the comparison is apples-to-apples.
-    let trained_ids: std::collections::HashSet<u64> =
-        prionn.iter().filter(|p| p.model_trained).map(|p| p.job_id).collect();
-    let jobs_cmp: Vec<_> =
-        trace.jobs.iter().filter(|j| trained_ids.contains(&j.id)).cloned().collect();
+    let trained_ids: std::collections::HashSet<u64> = prionn
+        .iter()
+        .filter(|p| p.model_trained)
+        .map(|p| p.job_id)
+        .collect();
+    let jobs_cmp: Vec<_> = trace
+        .jobs
+        .iter()
+        .filter(|j| trained_ids.contains(&j.id))
+        .cloned()
+        .collect();
 
     let acc_user = runtime_accuracy(&jobs_cmp, &user, false);
     let acc_rf = runtime_accuracy(&jobs_cmp, &rf, false);
@@ -70,14 +77,27 @@ pub fn run(scale: &ExperimentScale) -> serde_json::Value {
     // dominated by the mature regime).
     println!("Figure 8b (steady state, second half of the stream)");
     let steady = crate::support::steady_ids(&trace.jobs, 0.5);
-    let jobs_steady: Vec<_> =
-        jobs_cmp.iter().filter(|j| steady.contains(&j.id)).cloned().collect();
-    let ss_user = print_boxplot("user request", &runtime_accuracy(&jobs_steady, &user, false));
-    let ss_rf = print_boxplot("RF (Table-1 feats)", &runtime_accuracy(&jobs_steady, &rf, false));
-    let ss_prionn =
-        print_boxplot("PRIONN (2D-CNN)", &runtime_accuracy(&jobs_steady, &prionn, true));
-    let ss_bn =
-        print_boxplot("PRIONN+BN (ext)", &runtime_accuracy(&jobs_steady, &prionn_bn, true));
+    let jobs_steady: Vec<_> = jobs_cmp
+        .iter()
+        .filter(|j| steady.contains(&j.id))
+        .cloned()
+        .collect();
+    let ss_user = print_boxplot(
+        "user request",
+        &runtime_accuracy(&jobs_steady, &user, false),
+    );
+    let ss_rf = print_boxplot(
+        "RF (Table-1 feats)",
+        &runtime_accuracy(&jobs_steady, &rf, false),
+    );
+    let ss_prionn = print_boxplot(
+        "PRIONN (2D-CNN)",
+        &runtime_accuracy(&jobs_steady, &prionn, true),
+    );
+    let ss_bn = print_boxplot(
+        "PRIONN+BN (ext)",
+        &runtime_accuracy(&jobs_steady, &prionn_bn, true),
+    );
 
     let out = json!({
         "figure": "8",

@@ -2,9 +2,7 @@
 //! relative accuracy of predicted read and write bandwidth for RF and
 //! PRIONN. Users provide no IO estimates, so there is no user baseline.
 
-use crate::support::{
-    bandwidth_accuracy, boxplot_json, cab_trace, print_boxplot, write_results,
-};
+use crate::support::{bandwidth_accuracy, boxplot_json, cab_trace, print_boxplot, write_results};
 use crate::ExperimentScale;
 use prionn_core::{run_online_baseline, run_online_prionn, BaselineKind};
 use prionn_workload::stats;
@@ -16,7 +14,10 @@ pub fn run(scale: &ExperimentScale) -> serde_json::Value {
     let read_bw: Vec<f64> = trace.executed_jobs().map(|j| j.read_bandwidth()).collect();
     let write_bw: Vec<f64> = trace.executed_jobs().map(|j| j.write_bandwidth()).collect();
 
-    println!("Figure 9a — actual bandwidth distribution ({} executed jobs)", read_bw.len());
+    println!(
+        "Figure 9a — actual bandwidth distribution ({} executed jobs)",
+        read_bw.len()
+    );
     println!(
         "  read : mean={:.3e} B/s  median={:.3e} B/s",
         stats::mean(&read_bw),

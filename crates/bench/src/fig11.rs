@@ -54,8 +54,7 @@ pub fn run(scale: &ExperimentScale) -> serde_json::Value {
             .collect();
 
         let jobs = sim_jobs(&trace);
-        let user_runtime: HashMap<u64, u64> =
-            jobs.iter().map(|j| (j.id, j.estimate)).collect();
+        let user_runtime: HashMap<u64, u64> = jobs.iter().map(|j| (j.id, j.estimate)).collect();
 
         let with_user = predict_turnarounds(nodes, &jobs, &user_runtime);
         let with_prionn = predict_turnarounds(nodes, &jobs, &prionn_runtime);

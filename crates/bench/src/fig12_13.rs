@@ -70,7 +70,11 @@ pub fn run(scale: &ExperimentScale) -> serde_json::Value {
     let actual = io_timeline(&actual_iv, horizon);
     let predicted = io_timeline(&predicted_iv, horizon);
 
-    println!("Figure 12a — actual aggregate IO ({} minutes, {} jobs)", horizon, actual_iv.len());
+    println!(
+        "Figure 12a — actual aggregate IO ({} minutes, {} jobs)",
+        horizon,
+        actual_iv.len()
+    );
     let active: Vec<f64> = actual.iter().copied().filter(|&v| v > 0.0).collect();
     println!(
         "  mean={:.3e} B/s  median={:.3e} B/s  burst threshold (mean+1σ)={:.3e} B/s",

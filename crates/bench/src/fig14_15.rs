@@ -120,7 +120,10 @@ pub fn run(scale: &ExperimentScale) -> serde_json::Value {
             sens * 100.0,
             prec * 100.0
         );
-        windows.insert(w.to_string(), json!({"sensitivity": sens, "precision": prec}));
+        windows.insert(
+            w.to_string(),
+            json!({"sensitivity": sens, "precision": prec}),
+        );
     }
 
     let out = json!({

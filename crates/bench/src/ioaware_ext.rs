@@ -38,9 +38,12 @@ fn actual_io_stats(
     let peak = timeline.iter().cloned().fold(0.0, f64::max);
     let p99 = stats::percentile(&timeline, 99.0);
     let burst_minutes = timeline.iter().filter(|&&v| v > threshold).count();
-    let mean_turnaround =
-        schedule.entries.iter().map(|e| e.turnaround() as f64).sum::<f64>()
-            / schedule.entries.len().max(1) as f64;
+    let mean_turnaround = schedule
+        .entries
+        .iter()
+        .map(|e| e.turnaround() as f64)
+        .sum::<f64>()
+        / schedule.entries.len().max(1) as f64;
     (peak, p99, burst_minutes, mean_turnaround / 60.0)
 }
 
@@ -89,7 +92,10 @@ pub fn run(scale: &ExperimentScale) -> serde_json::Value {
     let fcfs_timeline = io_timeline(&fcfs_intervals, horizon);
     let threshold = burst_threshold(&fcfs_timeline);
 
-    let policy = IoAwareConfig { bandwidth_budget: threshold, max_io_delay: 4 * 3600 };
+    let policy = IoAwareConfig {
+        bandwidth_budget: threshold,
+        max_io_delay: 4 * 3600,
+    };
     let ioaware = simulate_io_aware(nodes, &jobs, policy, predicted_bw);
     // Oracle row: the same policy fed with *true* bandwidths, separating
     // the policy's effect from PRIONN's prediction error.
@@ -103,10 +109,22 @@ pub fn run(scale: &ExperimentScale) -> serde_json::Value {
     let (a_peak, a_p99, a_bursts, a_tat) = actual_io_stats(&ioaware, &by_id, threshold);
     let (o_peak, o_p99, o_bursts, o_tat) = actual_io_stats(&oracle, &by_id, threshold);
 
-    println!("  {:<18} {:>12} {:>12} {:>14} {:>16}", "policy", "peak B/s", "p99 B/s", "burst minutes", "mean TAT (min)");
-    println!("  {:<18} {f_peak:>12.3e} {f_p99:>12.3e} {f_bursts:>14} {f_tat:>16.1}", "FCFS");
-    println!("  {:<18} {a_peak:>12.3e} {a_p99:>12.3e} {a_bursts:>14} {a_tat:>16.1}", "IO-aware (PRIONN)");
-    println!("  {:<18} {o_peak:>12.3e} {o_p99:>12.3e} {o_bursts:>14} {o_tat:>16.1}", "IO-aware (oracle)");
+    println!(
+        "  {:<18} {:>12} {:>12} {:>14} {:>16}",
+        "policy", "peak B/s", "p99 B/s", "burst minutes", "mean TAT (min)"
+    );
+    println!(
+        "  {:<18} {f_peak:>12.3e} {f_p99:>12.3e} {f_bursts:>14} {f_tat:>16.1}",
+        "FCFS"
+    );
+    println!(
+        "  {:<18} {a_peak:>12.3e} {a_p99:>12.3e} {a_bursts:>14} {a_tat:>16.1}",
+        "IO-aware (PRIONN)"
+    );
+    println!(
+        "  {:<18} {o_peak:>12.3e} {o_p99:>12.3e} {o_bursts:>14} {o_tat:>16.1}",
+        "IO-aware (oracle)"
+    );
 
     let out = json!({
         "experiment": "ioaware_extension",

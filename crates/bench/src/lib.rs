@@ -18,9 +18,9 @@ pub mod fig07;
 pub mod fig08;
 pub mod fig09;
 pub mod fig11;
-pub mod ioaware_ext;
 pub mod fig12_13;
 pub mod fig14_15;
+pub mod ioaware_ext;
 pub mod table2;
 
 pub use scale::ExperimentScale;

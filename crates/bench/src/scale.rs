@@ -177,7 +177,11 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        for s in [ExperimentScale::Quick, ExperimentScale::Standard, ExperimentScale::Full] {
+        for s in [
+            ExperimentScale::Quick,
+            ExperimentScale::Standard,
+            ExperimentScale::Full,
+        ] {
             assert_eq!(ExperimentScale::parse(&s.to_string()), Some(s));
         }
         assert_eq!(ExperimentScale::parse("bogus"), None);
@@ -185,12 +189,19 @@ mod tests {
 
     #[test]
     fn scales_are_monotone() {
-        let (q, s, f) =
-            (ExperimentScale::Quick, ExperimentScale::Standard, ExperimentScale::Full);
+        let (q, s, f) = (
+            ExperimentScale::Quick,
+            ExperimentScale::Standard,
+            ExperimentScale::Full,
+        );
         assert!(q.trace_jobs() < s.trace_jobs() && s.trace_jobs() < f.trace_jobs());
         assert!(q.prionn().base_width <= f.prionn().base_width);
         assert!(f.online().train_window == 500 && f.online().retrain_every == 100);
         assert_eq!(f.prionn().runtime_bins, 960);
-        assert_eq!(f.prionn().epochs, 10, "paper protocol: 10 epochs per retrain");
+        assert_eq!(
+            f.prionn().epochs,
+            10,
+            "paper protocol: 10 epochs per retrain"
+        );
     }
 }

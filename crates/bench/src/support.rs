@@ -1,7 +1,7 @@
 //! Shared plumbing for the experiment modules.
 
-use prionn_core::JobPrediction;
 use prionn_core::metrics::relative_accuracy;
+use prionn_core::JobPrediction;
 use prionn_workload::stats::{boxplot_summary, BoxplotSummary};
 use prionn_workload::{JobRecord, Trace, TraceConfig, TracePreset};
 use serde_json::json;
@@ -28,7 +28,11 @@ pub fn by_job_id(preds: &[JobPrediction]) -> HashMap<u64, JobPrediction> {
 /// which the model had trained (the paper's warm-up period is excluded from
 /// per-model comparisons so cold-start fallbacks don't leak into the
 /// distributions).
-pub fn runtime_accuracy(jobs: &[JobRecord], preds: &[JobPrediction], trained_only: bool) -> Vec<f64> {
+pub fn runtime_accuracy(
+    jobs: &[JobRecord],
+    preds: &[JobPrediction],
+    trained_only: bool,
+) -> Vec<f64> {
     let map = by_job_id(preds);
     jobs.iter()
         .filter(|j| !j.cancelled)
@@ -52,15 +56,15 @@ pub fn runtime_accuracy(jobs: &[JobRecord], preds: &[JobPrediction], trained_onl
 pub fn steady_ids(jobs: &[JobRecord], skip_frac: f64) -> std::collections::HashSet<u64> {
     let executed: Vec<u64> = jobs.iter().filter(|j| !j.cancelled).map(|j| j.id).collect();
     let skip = (executed.len() as f64 * skip_frac) as usize;
-    executed[skip.min(executed.len())..].iter().copied().collect()
+    executed[skip.min(executed.len())..]
+        .iter()
+        .copied()
+        .collect()
 }
 
 /// Relative accuracies of (read, write) *bandwidth* predictions, derived the
 /// paper's way: predicted bytes divided by predicted runtime.
-pub fn bandwidth_accuracy(
-    jobs: &[JobRecord],
-    preds: &[JobPrediction],
-) -> (Vec<f64>, Vec<f64>) {
+pub fn bandwidth_accuracy(jobs: &[JobRecord], preds: &[JobPrediction]) -> (Vec<f64>, Vec<f64>) {
     let map = by_job_id(preds);
     let mut read = Vec::new();
     let mut write = Vec::new();

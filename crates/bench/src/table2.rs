@@ -24,8 +24,7 @@ fn rf_mae(trace: &Trace, scale: &ExperimentScale) -> f64 {
         online.min_history,
     )
     .expect("RF online run");
-    let by_id: std::collections::HashMap<u64, _> =
-        preds.iter().map(|p| (p.job_id, p)).collect();
+    let by_id: std::collections::HashMap<u64, _> = preds.iter().map(|p| (p.job_id, p)).collect();
     let mut truth = Vec::new();
     let mut pred = Vec::new();
     for j in trace.executed_jobs() {
@@ -42,11 +41,15 @@ fn rf_mae(trace: &Trace, scale: &ExperimentScale) -> f64 {
 pub fn run(scale: &ExperimentScale) -> serde_json::Value {
     let (n95, n96) = scale.sdsc_jobs();
     println!("Table 2 — RF runtime MAE on SDSC-like traces (minutes)");
-    println!("  {:<8} {:>10} {:>12} {:>12} {:>14}", "dataset", "jobs", "Smith et al.", "paper RF", "our RF (sim)");
+    println!(
+        "  {:<8} {:>10} {:>12} {:>12} {:>14}",
+        "dataset", "jobs", "Smith et al.", "paper RF", "our RF (sim)"
+    );
 
     let mut rows = serde_json::Map::new();
-    for (i, (preset, n)) in
-        [(TracePreset::Sdsc95, n95), (TracePreset::Sdsc96, n96)].into_iter().enumerate()
+    for (i, (preset, n)) in [(TracePreset::Sdsc95, n95), (TracePreset::Sdsc96, n96)]
+        .into_iter()
+        .enumerate()
     {
         let trace = Trace::generate(&TraceConfig::preset(preset, n));
         let mae = rf_mae(&trace, scale);

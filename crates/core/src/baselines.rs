@@ -37,26 +37,50 @@ impl BaselineKind {
 }
 
 enum FittedBaseline {
-    Forest { runtime: RandomForestRegressor, read: RandomForestRegressor, write: RandomForestRegressor },
-    Tree { runtime: DecisionTreeRegressor, read: DecisionTreeRegressor, write: DecisionTreeRegressor },
-    Knn { runtime: KnnRegressor, read: KnnRegressor, write: KnnRegressor },
+    Forest {
+        runtime: RandomForestRegressor,
+        read: RandomForestRegressor,
+        write: RandomForestRegressor,
+    },
+    Tree {
+        runtime: DecisionTreeRegressor,
+        read: DecisionTreeRegressor,
+        write: DecisionTreeRegressor,
+    },
+    Knn {
+        runtime: KnnRegressor,
+        read: KnnRegressor,
+        write: KnnRegressor,
+    },
 }
 
 impl FittedBaseline {
     fn predict(&self, row: &[f32]) -> (f64, f64, f64) {
         let p = |r: Result<f32, prionn_ml::MlError>| r.map(|v| v.max(0.0) as f64).unwrap_or(0.0);
         match self {
-            FittedBaseline::Forest { runtime, read, write } => (
+            FittedBaseline::Forest {
+                runtime,
+                read,
+                write,
+            } => (
                 p(runtime.predict_one(row)),
                 p(read.predict_one(row)),
                 p(write.predict_one(row)),
             ),
-            FittedBaseline::Tree { runtime, read, write } => (
+            FittedBaseline::Tree {
+                runtime,
+                read,
+                write,
+            } => (
                 p(runtime.predict_one(row)),
                 p(read.predict_one(row)),
                 p(write.predict_one(row)),
             ),
-            FittedBaseline::Knn { runtime, read, write } => (
+            FittedBaseline::Knn {
+                runtime,
+                read,
+                write,
+            } => (
                 p(runtime.predict_one(row)),
                 p(read.predict_one(row)),
                 p(write.predict_one(row)),
@@ -77,7 +101,11 @@ fn fit_baseline(
         BaselineKind::RandomForest => {
             // scikit-learn's RandomForestRegressor default at the paper's time
             // (n_estimators = 10 until sklearn 0.22).
-            let cfg = RandomForestConfig { n_trees: 10, seed, ..Default::default() };
+            let cfg = RandomForestConfig {
+                n_trees: 10,
+                seed,
+                ..Default::default()
+            };
             Ok(FittedBaseline::Forest {
                 runtime: RandomForestRegressor::fit(x, runtime, &cfg)?,
                 read: RandomForestRegressor::fit(x, read, &cfg)?,
@@ -142,8 +170,7 @@ pub fn run_online_baseline(
             }
         }
 
-        if completed.len() >= min_history && (fitted.is_none() || since_retrain >= retrain_every)
-        {
+        if completed.len() >= min_history && (fitted.is_none() || since_retrain >= retrain_every) {
             let start = completed.len().saturating_sub(train_window);
             let window = &completed[start..];
             let mut x = FeatureMatrix::new(extractor.n_features());
@@ -151,7 +178,11 @@ pub fn run_online_baseline(
             let mut read = Vec::with_capacity(window.len());
             let mut write = Vec::with_capacity(window.len());
             for &j in window {
-                x.push_row(features[j].as_ref().expect("completed jobs were featurised"))?;
+                x.push_row(
+                    features[j]
+                        .as_ref()
+                        .expect("completed jobs were featurised"),
+                )?;
                 runtime.push(jobs[j].runtime_minutes() as f32);
                 read.push(jobs[j].bytes_read as f32);
                 write.push(jobs[j].bytes_written as f32);
@@ -219,10 +250,17 @@ mod tests {
     fn all_baselines_produce_full_prediction_sets() {
         let trace = tiny_trace(250);
         let executed = trace.jobs.iter().filter(|j| !j.cancelled).count();
-        for kind in [BaselineKind::RandomForest, BaselineKind::DecisionTree, BaselineKind::Knn] {
+        for kind in [
+            BaselineKind::RandomForest,
+            BaselineKind::DecisionTree,
+            BaselineKind::Knn,
+        ] {
             let preds = run_online_baseline(&trace.jobs, kind, 80, 50, 30).unwrap();
             assert_eq!(preds.len(), executed, "{kind:?}");
-            assert!(preds.iter().any(|p| p.model_trained), "{kind:?} never trained");
+            assert!(
+                preds.iter().any(|p| p.model_trained),
+                "{kind:?} never trained"
+            );
         }
     }
 
@@ -240,7 +278,10 @@ mod tests {
             let p = by_id[&j.id];
             if p.model_trained {
                 acc_model.push(relative_accuracy(j.runtime_minutes(), p.runtime_minutes));
-                acc_user.push(relative_accuracy(j.runtime_minutes(), j.requested_minutes()));
+                acc_user.push(relative_accuracy(
+                    j.runtime_minutes(),
+                    j.requested_minutes(),
+                ));
             }
         }
         let m_model = acc_model.iter().sum::<f64>() / acc_model.len() as f64;

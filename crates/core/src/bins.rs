@@ -35,18 +35,30 @@ pub enum ValueBins {
 impl ValueBins {
     /// The paper's runtime head: 960 one-minute bins.
     pub fn runtime_minutes() -> Self {
-        ValueBins::Linear { lo: 0.0, hi: 960.0, n: 960 }
+        ValueBins::Linear {
+            lo: 0.0,
+            hi: 960.0,
+            n: 960,
+        }
     }
 
     /// A runtime head with a custom resolution (used by reduced-scale
     /// experiment configs).
     pub fn runtime_minutes_with(n: usize) -> Self {
-        ValueBins::Linear { lo: 0.0, hi: 960.0, n }
+        ValueBins::Linear {
+            lo: 0.0,
+            hi: 960.0,
+            n,
+        }
     }
 
     /// IO-volume head: logarithmic bins from 100 KB to 100 TB.
     pub fn io_bytes(n: usize) -> Self {
-        ValueBins::Log { lo: 1e5, hi: 1e14, n }
+        ValueBins::Log {
+            lo: 1e5,
+            hi: 1e14,
+            n,
+        }
     }
 
     /// Bin count (the classifier head width).

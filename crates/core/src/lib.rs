@@ -15,6 +15,7 @@
 
 pub mod baselines;
 pub mod bins;
+pub mod checkpoint;
 pub mod metrics;
 pub mod online;
 pub mod predictor;
@@ -23,6 +24,6 @@ pub mod service;
 pub use baselines::{run_online_baseline, BaselineKind};
 pub use bins::ValueBins;
 pub use metrics::{mean_absolute_error, relative_accuracy, relative_accuracy_vec};
-pub use online::{run_online_prionn, JobPrediction, OnlineConfig};
+pub use online::{resume_online_prionn, run_online_prionn, JobPrediction, OnlineConfig};
 pub use predictor::{HeadKind, Prionn, PrionnConfig, ResourcePrediction};
-pub use service::{PrionnService, ServiceStats, TrainingBatch};
+pub use service::{PrionnService, ServiceOptions, ServiceStats, TrainingBatch};

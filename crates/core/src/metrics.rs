@@ -16,7 +16,11 @@ pub fn relative_accuracy(truth: f64, pred: f64) -> f64 {
 
 /// Relative accuracy over paired slices.
 pub fn relative_accuracy_vec(truth: &[f64], pred: &[f64]) -> Vec<f64> {
-    truth.iter().zip(pred).map(|(&t, &p)| relative_accuracy(t, p)).collect()
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(&t, &p)| relative_accuracy(t, p))
+        .collect()
 }
 
 /// Mean absolute error (Table 2's metric).
@@ -24,7 +28,12 @@ pub fn mean_absolute_error(truth: &[f64], pred: &[f64]) -> f64 {
     if truth.is_empty() {
         return 0.0;
     }
-    truth.iter().zip(pred).map(|(&t, &p)| (t - p).abs()).sum::<f64>() / truth.len() as f64
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(&t, &p)| (t - p).abs())
+        .sum::<f64>()
+        / truth.len() as f64
 }
 
 #[cfg(test)]

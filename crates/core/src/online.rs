@@ -61,16 +61,34 @@ pub struct JobPrediction {
 /// time and IO to zero.
 pub fn run_online_prionn(jobs: &[JobRecord], cfg: &OnlineConfig) -> Result<Vec<JobPrediction>> {
     // Seed word2vec with the first chunk of scripts (historical corpus).
-    let w2v_corpus: Vec<&str> =
-        jobs.iter().take(200).map(|j| j.script.as_str()).collect();
-    let mut model = Prionn::new(cfg.prionn.clone(), &w2v_corpus)?;
+    let w2v_corpus: Vec<&str> = jobs.iter().take(200).map(|j| j.script.as_str()).collect();
+    let model = Prionn::new(cfg.prionn.clone(), &w2v_corpus)?;
+    resume_online_prionn(jobs, cfg, model).map(|(preds, _)| preds)
+}
+
+/// Continue the online protocol with a pre-loaded model — the warm-restart
+/// path. `model` typically comes from [`Prionn::load`] on a checkpoint
+/// written by an earlier run; if it has already been retrained
+/// ([`Prionn::retrain_count`] > 0) predictions are served from the first
+/// submission instead of falling back to the user request.
+///
+/// Returns the per-job predictions together with the final model so the
+/// caller can checkpoint it again ([`Prionn::save`]) for the next restart.
+pub fn resume_online_prionn(
+    jobs: &[JobRecord],
+    cfg: &OnlineConfig,
+    mut model: Prionn,
+) -> Result<(Vec<JobPrediction>, Prionn)> {
+    // Only the cold-start ablation rebuilds the model mid-run; it re-seeds
+    // word2vec from the same historical corpus a fresh run would use.
+    let w2v_corpus: Vec<&str> = jobs.iter().take(200).map(|j| j.script.as_str()).collect();
     let mut predictions = Vec::with_capacity(jobs.len());
 
     // (completion_time, index into jobs) of executed jobs, kept sorted by
     // completion as we sweep submission times forward.
     let mut pending: Vec<(u64, usize)> = Vec::new();
     let mut completed: Vec<usize> = Vec::new();
-    let mut trained = false;
+    let mut trained = model.retrain_count() > 0;
     let mut since_retrain = 0usize;
 
     for (idx, job) in jobs.iter().enumerate() {
@@ -90,8 +108,7 @@ pub fn run_online_prionn(jobs: &[JobRecord], cfg: &OnlineConfig) -> Result<Vec<J
         }
 
         // Retrain cadence.
-        if completed.len() >= cfg.min_history && (!trained || since_retrain >= cfg.retrain_every)
-        {
+        if completed.len() >= cfg.min_history && (!trained || since_retrain >= cfg.retrain_every) {
             let start = completed.len().saturating_sub(cfg.train_window);
             let window = &completed[start..];
             let scripts: Vec<&str> = window.iter().map(|&j| jobs[j].script.as_str()).collect();
@@ -136,7 +153,7 @@ pub fn run_online_prionn(jobs: &[JobRecord], cfg: &OnlineConfig) -> Result<Vec<J
         since_retrain += 1;
         pending.push((job.submit_time + job.runtime_seconds, idx));
     }
-    Ok(predictions)
+    Ok((predictions, model))
 }
 
 #[cfg(test)]
@@ -151,7 +168,13 @@ mod tests {
         prionn.runtime_bins = 64;
         prionn.io_bins = 16;
         prionn.epochs = 2;
-        OnlineConfig { train_window: 60, retrain_every: 40, min_history: 30, cold_start: false, prionn }
+        OnlineConfig {
+            train_window: 60,
+            retrain_every: 40,
+            min_history: 30,
+            cold_start: false,
+            prionn,
+        }
     }
 
     fn tiny_trace(n: usize) -> Trace {
@@ -197,6 +220,49 @@ mod tests {
         let executed = trace.jobs.iter().filter(|j| !j.cancelled).count();
         assert_eq!(preds.len(), executed);
         assert!(preds.iter().any(|p| p.model_trained));
+    }
+
+    #[test]
+    fn resume_with_a_trained_model_serves_from_the_first_submission() {
+        let trace = tiny_trace(200);
+        let cfg = tiny_online_cfg();
+        // Train a model on the leading scripts, checkpoint it, and resume
+        // the protocol from the restored copy: no cold-start fallback.
+        let corpus: Vec<&str> = trace
+            .jobs
+            .iter()
+            .take(60)
+            .map(|j| j.script.as_str())
+            .collect();
+        let mut model = Prionn::new(cfg.prionn.clone(), &corpus).unwrap();
+        let runtimes: Vec<f64> = trace
+            .jobs
+            .iter()
+            .take(60)
+            .map(|j| j.runtime_minutes())
+            .collect();
+        let reads: Vec<f64> = trace.jobs.iter().take(60).map(|j| j.bytes_read).collect();
+        let writes: Vec<f64> = trace
+            .jobs
+            .iter()
+            .take(60)
+            .map(|j| j.bytes_written)
+            .collect();
+        model.retrain(&corpus, &runtimes, &reads, &writes).unwrap();
+        let ck = model.to_checkpoint().unwrap();
+
+        let restored = Prionn::from_checkpoint(&ck).unwrap();
+        let (preds, final_model) = resume_online_prionn(&trace.jobs, &cfg, restored).unwrap();
+        assert!(
+            preds.iter().all(|p| p.model_trained),
+            "warm model never falls back"
+        );
+        assert!(final_model.retrain_count() > 1, "protocol kept retraining");
+
+        // Bit-identical restore ⇒ bit-identical resumed protocol.
+        let restored_again = Prionn::from_checkpoint(&ck).unwrap();
+        let (preds2, _) = resume_online_prionn(&trace.jobs, &cfg, restored_again).unwrap();
+        assert_eq!(preds, preds2);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The PRIONN predictor: whole-script mapping + deep classifier heads.
 
 use crate::bins::ValueBins;
-use prionn_nn::{Adam, ArchConfig, ModelKind, Sequential, SoftmaxCrossEntropy};
+use crate::checkpoint::{self, CkptResult};
+use prionn_nn::{Adam, ArchConfig, ModelKind, Optimizer, Sequential, SoftmaxCrossEntropy};
+use prionn_store::{wire, Checkpoint, StoreError};
 use prionn_tensor::{Tensor, TensorError};
 use prionn_text::{
-    map_corpus_1d, map_corpus_2d, BinaryTransform, CharTransform, OneHotTransform,
+    map_corpus_1d, map_corpus_2d, BinaryTransform, CharEmbedding, CharTransform, OneHotTransform,
     SimpleTransform, TransformKind, Word2vecConfig, Word2vecTransform,
 };
 use rand::SeedableRng;
@@ -140,6 +142,13 @@ impl Prionn {
             TransformKind::OneHot => Box::new(OneHotTransform),
             TransformKind::Word2vec => Box::new(Word2vecTransform::train(w2v_corpus, &cfg.w2v)),
         };
+        Self::from_transform(cfg, transform)
+    }
+
+    /// Build a PRIONN instance around an already-constructed character
+    /// transform. This is the checkpoint-restore path: the persisted
+    /// word2vec table is rebuilt directly instead of retraining on a corpus.
+    fn from_transform(cfg: PrionnConfig, transform: Box<dyn CharTransform>) -> Result<Self> {
         let arch = |classes: usize, seed_salt: u64| -> ArchConfig {
             ArchConfig {
                 emb_dim: transform.dim(),
@@ -173,7 +182,11 @@ impl Prionn {
             runtime_bins: ValueBins::runtime_minutes_with(cfg.runtime_bins),
             io_bins: ValueBins::io_bytes(cfg.io_bins),
             // Whole-machine power spans ~100 W to ~1 MW; log bins as for IO.
-            power_bins: ValueBins::Log { lo: 1e2, hi: 1e6, n: cfg.io_bins },
+            power_bins: ValueBins::Log {
+                lo: 1e2,
+                hi: 1e6,
+                n: cfg.io_bins,
+            },
             runtime_model,
             read_model,
             write_model,
@@ -185,7 +198,7 @@ impl Prionn {
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             transform,
             cfg,
-        retrain_count: 0,
+            retrain_count: 0,
         })
     }
 
@@ -220,7 +233,9 @@ impl Prionn {
         write_bytes: &[f64],
     ) -> Result<()> {
         if scripts.is_empty() {
-            return Err(TensorError::InvalidArgument("retrain on empty batch".into()));
+            return Err(TensorError::InvalidArgument(
+                "retrain on empty batch".into(),
+            ));
         }
         if scripts.len() != runtime_minutes.len() {
             return Err(TensorError::LengthMismatch {
@@ -231,8 +246,10 @@ impl Prionn {
         let x = self.map_scripts(scripts)?;
         match self.cfg.head {
             HeadKind::Classifier => {
-                let runtime_classes: Vec<usize> =
-                    runtime_minutes.iter().map(|&m| self.runtime_bins.encode(m)).collect();
+                let runtime_classes: Vec<usize> = runtime_minutes
+                    .iter()
+                    .map(|&m| self.runtime_bins.encode(m))
+                    .collect();
                 self.runtime_model.fit_classes(
                     &x,
                     &runtime_classes,
@@ -280,8 +297,10 @@ impl Prionn {
                 &mut self.rng,
             )?;
             let write_model = self.write_model.as_mut().expect("io heads built together");
-            let write_classes: Vec<usize> =
-                write_bytes.iter().map(|&b| self.io_bins.encode(b)).collect();
+            let write_classes: Vec<usize> = write_bytes
+                .iter()
+                .map(|&b| self.io_bins.encode(b))
+                .collect();
             write_model.fit_classes(
                 &x,
                 &write_classes,
@@ -385,7 +404,10 @@ impl Prionn {
             _ => map_corpus_1d(scripts, self.transform.as_ref(), h, w)?,
         };
         let classes = model.predict_classes(&x, self.cfg.batch_size.max(1))?;
-        Ok(classes.into_iter().map(|c| self.power_bins.decode(c)).collect())
+        Ok(classes
+            .into_iter()
+            .map(|c| self.power_bins.decode(c))
+            .collect())
     }
 
     /// Snapshot all learned parameters (runtime head first, then the IO
@@ -403,12 +425,16 @@ impl Prionn {
     /// with the identical configuration.
     pub fn import_state(&mut self, state: &[Tensor]) -> Result<()> {
         let runtime_len = self.runtime_model.state().len();
-        self.runtime_model.load_state(&state[..runtime_len.min(state.len())])?;
+        self.runtime_model
+            .load_state(&state[..runtime_len.min(state.len())])?;
         if let (Some(r), Some(w)) = (self.read_model.as_mut(), self.write_model.as_mut()) {
             let r_len = r.state().len();
             let expected = runtime_len + 2 * r_len;
             if state.len() != expected {
-                return Err(TensorError::LengthMismatch { expected, actual: state.len() });
+                return Err(TensorError::LengthMismatch {
+                    expected,
+                    actual: state.len(),
+                });
             }
             r.load_state(&state[runtime_len..runtime_len + r_len])?;
             w.load_state(&state[runtime_len + r_len..])?;
@@ -426,8 +452,10 @@ impl Prionn {
     pub fn probe_runtime_loss(&mut self, scripts: &[&str], runtime_minutes: &[f64]) -> Result<f64> {
         let x = self.map_scripts(scripts)?;
         let logits = self.runtime_model.predict(&x, self.cfg.batch_size.max(1))?;
-        let classes: Vec<usize> =
-            runtime_minutes.iter().map(|&m| self.runtime_bins.encode(m)).collect();
+        let classes: Vec<usize> = runtime_minutes
+            .iter()
+            .map(|&m| self.runtime_bins.encode(m))
+            .collect();
         let (loss, _) = prionn_nn::Loss::loss_and_grad(
             &SoftmaxCrossEntropy,
             &logits,
@@ -441,6 +469,168 @@ impl Prionn {
     pub fn bandwidth_of(pred: &ResourcePrediction) -> (f64, f64) {
         let secs = (pred.runtime_minutes * 60.0).max(1.0);
         (pred.read_bytes / secs, pred.write_bytes / secs)
+    }
+
+    /// Persist the full predictor state to `path` atomically (tmp + fsync +
+    /// rename): config, transform table, bin edges, every head's weights,
+    /// every optimiser's moment buffers, the RNG stream position, and the
+    /// retrain counter. [`Prionn::load`] restores a bit-identical predictor.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> CkptResult<()> {
+        self.to_checkpoint()?.write_atomic(path)
+    }
+
+    /// Restore a predictor saved by [`Prionn::save`]. Corrupted or truncated
+    /// files return an error — never a panic, never a silently wrong model.
+    pub fn load(path: impl AsRef<std::path::Path>) -> CkptResult<Self> {
+        Self::from_checkpoint(&Checkpoint::read(path)?)
+    }
+
+    /// Assemble the in-memory checkpoint (see [`Prionn::save`]).
+    pub fn to_checkpoint(&self) -> CkptResult<Checkpoint> {
+        let mut ck = Checkpoint::new();
+        ck.insert("config", checkpoint::encode_config(&self.cfg))?;
+        if let Some((dim, table)) = self.transform.export_table() {
+            let mut buf = Vec::new();
+            wire::put_u64(&mut buf, dim as u64);
+            wire::put_f32_slice(&mut buf, &table);
+            ck.insert("transform", buf)?;
+        }
+        let mut bins = Vec::new();
+        checkpoint::encode_bins(&mut bins, &self.runtime_bins);
+        checkpoint::encode_bins(&mut bins, &self.io_bins);
+        checkpoint::encode_bins(&mut bins, &self.power_bins);
+        ck.insert("bins", bins)?;
+
+        ck.insert(
+            "model.runtime",
+            checkpoint::encode_state_dict(&self.runtime_model.state_dict()),
+        )?;
+        ck.insert(
+            "opt.runtime",
+            checkpoint::encode_opt_state(&self.opt_runtime.export_state()),
+        )?;
+        if let (Some(read), Some(write)) = (&self.read_model, &self.write_model) {
+            ck.insert(
+                "model.read",
+                checkpoint::encode_state_dict(&read.state_dict()),
+            )?;
+            ck.insert(
+                "opt.read",
+                checkpoint::encode_opt_state(&self.opt_read.export_state()),
+            )?;
+            ck.insert(
+                "model.write",
+                checkpoint::encode_state_dict(&write.state_dict()),
+            )?;
+            ck.insert(
+                "opt.write",
+                checkpoint::encode_opt_state(&self.opt_write.export_state()),
+            )?;
+        }
+        if let Some(power) = &self.power_model {
+            ck.insert(
+                "model.power",
+                checkpoint::encode_state_dict(&power.state_dict()),
+            )?;
+            ck.insert(
+                "opt.power",
+                checkpoint::encode_opt_state(&self.opt_power.export_state()),
+            )?;
+        }
+
+        let mut rng_buf = Vec::new();
+        rng_buf.extend_from_slice(&self.rng.get_seed());
+        wire::put_u128(&mut rng_buf, self.rng.get_word_pos());
+        ck.insert("rng", rng_buf)?;
+
+        let mut trainer = Vec::new();
+        wire::put_u64(&mut trainer, self.retrain_count as u64);
+        ck.insert("trainer", trainer)?;
+        Ok(ck)
+    }
+
+    /// Rebuild a predictor from an in-memory checkpoint (see
+    /// [`Prionn::load`]).
+    pub fn from_checkpoint(ck: &Checkpoint) -> CkptResult<Self> {
+        // Model/architecture mismatches surface as tensor errors from the
+        // shape-validated loads below; report them as checkpoint corruption.
+        fn mismatch(what: &str, e: TensorError) -> StoreError {
+            StoreError::Corrupt(format!("{what}: {e}"))
+        }
+
+        let cfg = checkpoint::decode_config(ck.require("config")?)?;
+        let transform: Box<dyn CharTransform> = match cfg.transform {
+            TransformKind::Binary => Box::new(BinaryTransform),
+            TransformKind::Simple => Box::new(SimpleTransform),
+            TransformKind::OneHot => Box::new(OneHotTransform),
+            TransformKind::Word2vec => {
+                let mut r = wire::Reader::new(ck.require("transform")?);
+                let dim = r.get_usize("transform.dim")?;
+                let table = r.get_f32_vec("transform.table")?;
+                r.expect_end("transform")?;
+                let emb = CharEmbedding::from_parts(dim, table).ok_or_else(|| {
+                    StoreError::Corrupt(format!("transform table is not VOCAB x {dim}"))
+                })?;
+                Box::new(Word2vecTransform::new(emb))
+            }
+        };
+        let mut p =
+            Self::from_transform(cfg, transform).map_err(|e| mismatch("rebuild model", e))?;
+
+        let mut bins = wire::Reader::new(ck.require("bins")?);
+        p.runtime_bins = checkpoint::decode_bins(&mut bins)?;
+        p.io_bins = checkpoint::decode_bins(&mut bins)?;
+        p.power_bins = checkpoint::decode_bins(&mut bins)?;
+        bins.expect_end("bins")?;
+
+        p.runtime_model
+            .load_state_dict(&checkpoint::decode_state_dict(
+                ck.require("model.runtime")?,
+            )?)
+            .map_err(|e| mismatch("model.runtime", e))?;
+        p.opt_runtime
+            .import_state(&checkpoint::decode_opt_state(ck.require("opt.runtime")?)?)
+            .map_err(|e| mismatch("opt.runtime", e))?;
+        if p.cfg.predict_io {
+            p.read_model
+                .as_mut()
+                .expect("predict_io builds the read head")
+                .load_state_dict(&checkpoint::decode_state_dict(ck.require("model.read")?)?)
+                .map_err(|e| mismatch("model.read", e))?;
+            p.opt_read
+                .import_state(&checkpoint::decode_opt_state(ck.require("opt.read")?)?)
+                .map_err(|e| mismatch("opt.read", e))?;
+            p.write_model
+                .as_mut()
+                .expect("predict_io builds the write head")
+                .load_state_dict(&checkpoint::decode_state_dict(ck.require("model.write")?)?)
+                .map_err(|e| mismatch("model.write", e))?;
+            p.opt_write
+                .import_state(&checkpoint::decode_opt_state(ck.require("opt.write")?)?)
+                .map_err(|e| mismatch("opt.write", e))?;
+        }
+        if p.cfg.predict_power {
+            p.power_model
+                .as_mut()
+                .expect("predict_power builds the power head")
+                .load_state_dict(&checkpoint::decode_state_dict(ck.require("model.power")?)?)
+                .map_err(|e| mismatch("model.power", e))?;
+            p.opt_power
+                .import_state(&checkpoint::decode_opt_state(ck.require("opt.power")?)?)
+                .map_err(|e| mismatch("opt.power", e))?;
+        }
+
+        let mut rng = wire::Reader::new(ck.require("rng")?);
+        let seed: [u8; 32] = rng.get_array("rng.seed")?;
+        let word_pos = rng.get_u128("rng.word_pos")?;
+        rng.expect_end("rng")?;
+        p.rng = ChaCha8Rng::from_seed(seed);
+        p.rng.set_word_pos(word_pos);
+
+        let mut trainer = wire::Reader::new(ck.require("trainer")?);
+        p.retrain_count = trainer.get_usize("trainer.retrain_count")?;
+        trainer.expect_end("trainer")?;
+        Ok(p)
     }
 }
 
@@ -481,17 +671,23 @@ mod tests {
         let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
         let mut p = Prionn::new(tiny_cfg(), &refs).unwrap();
         // short_app -> ~100 min bin range; long_app -> ~800 min.
-        let runtimes: Vec<f64> =
-            (0..refs.len()).map(|i| if i % 2 == 0 { 100.0 } else { 800.0 }).collect();
-        let reads: Vec<f64> =
-            (0..refs.len()).map(|i| if i % 2 == 0 { 1e7 } else { 1e12 }).collect();
+        let runtimes: Vec<f64> = (0..refs.len())
+            .map(|i| if i % 2 == 0 { 100.0 } else { 800.0 })
+            .collect();
+        let reads: Vec<f64> = (0..refs.len())
+            .map(|i| if i % 2 == 0 { 1e7 } else { 1e12 })
+            .collect();
         let writes = reads.clone();
         for _ in 0..8 {
             p.retrain(&refs, &runtimes, &reads, &writes).unwrap();
         }
         let preds = p.predict(&refs[..4]).unwrap();
-        assert!(preds[0].runtime_minutes < preds[1].runtime_minutes,
-            "short {} vs long {}", preds[0].runtime_minutes, preds[1].runtime_minutes);
+        assert!(
+            preds[0].runtime_minutes < preds[1].runtime_minutes,
+            "short {} vs long {}",
+            preds[0].runtime_minutes,
+            preds[1].runtime_minutes
+        );
         assert!(preds[0].read_bytes < preds[1].read_bytes);
     }
 
@@ -542,8 +738,9 @@ mod tests {
         cfg.epochs = 10;
         let mut p = Prionn::new(cfg, &refs).unwrap();
         // short_app draws ~600 W (2 nodes), long_app ~19 kW (64 nodes).
-        let watts: Vec<f64> =
-            (0..refs.len()).map(|i| if i % 2 == 0 { 600.0 } else { 19_000.0 }).collect();
+        let watts: Vec<f64> = (0..refs.len())
+            .map(|i| if i % 2 == 0 { 600.0 } else { 19_000.0 })
+            .collect();
         for _ in 0..4 {
             p.retrain_power(&refs, &watts).unwrap();
         }
@@ -566,8 +763,9 @@ mod tests {
         let scripts = corpus();
         let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
         let mut a = Prionn::new(tiny_cfg(), &refs).unwrap();
-        let runtimes: Vec<f64> =
-            (0..refs.len()).map(|i| if i % 2 == 0 { 30.0 } else { 500.0 }).collect();
+        let runtimes: Vec<f64> = (0..refs.len())
+            .map(|i| if i % 2 == 0 { 30.0 } else { 500.0 })
+            .collect();
         let io: Vec<f64> = vec![1e9; refs.len()];
         a.retrain(&refs, &runtimes, &io, &io).unwrap();
 
@@ -575,7 +773,10 @@ mod tests {
         cfg_b.seed ^= 0xdead; // different init...
         let mut b = Prionn::new(cfg_b, &refs).unwrap();
         b.import_state(&a.export_state()).unwrap();
-        assert_eq!(a.predict(&refs[..3]).unwrap(), b.predict(&refs[..3]).unwrap());
+        assert_eq!(
+            a.predict(&refs[..3]).unwrap(),
+            b.predict(&refs[..3]).unwrap()
+        );
     }
 
     #[test]
@@ -587,6 +788,96 @@ mod tests {
         let mut state = a.export_state();
         state.pop();
         assert!(b.import_state(&state).is_err());
+    }
+
+    fn tmp_ckpt_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("prionn-pred-{tag}-{}.ckpt", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut a = Prionn::new(tiny_cfg(), &refs).unwrap();
+        let runtimes: Vec<f64> = (0..refs.len())
+            .map(|i| if i % 2 == 0 { 30.0 } else { 500.0 })
+            .collect();
+        let io: Vec<f64> = vec![1e9; refs.len()];
+        a.retrain(&refs, &runtimes, &io, &io).unwrap();
+
+        let path = tmp_ckpt_path("roundtrip");
+        a.save(&path).unwrap();
+        let mut b = Prionn::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(b.retrain_count(), a.retrain_count());
+        let pa = a.predict(&refs[..4]).unwrap();
+        let pb = b.predict(&refs[..4]).unwrap();
+        assert_eq!(pa, pb, "restored predictions must be bit-identical");
+
+        // Warm restart: a retrain on both instances stays in lockstep
+        // because weights, optimiser moments, and the RNG stream position
+        // were all restored.
+        a.retrain(&refs, &runtimes, &io, &io).unwrap();
+        b.retrain(&refs, &runtimes, &io, &io).unwrap();
+        assert_eq!(
+            a.predict(&refs[..4]).unwrap(),
+            b.predict(&refs[..4]).unwrap()
+        );
+    }
+
+    #[test]
+    fn save_load_save_produces_identical_bytes() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut a = Prionn::new(tiny_cfg(), &refs).unwrap();
+        a.retrain(
+            &refs,
+            &vec![60.0; refs.len()],
+            &vec![1e8; refs.len()],
+            &vec![1e8; refs.len()],
+        )
+        .unwrap();
+        let first = a.to_checkpoint().unwrap().to_bytes();
+        let b = Prionn::from_checkpoint(&prionn_store::Checkpoint::from_bytes(&first).unwrap())
+            .unwrap();
+        assert_eq!(b.to_checkpoint().unwrap().to_bytes(), first);
+    }
+
+    #[test]
+    fn load_rejects_checkpoint_for_different_architecture() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let a = Prionn::new(tiny_cfg(), &refs).unwrap();
+        let mut bytes = a.to_checkpoint().unwrap().to_bytes();
+        // Corrupting any single byte must yield Err, not a panic. Sweep a
+        // sparse sample (the store property tests sweep exhaustively).
+        for i in (0..bytes.len()).step_by(97) {
+            bytes[i] ^= 0x5a;
+            let result = prionn_store::Checkpoint::from_bytes(&bytes)
+                .and_then(|ck| Prionn::from_checkpoint(&ck));
+            assert!(result.is_err(), "flipped byte {i} must not load");
+            bytes[i] ^= 0x5a;
+        }
+    }
+
+    #[test]
+    fn power_head_state_survives_the_round_trip() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut cfg = tiny_cfg();
+        cfg.predict_io = false;
+        cfg.predict_power = true;
+        let mut a = Prionn::new(cfg, &refs).unwrap();
+        let watts: Vec<f64> = (0..refs.len())
+            .map(|i| if i % 2 == 0 { 600.0 } else { 19_000.0 })
+            .collect();
+        a.retrain_power(&refs, &watts).unwrap();
+        let mut b = Prionn::from_checkpoint(&a.to_checkpoint().unwrap()).unwrap();
+        assert_eq!(
+            a.predict_power(&refs[..4]).unwrap(),
+            b.predict_power(&refs[..4]).unwrap()
+        );
     }
 
     #[test]
@@ -611,8 +902,9 @@ mod tests {
         cfg.epochs = 20;
         cfg.lr = 5e-3;
         let mut p = Prionn::new(cfg, &refs).unwrap();
-        let runtimes: Vec<f64> =
-            (0..refs.len()).map(|i| if i % 2 == 0 { 20.0 } else { 700.0 }).collect();
+        let runtimes: Vec<f64> = (0..refs.len())
+            .map(|i| if i % 2 == 0 { 20.0 } else { 700.0 })
+            .collect();
         for _ in 0..4 {
             p.retrain(&refs, &runtimes, &[], &[]).unwrap();
         }

@@ -9,12 +9,24 @@
 //! * [`PrionnService::predict`] is a synchronous RPC (the scheduler blocks
 //!   only for a forward pass);
 //! * [`PrionnService::retrain_async`] enqueues a training batch and returns
-//!   immediately — retraining never blocks a scheduling decision;
+//!   immediately — retraining never blocks a scheduling decision. The
+//!   retrain queue is *bounded* with a latest-wins drop policy: when the
+//!   queue is full the oldest queued batch is discarded (its jobs are the
+//!   stalest history) and [`ServiceStats::retrains_dropped`] counts it;
+//! * the worker checkpoints the live model to [`ServiceOptions::snapshot_path`]
+//!   every [`ServiceOptions::snapshot_every_n_retrains`] retrains, or on
+//!   demand via [`PrionnService::snapshot_async`] — snapshots are taken on
+//!   the worker thread and never block a caller;
+//! * [`PrionnService::spawn_from_checkpoint`] warm-restarts a service from a
+//!   checkpoint written by a previous process;
 //! * shared [`ServiceStats`] report queue depth and training activity.
 
+use crate::checkpoint::CkptResult;
 use crate::predictor::{Prionn, PrionnConfig, ResourcePrediction, Result};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use prionn_store::StoreError;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -32,6 +44,31 @@ pub struct TrainingBatch {
     pub write_bytes: Vec<f64>,
 }
 
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Maximum retraining batches queued at once. When full, the *oldest*
+    /// queued batch is dropped in favour of the new one (latest-wins): a
+    /// newer batch always covers more recent history, so under backlog the
+    /// stalest work is the right work to shed.
+    pub retrain_queue_cap: usize,
+    /// Checkpoint the model after every this many completed retrains
+    /// (`None` disables periodic snapshots). Requires `snapshot_path`.
+    pub snapshot_every_n_retrains: Option<usize>,
+    /// Where snapshots are written (atomically: tmp + rename).
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            retrain_queue_cap: 8,
+            snapshot_every_n_retrains: None,
+            snapshot_path: None,
+        }
+    }
+}
+
 /// Live counters for the service.
 #[derive(Debug, Default)]
 pub struct ServiceStats {
@@ -39,8 +76,14 @@ pub struct ServiceStats {
     pub retrains_done: AtomicUsize,
     /// Retraining batches waiting in the queue.
     pub retrains_pending: AtomicUsize,
+    /// Batches shed by the latest-wins policy because the queue was full.
+    pub retrains_dropped: AtomicUsize,
     /// Prediction requests served.
     pub predictions_served: AtomicUsize,
+    /// Checkpoints written successfully (periodic + on-demand).
+    pub snapshots_taken: AtomicUsize,
+    /// Checkpoint attempts that failed (error kept in `last_error`).
+    pub snapshots_failed: AtomicUsize,
 }
 
 enum Request {
@@ -48,56 +91,147 @@ enum Request {
         scripts: Vec<String>,
         reply: Sender<Result<Vec<ResourcePrediction>>>,
     },
-    Retrain(TrainingBatch),
+    /// One queued batch is ready on the bounded retrain channel. Ticks ride
+    /// the main FIFO channel so a `Predict` enqueued *after* a batch is
+    /// served *after* that batch trains — callers use this as a barrier.
+    RetrainTick,
+    Snapshot,
     Shutdown,
 }
 
 /// Handle to the background PRIONN worker.
 pub struct PrionnService {
     tx: Sender<Request>,
+    /// Bounded batch queue. The service keeps a receiver clone so
+    /// `retrain_async` can evict the oldest batch when the queue is full.
+    retrain_tx: Sender<TrainingBatch>,
+    retrain_rx: Receiver<TrainingBatch>,
+    snapshot_configured: bool,
     stats: Arc<ServiceStats>,
     last_error: Arc<Mutex<Option<String>>>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl PrionnService {
-    /// Spawn the worker thread with a fresh model.
+    /// Spawn the worker thread with a fresh model and default options.
     pub fn spawn(cfg: PrionnConfig, w2v_corpus: &[&str]) -> Result<Self> {
+        Self::spawn_with_options(cfg, w2v_corpus, ServiceOptions::default())
+    }
+
+    /// Spawn the worker thread with a fresh model.
+    pub fn spawn_with_options(
+        cfg: PrionnConfig,
+        w2v_corpus: &[&str],
+        options: ServiceOptions,
+    ) -> Result<Self> {
         let model = Prionn::new(cfg, w2v_corpus)?;
+        Self::spawn_model(model, options)
+    }
+
+    /// Warm-restart the service from a checkpoint written by
+    /// [`Prionn::save`] or a previous service's snapshots. The restored
+    /// worker continues the online protocol exactly where the checkpoint
+    /// left off: the next retrain updates the restored weights.
+    pub fn spawn_from_checkpoint(
+        path: impl AsRef<Path>,
+        options: ServiceOptions,
+    ) -> CkptResult<Self> {
+        let model = Prionn::load(path)?;
+        Self::spawn_model(model, options)
+            .map_err(|e| StoreError::Io(std::io::Error::other(e.to_string())))
+    }
+
+    fn spawn_model(model: Prionn, options: ServiceOptions) -> Result<Self> {
         let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
+        let (retrain_tx, retrain_rx) = bounded(options.retrain_queue_cap.max(1));
+        let snapshot_configured = options.snapshot_path.is_some();
         let stats = Arc::new(ServiceStats::default());
         let last_error = Arc::new(Mutex::new(None));
         let worker_stats = Arc::clone(&stats);
         let worker_error = Arc::clone(&last_error);
+        let worker_batches = retrain_rx.clone();
         let handle = std::thread::Builder::new()
             .name("prionn-service".into())
-            .spawn(move || worker_loop(model, rx, worker_stats, worker_error))
+            .spawn(move || {
+                worker_loop(
+                    model,
+                    rx,
+                    worker_batches,
+                    options,
+                    worker_stats,
+                    worker_error,
+                )
+            })
             .map_err(|e| {
                 prionn_tensor::TensorError::InvalidArgument(format!("spawn failed: {e}"))
             })?;
-        Ok(PrionnService { tx, stats, last_error, handle: Some(handle) })
+        Ok(PrionnService {
+            tx,
+            retrain_tx,
+            retrain_rx,
+            snapshot_configured,
+            stats,
+            last_error,
+            handle: Some(handle),
+        })
     }
 
     /// Predict resources for newly submitted scripts (synchronous RPC).
     pub fn predict(&self, scripts: &[String]) -> Result<Vec<ResourcePrediction>> {
         let (reply_tx, reply_rx) = unbounded();
         self.tx
-            .send(Request::Predict { scripts: scripts.to_vec(), reply: reply_tx })
-            .map_err(|_| {
-                prionn_tensor::TensorError::InvalidArgument("service stopped".into())
-            })?;
+            .send(Request::Predict {
+                scripts: scripts.to_vec(),
+                reply: reply_tx,
+            })
+            .map_err(|_| prionn_tensor::TensorError::InvalidArgument("service stopped".into()))?;
         reply_rx.recv().map_err(|_| {
             prionn_tensor::TensorError::InvalidArgument("service dropped reply".into())
         })?
     }
 
-    /// Enqueue a retraining batch; returns immediately. Failures are
+    /// Enqueue a retraining batch; returns immediately. When the bounded
+    /// queue is full the oldest queued batch is dropped (latest-wins) and
+    /// counted in [`ServiceStats::retrains_dropped`]. Training failures are
     /// recorded in [`PrionnService::last_error`].
-    pub fn retrain_async(&self, batch: TrainingBatch) {
+    pub fn retrain_async(&self, mut batch: TrainingBatch) {
         self.stats.retrains_pending.fetch_add(1, Ordering::SeqCst);
-        // A send can only fail after shutdown; then the pending count no
-        // longer matters.
-        let _ = self.tx.send(Request::Retrain(batch));
+        loop {
+            match self.retrain_tx.try_send(batch) {
+                Ok(()) => break,
+                Err(crossbeam::channel::TrySendError::Full(b)) => {
+                    // Evict the oldest queued batch. The worker may drain
+                    // the queue concurrently, in which case the eviction
+                    // misses and the retry simply succeeds.
+                    if self.retrain_rx.try_recv().is_ok() {
+                        self.stats.retrains_dropped.fetch_add(1, Ordering::SeqCst);
+                        self.stats.retrains_pending.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    batch = b;
+                }
+                Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                    // Only after shutdown; the pending count no longer
+                    // matters.
+                    self.stats.retrains_pending.fetch_sub(1, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+        // A send can only fail after shutdown.
+        let _ = self.tx.send(Request::RetrainTick);
+    }
+
+    /// Ask the worker to checkpoint the live model to the configured
+    /// [`ServiceOptions::snapshot_path`]; returns immediately, without
+    /// blocking on the write. Returns `false` (and does nothing) when no
+    /// snapshot path was configured. Write failures increment
+    /// [`ServiceStats::snapshots_failed`] and surface via
+    /// [`PrionnService::last_error`].
+    pub fn snapshot_async(&self) -> bool {
+        if !self.snapshot_configured {
+            return false;
+        }
+        self.tx.send(Request::Snapshot).is_ok()
     }
 
     /// Live counters.
@@ -105,7 +239,7 @@ impl PrionnService {
         &self.stats
     }
 
-    /// The most recent background-training error, if any.
+    /// The most recent background-training or snapshot error, if any.
     pub fn last_error(&self) -> Option<String> {
         self.last_error.lock().clone()
     }
@@ -131,9 +265,27 @@ impl Drop for PrionnService {
 fn worker_loop(
     mut model: Prionn,
     rx: Receiver<Request>,
+    batches: Receiver<TrainingBatch>,
+    options: ServiceOptions,
     stats: Arc<ServiceStats>,
     last_error: Arc<Mutex<Option<String>>>,
 ) {
+    let snapshot = |model: &Prionn, stats: &ServiceStats, last_error: &Mutex<Option<String>>| {
+        let Some(path) = options.snapshot_path.as_deref() else {
+            stats.snapshots_failed.fetch_add(1, Ordering::SeqCst);
+            *last_error.lock() = Some("snapshot requested but no snapshot_path set".into());
+            return;
+        };
+        match model.save(path) {
+            Ok(()) => {
+                stats.snapshots_taken.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(e) => {
+                stats.snapshots_failed.fetch_add(1, Ordering::SeqCst);
+                *last_error.lock() = Some(format!("snapshot failed: {e}"));
+            }
+        }
+    };
     while let Ok(req) = rx.recv() {
         match req {
             Request::Predict { scripts, reply } => {
@@ -142,7 +294,12 @@ fn worker_loop(
                 stats.predictions_served.fetch_add(1, Ordering::SeqCst);
                 let _ = reply.send(out);
             }
-            Request::Retrain(batch) => {
+            Request::RetrainTick => {
+                // The tick's batch may have been evicted by latest-wins;
+                // then there is nothing to do (the eviction was counted).
+                let Ok(batch) = batches.try_recv() else {
+                    continue;
+                };
                 let refs: Vec<&str> = batch.scripts.iter().map(|s| s.as_str()).collect();
                 let result = model.retrain(
                     &refs,
@@ -153,11 +310,17 @@ fn worker_loop(
                 stats.retrains_pending.fetch_sub(1, Ordering::SeqCst);
                 match result {
                     Ok(()) => {
-                        stats.retrains_done.fetch_add(1, Ordering::SeqCst);
+                        let done = stats.retrains_done.fetch_add(1, Ordering::SeqCst) + 1;
+                        if let Some(n) = options.snapshot_every_n_retrains {
+                            if n > 0 && done.is_multiple_of(n) {
+                                snapshot(&model, &stats, &last_error);
+                            }
+                        }
                     }
                     Err(e) => *last_error.lock() = Some(e.to_string()),
                 }
             }
+            Request::Snapshot => snapshot(&model, &stats, &last_error),
             Request::Shutdown => break,
         }
     }
@@ -182,8 +345,18 @@ mod tests {
 
     fn scripts(n: usize) -> Vec<String> {
         (0..n)
-            .map(|i| format!("#!/bin/bash\n#SBATCH -N {}\nsrun ./app_{}\n", 1 + i % 8, i % 3))
+            .map(|i| {
+                format!(
+                    "#!/bin/bash\n#SBATCH -N {}\nsrun ./app_{}\n",
+                    1 + i % 8,
+                    i % 3
+                )
+            })
             .collect()
+    }
+
+    fn tmp_snapshot_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("prionn-svc-{}-{}.ckpt", tag, std::process::id()))
     }
 
     #[test]
@@ -212,6 +385,7 @@ mod tests {
         assert_eq!(preds.len(), 1);
         assert_eq!(svc.stats().retrains_done.load(Ordering::SeqCst), 1);
         assert_eq!(svc.stats().retrains_pending.load(Ordering::SeqCst), 0);
+        assert_eq!(svc.stats().retrains_dropped.load(Ordering::SeqCst), 0);
         assert!(svc.last_error().is_none());
         svc.shutdown();
     }
@@ -251,8 +425,9 @@ mod tests {
         cfg.epochs = 6;
         cfg.lr = 3e-3;
         let svc = PrionnService::spawn(cfg, &refs).unwrap();
-        let runtimes: Vec<f64> =
-            (0..corpus.len()).map(|i| if i % 2 == 0 { 5.0 } else { 300.0 }).collect();
+        let runtimes: Vec<f64> = (0..corpus.len())
+            .map(|i| if i % 2 == 0 { 5.0 } else { 300.0 })
+            .collect();
         for _ in 0..6 {
             svc.retrain_async(TrainingBatch {
                 scripts: corpus.clone(),
@@ -267,8 +442,130 @@ mod tests {
             preds[0].runtime_minutes,
             preds[1].runtime_minutes
         );
-        assert_eq!(svc.stats().retrains_done.load(Ordering::SeqCst), 6);
+        assert_eq!(
+            svc.stats().retrains_done.load(Ordering::SeqCst)
+                + svc.stats().retrains_dropped.load(Ordering::SeqCst),
+            6
+        );
         svc.shutdown();
+    }
+
+    #[test]
+    fn full_queue_drops_oldest_and_counts() {
+        let corpus = scripts(12);
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let options = ServiceOptions {
+            retrain_queue_cap: 2,
+            ..Default::default()
+        };
+        let svc = PrionnService::spawn_with_options(tiny_cfg(), &refs, options).unwrap();
+        // Distinct batch sizes mark which batches survive: the worker may
+        // train any prefix, but everything shed must be counted.
+        for i in 0..8 {
+            svc.retrain_async(TrainingBatch {
+                scripts: corpus[..4 + i].to_vec(),
+                runtime_minutes: vec![10.0; 4 + i],
+                ..Default::default()
+            });
+        }
+        let _ = svc.predict(&corpus[..1]).unwrap(); // barrier: all ticks processed
+        let done = svc.stats().retrains_done.load(Ordering::SeqCst);
+        let dropped = svc.stats().retrains_dropped.load(Ordering::SeqCst);
+        assert_eq!(done + dropped, 8, "done {done} + dropped {dropped}");
+        assert_eq!(svc.stats().retrains_pending.load(Ordering::SeqCst), 0);
+        assert!(svc.last_error().is_none());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn snapshot_async_without_path_is_a_noop() {
+        let corpus = scripts(4);
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let svc = PrionnService::spawn(tiny_cfg(), &refs).unwrap();
+        assert!(!svc.snapshot_async());
+        let _ = svc.predict(&corpus[..1]).unwrap(); // barrier
+        assert_eq!(svc.stats().snapshots_taken.load(Ordering::SeqCst), 0);
+        assert_eq!(svc.stats().snapshots_failed.load(Ordering::SeqCst), 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn periodic_snapshots_fire_every_n_retrains() {
+        let corpus = scripts(12);
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let path = tmp_snapshot_path("periodic");
+        let _ = std::fs::remove_file(&path);
+        let options = ServiceOptions {
+            retrain_queue_cap: 8,
+            snapshot_every_n_retrains: Some(2),
+            snapshot_path: Some(path.clone()),
+        };
+        let svc = PrionnService::spawn_with_options(tiny_cfg(), &refs, options).unwrap();
+        for _ in 0..4 {
+            svc.retrain_async(TrainingBatch {
+                scripts: corpus.clone(),
+                runtime_minutes: vec![10.0; corpus.len()],
+                ..Default::default()
+            });
+        }
+        let _ = svc.predict(&corpus[..1]).unwrap(); // barrier
+        let done = svc.stats().retrains_done.load(Ordering::SeqCst);
+        let taken = svc.stats().snapshots_taken.load(Ordering::SeqCst);
+        assert_eq!(taken, done / 2, "done {done} taken {taken}");
+        assert!(taken >= 1, "at least one periodic snapshot");
+        assert!(path.exists(), "snapshot file written");
+        assert_eq!(svc.stats().snapshots_failed.load(Ordering::SeqCst), 0);
+        svc.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn on_demand_snapshot_round_trips_through_spawn_from_checkpoint() {
+        let corpus = scripts(16);
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let path = tmp_snapshot_path("ondemand");
+        let _ = std::fs::remove_file(&path);
+        let options = ServiceOptions {
+            snapshot_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let svc = PrionnService::spawn_with_options(tiny_cfg(), &refs, options).unwrap();
+        svc.retrain_async(TrainingBatch {
+            scripts: corpus.clone(),
+            runtime_minutes: vec![10.0; corpus.len()],
+            ..Default::default()
+        });
+        assert!(svc.snapshot_async());
+        let before = svc.predict(&corpus[..3]).unwrap(); // barrier + reference
+        assert_eq!(svc.stats().snapshots_taken.load(Ordering::SeqCst), 1);
+        svc.shutdown();
+
+        // A new process restores the service and serves identical
+        // predictions — then keeps learning from the restored weights.
+        let restored =
+            PrionnService::spawn_from_checkpoint(&path, ServiceOptions::default()).unwrap();
+        let after = restored.predict(&corpus[..3]).unwrap();
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b.runtime_minutes, a.runtime_minutes);
+        }
+        restored.retrain_async(TrainingBatch {
+            scripts: corpus.clone(),
+            runtime_minutes: vec![10.0; corpus.len()],
+            ..Default::default()
+        });
+        let _ = restored.predict(&corpus[..1]).unwrap(); // barrier
+        assert_eq!(restored.stats().retrains_done.load(Ordering::SeqCst), 1);
+        assert!(restored.last_error().is_none());
+        restored.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn spawn_from_checkpoint_rejects_garbage_files() {
+        let path = tmp_snapshot_path("garbage");
+        std::fs::write(&path, b"not a checkpoint at all").unwrap();
+        assert!(PrionnService::spawn_from_checkpoint(&path, ServiceOptions::default()).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

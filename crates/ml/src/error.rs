@@ -23,7 +23,11 @@ pub enum MlError {
 impl fmt::Display for MlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MlError::DimensionMismatch { op, expected, actual } => {
+            MlError::DimensionMismatch {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op}: expected {expected} elements, got {actual}")
             }
             MlError::NotFitted(model) => write!(f, "{model} used before fit"),

@@ -59,7 +59,9 @@ impl RawJobFeatures {
         };
         for line in script.lines() {
             let line = line.trim();
-            let Some(rest) = line.strip_prefix("#SBATCH") else { continue };
+            let Some(rest) = line.strip_prefix("#SBATCH") else {
+                continue;
+            };
             let rest = rest.trim();
             if let Some(v) = directive_value(rest, "-t", "--time") {
                 f.requested_time_hours = parse_time_to_hours(&v).unwrap_or(0.0);

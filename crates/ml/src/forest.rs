@@ -23,7 +23,11 @@ pub struct RandomForestConfig {
 
 impl Default for RandomForestConfig {
     fn default() -> Self {
-        RandomForestConfig { n_trees: 50, tree: DecisionTreeConfig::default(), seed: 0x5eed }
+        RandomForestConfig {
+            n_trees: 50,
+            tree: DecisionTreeConfig::default(),
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -49,7 +53,9 @@ impl RandomForestRegressor {
             return Err(MlError::InvalidArgument("fit on empty dataset".into()));
         }
         if cfg.n_trees == 0 {
-            return Err(MlError::InvalidArgument("forest needs at least one tree".into()));
+            return Err(MlError::InvalidArgument(
+                "forest needs at least one tree".into(),
+            ));
         }
         let mut tree_cfg = cfg.tree.clone();
         if tree_cfg.max_features.is_none() {
@@ -60,7 +66,9 @@ impl RandomForestRegressor {
             .into_par_iter()
             .map(|t| {
                 // Independent deterministic stream per tree.
-                let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15));
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    cfg.seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                );
                 let sample: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
                 let bx = x.select_rows(&sample);
                 let by: Vec<f32> = sample.iter().map(|&i| y[i]).collect();
@@ -87,7 +95,10 @@ impl RandomForestRegressor {
         if self.trees.is_empty() {
             return Err(MlError::NotFitted("RandomForestRegressor"));
         }
-        (0..x.n_rows()).into_par_iter().map(|i| self.predict_one(x.row(i))).collect()
+        (0..x.n_rows())
+            .into_par_iter()
+            .map(|i| self.predict_one(x.row(i)))
+            .collect()
     }
 
     /// Number of fitted trees.
@@ -123,10 +134,16 @@ mod tests {
     #[test]
     fn is_deterministic_for_seed() {
         let (x, y) = noisy_step();
-        let cfg = RandomForestConfig { n_trees: 10, ..Default::default() };
+        let cfg = RandomForestConfig {
+            n_trees: 10,
+            ..Default::default()
+        };
         let a = RandomForestRegressor::fit(&x, &y, &cfg).unwrap();
         let b = RandomForestRegressor::fit(&x, &y, &cfg).unwrap();
-        assert_eq!(a.predict_one(&[0.33]).unwrap(), b.predict_one(&[0.33]).unwrap());
+        assert_eq!(
+            a.predict_one(&[0.33]).unwrap(),
+            b.predict_one(&[0.33]).unwrap()
+        );
     }
 
     #[test]
@@ -135,13 +152,21 @@ mod tests {
         let a = RandomForestRegressor::fit(
             &x,
             &y,
-            &RandomForestConfig { n_trees: 5, seed: 1, ..Default::default() },
+            &RandomForestConfig {
+                n_trees: 5,
+                seed: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let b = RandomForestRegressor::fit(
             &x,
             &y,
-            &RandomForestConfig { n_trees: 5, seed: 2, ..Default::default() },
+            &RandomForestConfig {
+                n_trees: 5,
+                seed: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Not a hard guarantee point-wise, but with noisy data the ensembles
@@ -158,7 +183,10 @@ mod tests {
         let f = RandomForestRegressor::fit(
             &x,
             &y,
-            &RandomForestConfig { n_trees: 8, ..Default::default() },
+            &RandomForestConfig {
+                n_trees: 8,
+                ..Default::default()
+            },
         )
         .unwrap();
         let batch = f.predict(&x).unwrap();
@@ -173,7 +201,10 @@ mod tests {
         assert!(RandomForestRegressor::fit(
             &x,
             &y,
-            &RandomForestConfig { n_trees: 0, ..Default::default() }
+            &RandomForestConfig {
+                n_trees: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         let f = RandomForestRegressor::default();
@@ -186,16 +217,24 @@ mod tests {
         // leaves, so predictions are convex combinations of the training
         // targets — even far outside the training domain.
         let (x, y) = noisy_step();
-        let (lo, hi) = y.iter().fold((f32::MAX, f32::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        let (lo, hi) = y
+            .iter()
+            .fold((f32::MAX, f32::MIN), |(l, h), &v| (l.min(v), h.max(v)));
         let f = RandomForestRegressor::fit(
             &x,
             &y,
-            &RandomForestConfig { n_trees: 20, ..Default::default() },
+            &RandomForestConfig {
+                n_trees: 20,
+                ..Default::default()
+            },
         )
         .unwrap();
         for q in [-100.0f32, -1.0, 0.0, 0.5, 1.0, 100.0] {
             let p = f.predict_one(&[q]).unwrap();
-            assert!((lo..=hi).contains(&p), "prediction {p} outside [{lo}, {hi}] at {q}");
+            assert!(
+                (lo..=hi).contains(&p),
+                "prediction {p} outside [{lo}, {hi}] at {q}"
+            );
         }
     }
 
@@ -209,7 +248,11 @@ mod tests {
             RandomForestRegressor::fit(
                 &x,
                 &y,
-                &RandomForestConfig { n_trees: n, seed: 0xabc, ..Default::default() },
+                &RandomForestConfig {
+                    n_trees: n,
+                    seed: 0xabc,
+                    ..Default::default()
+                },
             )
             .unwrap()
         };

@@ -51,8 +51,11 @@ impl KnnRegressor {
         // k is tiny (paper-style 3..10), so this beats sorting everything.
         let mut best: Vec<(f32, f32)> = Vec::with_capacity(k + 1); // (dist2, y)
         for (i, train_row) in self.x.rows().enumerate() {
-            let d2: f32 =
-                train_row.iter().zip(row).map(|(&a, &b)| (a - b) * (a - b)).sum();
+            let d2: f32 = train_row
+                .iter()
+                .zip(row)
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
             let pos = best.partition_point(|&(d, _)| d <= d2);
             if pos < k {
                 best.insert(pos, (d2, self.y[i]));
@@ -64,7 +67,10 @@ impl KnnRegressor {
 
     /// Predict a batch, parallel over query rows.
     pub fn predict(&self, x: &FeatureMatrix) -> Result<Vec<f32>> {
-        (0..x.n_rows()).into_par_iter().map(|i| self.predict_one(x.row(i))).collect()
+        (0..x.n_rows())
+            .into_par_iter()
+            .map(|i| self.predict_one(x.row(i)))
+            .collect()
     }
 
     /// The configured `k`.
@@ -110,8 +116,8 @@ mod tests {
     fn exact_training_point_with_k1_reproduces_target() {
         let (x, y) = data();
         let m = KnnRegressor::fit(x.clone(), y.clone(), 1).unwrap();
-        for i in 0..x.n_rows() {
-            assert_eq!(m.predict_one(x.row(i)).unwrap(), y[i]);
+        for (i, target) in y.iter().enumerate() {
+            assert_eq!(m.predict_one(x.row(i)).unwrap(), *target);
         }
     }
 
@@ -130,8 +136,8 @@ mod tests {
         let m = KnnRegressor::fit(x.clone(), y, 2).unwrap();
         let q = FeatureMatrix::from_vec(1, vec![0.5, 5.0, 11.5]).unwrap();
         let batch = m.predict(&q).unwrap();
-        for i in 0..q.n_rows() {
-            assert_eq!(batch[i], m.predict_one(q.row(i)).unwrap());
+        for (i, b) in batch.iter().enumerate() {
+            assert_eq!(*b, m.predict_one(q.row(i)).unwrap());
         }
     }
 }

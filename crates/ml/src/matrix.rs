@@ -12,7 +12,10 @@ pub struct FeatureMatrix {
 impl FeatureMatrix {
     /// An empty matrix with a fixed column count.
     pub fn new(n_cols: usize) -> Self {
-        FeatureMatrix { n_cols, data: Vec::new() }
+        FeatureMatrix {
+            n_cols,
+            data: Vec::new(),
+        }
     }
 
     /// Build from a flat buffer.
@@ -84,7 +87,10 @@ impl FeatureMatrix {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        FeatureMatrix { n_cols: self.n_cols, data }
+        FeatureMatrix {
+            n_cols: self.n_cols,
+            data,
+        }
     }
 }
 

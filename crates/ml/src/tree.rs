@@ -19,7 +19,11 @@ pub struct DecisionTreeConfig {
 
 impl Default for DecisionTreeConfig {
     fn default() -> Self {
-        DecisionTreeConfig { max_depth: 16, min_samples_leaf: 2, max_features: None }
+        DecisionTreeConfig {
+            max_depth: 16,
+            min_samples_leaf: 2,
+            max_features: None,
+        }
     }
 }
 
@@ -63,7 +67,9 @@ impl DecisionTreeRegressor {
             return Err(MlError::InvalidArgument("fit on empty dataset".into()));
         }
         if cfg.min_samples_leaf == 0 {
-            return Err(MlError::InvalidArgument("min_samples_leaf must be >= 1".into()));
+            return Err(MlError::InvalidArgument(
+                "min_samples_leaf must be >= 1".into(),
+            ));
         }
         let mut tree = DecisionTreeRegressor { nodes: Vec::new() };
         let indices: Vec<usize> = (0..y.len()).collect();
@@ -86,8 +92,9 @@ impl DecisionTreeRegressor {
             || indices.iter().all(|&i| (y[i] - mean).abs() < 1e-12);
         if !stop {
             if let Some((feature, threshold)) = best_split(x, y, &indices, cfg, rng) {
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-                    indices.iter().partition(|&&i| x.row(i)[feature] <= threshold);
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| x.row(i)[feature] <= threshold);
                 if left_idx.len() >= cfg.min_samples_leaf && right_idx.len() >= cfg.min_samples_leaf
                 {
                     // Reserve this node's slot, then grow children.
@@ -95,7 +102,12 @@ impl DecisionTreeRegressor {
                     self.nodes.push(Node::Leaf { value: mean });
                     let left = self.grow(x, y, left_idx, depth + 1, cfg, rng);
                     let right = self.grow(x, y, right_idx, depth + 1, cfg, rng);
-                    self.nodes[id] = Node::Split { feature, threshold, left, right };
+                    self.nodes[id] = Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    };
                     return id;
                 }
             }
@@ -114,7 +126,12 @@ impl DecisionTreeRegressor {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { value } => return Ok(*value),
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     node = if row.get(*feature).copied().unwrap_or(0.0) <= *threshold {
                         *left
                     } else {
@@ -176,7 +193,9 @@ fn best_split(
         order.clear();
         order.extend_from_slice(indices);
         order.sort_by(|&a, &b| {
-            x.row(a)[feature].partial_cmp(&x.row(b)[feature]).unwrap_or(std::cmp::Ordering::Equal)
+            x.row(a)[feature]
+                .partial_cmp(&x.row(b)[feature])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut left_sum = 0.0f64;
         for (k, &i) in order.iter().enumerate().take(order.len() - 1) {
@@ -188,8 +207,7 @@ fn best_split(
             }
             let left_n = (k + 1) as f64;
             let right_n = n - left_n;
-            if (left_n as usize) < cfg.min_samples_leaf
-                || (right_n as usize) < cfg.min_samples_leaf
+            if (left_n as usize) < cfg.min_samples_leaf || (right_n as usize) < cfg.min_samples_leaf
             {
                 continue;
             }
@@ -218,15 +236,18 @@ mod tests {
     fn step_data() -> (FeatureMatrix, Vec<f32>) {
         // y = 10 if x < 0.5 else 20, on a 1-D grid.
         let xs: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
-        let y: Vec<f32> = xs.iter().map(|&v| if v < 0.5 { 10.0 } else { 20.0 }).collect();
+        let y: Vec<f32> = xs
+            .iter()
+            .map(|&v| if v < 0.5 { 10.0 } else { 20.0 })
+            .collect();
         (FeatureMatrix::from_vec(1, xs).unwrap(), y)
     }
 
     #[test]
     fn fits_step_function_exactly() {
         let (x, y) = step_data();
-        let t = DecisionTreeRegressor::fit(&x, &y, &DecisionTreeConfig::default(), &mut rng())
-            .unwrap();
+        let t =
+            DecisionTreeRegressor::fit(&x, &y, &DecisionTreeConfig::default(), &mut rng()).unwrap();
         assert_eq!(t.predict_one(&[0.2]).unwrap(), 10.0);
         assert_eq!(t.predict_one(&[0.9]).unwrap(), 20.0);
     }
@@ -234,7 +255,10 @@ mod tests {
     #[test]
     fn depth_zero_tree_predicts_mean() {
         let (x, y) = step_data();
-        let cfg = DecisionTreeConfig { max_depth: 0, ..Default::default() };
+        let cfg = DecisionTreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
         let t = DecisionTreeRegressor::fit(&x, &y, &cfg, &mut rng()).unwrap();
         let mean = y.iter().sum::<f32>() / y.len() as f32;
         assert!((t.predict_one(&[0.3]).unwrap() - mean).abs() < 1e-4);
@@ -244,7 +268,10 @@ mod tests {
     #[test]
     fn respects_min_samples_leaf() {
         let (x, y) = step_data();
-        let cfg = DecisionTreeConfig { min_samples_leaf: 60, ..Default::default() };
+        let cfg = DecisionTreeConfig {
+            min_samples_leaf: 60,
+            ..Default::default()
+        };
         let t = DecisionTreeRegressor::fit(&x, &y, &cfg, &mut rng()).unwrap();
         // 100 samples cannot split into two leaves of >= 60.
         assert_eq!(t.node_count(), 1);
@@ -261,8 +288,8 @@ mod tests {
             x.push_row(&[noise, signal]).unwrap();
             y.push(signal * 100.0);
         }
-        let t = DecisionTreeRegressor::fit(&x, &y, &DecisionTreeConfig::default(), &mut rng())
-            .unwrap();
+        let t =
+            DecisionTreeRegressor::fit(&x, &y, &DecisionTreeConfig::default(), &mut rng()).unwrap();
         assert_eq!(t.predict_one(&[0.99, 0.0]).unwrap(), 0.0);
         assert_eq!(t.predict_one(&[0.01, 1.0]).unwrap(), 100.0);
     }
@@ -271,8 +298,8 @@ mod tests {
     fn constant_targets_yield_single_leaf() {
         let x = FeatureMatrix::from_vec(1, (0..20).map(|i| i as f32).collect()).unwrap();
         let y = vec![5.0; 20];
-        let t = DecisionTreeRegressor::fit(&x, &y, &DecisionTreeConfig::default(), &mut rng())
-            .unwrap();
+        let t =
+            DecisionTreeRegressor::fit(&x, &y, &DecisionTreeConfig::default(), &mut rng()).unwrap();
         assert_eq!(t.node_count(), 1);
         assert_eq!(t.predict_one(&[100.0]).unwrap(), 5.0);
     }
@@ -280,13 +307,18 @@ mod tests {
     #[test]
     fn rejects_mismatched_lengths_and_empty() {
         let x = FeatureMatrix::from_vec(1, vec![1.0, 2.0]).unwrap();
-        assert!(DecisionTreeRegressor::fit(&x, &[1.0], &DecisionTreeConfig::default(), &mut rng())
-            .is_err());
-        let empty = FeatureMatrix::new(1);
         assert!(
-            DecisionTreeRegressor::fit(&empty, &[], &DecisionTreeConfig::default(), &mut rng())
+            DecisionTreeRegressor::fit(&x, &[1.0], &DecisionTreeConfig::default(), &mut rng())
                 .is_err()
         );
+        let empty = FeatureMatrix::new(1);
+        assert!(DecisionTreeRegressor::fit(
+            &empty,
+            &[],
+            &DecisionTreeConfig::default(),
+            &mut rng()
+        )
+        .is_err());
     }
 
     #[test]
@@ -301,7 +333,11 @@ mod tests {
         let y: Vec<f32> = xs.iter().map(|&v| (v * 12.0).sin()).collect();
         let x = FeatureMatrix::from_vec(1, xs).unwrap();
         let sse = |depth: usize| {
-            let cfg = DecisionTreeConfig { max_depth: depth, min_samples_leaf: 1, ..Default::default() };
+            let cfg = DecisionTreeConfig {
+                max_depth: depth,
+                min_samples_leaf: 1,
+                ..Default::default()
+            };
             let t = DecisionTreeRegressor::fit(&x, &y, &cfg, &mut rng()).unwrap();
             t.predict(&x)
                 .unwrap()

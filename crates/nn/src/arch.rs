@@ -69,12 +69,22 @@ impl ArchConfig {
     /// The paper's configuration for a given embedding width and bin count:
     /// a 64×64 grid and base width 8.
     pub fn paper(emb_dim: usize, classes: usize) -> Self {
-        ArchConfig { emb_dim, grid_h: 64, grid_w: 64, classes, base_width: 8, batch_norm: false, seed: 0x9e37 }
+        ArchConfig {
+            emb_dim,
+            grid_h: 64,
+            grid_w: 64,
+            classes,
+            base_width: 8,
+            batch_norm: false,
+            seed: 0x9e37,
+        }
     }
 
     fn validate(&self) -> Result<()> {
         if self.emb_dim == 0 || self.classes == 0 || self.base_width == 0 {
-            return Err(TensorError::InvalidArgument("zero-sized architecture field".into()));
+            return Err(TensorError::InvalidArgument(
+                "zero-sized architecture field".into(),
+            ));
         }
         if self.grid_h < 16 || self.grid_w < 16 {
             return Err(TensorError::InvalidArgument(format!(
@@ -203,7 +213,15 @@ mod tests {
     use prionn_tensor::Tensor;
 
     fn cfg() -> ArchConfig {
-        ArchConfig { emb_dim: 4, grid_h: 32, grid_w: 32, classes: 10, base_width: 4, batch_norm: false, seed: 1 }
+        ArchConfig {
+            emb_dim: 4,
+            grid_h: 32,
+            grid_w: 32,
+            classes: 10,
+            base_width: 4,
+            batch_norm: false,
+            seed: 1,
+        }
     }
 
     #[test]

@@ -34,11 +34,15 @@ impl Layer for ReLU {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let mask = self.mask.take().ok_or_else(|| {
-            TensorError::InvalidArgument("relu backward without forward".into())
-        })?;
+        let mask = self
+            .mask
+            .take()
+            .ok_or_else(|| TensorError::InvalidArgument("relu backward without forward".into()))?;
         if mask.len() != grad_out.len() {
-            return Err(TensorError::LengthMismatch { expected: mask.len(), actual: grad_out.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: mask.len(),
+                actual: grad_out.len(),
+            });
         }
         let mut g = grad_out.clone();
         for (gv, m) in g.as_mut_slice().iter_mut().zip(&mask) {
@@ -59,7 +63,9 @@ mod tests {
     #[test]
     fn clamps_negatives() {
         let mut r = ReLU::new();
-        let y = r.forward(&Tensor::from_slice(&[-1.0, 0.0, 2.0]), true).unwrap();
+        let y = r
+            .forward(&Tensor::from_slice(&[-1.0, 0.0, 2.0]), true)
+            .unwrap();
         assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
     }
 

@@ -28,7 +28,9 @@ impl BatchNorm {
     /// A batch-norm layer over `channels` channels.
     pub fn new(channels: usize) -> Result<Self> {
         if channels == 0 {
-            return Err(TensorError::InvalidArgument("batchnorm over zero channels".into()));
+            return Err(TensorError::InvalidArgument(
+                "batchnorm over zero channels".into(),
+            ));
         }
         Ok(BatchNorm {
             channels,
@@ -85,6 +87,9 @@ impl Layer for BatchNorm {
         let mut x_hat = vec![0.0f32; xs.len()];
         let mut inv_stds = vec![0.0f32; self.channels];
 
+        // The channel index addresses four parallel arrays at once; an
+        // iterator chain over just one of them would obscure that.
+        #[allow(clippy::needless_range_loop)]
         for c in 0..self.channels {
             let (mean, var) = if train {
                 let mut sum = 0.0f32;
@@ -137,6 +142,7 @@ impl Layer for BatchNorm {
         let gys = grad_out.as_slice();
         let mut dx = vec![0.0f32; gys.len()];
 
+        #[allow(clippy::needless_range_loop)]
         for c in 0..self.channels {
             let mut sum_gy = 0.0f32;
             let mut sum_gy_xhat = 0.0f32;
@@ -170,6 +176,10 @@ impl Layer for BatchNorm {
         "batchnorm"
     }
 
+    fn state_keys(&self) -> &'static [&'static str] {
+        &["gamma", "beta", "running_mean", "running_var"]
+    }
+
     fn state(&self) -> Vec<Tensor> {
         vec![
             self.gamma.clone(),
@@ -181,12 +191,19 @@ impl Layer for BatchNorm {
 
     fn load_state(&mut self, state: &[Tensor]) -> Result<usize> {
         let [g, b, rm, rv, ..] = state else {
-            return Err(TensorError::InvalidArgument("batchnorm state needs 4 tensors".into()));
+            return Err(TensorError::InvalidArgument(
+                "batchnorm state needs 4 tensors".into(),
+            ));
         };
-        if g.len() != self.channels || b.len() != self.channels || rm.len() != self.channels
+        if g.len() != self.channels
+            || b.len() != self.channels
+            || rm.len() != self.channels
             || rv.len() != self.channels
         {
-            return Err(TensorError::LengthMismatch { expected: self.channels, actual: g.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: self.channels,
+                actual: g.len(),
+            });
         }
         self.gamma = g.clone();
         self.beta = b.clone();
@@ -288,7 +305,10 @@ mod tests {
         let mut b = BatchNorm::new(2).unwrap();
         assert_eq!(b.load_state(&a.state()).unwrap(), 4);
         let probe = prionn_tensor::init::normal([4, 2], 5.0, 1.0, &mut rng());
-        assert_eq!(a.forward(&probe, false).unwrap(), b.forward(&probe, false).unwrap());
+        assert_eq!(
+            a.forward(&probe, false).unwrap(),
+            b.forward(&probe, false).unwrap()
+        );
     }
 
     #[test]
@@ -298,6 +318,9 @@ mod tests {
         assert!(bn.forward(&Tensor::zeros([2, 4, 2, 2]), true).is_err());
         let mut bn2 = BatchNorm::new(2).unwrap();
         bn2.forward(&Tensor::zeros([2, 2]), false).unwrap();
-        assert!(bn2.backward(&Tensor::zeros([2, 2])).is_err(), "eval forward caches nothing");
+        assert!(
+            bn2.backward(&Tensor::zeros([2, 2])).is_err(),
+            "eval forward caches nothing"
+        );
     }
 }

@@ -37,7 +37,17 @@ impl Conv2d {
         padding: usize,
         rng: &mut impl Rng,
     ) -> Result<Self> {
-        Self::with_kernel(in_channels, out_channels, in_h, in_w, kernel, kernel, stride, padding, rng)
+        Self::with_kernel(
+            in_channels,
+            out_channels,
+            in_h,
+            in_w,
+            kernel,
+            kernel,
+            stride,
+            padding,
+            rng,
+        )
     }
 
     /// A conv layer with an explicit `kh × kw` kernel.
@@ -63,7 +73,9 @@ impl Conv2d {
     /// A conv layer from a pre-validated geometry.
     pub fn from_geom(geom: Conv2dGeom, out_channels: usize, rng: &mut impl Rng) -> Result<Self> {
         if out_channels == 0 {
-            return Err(TensorError::InvalidArgument("conv with zero output channels".into()));
+            return Err(TensorError::InvalidArgument(
+                "conv with zero output channels".into(),
+            ));
         }
         let fan_in = geom.col_rows();
         let w = prionn_tensor::init::he_normal([out_channels, fan_in], fan_in, rng);
@@ -172,7 +184,9 @@ impl Layer for Conv2d {
         let n_pos = oh * ow;
         let batch = self.cached_cols.len();
         if batch == 0 {
-            return Err(TensorError::InvalidArgument("conv2d backward without forward".into()));
+            return Err(TensorError::InvalidArgument(
+                "conv2d backward without forward".into(),
+            ));
         }
         if grad_out.dims() != [batch, self.out_channels, oh, ow] {
             return Err(TensorError::ShapeMismatch {
@@ -234,13 +248,19 @@ impl Layer for Conv2d {
         "conv2d"
     }
 
+    fn state_keys(&self) -> &'static [&'static str] {
+        &["w", "b"]
+    }
+
     fn state(&self) -> Vec<Tensor> {
         vec![self.w.clone(), self.b.clone()]
     }
 
     fn load_state(&mut self, state: &[Tensor]) -> Result<usize> {
         let [w, b, ..] = state else {
-            return Err(TensorError::InvalidArgument("conv2d state needs 2 tensors".into()));
+            return Err(TensorError::InvalidArgument(
+                "conv2d state needs 2 tensors".into(),
+            ));
         };
         if w.shape() != self.w.shape() || b.shape() != self.b.shape() {
             return Err(TensorError::ShapeMismatch {

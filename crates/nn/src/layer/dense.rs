@@ -74,9 +74,10 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let x = self.cached_input.take().ok_or_else(|| {
-            TensorError::InvalidArgument("dense backward without forward".into())
-        })?;
+        let x = self
+            .cached_input
+            .take()
+            .ok_or_else(|| TensorError::InvalidArgument("dense backward without forward".into()))?;
         self.grad_w = ops::matmul_at_b(&x, grad_out)?;
         self.grad_b = Tensor::from_vec([self.out_features], ops::col_sums(grad_out)?)?;
         ops::matmul_a_bt(grad_out, &self.w)
@@ -95,13 +96,19 @@ impl Layer for Dense {
         "dense"
     }
 
+    fn state_keys(&self) -> &'static [&'static str] {
+        &["w", "b"]
+    }
+
     fn state(&self) -> Vec<Tensor> {
         vec![self.w.clone(), self.b.clone()]
     }
 
     fn load_state(&mut self, state: &[Tensor]) -> Result<usize> {
         let [w, b, ..] = state else {
-            return Err(TensorError::InvalidArgument("dense state needs 2 tensors".into()));
+            return Err(TensorError::InvalidArgument(
+                "dense state needs 2 tensors".into(),
+            ));
         };
         if w.shape() != self.w.shape() || b.shape() != self.b.shape() {
             return Err(TensorError::ShapeMismatch {
@@ -170,7 +177,10 @@ mod tests {
             d.w.set(&[i, j], orig).unwrap();
             let numeric = (up - dn) / (2.0 * eps);
             let analytic = d.grad_w.get(&[i, j]).unwrap();
-            assert!((numeric - analytic).abs() < 1e-2, "dW[{i},{j}] {numeric} vs {analytic}");
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "dW[{i},{j}] {numeric} vs {analytic}"
+            );
         }
         // Check dX on one entry.
         let orig = x.get(&[1, 2]).unwrap();

@@ -19,9 +19,15 @@ impl Dropout {
     /// Create a dropout layer with drop probability `p ∈ [0, 1)`.
     pub fn new(p: f32, seed: u64) -> Result<Self> {
         if !(0.0..1.0).contains(&p) {
-            return Err(TensorError::InvalidArgument(format!("dropout p={p} outside [0,1)")));
+            return Err(TensorError::InvalidArgument(format!(
+                "dropout p={p} outside [0,1)"
+            )));
         }
-        Ok(Dropout { p, rng: ChaCha8Rng::seed_from_u64(seed), mask: None })
+        Ok(Dropout {
+            p,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            mask: None,
+        })
     }
 }
 
@@ -34,7 +40,13 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask: Vec<f32> = (0..x.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut out = x.clone();
         for (v, m) in out.as_mut_slice().iter_mut().zip(&mask) {
@@ -49,7 +61,10 @@ impl Layer for Dropout {
             TensorError::InvalidArgument("dropout backward without forward".into())
         })?;
         if mask.len() != grad_out.len() {
-            return Err(TensorError::LengthMismatch { expected: mask.len(), actual: grad_out.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: mask.len(),
+                actual: grad_out.len(),
+            });
         }
         let mut g = grad_out.clone();
         for (gv, m) in g.as_mut_slice().iter_mut().zip(&mask) {

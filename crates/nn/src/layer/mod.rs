@@ -52,6 +52,15 @@ pub trait Layer: Send {
     /// Short human-readable layer name for summaries.
     fn name(&self) -> &'static str;
 
+    /// Stable names for the tensors yielded by [`Layer::state`], in the
+    /// same order. Parameterless layers return the empty slice. Checkpoint
+    /// code keys persisted tensors by `{layer_index}.{name}.{state_key}`,
+    /// so these strings are part of the on-disk format — never reorder or
+    /// rename them without bumping the checkpoint format version.
+    fn state_keys(&self) -> &'static [&'static str] {
+        &[]
+    }
+
     /// Snapshot learned parameters (possibly empty).
     fn state(&self) -> Vec<Tensor> {
         Vec::new()

@@ -26,9 +26,15 @@ impl MaxPool2d {
     /// paper's 1D-CNN.
     pub fn with_window(ph: usize, pw: usize) -> Result<Self> {
         if ph == 0 || pw == 0 {
-            return Err(TensorError::InvalidArgument("zero-sized pool window".into()));
+            return Err(TensorError::InvalidArgument(
+                "zero-sized pool window".into(),
+            ));
         }
-        Ok(MaxPool2d { ph, pw, cache: None })
+        Ok(MaxPool2d {
+            ph,
+            pw,
+            cache: None,
+        })
     }
 
     /// Output spatial dims for a given input.
@@ -40,7 +46,11 @@ impl MaxPool2d {
 impl Layer for MaxPool2d {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
         if x.rank() != 4 {
-            return Err(TensorError::RankMismatch { op: "maxpool", expected: 4, actual: x.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "maxpool",
+                expected: 4,
+                actual: x.rank(),
+            });
         }
         let [b, c, h, w] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
         let (oh, ow) = self.out_hw(h, w);

@@ -20,7 +20,11 @@ impl Flatten {
 impl Layer for Flatten {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
         if x.rank() < 2 {
-            return Err(TensorError::RankMismatch { op: "flatten", expected: 2, actual: x.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "flatten",
+                expected: 2,
+                actual: x.rank(),
+            });
         }
         let batch = x.dims()[0];
         let inner: usize = x.dims()[1..].iter().product();
@@ -51,20 +55,30 @@ pub struct Reshape {
 impl Reshape {
     /// Reshape each sample to `trailing` (e.g. `[4, 1, 4096]`).
     pub fn new(trailing: impl Into<Vec<usize>>) -> Self {
-        Reshape { trailing: trailing.into(), in_dims: None }
+        Reshape {
+            trailing: trailing.into(),
+            in_dims: None,
+        }
     }
 }
 
 impl Layer for Reshape {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
         if x.rank() < 1 {
-            return Err(TensorError::RankMismatch { op: "reshape", expected: 1, actual: 0 });
+            return Err(TensorError::RankMismatch {
+                op: "reshape",
+                expected: 1,
+                actual: 0,
+            });
         }
         let batch = x.dims()[0];
         let inner: usize = x.dims()[1..].iter().product();
         let target: usize = self.trailing.iter().product();
         if inner != target {
-            return Err(TensorError::LengthMismatch { expected: target, actual: inner });
+            return Err(TensorError::LengthMismatch {
+                expected: target,
+                actual: inner,
+            });
         }
         self.in_dims = Some(x.dims().to_vec());
         let mut dims = vec![batch];

@@ -32,7 +32,7 @@ pub use arch::{build_cnn1d, build_cnn2d, build_nn, ArchConfig, ModelKind};
 pub use layer::Layer;
 pub use loss::{Loss, LossTarget, MseLoss, SoftmaxCrossEntropy};
 pub use model::Sequential;
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, Optimizer, OptimizerState, Sgd};
 
 /// Errors bubbled up from the tensor substrate.
 pub type Result<T> = prionn_tensor::Result<T>;

@@ -64,7 +64,10 @@ impl Loss for SoftmaxCrossEntropy {
         };
         let (batch, n_classes) = (output.dims()[0], output.dims()[1]);
         if classes.len() != batch {
-            return Err(TensorError::LengthMismatch { expected: batch, actual: classes.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: batch,
+                actual: classes.len(),
+            });
         }
         let mut probs = Self::softmax(output)?;
         let mut loss = 0.0f32;
@@ -96,7 +99,9 @@ pub struct MseLoss;
 impl Loss for MseLoss {
     fn loss_and_grad(&self, output: &Tensor, target: &LossTarget<'_>) -> Result<(f32, Tensor)> {
         let LossTarget::Values(t) = target else {
-            return Err(TensorError::InvalidArgument("MseLoss requires value targets".into()));
+            return Err(TensorError::InvalidArgument(
+                "MseLoss requires value targets".into(),
+            ));
         };
         if t.shape() != output.shape() {
             return Err(TensorError::ShapeMismatch {
@@ -173,33 +178,44 @@ mod tests {
             up.set(&[i, j], logits.get(&[i, j]).unwrap() + eps).unwrap();
             let mut dn = logits.clone();
             dn.set(&[i, j], logits.get(&[i, j]).unwrap() - eps).unwrap();
-            let (lu, _) =
-                SoftmaxCrossEntropy.loss_and_grad(&up, &LossTarget::Classes(&targets)).unwrap();
-            let (ld, _) =
-                SoftmaxCrossEntropy.loss_and_grad(&dn, &LossTarget::Classes(&targets)).unwrap();
+            let (lu, _) = SoftmaxCrossEntropy
+                .loss_and_grad(&up, &LossTarget::Classes(&targets))
+                .unwrap();
+            let (ld, _) = SoftmaxCrossEntropy
+                .loss_and_grad(&dn, &LossTarget::Classes(&targets))
+                .unwrap();
             let numeric = (lu - ld) / (2.0 * eps);
             let analytic = grad.get(&[i, j]).unwrap();
-            assert!((numeric - analytic).abs() < 1e-3, "({i},{j}): {numeric} vs {analytic}");
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "({i},{j}): {numeric} vs {analytic}"
+            );
         }
     }
 
     #[test]
     fn ce_rejects_bad_class_index() {
         let logits = Tensor::zeros([1, 3]);
-        assert!(SoftmaxCrossEntropy.loss_and_grad(&logits, &LossTarget::Classes(&[3])).is_err());
+        assert!(SoftmaxCrossEntropy
+            .loss_and_grad(&logits, &LossTarget::Classes(&[3]))
+            .is_err());
     }
 
     #[test]
     fn ce_rejects_value_targets() {
         let logits = Tensor::zeros([1, 3]);
         let vals = Tensor::zeros([1, 3]);
-        assert!(SoftmaxCrossEntropy.loss_and_grad(&logits, &LossTarget::Values(&vals)).is_err());
+        assert!(SoftmaxCrossEntropy
+            .loss_and_grad(&logits, &LossTarget::Values(&vals))
+            .is_err());
     }
 
     #[test]
     fn mse_zero_for_exact_match() {
         let out = Tensor::from_slice(&[1.0, 2.0]).reshape([1, 2]).unwrap();
-        let (loss, grad) = MseLoss.loss_and_grad(&out, &LossTarget::Values(&out.clone())).unwrap();
+        let (loss, grad) = MseLoss
+            .loss_and_grad(&out, &LossTarget::Values(&out.clone()))
+            .unwrap();
         assert_eq!(loss, 0.0);
         assert!(grad.as_slice().iter().all(|&g| g == 0.0));
     }
@@ -208,7 +224,9 @@ mod tests {
     fn mse_gradient_direction() {
         let out = Tensor::from_vec([1, 2], vec![2.0, 0.0]).unwrap();
         let tgt = Tensor::from_vec([1, 2], vec![0.0, 1.0]).unwrap();
-        let (loss, grad) = MseLoss.loss_and_grad(&out, &LossTarget::Values(&tgt)).unwrap();
+        let (loss, grad) = MseLoss
+            .loss_and_grad(&out, &LossTarget::Values(&tgt))
+            .unwrap();
         assert!((loss - (4.0 + 1.0) / 2.0).abs() < 1e-6);
         assert!(grad.get(&[0, 0]).unwrap() > 0.0); // overpredicted -> positive grad
         assert!(grad.get(&[0, 1]).unwrap() < 0.0); // underpredicted -> negative
@@ -218,6 +236,8 @@ mod tests {
     fn mse_rejects_shape_mismatch() {
         let out = Tensor::zeros([1, 2]);
         let tgt = Tensor::zeros([2, 1]);
-        assert!(MseLoss.loss_and_grad(&out, &LossTarget::Values(&tgt)).is_err());
+        assert!(MseLoss
+            .loss_and_grad(&out, &LossTarget::Values(&tgt))
+            .is_err());
     }
 }

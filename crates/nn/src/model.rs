@@ -51,7 +51,11 @@ impl Sequential {
     pub fn summary(&self) -> String {
         let mut s = String::new();
         for (i, l) in self.layers.iter().enumerate() {
-            s.push_str(&format!("{i:>2}: {:<10} params={}\n", l.name(), l.param_count()));
+            s.push_str(&format!(
+                "{i:>2}: {:<10} params={}\n",
+                l.name(),
+                l.param_count()
+            ));
         }
         s.push_str(&format!("total params: {}", self.param_count()));
         s
@@ -117,7 +121,10 @@ impl Sequential {
     ) -> Result<Vec<f32>> {
         let n = x.dims()[0];
         if classes.len() != n {
-            return Err(TensorError::LengthMismatch { expected: n, actual: classes.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: n,
+                actual: classes.len(),
+            });
         }
         if batch_size == 0 {
             return Err(TensorError::InvalidArgument("zero batch size".into()));
@@ -155,7 +162,10 @@ impl Sequential {
     ) -> Result<Vec<f32>> {
         let n = x.dims()[0];
         if targets.dims()[0] != n {
-            return Err(TensorError::LengthMismatch { expected: n, actual: targets.dims()[0] });
+            return Err(TensorError::LengthMismatch {
+                expected: n,
+                actual: targets.dims()[0],
+            });
         }
         if batch_size == 0 {
             return Err(TensorError::InvalidArgument("zero batch size".into()));
@@ -225,9 +235,81 @@ impl Sequential {
             offset += layer.load_state(&state[offset..])?;
         }
         if offset != state.len() {
-            return Err(TensorError::LengthMismatch { expected: offset, actual: state.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: offset,
+                actual: state.len(),
+            });
         }
         Ok(())
+    }
+
+    /// Snapshot all learned parameters keyed by stable layer paths of the
+    /// form `{layer_index}.{layer_name}.{state_key}` (e.g. `3.dense.w`).
+    ///
+    /// Unlike the positional [`Sequential::state`], the keys make persisted
+    /// checkpoints self-describing: loading against a different architecture
+    /// fails with the first mismatching path instead of silently assigning
+    /// tensors to the wrong layers.
+    pub fn state_dict(&self) -> Vec<(String, Tensor)> {
+        let mut dict = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let keys = layer.state_keys();
+            let tensors = layer.state();
+            debug_assert_eq!(
+                keys.len(),
+                tensors.len(),
+                "{}: state_keys out of sync with state",
+                layer.name()
+            );
+            for (key, t) in keys.iter().zip(tensors) {
+                dict.push((format!("{i}.{}.{key}", layer.name()), t));
+            }
+        }
+        dict
+    }
+
+    /// Restore parameters from a [`Sequential::state_dict`] snapshot.
+    ///
+    /// Every entry is validated against this model before any layer is
+    /// touched: keys must match the model's own layer paths in order, and
+    /// each tensor must have the shape of the parameter it replaces.
+    pub fn load_state_dict(&mut self, dict: &[(String, Tensor)]) -> Result<()> {
+        // Validate the whole dict first so a mismatch cannot leave the model
+        // half-loaded.
+        let mut cursor = 0usize;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let keys = layer.state_keys();
+            let current = layer.state();
+            for (key, cur) in keys.iter().zip(&current) {
+                let expected = format!("{i}.{}.{key}", layer.name());
+                let Some((name, t)) = dict.get(cursor) else {
+                    return Err(TensorError::InvalidArgument(format!(
+                        "state dict ends before entry {expected}"
+                    )));
+                };
+                if name != &expected {
+                    return Err(TensorError::InvalidArgument(format!(
+                        "state dict key mismatch: expected {expected}, found {name}"
+                    )));
+                }
+                if t.shape() != cur.shape() {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "load_state_dict",
+                        lhs: cur.dims().to_vec(),
+                        rhs: t.dims().to_vec(),
+                    });
+                }
+                cursor += 1;
+            }
+        }
+        if cursor != dict.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: cursor,
+                actual: dict.len(),
+            });
+        }
+        let tensors: Vec<Tensor> = dict.iter().map(|(_, t)| t.clone()).collect();
+        self.load_state(&tensors)
     }
 }
 
@@ -262,7 +344,11 @@ mod tests {
         let losses = m
             .fit_classes(&x, &y, &SoftmaxCrossEntropy, &mut opt, 300, 4, &mut rng)
             .unwrap();
-        assert!(losses.last().unwrap() < &0.05, "final loss {:?}", losses.last());
+        assert!(
+            losses.last().unwrap() < &0.05,
+            "final loss {:?}",
+            losses.last()
+        );
         assert_eq!(m.predict_classes(&x, 4).unwrap(), y);
     }
 
@@ -272,8 +358,9 @@ mod tests {
         let (x, y) = xor_data();
         let mut opt = Sgd::with_momentum(0.5, 0.9);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let losses =
-            m.fit_classes(&x, &y, &SoftmaxCrossEntropy, &mut opt, 100, 4, &mut rng).unwrap();
+        let losses = m
+            .fit_classes(&x, &y, &SoftmaxCrossEntropy, &mut opt, 100, 4, &mut rng)
+            .unwrap();
         assert!(losses.last().unwrap() < losses.first().unwrap());
     }
 
@@ -285,6 +372,38 @@ mod tests {
         assert_ne!(a.forward(&x, false).unwrap(), b.forward(&x, false).unwrap());
         b.load_state(&a.state()).unwrap();
         assert_eq!(a.forward(&x, false).unwrap(), b.forward(&x, false).unwrap());
+    }
+
+    #[test]
+    fn state_dict_keys_are_stable_layer_paths() {
+        let m = xor_model(5);
+        let keys: Vec<String> = m.state_dict().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["0.dense.w", "0.dense.b", "2.dense.w", "2.dense.b"]);
+    }
+
+    #[test]
+    fn state_dict_round_trip_reproduces_outputs() {
+        let mut a = xor_model(5);
+        let mut b = xor_model(99);
+        let (x, _) = xor_data();
+        b.load_state_dict(&a.state_dict()).unwrap();
+        assert_eq!(a.forward(&x, false).unwrap(), b.forward(&x, false).unwrap());
+    }
+
+    #[test]
+    fn load_state_dict_rejects_wrong_key_or_shape() {
+        let mut m = xor_model(1);
+        let mut renamed = m.state_dict();
+        renamed[1].0 = "0.dense.bias".into();
+        assert!(m.load_state_dict(&renamed).is_err());
+
+        let mut reshaped = m.state_dict();
+        reshaped[0].1 = Tensor::zeros([3, 16]);
+        assert!(m.load_state_dict(&reshaped).is_err());
+
+        let mut truncated = m.state_dict();
+        truncated.pop();
+        assert!(m.load_state_dict(&truncated).is_err());
     }
 
     #[test]
@@ -323,14 +442,22 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let mut m = Sequential::new().push(Dense::new(2, 1, &mut rng));
         // y = x0 - 2*x1 on a small grid.
-        let xs: Vec<f32> = (0..40).flat_map(|i| [(i % 8) as f32 / 8.0, (i / 8) as f32 / 5.0]).collect();
+        let xs: Vec<f32> = (0..40)
+            .flat_map(|i| [(i % 8) as f32 / 8.0, (i / 8) as f32 / 5.0])
+            .collect();
         let ys: Vec<f32> = xs.chunks(2).map(|p| p[0] - 2.0 * p[1]).collect();
         let x = Tensor::from_vec([40, 2], xs).unwrap();
         let y = Tensor::from_vec([40, 1], ys).unwrap();
         let mut opt = Sgd::new(0.3);
         let mut shuffle_rng = ChaCha8Rng::seed_from_u64(0);
-        let losses = m.fit_values(&x, &y, &MseLoss, &mut opt, 200, 8, &mut shuffle_rng).unwrap();
-        assert!(losses.last().unwrap() < &1e-3, "final loss {:?}", losses.last());
+        let losses = m
+            .fit_values(&x, &y, &MseLoss, &mut opt, 200, 8, &mut shuffle_rng)
+            .unwrap();
+        assert!(
+            losses.last().unwrap() < &1e-3,
+            "final loss {:?}",
+            losses.last()
+        );
     }
 
     #[test]
@@ -342,7 +469,9 @@ mod tests {
         let y = Tensor::zeros([3, 1]);
         let mut opt = Sgd::new(0.1);
         let mut srng = ChaCha8Rng::seed_from_u64(0);
-        assert!(m.fit_values(&x, &y, &MseLoss, &mut opt, 1, 2, &mut srng).is_err());
+        assert!(m
+            .fit_values(&x, &y, &MseLoss, &mut opt, 1, 2, &mut srng)
+            .is_err());
     }
 
     #[test]
@@ -353,10 +482,12 @@ mod tests {
         let (x, y) = xor_data();
         let mut opt = Sgd::with_momentum(0.5, 0.9);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let first =
-            m.fit_classes(&x, &y, &SoftmaxCrossEntropy, &mut opt, 50, 4, &mut rng).unwrap();
-        let second =
-            m.fit_classes(&x, &y, &SoftmaxCrossEntropy, &mut opt, 50, 4, &mut rng).unwrap();
+        let first = m
+            .fit_classes(&x, &y, &SoftmaxCrossEntropy, &mut opt, 50, 4, &mut rng)
+            .unwrap();
+        let second = m
+            .fit_classes(&x, &y, &SoftmaxCrossEntropy, &mut opt, 50, 4, &mut rng)
+            .unwrap();
         assert!(second.first().unwrap() <= first.first().unwrap());
     }
 }

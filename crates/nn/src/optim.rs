@@ -5,7 +5,25 @@
 //! paper's warm-started retraining cycles (the architecture never changes
 //! between retrains, only the data does).
 
-use prionn_tensor::Tensor;
+use crate::Result;
+use prionn_tensor::{Tensor, TensorError};
+
+/// Portable optimiser state: the bias-correction step count plus the moment
+/// buffers of every parameter slot, in slot order.
+///
+/// Each slot holds zero or more same-length `f32` buffers: zero when the
+/// slot was never touched (lazy init), one velocity buffer for SGD with
+/// momentum, and the `[m, v]` pair for Adam. Checkpointing this alongside
+/// the weights is what keeps warm-started retraining bit-identical across a
+/// save/load cycle — Adam's effective step size depends on `t` and both
+/// moment estimates.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OptimizerState {
+    /// Time step (`t` in Adam's bias correction); 0 for stateless optimisers.
+    pub step: u64,
+    /// Per-slot moment buffers (`slots[slot][buffer][element]`).
+    pub slots: Vec<Vec<Vec<f32>>>,
+}
 
 /// A first-order gradient-descent optimiser.
 pub trait Optimizer: Send {
@@ -21,6 +39,23 @@ pub trait Optimizer: Send {
 
     /// Replace the learning rate (for simple decay schedules).
     fn set_learning_rate(&mut self, lr: f32);
+
+    /// Snapshot the moment buffers for checkpointing. Stateless optimisers
+    /// return the default (empty) state.
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState::default()
+    }
+
+    /// Restore a state exported by the same optimiser type. The default
+    /// (stateless) implementation accepts only an empty state.
+    fn import_state(&mut self, state: &OptimizerState) -> Result<()> {
+        if state.step != 0 || state.slots.iter().any(|s| !s.is_empty()) {
+            return Err(TensorError::InvalidArgument(
+                "optimizer has no state to restore into".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Stochastic gradient descent with classical momentum.
@@ -33,12 +68,20 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD (`momentum = 0`).
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum `mu` (typically 0.9).
     pub fn with_momentum(lr: f32, mu: f32) -> Self {
-        Sgd { lr, momentum: mu, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: mu,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -58,7 +101,11 @@ impl Optimizer for Sgd {
         }
         let v = self.velocity[slot].get_or_insert_with(|| vec![0.0; param.len()]);
         debug_assert_eq!(v.len(), param.len());
-        for ((p, &g), vi) in param.as_mut_slice().iter_mut().zip(grad.as_slice()).zip(v.iter_mut())
+        for ((p, &g), vi) in param
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad.as_slice())
+            .zip(v.iter_mut())
         {
             *vi = self.momentum * *vi - self.lr * g;
             *p += *vi;
@@ -71,6 +118,38 @@ impl Optimizer for Sgd {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            step: 0,
+            slots: self
+                .velocity
+                .iter()
+                .map(|slot| match slot {
+                    Some(v) => vec![v.clone()],
+                    None => Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimizerState) -> Result<()> {
+        let mut velocity = Vec::with_capacity(state.slots.len());
+        for (i, slot) in state.slots.iter().enumerate() {
+            velocity.push(match slot.as_slice() {
+                [] => None,
+                [v] => Some(v.clone()),
+                _ => {
+                    return Err(TensorError::InvalidArgument(format!(
+                        "sgd slot {i}: expected at most one velocity buffer, got {}",
+                        slot.len()
+                    )))
+                }
+            });
+        }
+        self.velocity = velocity;
+        Ok(())
     }
 }
 
@@ -87,7 +166,14 @@ pub struct Adam {
 impl Adam {
     /// Adam with the standard betas (0.9, 0.999).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: Vec::new(),
+        }
     }
 }
 
@@ -127,6 +213,45 @@ impl Optimizer for Adam {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            step: self.t,
+            slots: self
+                .moments
+                .iter()
+                .map(|slot| match slot {
+                    Some((m, v)) => vec![m.clone(), v.clone()],
+                    None => Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimizerState) -> Result<()> {
+        let mut moments = Vec::with_capacity(state.slots.len());
+        for (i, slot) in state.slots.iter().enumerate() {
+            moments.push(match slot.as_slice() {
+                [] => None,
+                [m, v] if m.len() == v.len() => Some((m.clone(), v.clone())),
+                [m, v] => {
+                    return Err(TensorError::LengthMismatch {
+                        expected: m.len(),
+                        actual: v.len(),
+                    })
+                }
+                _ => {
+                    return Err(TensorError::InvalidArgument(format!(
+                        "adam slot {i}: expected the [m, v] buffer pair, got {} buffers",
+                        slot.len()
+                    )))
+                }
+            });
+        }
+        self.t = state.step;
+        self.moments = moments;
+        Ok(())
     }
 }
 
@@ -183,7 +308,10 @@ mod tests {
             let g = Tensor::from_slice(&[scale]);
             opt.begin_step();
             opt.update(0, &mut p, &g);
-            assert!((p.as_slice()[0].abs() - 0.1).abs() < 1e-3, "scale {scale} -> {p:?}");
+            assert!(
+                (p.as_slice()[0].abs() - 0.1).abs() < 1e-3,
+                "scale {scale} -> {p:?}"
+            );
         }
     }
 
@@ -206,5 +334,71 @@ mod tests {
         let mut opt = Sgd::new(0.1);
         opt.set_learning_rate(0.01);
         assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    /// Run `steps` quadratic-descent steps on two optimisers that share a
+    /// state hand-off halfway and assert they land on the same value as an
+    /// uninterrupted run.
+    fn state_transfer_matches_uninterrupted(mut make: impl FnMut() -> Box<dyn Optimizer>) {
+        let total = 60;
+        let mut reference = make();
+        let x_ref = quadratic_descent(reference.as_mut(), total);
+
+        let mut first = make();
+        let mut x = Tensor::from_slice(&[5.0]);
+        for _ in 0..total / 2 {
+            first.begin_step();
+            let g = Tensor::from_slice(&[2.0 * x.as_slice()[0]]);
+            first.update(0, &mut x, &g);
+        }
+        let mut second = make();
+        second.import_state(&first.export_state()).unwrap();
+        for _ in 0..total / 2 {
+            second.begin_step();
+            let g = Tensor::from_slice(&[2.0 * x.as_slice()[0]]);
+            second.update(0, &mut x, &g);
+        }
+        assert_eq!(x.as_slice()[0], x_ref, "state hand-off diverged");
+    }
+
+    #[test]
+    fn sgd_momentum_state_round_trips_bit_identically() {
+        state_transfer_matches_uninterrupted(|| Box::new(Sgd::with_momentum(0.05, 0.9)));
+    }
+
+    #[test]
+    fn adam_state_round_trips_bit_identically() {
+        state_transfer_matches_uninterrupted(|| Box::new(Adam::new(0.3)));
+    }
+
+    #[test]
+    fn adam_import_rejects_malformed_slots() {
+        let mut opt = Adam::new(0.1);
+        let bad = OptimizerState {
+            step: 3,
+            slots: vec![vec![vec![0.0; 2]]],
+        };
+        assert!(opt.import_state(&bad).is_err());
+        let ragged = OptimizerState {
+            step: 3,
+            slots: vec![vec![vec![0.0; 2], vec![0.0; 3]]],
+        };
+        assert!(opt.import_state(&ragged).is_err());
+        let empty_ok = OptimizerState {
+            step: 7,
+            slots: vec![Vec::new()],
+        };
+        opt.import_state(&empty_ok).unwrap();
+        assert_eq!(opt.export_state().step, 7);
+    }
+
+    #[test]
+    fn sgd_import_rejects_extra_buffers() {
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        let bad = OptimizerState {
+            step: 0,
+            slots: vec![vec![vec![0.0], vec![0.0]]],
+        };
+        assert!(opt.import_state(&bad).is_err());
     }
 }

@@ -40,8 +40,8 @@ fn naive_conv(
                                 if iy < 0 || ix < 0 || iy >= h as isize || ix >= wid as isize {
                                     continue;
                                 }
-                                let xv = xs[((b * in_c + ic) * h + iy as usize) * wid
-                                    + ix as usize];
+                                let xv =
+                                    xs[((b * in_c + ic) * h + iy as usize) * wid + ix as usize];
                                 let wv = ws[oc * (in_c * k * k) + (ic * k + ky) * k + kx];
                                 acc += xv * wv;
                             }

@@ -28,7 +28,11 @@ pub fn burst_threshold(timeline: &[f64]) -> f64 {
     }
     let n = timeline.len() as f64;
     let mean = timeline.iter().sum::<f64>() / n;
-    let var = timeline.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let var = timeline
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / n;
     mean + var.sqrt()
 }
 
@@ -62,10 +66,14 @@ pub fn burst_metrics(actual: &[f64], predicted: &[f64], window_minutes: usize) -
         sorted.get(i).is_some_and(|&x| x <= hi)
     };
 
-    let tp_actual =
-        actual_bursts.iter().filter(|&&t| within(t, &predicted_bursts)).count();
-    let tp_predicted =
-        predicted_bursts.iter().filter(|&&t| within(t, &actual_bursts)).count();
+    let tp_actual = actual_bursts
+        .iter()
+        .filter(|&&t| within(t, &predicted_bursts))
+        .count();
+    let tp_predicted = predicted_bursts
+        .iter()
+        .filter(|&&t| within(t, &actual_bursts))
+        .count();
 
     BurstMetrics {
         sensitivity: if actual_bursts.is_empty() {

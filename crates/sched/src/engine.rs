@@ -104,7 +104,9 @@ impl SimEngine {
     /// Jobs currently executing: `(id, nodes, start-implied elapsed)` view.
     pub fn running_jobs(&self) -> impl Iterator<Item = (u64, u32, u64, u64)> + '_ {
         // (id, nodes, end_actual, end_estimated)
-        self.running.iter().map(|r| (r.id, r.nodes, r.end_actual, r.end_estimated))
+        self.running
+            .iter()
+            .map(|r| (r.id, r.nodes, r.end_actual, r.end_estimated))
     }
 
     /// Jobs waiting in the queue.
@@ -246,12 +248,17 @@ impl SimEngine {
                 break;
             }
         }
-        let Some(head) = self.queue.front().copied() else { return };
+        let Some(head) = self.queue.front().copied() else {
+            return;
+        };
 
         // Shadow time: when will the head job first fit, assuming running
         // jobs end at their *estimated* ends?
-        let mut ends: Vec<(u64, u32)> =
-            self.running.iter().map(|r| (r.end_estimated.max(self.now), r.nodes)).collect();
+        let mut ends: Vec<(u64, u32)> = self
+            .running
+            .iter()
+            .map(|r| (r.end_estimated.max(self.now), r.nodes))
+            .collect();
         ends.sort_unstable();
         let mut avail = self.free_nodes;
         let mut shadow = u64::MAX;
@@ -268,9 +275,7 @@ impl SimEngine {
         let mut i = 1;
         while i < self.queue.len() {
             let cand = self.queue[i];
-            if cand.nodes <= self.free_nodes
-                && self.now.saturating_add(cand.estimate) <= shadow
-            {
+            if cand.nodes <= self.free_nodes && self.now.saturating_add(cand.estimate) <= shadow {
                 self.queue.remove(i);
                 self.start_job(cand);
                 // A start never frees nodes, so the head still does not fit;
@@ -302,7 +307,13 @@ mod tests {
     use super::*;
 
     fn job(id: u64, submit: u64, nodes: u32, runtime: u64, estimate: u64) -> SimJob {
-        SimJob { id, submit, nodes, runtime, estimate }
+        SimJob {
+            id,
+            submit,
+            nodes,
+            runtime,
+            estimate,
+        }
     }
 
     #[test]
@@ -334,9 +345,9 @@ mod tests {
         // Head job (8 nodes) blocks behind job 0; a 2-node job estimated to
         // finish before the head's reservation backfills immediately.
         let jobs = [
-            job(0, 0, 8, 100, 100),  // runs now
-            job(1, 1, 8, 100, 100),  // head, must wait until t=100
-            job(2, 2, 2, 10, 10),    // fits the 2 free nodes, ends by t=12 <= 100
+            job(0, 0, 8, 100, 100), // runs now
+            job(1, 1, 8, 100, 100), // head, must wait until t=100
+            job(2, 2, 2, 10, 10),   // fits the 2 free nodes, ends by t=12 <= 100
         ];
         let s = simulate(10, &jobs);
         assert_eq!(s.entries[2].start, 2, "short job backfills");
@@ -349,12 +360,15 @@ mod tests {
         // must NOT start even though nodes are free.
         let jobs = [
             job(0, 0, 8, 100, 100),
-            job(1, 1, 8, 100, 100),   // head reserved at t=100
-            job(2, 2, 2, 500, 500),   // would run past t=100 on head's nodes
+            job(1, 1, 8, 100, 100), // head reserved at t=100
+            job(2, 2, 2, 500, 500), // would run past t=100 on head's nodes
         ];
         let s = simulate(10, &jobs);
         assert_eq!(s.entries[1].start, 100, "head keeps its reservation");
-        assert!(s.entries[2].start >= 100, "long candidate must not backfill");
+        assert!(
+            s.entries[2].start >= 100,
+            "long candidate must not backfill"
+        );
     }
 
     #[test]
@@ -363,7 +377,10 @@ mod tests {
         let jobs = [job(0, 0, 10, 200, 50), job(1, 1, 10, 10, 10)];
         let s = simulate(10, &jobs);
         assert_eq!(s.entries[0].end, 200);
-        assert_eq!(s.entries[1].start, 200, "successor waits for the real completion");
+        assert_eq!(
+            s.entries[1].start, 200,
+            "successor waits for the real completion"
+        );
     }
 
     #[test]
@@ -375,8 +392,9 @@ mod tests {
 
     #[test]
     fn entries_are_ordered_by_id_and_complete() {
-        let jobs: Vec<SimJob> =
-            (0..50).map(|i| job(i, i * 3, 1 + (i % 7) as u32, 30 + i * 2, 40 + i * 2)).collect();
+        let jobs: Vec<SimJob> = (0..50)
+            .map(|i| job(i, i * 3, 1 + (i % 7) as u32, 30 + i * 2, 40 + i * 2))
+            .collect();
         let s = simulate(8, &jobs);
         assert_eq!(s.entries.len(), jobs.len());
         for (i, e) in s.entries.iter().enumerate() {
@@ -389,7 +407,15 @@ mod tests {
     #[test]
     fn node_capacity_is_never_exceeded() {
         let jobs: Vec<SimJob> = (0..200)
-            .map(|i| job(i, i, 1 + (i % 10) as u32, 20 + (i * 13) % 100, 30 + (i * 13) % 100))
+            .map(|i| {
+                job(
+                    i,
+                    i,
+                    1 + (i % 10) as u32,
+                    20 + (i * 13) % 100,
+                    30 + (i * 13) % 100,
+                )
+            })
             .collect();
         let s = simulate(16, &jobs);
         // Sweep all start/end events and check concurrent node usage.
@@ -408,9 +434,14 @@ mod tests {
 
     #[test]
     fn better_estimates_do_not_change_actual_runtimes() {
-        let jobs: Vec<SimJob> =
-            (0..30).map(|i| job(i, i * 5, 4, 100, 400)).collect();
-        let exact: Vec<SimJob> = jobs.iter().map(|j| SimJob { estimate: j.runtime, ..*j }).collect();
+        let jobs: Vec<SimJob> = (0..30).map(|i| job(i, i * 5, 4, 100, 400)).collect();
+        let exact: Vec<SimJob> = jobs
+            .iter()
+            .map(|j| SimJob {
+                estimate: j.runtime,
+                ..*j
+            })
+            .collect();
         let a = simulate(8, &jobs);
         let b = simulate(8, &exact);
         for (x, y) in a.entries.iter().zip(&b.entries) {

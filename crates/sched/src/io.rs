@@ -47,7 +47,12 @@ pub fn io_timeline(intervals: &[JobIoInterval], horizon_minutes: usize) -> Vec<f
 
 /// Horizon (in whole minutes, rounded up) covering every interval's end.
 pub fn horizon_minutes(intervals: &[JobIoInterval]) -> usize {
-    intervals.iter().map(|iv| iv.end).max().map(|e| e.div_ceil(60) as usize).unwrap_or(0)
+    intervals
+        .iter()
+        .map(|iv| iv.end)
+        .max()
+        .map(|e| e.div_ceil(60) as usize)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -56,14 +61,22 @@ mod tests {
 
     #[test]
     fn single_full_minute_contributes_full_bandwidth() {
-        let iv = [JobIoInterval { start: 0, end: 60, bandwidth: 100.0 }];
+        let iv = [JobIoInterval {
+            start: 0,
+            end: 60,
+            bandwidth: 100.0,
+        }];
         let t = io_timeline(&iv, 2);
         assert_eq!(t, vec![100.0, 0.0]);
     }
 
     #[test]
     fn partial_minutes_are_weighted() {
-        let iv = [JobIoInterval { start: 30, end: 90, bandwidth: 100.0 }];
+        let iv = [JobIoInterval {
+            start: 30,
+            end: 90,
+            bandwidth: 100.0,
+        }];
         let t = io_timeline(&iv, 2);
         assert_eq!(t, vec![50.0, 50.0]);
     }
@@ -71,8 +84,16 @@ mod tests {
     #[test]
     fn concurrent_jobs_sum() {
         let iv = [
-            JobIoInterval { start: 0, end: 120, bandwidth: 10.0 },
-            JobIoInterval { start: 60, end: 120, bandwidth: 5.0 },
+            JobIoInterval {
+                start: 0,
+                end: 120,
+                bandwidth: 10.0,
+            },
+            JobIoInterval {
+                start: 60,
+                end: 120,
+                bandwidth: 5.0,
+            },
         ];
         let t = io_timeline(&iv, 2);
         assert_eq!(t, vec![10.0, 15.0]);
@@ -80,7 +101,11 @@ mod tests {
 
     #[test]
     fn intervals_past_horizon_are_clipped() {
-        let iv = [JobIoInterval { start: 0, end: 6000, bandwidth: 7.0 }];
+        let iv = [JobIoInterval {
+            start: 0,
+            end: 6000,
+            bandwidth: 7.0,
+        }];
         let t = io_timeline(&iv, 3);
         assert_eq!(t, vec![7.0, 7.0, 7.0]);
     }
@@ -88,9 +113,21 @@ mod tests {
     #[test]
     fn degenerate_intervals_are_ignored() {
         let iv = [
-            JobIoInterval { start: 60, end: 60, bandwidth: 100.0 },
-            JobIoInterval { start: 90, end: 80, bandwidth: 100.0 },
-            JobIoInterval { start: 0, end: 60, bandwidth: 0.0 },
+            JobIoInterval {
+                start: 60,
+                end: 60,
+                bandwidth: 100.0,
+            },
+            JobIoInterval {
+                start: 90,
+                end: 80,
+                bandwidth: 100.0,
+            },
+            JobIoInterval {
+                start: 0,
+                end: 60,
+                bandwidth: 0.0,
+            },
         ];
         let t = io_timeline(&iv, 2);
         assert_eq!(t, vec![0.0, 0.0]);
@@ -98,7 +135,11 @@ mod tests {
 
     #[test]
     fn horizon_rounds_up() {
-        let iv = [JobIoInterval { start: 0, end: 61, bandwidth: 1.0 }];
+        let iv = [JobIoInterval {
+            start: 0,
+            end: 61,
+            bandwidth: 1.0,
+        }];
         assert_eq!(horizon_minutes(&iv), 2);
         assert_eq!(horizon_minutes(&[]), 0);
     }
@@ -106,7 +147,11 @@ mod tests {
     #[test]
     fn total_bytes_are_conserved() {
         // Sum over the timeline times 60 equals bandwidth * duration.
-        let iv = [JobIoInterval { start: 45, end: 400, bandwidth: 3.0 }];
+        let iv = [JobIoInterval {
+            start: 45,
+            end: 400,
+            bandwidth: 3.0,
+        }];
         let t = io_timeline(&iv, 10);
         let total: f64 = t.iter().sum::<f64>() * 60.0;
         assert!((total - 3.0 * 355.0).abs() < 1e-9);

@@ -28,7 +28,10 @@ pub struct IoAwareConfig {
 
 impl Default for IoAwareConfig {
     fn default() -> Self {
-        IoAwareConfig { bandwidth_budget: 1.0e9, max_io_delay: 4 * 3600 }
+        IoAwareConfig {
+            bandwidth_budget: 1.0e9,
+            max_io_delay: 4 * 3600,
+        }
     }
 }
 
@@ -90,10 +93,7 @@ impl IoAwareEngine {
     /// Run to completion and return the schedule.
     pub fn drain(mut self) -> Schedule {
         while !self.running.is_empty() || !self.queue.is_empty() {
-            let target = self
-                .next_event()
-                .unwrap_or(self.now)
-                .max(self.now + 1);
+            let target = self.next_event().unwrap_or(self.now).max(self.now + 1);
             self.advance_to(target);
         }
         let mut entries = self.finished;
@@ -185,7 +185,9 @@ impl IoAwareEngine {
         // IO-gated head does not block IO-free successors (that reordering
         // *is* the policy), but a node-blocked head keeps its reservation.
         loop {
-            let Some(head) = self.queue.front() else { return };
+            let Some(head) = self.queue.front() else {
+                return;
+            };
             let mut job = *head;
             job.nodes = job.nodes.min(self.total_nodes);
             if job.nodes <= self.free_nodes && self.io_admits(&job) {
@@ -195,12 +197,17 @@ impl IoAwareEngine {
                 break;
             }
         }
-        let Some(head) = self.queue.front().copied() else { return };
+        let Some(head) = self.queue.front().copied() else {
+            return;
+        };
 
         // Shadow time for the head (estimated ends of running jobs).
         let head_nodes = head.nodes.min(self.total_nodes);
-        let mut ends: Vec<(u64, u32)> =
-            self.running.iter().map(|r| (r.end.max(self.now), r.nodes)).collect();
+        let mut ends: Vec<(u64, u32)> = self
+            .running
+            .iter()
+            .map(|r| (r.end.max(self.now), r.nodes))
+            .collect();
         ends.sort_unstable();
         let mut avail = self.free_nodes;
         let mut shadow = u64::MAX;
@@ -249,7 +256,13 @@ mod tests {
     use super::*;
 
     fn job(id: u64, submit: u64, nodes: u32, runtime: u64) -> SimJob {
-        SimJob { id, submit, nodes, runtime, estimate: runtime }
+        SimJob {
+            id,
+            submit,
+            nodes,
+            runtime,
+            estimate: runtime,
+        }
     }
 
     fn bw(entries: &[(u64, f64)]) -> HashMap<u64, f64> {
@@ -266,16 +279,25 @@ mod tests {
 
     #[test]
     fn second_io_heavy_job_waits_for_budget() {
-        let cfg = IoAwareConfig { bandwidth_budget: 100.0, max_io_delay: 100_000 };
+        let cfg = IoAwareConfig {
+            bandwidth_budget: 100.0,
+            max_io_delay: 100_000,
+        };
         let jobs = [job(0, 0, 2, 100), job(1, 1, 2, 100)];
         let s = simulate_io_aware(10, &jobs, cfg, bw(&[(0, 80.0), (1, 80.0)]));
         assert_eq!(s.entries[0].start, 0);
-        assert_eq!(s.entries[1].start, 100, "gated until job 0 releases bandwidth");
+        assert_eq!(
+            s.entries[1].start, 100,
+            "gated until job 0 releases bandwidth"
+        );
     }
 
     #[test]
     fn io_free_job_overtakes_gated_head() {
-        let cfg = IoAwareConfig { bandwidth_budget: 100.0, max_io_delay: 100_000 };
+        let cfg = IoAwareConfig {
+            bandwidth_budget: 100.0,
+            max_io_delay: 100_000,
+        };
         let jobs = [
             job(0, 0, 2, 100), // heavy, runs
             job(1, 1, 2, 50),  // heavy, gated
@@ -288,7 +310,10 @@ mod tests {
 
     #[test]
     fn starvation_guard_eventually_admits() {
-        let cfg = IoAwareConfig { bandwidth_budget: 100.0, max_io_delay: 30 };
+        let cfg = IoAwareConfig {
+            bandwidth_budget: 100.0,
+            max_io_delay: 30,
+        };
         let jobs = [job(0, 0, 2, 1_000), job(1, 1, 2, 50)];
         let s = simulate_io_aware(10, &jobs, cfg, bw(&[(0, 80.0), (1, 80.0)]));
         // Job 1 would wait 999s for bandwidth, but the guard admits at ~31s.
@@ -297,9 +322,13 @@ mod tests {
 
     #[test]
     fn node_capacity_still_respected_under_io_gating() {
-        let cfg = IoAwareConfig { bandwidth_budget: 1e12, max_io_delay: 10 };
-        let jobs: Vec<SimJob> =
-            (0..60).map(|i| job(i, i, 1 + (i % 6) as u32, 30 + (i * 11) % 90)).collect();
+        let cfg = IoAwareConfig {
+            bandwidth_budget: 1e12,
+            max_io_delay: 10,
+        };
+        let jobs: Vec<SimJob> = (0..60)
+            .map(|i| job(i, i, 1 + (i % 6) as u32, 30 + (i * 11) % 90))
+            .collect();
         let bws: HashMap<u64, f64> = (0..60).map(|i| (i, 1e6 * (i % 7) as f64)).collect();
         let s = simulate_io_aware(12, &jobs, cfg, bws);
         let mut events: Vec<(u64, i64)> = Vec::new();
@@ -317,7 +346,10 @@ mod tests {
 
     #[test]
     fn budget_caps_predicted_concurrent_bandwidth_before_guard_kicks_in() {
-        let cfg = IoAwareConfig { bandwidth_budget: 150.0, max_io_delay: 1_000_000 };
+        let cfg = IoAwareConfig {
+            bandwidth_budget: 150.0,
+            max_io_delay: 1_000_000,
+        };
         let jobs: Vec<SimJob> = (0..10).map(|i| job(i, i, 1, 500)).collect();
         let bws: HashMap<u64, f64> = (0..10).map(|i| (i, 60.0)).collect();
         let s = simulate_io_aware(64, &jobs, cfg, bws.clone());
@@ -328,7 +360,7 @@ mod tests {
             events.push((e.end, -bws[&e.id]));
         }
         // Process releases before grabs at identical instants.
-        events.sort_by(|a, b| (a.0, a.1 >= 0.0).cmp(&(b.0, b.1 >= 0.0)));
+        events.sort_by_key(|a| (a.0, a.1 >= 0.0));
         let mut cur = 0.0;
         for (_, d) in events {
             cur += d;
@@ -338,7 +370,10 @@ mod tests {
 
     #[test]
     fn all_jobs_complete_even_when_everything_is_gated() {
-        let cfg = IoAwareConfig { bandwidth_budget: 10.0, max_io_delay: 60 };
+        let cfg = IoAwareConfig {
+            bandwidth_budget: 10.0,
+            max_io_delay: 60,
+        };
         let jobs: Vec<SimJob> = (0..5).map(|i| job(i, i, 1, 100)).collect();
         let bws: HashMap<u64, f64> = (0..5).map(|i| (i, 50.0)).collect();
         let s = simulate_io_aware(8, &jobs, cfg, bws);

@@ -33,9 +33,8 @@ pub fn predict_turnarounds(
     for job in &sorted {
         engine.submit(*job);
         // Snapshot with predictions and roll forward until this job is done.
-        let fork = engine.fork_with_predictions(|id| {
-            predicted_runtime.get(&id).copied().unwrap_or(1).max(1)
-        });
+        let fork = engine
+            .fork_with_predictions(|id| predicted_runtime.get(&id).copied().unwrap_or(1).max(1));
         let done = fork
             .run_until_finished(job.id)
             .expect("submitted job must eventually finish in its own snapshot");
@@ -43,8 +42,11 @@ pub fn predict_turnarounds(
     }
 
     let schedule = engine.drain();
-    let actual: HashMap<u64, u64> =
-        schedule.entries.iter().map(|e| (e.id, e.turnaround())).collect();
+    let actual: HashMap<u64, u64> = schedule
+        .entries
+        .iter()
+        .map(|e| (e.id, e.turnaround()))
+        .collect();
 
     sorted
         .iter()
@@ -57,7 +59,13 @@ mod tests {
     use super::*;
 
     fn job(id: u64, submit: u64, nodes: u32, runtime: u64, estimate: u64) -> SimJob {
-        SimJob { id, submit, nodes, runtime, estimate }
+        SimJob {
+            id,
+            submit,
+            nodes,
+            runtime,
+            estimate,
+        }
     }
 
     fn exact_predictions(jobs: &[SimJob]) -> HashMap<u64, u64> {
@@ -97,7 +105,10 @@ mod tests {
         let out = predict_turnarounds(8, &jobs, &tiny);
         let (actual, pred) = out[1];
         assert_eq!(actual, 199);
-        assert!(pred < actual, "underpredicted runtimes give short turnarounds ({pred})");
+        assert!(
+            pred < actual,
+            "underpredicted runtimes give short turnarounds ({pred})"
+        );
     }
 
     #[test]
@@ -111,7 +122,10 @@ mod tests {
         let out = predict_turnarounds(8, &jobs, &preds);
         let (actual, pred) = out[1];
         assert_eq!(actual, 600); // waits until t=1000, runs 100
-        assert!(pred <= 110, "snapshot believed job 0 ends imminently ({pred})");
+        assert!(
+            pred <= 110,
+            "snapshot believed job 0 ends imminently ({pred})"
+        );
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Little-endian primitives for section payloads.
+//!
+//! Sections hold structured data (configs, bin edges, tensor blobs); this
+//! module gives both sides a shared, bounds-checked encoding so a flipped
+//! byte inside a payload surfaces as a [`StoreError`] during decode, never
+//! as a panic or an out-of-bounds slice.
+
+use crate::{Result, StoreError};
+
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u128(buf: &mut Vec<u8>, v: u128) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+/// Length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Length-prefixed raw bytes.
+pub fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+/// Length-prefixed f32 buffer, element-wise little-endian.
+///
+/// On little-endian targets this is a straight memcpy of the buffer's byte
+/// view; on big-endian targets elements are swapped individually, so the
+/// on-disk format is identical everywhere.
+pub fn put_f32_slice(buf: &mut Vec<u8>, values: &[f32]) {
+    put_u64(buf, values.len() as u64);
+    #[cfg(target_endian = "little")]
+    {
+        let bytes: &[u8] = unsafe {
+            // f32 has no padding or invalid bit patterns when viewed as bytes.
+            std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 4)
+        };
+        buf.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Length-prefixed list of u64 values.
+pub fn put_u64_slice(buf: &mut Vec<u8>, values: &[u64]) {
+    put_u64(buf, values.len() as u64);
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked reader over a payload slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_at_end(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Error unless the payload was consumed exactly.
+    pub fn expect_end(&self, context: &str) -> Result<()> {
+        if self.is_at_end() {
+            Ok(())
+        } else {
+            Err(StoreError::Corrupt(format!(
+                "{context}: {} unexpected trailing bytes",
+                self.remaining()
+            )))
+        }
+    }
+
+    pub fn get_bytes(&mut self, len: usize, what: &'static str) -> Result<&'a [u8]> {
+        if len > self.remaining() {
+            return Err(StoreError::Truncated(what));
+        }
+        let out = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    pub fn get_array<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N]> {
+        Ok(self.get_bytes(N, what)?.try_into().expect("length checked"))
+    }
+
+    pub fn get_u8(&mut self, what: &'static str) -> Result<u8> {
+        Ok(self.get_array::<1>(what)?[0])
+    }
+
+    pub fn get_bool(&mut self, what: &'static str) -> Result<bool> {
+        match self.get_u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(StoreError::Corrupt(format!(
+                "{what}: invalid bool byte {v}"
+            ))),
+        }
+    }
+
+    pub fn get_u32(&mut self, what: &'static str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.get_array::<4>(what)?))
+    }
+
+    pub fn get_u64(&mut self, what: &'static str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.get_array::<8>(what)?))
+    }
+
+    pub fn get_u128(&mut self, what: &'static str) -> Result<u128> {
+        Ok(u128::from_le_bytes(self.get_array::<16>(what)?))
+    }
+
+    pub fn get_f64(&mut self, what: &'static str) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.get_array::<8>(what)?))
+    }
+
+    pub fn get_usize(&mut self, what: &'static str) -> Result<usize> {
+        let v = self.get_u64(what)?;
+        usize::try_from(v)
+            .map_err(|_| StoreError::Corrupt(format!("{what}: value {v} overflows usize")))
+    }
+
+    /// Length-prefixed UTF-8 string (see [`put_str`]).
+    pub fn get_str(&mut self, what: &'static str) -> Result<&'a str> {
+        let len = self.get_u32(what)? as usize;
+        let bytes = self.get_bytes(len, what)?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| StoreError::Corrupt(format!("{what}: invalid UTF-8")))
+    }
+
+    /// Length-prefixed f32 buffer (see [`put_f32_slice`]).
+    pub fn get_f32_vec(&mut self, what: &'static str) -> Result<Vec<f32>> {
+        let len = self.get_usize(what)?;
+        let byte_len = len
+            .checked_mul(4)
+            .ok_or_else(|| StoreError::Corrupt(format!("{what}: length {len} overflows")))?;
+        let bytes = self.get_bytes(byte_len, what)?;
+        let mut out = Vec::with_capacity(len);
+        for chunk in bytes.chunks_exact(4) {
+            out.push(f32::from_le_bytes(chunk.try_into().expect("chunked by 4")));
+        }
+        Ok(out)
+    }
+
+    /// Length-prefixed u64 list (see [`put_u64_slice`]).
+    pub fn get_u64_vec(&mut self, what: &'static str) -> Result<Vec<u64>> {
+        let len = self.get_usize(what)?;
+        let byte_len = len
+            .checked_mul(8)
+            .ok_or_else(|| StoreError::Corrupt(format!("{what}: length {len} overflows")))?;
+        let bytes = self.get_bytes(byte_len, what)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("chunked by 8")))
+            .collect())
+    }
+
+    /// Length-prefixed raw bytes (see [`put_bytes`]).
+    pub fn get_byte_vec(&mut self, what: &'static str) -> Result<&'a [u8]> {
+        let len = self.get_usize(what)?;
+        self.get_bytes(len, what)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_bool(&mut buf, true);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_u128(&mut buf, u128::MAX / 7);
+        put_f64(&mut buf, -1.25e300);
+        put_str(&mut buf, "layer/0.w");
+        put_f32_slice(&mut buf, &[1.5, -2.5, f32::MIN_POSITIVE]);
+        put_u64_slice(&mut buf, &[1, 2, 3]);
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8("a").unwrap(), 7);
+        assert!(r.get_bool("b").unwrap());
+        assert_eq!(r.get_u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64("d").unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_u128("e").unwrap(), u128::MAX / 7);
+        assert_eq!(r.get_f64("f").unwrap(), -1.25e300);
+        assert_eq!(r.get_str("g").unwrap(), "layer/0.w");
+        assert_eq!(
+            r.get_f32_vec("h").unwrap(),
+            vec![1.5, -2.5, f32::MIN_POSITIVE]
+        );
+        assert_eq!(r.get_u64_vec("i").unwrap(), vec![1, 2, 3]);
+        r.expect_end("test payload").unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut buf = Vec::new();
+        put_f32_slice(&mut buf, &[1.0, 2.0, 3.0]);
+        for len in 0..buf.len() {
+            let mut r = Reader::new(&buf[..len]);
+            assert!(r.get_f32_vec("x").is_err(), "prefix {len} should fail");
+        }
+    }
+
+    #[test]
+    fn invalid_bool_is_corrupt_not_panic() {
+        let mut r = Reader::new(&[2]);
+        assert!(matches!(r.get_bool("flag"), Err(StoreError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests on the checkpoint container: serialisation is a stable
+//! bijection, and *any* single-byte corruption is detected as an error —
+//! parsing never panics and never silently accepts a damaged file.
+
+use prionn_store::Checkpoint;
+use proptest::prelude::*;
+
+/// Build a checkpoint from (name, payload) pairs, skipping duplicate names
+/// (the random strategy may repeat a name; `insert` rejects that by design).
+fn build(sections: &[(String, Vec<u8>)]) -> Checkpoint {
+    let mut ck = Checkpoint::new();
+    for (name, payload) in sections {
+        if !ck.contains(name) {
+            ck.insert(name.clone(), payload.clone())
+                .expect("fresh name");
+        }
+    }
+    ck
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Serialise → parse → serialise is byte-identical for arbitrary
+    // section names and binary payloads (including empty ones).
+    #[test]
+    fn to_bytes_from_bytes_is_a_byte_identical_round_trip(
+        sections in proptest::collection::vec(
+            ("[a-z]{1,12}", proptest::collection::vec(0u8..255, 0usize..256)),
+            0usize..6,
+        )
+    ) {
+        let ck = build(&sections);
+        let bytes = ck.to_bytes();
+        let parsed = Checkpoint::from_bytes(&bytes).expect("own bytes parse");
+        prop_assert_eq!(parsed.len(), ck.len());
+        for name in ck.section_names() {
+            prop_assert_eq!(parsed.get(name), ck.get(name), "section {} diverged", name);
+        }
+        prop_assert_eq!(parsed.to_bytes(), bytes);
+    }
+
+    // Flipping any single byte anywhere in the file makes parsing fail
+    // cleanly: the magic, version, lengths and per-section CRCs between
+    // them cover every byte of the layout.
+    #[test]
+    fn any_single_flipped_byte_is_rejected(
+        sections in proptest::collection::vec(
+            ("[a-z]{1,12}", proptest::collection::vec(0u8..255, 1usize..64)),
+            1usize..4,
+        ),
+        offset_seed in 0usize..1_000_000,
+        flip in 1u8..255,
+    ) {
+        let bytes = build(&sections).to_bytes();
+        let offset = offset_seed % bytes.len();
+        let mut bad = bytes.clone();
+        bad[offset] ^= flip;
+        prop_assert!(
+            Checkpoint::from_bytes(&bad).is_err(),
+            "flip of byte {} (xor {:#04x}) went undetected", offset, flip
+        );
+    }
+
+    // Truncating the file at any point is also an error, not a panic.
+    #[test]
+    fn any_truncation_is_rejected(
+        sections in proptest::collection::vec(
+            ("[a-z]{1,12}", proptest::collection::vec(0u8..255, 1usize..64)),
+            1usize..4,
+        ),
+        cut_seed in 0usize..1_000_000,
+    ) {
+        let bytes = build(&sections).to_bytes();
+        let cut = cut_seed % bytes.len(); // strictly shorter than the file
+        prop_assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err());
+    }
+}

@@ -50,13 +50,26 @@ impl fmt::Display for TensorError {
                 write!(f, "{op}: shape mismatch between {lhs:?} and {rhs:?}")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer holds {actual} elements but shape implies {expected}")
+                write!(
+                    f,
+                    "buffer holds {actual} elements but shape implies {expected}"
+                )
             }
             TensorError::IndexOutOfBounds { axis, index, len } => {
-                write!(f, "index {index} out of bounds for axis {axis} of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for axis {axis} of length {len}"
+                )
             }
-            TensorError::RankMismatch { op, expected, actual } => {
-                write!(f, "{op}: expected rank-{expected} tensor, got rank {actual}")
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "{op}: expected rank-{expected} tensor, got rank {actual}"
+                )
             }
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }

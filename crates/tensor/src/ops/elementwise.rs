@@ -16,21 +16,36 @@ fn check_same(op: &'static str, a: &Tensor, b: &Tensor) -> Result<()> {
 /// `a + b`, elementwise.
 pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_same("add", a, b)?;
-    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x + y).collect();
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| x + y)
+        .collect();
     Tensor::from_vec(a.shape().clone(), data)
 }
 
 /// `a - b`, elementwise.
 pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_same("sub", a, b)?;
-    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x - y).collect();
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| x - y)
+        .collect();
     Tensor::from_vec(a.shape().clone(), data)
 }
 
 /// Hadamard (elementwise) product `a ⊙ b`.
 pub fn hadamard(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_same("hadamard", a, b)?;
-    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x * y).collect();
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| x * y)
+        .collect();
     Tensor::from_vec(a.shape().clone(), data)
 }
 

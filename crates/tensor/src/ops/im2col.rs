@@ -45,7 +45,16 @@ impl Conv2dGeom {
         stride: usize,
         padding: usize,
     ) -> Result<Self> {
-        Self::with_padding(in_channels, in_h, in_w, kernel_h, kernel_w, stride, padding, padding)
+        Self::with_padding(
+            in_channels,
+            in_h,
+            in_w,
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+            padding,
+        )
     }
 
     /// Validate a geometry with independent per-axis padding.
@@ -64,12 +73,23 @@ impl Conv2dGeom {
             return Err(TensorError::InvalidArgument("zero-sized conv input".into()));
         }
         if kernel_h == 0 || kernel_w == 0 {
-            return Err(TensorError::InvalidArgument("zero-sized conv kernel".into()));
+            return Err(TensorError::InvalidArgument(
+                "zero-sized conv kernel".into(),
+            ));
         }
         if stride == 0 {
             return Err(TensorError::InvalidArgument("zero conv stride".into()));
         }
-        let g = Conv2dGeom { in_channels, in_h, in_w, kernel_h, kernel_w, stride, pad_h, pad_w };
+        let g = Conv2dGeom {
+            in_channels,
+            in_h,
+            in_w,
+            kernel_h,
+            kernel_w,
+            stride,
+            pad_h,
+            pad_w,
+        };
         if kernel_h > in_h + 2 * pad_h || kernel_w > in_w + 2 * pad_w {
             return Err(TensorError::InvalidArgument(format!(
                 "kernel {kernel_h}x{kernel_w} stride {stride} pad {pad_h}/{pad_w} does not fit {in_h}x{in_w}"
@@ -108,7 +128,10 @@ impl Conv2dGeom {
 pub fn im2col(x: &[f32], g: &Conv2dGeom) -> Result<Tensor> {
     let expected = g.in_channels * g.in_h * g.in_w;
     if x.len() != expected {
-        return Err(TensorError::LengthMismatch { expected, actual: x.len() });
+        return Err(TensorError::LengthMismatch {
+            expected,
+            actual: x.len(),
+        });
     }
     let (oh, ow) = (g.out_h(), g.out_w());
     let rows = g.col_rows();
@@ -198,7 +221,10 @@ mod tests {
         assert!(Conv2dGeom::new(0, 4, 4, 2, 2, 1, 0).is_err());
         assert!(Conv2dGeom::new(1, 4, 4, 0, 2, 1, 0).is_err());
         assert!(Conv2dGeom::new(1, 4, 4, 2, 2, 0, 0).is_err());
-        assert!(Conv2dGeom::new(1, 2, 2, 5, 5, 1, 0).is_err(), "kernel larger than padded input");
+        assert!(
+            Conv2dGeom::new(1, 2, 2, 5, 5, 1, 0).is_err(),
+            "kernel larger than padded input"
+        );
     }
 
     #[test]
@@ -262,8 +288,15 @@ mod tests {
             .map(|(&a, &b)| (a as f64) * (b as f64))
             .sum();
         let back = col2im(&y, &g).unwrap();
-        let rhs: f64 = x.iter().zip(&back).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
-        assert!((lhs - rhs).abs() < 1e-6 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        let rhs: f64 = x
+            .iter()
+            .zip(&back)
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-6 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@ const PAR_THRESHOLD: usize = 64 * 64;
 
 fn check2(op: &'static str, t: &Tensor) -> Result<(usize, usize)> {
     if t.rank() != 2 {
-        return Err(TensorError::RankMismatch { op, expected: 2, actual: t.rank() });
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.rank(),
+        });
     }
     Ok((t.dims()[0], t.dims()[1]))
 }
@@ -148,14 +152,20 @@ mod tests {
     fn matmul_rejects_inner_mismatch() {
         let a = Tensor::zeros([2, 3]);
         let b = Tensor::zeros([2, 2]);
-        assert!(matches!(matmul(&a, &b), Err(TensorError::ShapeMismatch { .. })));
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
     fn matmul_rejects_rank1() {
         let a = Tensor::zeros([3]);
         let b = Tensor::zeros([3, 2]);
-        assert!(matches!(matmul(&a, &b), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]
@@ -179,8 +189,12 @@ mod tests {
         // 200x120x90 exceeds the parallel threshold; check against a naive
         // triple loop on a deterministic pattern.
         let (m, k, n) = (200usize, 120usize, 90usize);
-        let a_data: Vec<f32> = (0..m * k).map(|i| ((i * 7 + 3) % 13) as f32 - 6.0).collect();
-        let b_data: Vec<f32> = (0..k * n).map(|i| ((i * 5 + 1) % 11) as f32 - 5.0).collect();
+        let a_data: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 7 + 3) % 13) as f32 - 6.0)
+            .collect();
+        let b_data: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 5 + 1) % 11) as f32 - 5.0)
+            .collect();
         let a = Tensor::from_vec([m, k], a_data.clone()).unwrap();
         let b = Tensor::from_vec([k, n], b_data.clone()).unwrap();
         let c = matmul(&a, &b).unwrap();

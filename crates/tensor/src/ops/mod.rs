@@ -7,5 +7,5 @@ pub mod reduce;
 
 pub use elementwise::{add, add_assign, axpy, hadamard, scale, sub};
 pub use im2col::{col2im, im2col, Conv2dGeom};
-pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
 pub use reduce::{argmax_rows, col_sums, max, mean, row_sums, sum};

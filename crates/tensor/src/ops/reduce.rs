@@ -27,16 +27,27 @@ pub fn max(t: &Tensor) -> Option<f32> {
 /// Per-row sums of a rank-2 tensor.
 pub fn row_sums(t: &Tensor) -> Result<Vec<f32>> {
     if t.rank() != 2 {
-        return Err(TensorError::RankMismatch { op: "row_sums", expected: 2, actual: t.rank() });
+        return Err(TensorError::RankMismatch {
+            op: "row_sums",
+            expected: 2,
+            actual: t.rank(),
+        });
     }
     let cols = t.dims()[1];
-    Ok(t.as_slice().chunks(cols).map(|row| row.iter().sum()).collect())
+    Ok(t.as_slice()
+        .chunks(cols)
+        .map(|row| row.iter().sum())
+        .collect())
 }
 
 /// Per-column sums of a rank-2 tensor (bias gradients).
 pub fn col_sums(t: &Tensor) -> Result<Vec<f32>> {
     if t.rank() != 2 {
-        return Err(TensorError::RankMismatch { op: "col_sums", expected: 2, actual: t.rank() });
+        return Err(TensorError::RankMismatch {
+            op: "col_sums",
+            expected: 2,
+            actual: t.rank(),
+        });
     }
     let (rows, cols) = (t.dims()[0], t.dims()[1]);
     let mut out = vec![0.0f32; cols];
@@ -54,11 +65,17 @@ pub fn col_sums(t: &Tensor) -> Result<Vec<f32>> {
 /// decoding the classifier head's most likely bin.
 pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>> {
     if t.rank() != 2 {
-        return Err(TensorError::RankMismatch { op: "argmax_rows", expected: 2, actual: t.rank() });
+        return Err(TensorError::RankMismatch {
+            op: "argmax_rows",
+            expected: 2,
+            actual: t.rank(),
+        });
     }
     let cols = t.dims()[1];
     if cols == 0 {
-        return Err(TensorError::InvalidArgument("argmax over zero columns".into()));
+        return Err(TensorError::InvalidArgument(
+            "argmax over zero columns".into(),
+        ));
     }
     Ok(t.as_slice()
         .chunks(cols)

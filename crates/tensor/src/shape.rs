@@ -70,7 +70,11 @@ impl Shape {
         for axis in (0..self.rank()).rev() {
             let (i, len) = (index[axis], self.0[axis]);
             if i >= len {
-                return Err(TensorError::IndexOutOfBounds { axis, index: i, len });
+                return Err(TensorError::IndexOutOfBounds {
+                    axis,
+                    index: i,
+                    len,
+                });
             }
             off += i * stride;
             stride *= len;
@@ -137,14 +141,21 @@ mod tests {
         let s = Shape::from([2, 3]);
         assert!(matches!(
             s.offset(&[2, 0]),
-            Err(TensorError::IndexOutOfBounds { axis: 0, index: 2, len: 2 })
+            Err(TensorError::IndexOutOfBounds {
+                axis: 0,
+                index: 2,
+                len: 2
+            })
         ));
     }
 
     #[test]
     fn offset_rejects_wrong_rank() {
         let s = Shape::from([2, 3]);
-        assert!(matches!(s.offset(&[1]), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            s.offset(&[1]),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]

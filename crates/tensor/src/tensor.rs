@@ -20,14 +20,20 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let len = shape.len();
-        Tensor { shape, data: vec![0.0; len] }
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let len = shape.len();
-        Tensor { shape, data: vec![value; len] }
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
     }
 
     /// Build a tensor from an existing buffer; the buffer length must match
@@ -35,14 +41,20 @@ impl Tensor {
     pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
         let shape = shape.into();
         if shape.len() != data.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.len(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
 
     /// A rank-1 tensor holding `data`.
     pub fn from_slice(data: &[f32]) -> Self {
-        Tensor { shape: Shape::from([data.len()]), data: data.to_vec() }
+        Tensor {
+            shape: Shape::from([data.len()]),
+            data: data.to_vec(),
+        }
     }
 
     /// The shape.
@@ -117,19 +129,33 @@ impl Tensor {
     pub fn reshape(self, shape: impl Into<Shape>) -> Result<Self> {
         let shape = shape.into();
         if shape.len() != self.data.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.len(), actual: self.data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: self.data.len(),
+            });
         }
-        Ok(Tensor { shape, data: self.data })
+        Ok(Tensor {
+            shape,
+            data: self.data,
+        })
     }
 
     /// Borrow one row of a rank-2 tensor.
     pub fn row(&self, row: usize) -> Result<&[f32]> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "row", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "row",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
         if row >= rows {
-            return Err(TensorError::IndexOutOfBounds { axis: 0, index: row, len: rows });
+            return Err(TensorError::IndexOutOfBounds {
+                axis: 0,
+                index: row,
+                len: rows,
+            });
         }
         Ok(&self.data[row * cols..(row + 1) * cols])
     }
@@ -137,11 +163,19 @@ impl Tensor {
     /// Mutably borrow one row of a rank-2 tensor.
     pub fn row_mut(&mut self, row: usize) -> Result<&mut [f32]> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "row_mut", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "row_mut",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
         if row >= rows {
-            return Err(TensorError::IndexOutOfBounds { axis: 0, index: row, len: rows });
+            return Err(TensorError::IndexOutOfBounds {
+                axis: 0,
+                index: row,
+                len: rows,
+            });
         }
         Ok(&mut self.data[row * cols..(row + 1) * cols])
     }
@@ -152,11 +186,19 @@ impl Tensor {
     /// Used to carve minibatches out of a dataset tensor.
     pub fn slice_axis0(&self, start: usize, end: usize) -> Result<Tensor> {
         if self.rank() == 0 {
-            return Err(TensorError::RankMismatch { op: "slice_axis0", expected: 1, actual: 0 });
+            return Err(TensorError::RankMismatch {
+                op: "slice_axis0",
+                expected: 1,
+                actual: 0,
+            });
         }
         let n = self.shape.dim(0);
         if start > end || end > n {
-            return Err(TensorError::IndexOutOfBounds { axis: 0, index: end, len: n });
+            return Err(TensorError::IndexOutOfBounds {
+                axis: 0,
+                index: end,
+                len: n,
+            });
         }
         let inner: usize = self.shape.dims()[1..].iter().product();
         let mut dims = self.shape.dims().to_vec();
@@ -172,14 +214,22 @@ impl Tensor {
     /// Used to assemble shuffled minibatches from a dataset tensor.
     pub fn gather_axis0(&self, indices: &[usize]) -> Result<Tensor> {
         if self.rank() == 0 {
-            return Err(TensorError::RankMismatch { op: "gather_axis0", expected: 1, actual: 0 });
+            return Err(TensorError::RankMismatch {
+                op: "gather_axis0",
+                expected: 1,
+                actual: 0,
+            });
         }
         let n = self.shape.dim(0);
         let inner: usize = self.shape.dims()[1..].iter().product();
         let mut data = Vec::with_capacity(indices.len() * inner);
         for &i in indices {
             if i >= n {
-                return Err(TensorError::IndexOutOfBounds { axis: 0, index: i, len: n });
+                return Err(TensorError::IndexOutOfBounds {
+                    axis: 0,
+                    index: i,
+                    len: n,
+                });
             }
             data.extend_from_slice(&self.data[i * inner..(i + 1) * inner]);
         }
@@ -191,9 +241,9 @@ impl Tensor {
     /// Stack rank-`k` tensors with identical shapes into one rank-`k+1`
     /// tensor along a new leading axis.
     pub fn stack(items: &[Tensor]) -> Result<Tensor> {
-        let first = items.first().ok_or_else(|| {
-            TensorError::InvalidArgument("stack of zero tensors".to_string())
-        })?;
+        let first = items
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("stack of zero tensors".to_string()))?;
         let mut data = Vec::with_capacity(first.len() * items.len());
         for t in items {
             if t.shape != first.shape {
@@ -207,13 +257,20 @@ impl Tensor {
         }
         let mut dims = vec![items.len()];
         dims.extend_from_slice(first.dims());
-        Ok(Tensor { shape: Shape::from(dims), data })
+        Ok(Tensor {
+            shape: Shape::from(dims),
+            data,
+        })
     }
 
     /// Transpose a rank-2 tensor.
     pub fn transpose2(&self) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "transpose2", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "transpose2",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (r, c) = (self.shape.dim(0), self.shape.dim(1));
         let mut out = vec![0.0f32; r * c];
@@ -234,12 +291,55 @@ impl Tensor {
 
     /// A new tensor with `f` applied elementwise.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Fill with zeros, retaining the allocation.
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Serialise the element buffer as little-endian bytes (4 per element,
+    /// row-major order). On little-endian targets this is a plain view of
+    /// the storage; the shape is *not* included — persist it separately and
+    /// rebuild with [`Tensor::from_le_bytes`].
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        #[cfg(target_endian = "little")]
+        {
+            // f32 has no padding and every bit pattern is a valid byte view.
+            unsafe {
+                std::slice::from_raw_parts(self.data.as_ptr().cast::<u8>(), self.data.len() * 4)
+            }
+            .to_vec()
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            let mut out = Vec::with_capacity(self.data.len() * 4);
+            for v in &self.data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out
+        }
+    }
+
+    /// Rebuild a tensor from [`Tensor::to_le_bytes`] output and its shape.
+    /// The byte count must be exactly `4 ×` the element count of `shape`.
+    pub fn from_le_bytes(shape: impl Into<Shape>, bytes: &[u8]) -> Result<Self> {
+        let shape = shape.into();
+        if bytes.len() != shape.len() * 4 {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len() * 4,
+                actual: bytes.len(),
+            });
+        }
+        let data = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("chunked by 4")))
+            .collect();
+        Ok(Tensor { shape, data })
     }
 }
 
@@ -252,8 +352,31 @@ mod tests {
         assert!(Tensor::from_vec([2, 2], vec![1.0; 4]).is_ok());
         assert!(matches!(
             Tensor::from_vec([2, 2], vec![1.0; 5]),
-            Err(TensorError::LengthMismatch { expected: 4, actual: 5 })
+            Err(TensorError::LengthMismatch {
+                expected: 4,
+                actual: 5
+            })
         ));
+    }
+
+    #[test]
+    fn le_byte_view_round_trips_every_bit() {
+        let t =
+            Tensor::from_vec([2, 3], vec![1.5, -0.0, f32::MIN_POSITIVE, 3e38, -7.25, 0.1]).unwrap();
+        let bytes = t.to_le_bytes();
+        assert_eq!(bytes.len(), 24);
+        let back = Tensor::from_le_bytes([2, 3], &bytes).unwrap();
+        // Bit-exact, not just approximately equal.
+        for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn from_le_bytes_rejects_wrong_length() {
+        assert!(Tensor::from_le_bytes([2, 2], &[0u8; 15]).is_err());
+        assert!(Tensor::from_le_bytes([2, 2], &[0u8; 17]).is_err());
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests for the tensor kernels.
 
-use proptest::prelude::*;
 use prionn_tensor::ops::{self, Conv2dGeom};
 use prionn_tensor::Tensor;
+use proptest::prelude::*;
 
 fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
     proptest::collection::vec(-100.0f32..100.0, rows * cols)

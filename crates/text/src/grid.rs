@@ -54,7 +54,11 @@ impl ScriptGrid {
 
     /// Fraction of cells that are padding/whitespace.
     pub fn whitespace_fraction(&self) -> f64 {
-        let spaces = self.cells.iter().filter(|&&c| c == b' ' || c == b'\t').count();
+        let spaces = self
+            .cells
+            .iter()
+            .filter(|&&c| c == b' ' || c == b'\t')
+            .count();
         spaces as f64 / self.cells.len().max(1) as f64
     }
 }
@@ -89,7 +93,10 @@ pub fn crop_statistics(scripts: &[&str], rows: usize, cols: usize) -> (f64, f64)
             }
         }
     }
-    (tall as f64 / scripts.len() as f64, wide as f64 / lines.max(1) as f64)
+    (
+        tall as f64 / scripts.len() as f64,
+        wide as f64 / lines.max(1) as f64,
+    )
 }
 
 #[cfg(test)]

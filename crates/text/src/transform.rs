@@ -17,6 +17,14 @@ pub trait CharTransform: Send + Sync {
 
     /// Paper-style transform name.
     fn name(&self) -> &'static str;
+
+    /// Learned lookup table backing the transform, if any, as
+    /// `(dim, row-major VOCAB × dim weights)`. Parameter-free transforms
+    /// return `None`; word2vec returns its embedding table so checkpoints
+    /// can persist the trained encoder instead of retraining it on load.
+    fn export_table(&self) -> Option<(usize, Vec<f32>)> {
+        None
+    }
 }
 
 /// Which transform to use; mirrors the paper's four options.
@@ -34,8 +42,12 @@ pub enum TransformKind {
 
 impl TransformKind {
     /// The three parameter-free transforms plus word2vec, in paper order.
-    pub const ALL: [TransformKind; 4] =
-        [TransformKind::Binary, TransformKind::Simple, TransformKind::OneHot, TransformKind::Word2vec];
+    pub const ALL: [TransformKind; 4] = [
+        TransformKind::Binary,
+        TransformKind::Simple,
+        TransformKind::OneHot,
+        TransformKind::Word2vec,
+    ];
 
     /// Paper-style display label.
     pub fn label(&self) -> &'static str {

@@ -28,7 +28,14 @@ pub struct Word2vecConfig {
 
 impl Default for Word2vecConfig {
     fn default() -> Self {
-        Word2vecConfig { dim: 4, window: 2, negatives: 4, lr: 0.05, epochs: 2, seed: 0x77 }
+        Word2vecConfig {
+            dim: 4,
+            window: 2,
+            negatives: 4,
+            lr: 0.05,
+            epochs: 2,
+            seed: 0x77,
+        }
     }
 }
 
@@ -49,8 +56,9 @@ impl CharEmbedding {
         assert!(cfg.dim > 0, "embedding dim must be positive");
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let scale = 0.5 / cfg.dim as f32;
-        let mut input: Vec<f32> =
-            (0..VOCAB * cfg.dim).map(|_| rng.gen_range(-scale..scale)).collect();
+        let mut input: Vec<f32> = (0..VOCAB * cfg.dim)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
         let mut output = vec![0.0f32; VOCAB * cfg.dim];
 
         // Unigram distribution (3/4 power) for negative sampling.
@@ -80,8 +88,7 @@ impl CharEmbedding {
 
         for _ in 0..cfg.epochs.max(1) {
             for s in corpus {
-                let bytes: Vec<usize> =
-                    s.bytes().map(|b| (b as usize) % VOCAB).collect();
+                let bytes: Vec<usize> = s.bytes().map(|b| (b as usize) % VOCAB).collect();
                 for (i, &centre) in bytes.iter().enumerate() {
                     let lo = i.saturating_sub(cfg.window);
                     let hi = (i + cfg.window + 1).min(bytes.len());
@@ -98,9 +105,7 @@ impl CharEmbedding {
                                 (sample_negative(&mut rng), 0.0f32)
                             };
                             let (ci, oi) = (centre * dim, target * dim);
-                            let dot: f32 = (0..dim)
-                                .map(|d| input[ci + d] * output[oi + d])
-                                .sum();
+                            let dot: f32 = (0..dim).map(|d| input[ci + d] * output[oi + d]).sum();
                             let err = (sigmoid(dot) - label) * cfg.lr;
                             for d in 0..dim {
                                 grad_centre[d] += err * output[oi + d];
@@ -116,6 +121,17 @@ impl CharEmbedding {
             }
         }
         CharEmbedding { dim, table: input }
+    }
+
+    /// Rebuild an embedding from a persisted table (`VOCAB × dim`,
+    /// row-major, one row per ASCII character).
+    pub fn from_parts(dim: usize, table: Vec<f32>) -> Option<Self> {
+        (dim > 0 && table.len() == VOCAB * dim).then_some(CharEmbedding { dim, table })
+    }
+
+    /// The raw row-major `VOCAB × dim` table.
+    pub fn table(&self) -> &[f32] {
+        &self.table
     }
 
     /// Embedding width.
@@ -157,7 +173,9 @@ impl Word2vecTransform {
 
     /// Train an embedding on `corpus` and wrap it.
     pub fn train(corpus: &[&str], cfg: &Word2vecConfig) -> Self {
-        Word2vecTransform { emb: CharEmbedding::train(corpus, cfg) }
+        Word2vecTransform {
+            emb: CharEmbedding::train(corpus, cfg),
+        }
     }
 
     /// The underlying embedding table.
@@ -178,6 +196,10 @@ impl CharTransform for Word2vecTransform {
     fn name(&self) -> &'static str {
         "word2vec"
     }
+
+    fn export_table(&self) -> Option<(usize, Vec<f32>)> {
+        Some((self.emb.dim(), self.emb.table().to_vec()))
+    }
 }
 
 #[cfg(test)]
@@ -194,7 +216,11 @@ mod tests {
 
     #[test]
     fn trains_and_exposes_vectors_of_right_width() {
-        let cfg = Word2vecConfig { dim: 4, epochs: 1, ..Default::default() };
+        let cfg = Word2vecConfig {
+            dim: 4,
+            epochs: 1,
+            ..Default::default()
+        };
         let emb = CharEmbedding::train(&tiny_corpus(), &cfg);
         assert_eq!(emb.dim(), 4);
         assert_eq!(emb.vector(b'a').len(), 4);
@@ -223,7 +249,10 @@ mod tests {
             corpus.push_str("echo hello_world\n");
         }
         let scripts = [corpus.as_str()];
-        let cfg = Word2vecConfig { epochs: 4, ..Default::default() };
+        let cfg = Word2vecConfig {
+            epochs: 4,
+            ..Default::default()
+        };
         let emb = CharEmbedding::train(&scripts, &cfg);
         let digits = [b'1', b'3', b'5', b'7', b'9'];
         let letters = [b'e', b'h', b'l', b'o', b'w'];
@@ -267,8 +296,34 @@ mod tests {
     }
 
     #[test]
+    fn exported_table_rebuilds_an_identical_transform() {
+        let cfg = Word2vecConfig::default();
+        let t = Word2vecTransform::train(&tiny_corpus(), &cfg);
+        let (dim, table) = t.export_table().expect("word2vec has a table");
+        let rebuilt =
+            Word2vecTransform::new(CharEmbedding::from_parts(dim, table).expect("valid table"));
+        for c in 0u8..128 {
+            let mut a = vec![0.0f32; t.dim()];
+            let mut b = vec![0.0f32; rebuilt.dim()];
+            t.encode(c, &mut a);
+            rebuilt.encode(c, &mut b);
+            assert_eq!(a, b, "char {c}");
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_lengths() {
+        assert!(CharEmbedding::from_parts(4, vec![0.0; VOCAB * 4]).is_some());
+        assert!(CharEmbedding::from_parts(4, vec![0.0; VOCAB * 4 - 1]).is_none());
+        assert!(CharEmbedding::from_parts(0, Vec::new()).is_none());
+    }
+
+    #[test]
     fn cosine_is_bounded() {
-        let cfg = Word2vecConfig { epochs: 1, ..Default::default() };
+        let cfg = Word2vecConfig {
+            epochs: 1,
+            ..Default::default()
+        };
         let emb = CharEmbedding::train(&tiny_corpus(), &cfg);
         for a in [b'a', b'0', b'#'] {
             for b in [b'z', b'9', b' '] {

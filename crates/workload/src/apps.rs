@@ -47,7 +47,10 @@ impl AppTemplate {
     pub fn true_io_bytes(&self, size: f64, nodes: u32) -> (f64, f64) {
         let m = &self.model;
         let units = size * nodes as f64;
-        (m.read_bytes_per_unit * units, m.write_bytes_per_unit * units)
+        (
+            m.read_bytes_per_unit * units,
+            m.write_bytes_per_unit * units,
+        )
     }
 }
 
@@ -459,7 +462,11 @@ mod tests {
         for app in APP_LIBRARY {
             assert!(app.node_range.0 >= 1);
             assert!(app.node_range.0 <= app.node_range.1);
-            assert!(app.node_range.1 <= 256, "{} exceeds typical Cab allocations", app.name);
+            assert!(
+                app.node_range.1 <= 256,
+                "{} exceeds typical Cab allocations",
+                app.name
+            );
         }
     }
 

@@ -211,20 +211,18 @@ impl Trace {
                 // The user requests wall time from the app's *typical*
                 // runtime at these settings, padded and snapped.
                 let typical = app.true_runtime_minutes(size, nodes) * cfg.runtime_scale;
-                let requested_minutes = snap_request_minutes(
-                    typical * user.overestimate_factor,
-                    cfg.cap_minutes,
-                );
+                let requested_minutes =
+                    snap_request_minutes(typical * user.overestimate_factor, cfg.cap_minutes);
                 let requested_seconds = (requested_minutes * 60.0) as u64;
-                let script = render_script(
-                    app,
-                    &user.account,
+                let script =
+                    render_script(app, &user.account, size, nodes, run_id, requested_seconds);
+                let run = RunConfig {
+                    app_idx,
                     size,
                     nodes,
-                    run_id,
+                    script,
                     requested_seconds,
-                );
-                let run = RunConfig { app_idx, size, nodes, script, requested_seconds };
+                };
                 history.push(run.clone());
                 run
             };
@@ -235,10 +233,9 @@ impl Trace {
                 (0u64, 0.0, 0.0, 0.0)
             } else {
                 let noise = lognormal(cfg.runtime_noise_sigma, &mut rng);
-                let minutes = (app.true_runtime_minutes(run.size, run.nodes)
-                    * cfg.runtime_scale
-                    * noise)
-                    .clamp(0.5, cfg.cap_minutes);
+                let minutes =
+                    (app.true_runtime_minutes(run.size, run.nodes) * cfg.runtime_scale * noise)
+                        .clamp(0.5, cfg.cap_minutes);
                 let (r, w) = app.true_io_bytes(run.size, run.nodes);
                 // Power: idle floor plus a per-app compute intensity (a
                 // stable pseudo-random trait of the family), per node. The
@@ -247,8 +244,10 @@ impl Trace {
                 // of the trace stream.
                 let intensity = (app.name.bytes().map(u64::from).sum::<u64>() % 100) as f64 / 100.0;
                 let watts_per_node = 140.0 + 180.0 * intensity;
-                let jitter = 0.95 + 0.1 * (((id as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 40) as f64
-                    / (1u64 << 24) as f64);
+                let jitter = 0.95
+                    + 0.1
+                        * (((id as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 40) as f64
+                            / (1u64 << 24) as f64);
                 let power = run.nodes as f64 * watts_per_node * jitter;
                 (
                     (minutes * 60.0) as u64,
@@ -276,7 +275,11 @@ impl Trace {
                 cancelled,
             });
         }
-        Trace { jobs, cluster_nodes: cfg.cluster_nodes, cap_minutes: cfg.cap_minutes }
+        Trace {
+            jobs,
+            cluster_nodes: cfg.cluster_nodes,
+            cap_minutes: cfg.cap_minutes,
+        }
     }
 
     /// Jobs that actually ran (the paper excludes cancelled submissions).
@@ -287,24 +290,40 @@ impl Trace {
     /// Serialise the trace to JSON (jobs plus cluster metadata), so a
     /// generated corpus can be pinned and shared between experiments.
     pub fn to_json(&self) -> String {
+        let jobs: Vec<serde_json::Value> = self.jobs.iter().map(job_to_json).collect();
         let value = serde_json::json!({
             "cluster_nodes": self.cluster_nodes,
             "cap_minutes": self.cap_minutes,
-            "jobs": self.jobs,
+            "jobs": jobs,
         });
         serde_json::to_string(&value).expect("trace serialisation cannot fail")
     }
 
     /// Load a trace previously produced by [`Trace::to_json`].
     pub fn from_json(s: &str) -> Result<Trace, serde_json::Error> {
-        #[derive(serde::Deserialize)]
-        struct Wire {
-            cluster_nodes: u32,
-            cap_minutes: f64,
-            jobs: Vec<JobRecord>,
-        }
-        let w: Wire = serde_json::from_str(s)?;
-        Ok(Trace { jobs: w.jobs, cluster_nodes: w.cluster_nodes, cap_minutes: w.cap_minutes })
+        let value = serde_json::from_str(s)?;
+        let wire_err = serde_json::Error::custom;
+        let cluster_nodes = value
+            .get("cluster_nodes")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| wire_err("missing cluster_nodes"))? as u32;
+        let cap_minutes = value
+            .get("cap_minutes")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| wire_err("missing cap_minutes"))?;
+        let jobs = value
+            .get("jobs")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| wire_err("missing jobs"))?
+            .iter()
+            .map(job_from_json)
+            .collect::<Option<Vec<JobRecord>>>()
+            .ok_or_else(|| wire_err("malformed job record"))?;
+        Ok(Trace {
+            jobs,
+            cluster_nodes,
+            cap_minutes,
+        })
     }
 
     /// Number of distinct script texts.
@@ -315,6 +334,56 @@ impl Trace {
         }
         set.len()
     }
+}
+
+fn job_to_json(j: &JobRecord) -> serde_json::Value {
+    serde_json::json!({
+        "id": j.id,
+        "user": j.user.as_str(),
+        "group": j.group.as_str(),
+        "account": j.account.as_str(),
+        "app": j.app.as_str(),
+        "script": j.script.as_str(),
+        "submit_dir": j.submit_dir.as_str(),
+        "submit_time": j.submit_time,
+        "requested_seconds": j.requested_seconds,
+        "nodes": j.nodes,
+        "runtime_seconds": j.runtime_seconds,
+        "bytes_read": j.bytes_read,
+        "bytes_written": j.bytes_written,
+        "mean_power_watts": j.mean_power_watts,
+        "cancelled": j.cancelled,
+    })
+}
+
+fn job_from_json(v: &serde_json::Value) -> Option<JobRecord> {
+    let text = |key: &str| v.get(key).and_then(|f| f.as_str()).map(str::to_string);
+    // Integers may arrive as floats from hand-edited files; accept both.
+    let uint = |key: &str| {
+        v.get(key)
+            .and_then(|f| f.as_u64().or_else(|| f.as_f64().map(|x| x as u64)))
+    };
+    Some(JobRecord {
+        id: uint("id")?,
+        user: text("user")?,
+        group: text("group")?,
+        account: text("account")?,
+        app: text("app")?,
+        script: text("script")?,
+        submit_dir: text("submit_dir")?,
+        submit_time: uint("submit_time")?,
+        requested_seconds: uint("requested_seconds")?,
+        nodes: uint("nodes")? as u32,
+        runtime_seconds: uint("runtime_seconds")?,
+        bytes_read: v.get("bytes_read")?.as_f64()?,
+        bytes_written: v.get("bytes_written")?.as_f64()?,
+        // `#[serde(default)]` equivalent: absent in pre-power traces.
+        mean_power_watts: v
+            .get("mean_power_watts")
+            .and_then(|f| f.as_f64())
+            .unwrap_or(0.0),
+        cancelled: v.get("cancelled")?.as_bool()?,
+    })
 }
 
 /// Standard normal via Box–Muller, exponentiated to a lognormal with median
@@ -345,7 +414,10 @@ fn render_script(
     s.push_str(&format!("#SBATCH -n {tasks}\n"));
     s.push_str(&format!("#SBATCH -t {hours:02}:{mins:02}:00\n"));
     s.push_str(&format!("#SBATCH -A {account}\n"));
-    s.push_str(&format!("#SBATCH -D /p/lustre/{}/{}_{run_id}\n", app.name, app.name));
+    s.push_str(&format!(
+        "#SBATCH -D /p/lustre/{}/{}_{run_id}\n",
+        app.name, app.name
+    ));
     s.push_str("#SBATCH -p pbatch\n");
     let size_str = format!("{size:.1}");
     let run_str = run_id.to_string();
@@ -414,11 +486,14 @@ mod tests {
         let t = small_cab(10_000);
         let minutes: Vec<f64> = t.executed_jobs().map(|j| j.runtime_minutes()).collect();
         let mean = stats::mean(&minutes);
-        let under_hour = minutes.iter().filter(|&&m| m < 60.0).count() as f64
-            / minutes.len() as f64;
+        let under_hour =
+            minutes.iter().filter(|&&m| m < 60.0).count() as f64 / minutes.len() as f64;
         let max = minutes.iter().cloned().fold(0.0, f64::max);
         assert!((25.0..70.0).contains(&mean), "mean runtime {mean} min");
-        assert!((0.40..0.75).contains(&under_hour), "under-hour share {under_hour}");
+        assert!(
+            (0.40..0.75).contains(&under_hour),
+            "under-hour share {under_hour}"
+        );
         assert!(max <= 960.0 + 1e-6, "max runtime {max}");
     }
 
@@ -432,10 +507,16 @@ mod tests {
             .collect();
         let mean_error = stats::mean(&errors);
         assert!(mean_error > 0.0, "users must overestimate on average");
-        assert!((60.0..420.0).contains(&mean_error), "mean request error {mean_error} min");
-        let never_killed = errors.iter().filter(|&&e| e >= 0.0).count() as f64
-            / errors.len() as f64;
-        assert!(never_killed > 0.8, "most jobs fit the request ({never_killed})");
+        assert!(
+            (60.0..420.0).contains(&mean_error),
+            "mean request error {mean_error} min"
+        );
+        let never_killed =
+            errors.iter().filter(|&&e| e >= 0.0).count() as f64 / errors.len() as f64;
+        assert!(
+            never_killed > 0.8,
+            "most jobs fit the request ({never_killed})"
+        );
     }
 
     #[test]
@@ -455,9 +536,21 @@ mod tests {
         let t = small_cab(200);
         for j in t.jobs.iter().take(50) {
             assert!(j.script.starts_with("#!/bin/bash\n"));
-            assert!(j.script.contains("#SBATCH -N "), "missing nodes: {}", j.script);
-            assert!(j.script.contains("#SBATCH -t "), "missing time: {}", j.script);
-            assert!(j.script.contains("srun") || j.script.contains("htar"), "{}", j.script);
+            assert!(
+                j.script.contains("#SBATCH -N "),
+                "missing nodes: {}",
+                j.script
+            );
+            assert!(
+                j.script.contains("#SBATCH -t "),
+                "missing time: {}",
+                j.script
+            );
+            assert!(
+                j.script.contains("srun") || j.script.contains("htar"),
+                "{}",
+                j.script
+            );
         }
     }
 
@@ -509,11 +602,19 @@ mod tests {
         let mut found_varying = false;
         for group in by_script.values().filter(|g| g.len() >= 3) {
             let first = group[0];
-            assert!(group.iter().all(|j| j.requested_seconds == first.requested_seconds));
-            if group.iter().any(|j| j.runtime_seconds != first.runtime_seconds) {
+            assert!(group
+                .iter()
+                .all(|j| j.requested_seconds == first.requested_seconds));
+            if group
+                .iter()
+                .any(|j| j.runtime_seconds != first.runtime_seconds)
+            {
                 found_varying = true;
             }
         }
-        assert!(found_varying, "noise should vary runtimes of identical scripts");
+        assert!(
+            found_varying,
+            "noise should vary runtimes of identical scripts"
+        );
     }
 }

@@ -65,7 +65,10 @@ impl UserPopulation {
             acc += u.activity;
             cumulative_activity.push(acc);
         }
-        UserPopulation { users, cumulative_activity }
+        UserPopulation {
+            users,
+            cumulative_activity,
+        }
     }
 
     /// Number of users.
@@ -85,9 +88,14 @@ impl UserPopulation {
 
     /// Sample a user index proportionally to activity.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
-        let total = *self.cumulative_activity.last().expect("non-empty population");
+        let total = *self
+            .cumulative_activity
+            .last()
+            .expect("non-empty population");
         let u: f64 = rng.gen_range(0.0..total);
-        self.cumulative_activity.partition_point(|&c| c <= u).min(self.users.len() - 1)
+        self.cumulative_activity
+            .partition_point(|&c| c <= u)
+            .min(self.users.len() - 1)
     }
 }
 

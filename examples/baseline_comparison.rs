@@ -33,12 +33,18 @@ fn main() {
     let mut trace_cfg = TraceConfig::preset(TracePreset::CabLike, 700);
     trace_cfg.n_users = 45;
     let trace = Trace::generate(&trace_cfg);
-    println!("runtime prediction accuracy over {} submissions:", trace.jobs.len());
+    println!(
+        "runtime prediction accuracy over {} submissions:",
+        trace.jobs.len()
+    );
 
     score("user request", &trace.jobs, &user_predictions(&trace.jobs));
-    for kind in [BaselineKind::Knn, BaselineKind::DecisionTree, BaselineKind::RandomForest] {
-        let preds =
-            run_online_baseline(&trace.jobs, kind, 150, 80, 60).expect("baseline run");
+    for kind in [
+        BaselineKind::Knn,
+        BaselineKind::DecisionTree,
+        BaselineKind::RandomForest,
+    ] {
+        let preds = run_online_baseline(&trace.jobs, kind, 150, 80, 60).expect("baseline run");
         score(kind.label(), &trace.jobs, &preds);
     }
 

@@ -1,0 +1,92 @@
+//! Checkpoint / warm-restart walkthrough: train a PRIONN model, persist it
+//! with `Prionn::save`, restore it in a "new process" with `Prionn::load`,
+//! and verify the restored predictor is bit-identical — then demonstrate
+//! that a corrupted checkpoint is *rejected* (an `Err`, never a panic).
+//!
+//! ```text
+//! cargo run --release --example checkpoint_restart
+//! ```
+
+use prionn::core::{Prionn, PrionnConfig};
+use prionn::workload::{Trace, TraceConfig, TracePreset};
+use std::path::PathBuf;
+
+fn ckpt_path() -> PathBuf {
+    std::env::temp_dir().join(format!("prionn-example-{}.ckpt", std::process::id()))
+}
+
+fn main() {
+    // A small synthetic workload and a deliberately small model so the
+    // example finishes in seconds.
+    let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 80));
+    let jobs: Vec<_> = trace.executed_jobs().collect();
+    let scripts: Vec<&str> = jobs.iter().map(|j| j.script.as_str()).collect();
+    let runtimes: Vec<f64> = jobs.iter().map(|j| j.runtime_minutes()).collect();
+    let reads: Vec<f64> = jobs.iter().map(|j| j.bytes_read).collect();
+    let writes: Vec<f64> = jobs.iter().map(|j| j.bytes_written).collect();
+
+    let cfg = PrionnConfig {
+        grid: (16, 16),
+        base_width: 2,
+        runtime_bins: 64,
+        io_bins: 24,
+        epochs: 3,
+        batch_size: 8,
+        ..Default::default()
+    };
+
+    println!("training on {} completed jobs ...", scripts.len());
+    let mut model = Prionn::new(cfg, &scripts).expect("build model");
+    model
+        .retrain(&scripts, &runtimes, &reads, &writes)
+        .expect("train");
+    let before = model.predict(&scripts[..5]).expect("predict");
+
+    // ---- save ----------------------------------------------------------
+    let path = ckpt_path();
+    model.save(&path).expect("write checkpoint");
+    let bytes = std::fs::metadata(&path).expect("stat").len();
+    println!("checkpoint written: {} ({bytes} bytes)", path.display());
+
+    // ---- drop all in-memory state, restore from disk -------------------
+    drop(model);
+    let mut restored = Prionn::load(&path).expect("read checkpoint");
+    let after = restored.predict(&scripts[..5]).expect("predict restored");
+
+    for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+        assert_eq!(
+            (b.runtime_minutes, b.read_bytes, b.write_bytes),
+            (a.runtime_minutes, a.read_bytes, a.write_bytes),
+            "prediction {i} diverged after restart"
+        );
+        println!(
+            "job {i}: runtime {:7.2} min, read {:9.3e} B, write {:9.3e} B  (identical)",
+            a.runtime_minutes, a.read_bytes, a.write_bytes
+        );
+    }
+    println!("restored predictions are bit-identical to the pre-restart model");
+
+    // The restored model keeps learning — warm restart, not a frozen copy.
+    restored
+        .retrain(&scripts, &runtimes, &reads, &writes)
+        .expect("retrain restored");
+    println!(
+        "restored model retrained: {} retrains total",
+        restored.retrain_count()
+    );
+
+    // ---- corruption is detected, never a panic -------------------------
+    let mut raw = std::fs::read(&path).expect("read bytes");
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0xff;
+    let bad_path = path.with_extension("corrupt");
+    std::fs::write(&bad_path, &raw).expect("write corrupted copy");
+    match Prionn::load(&bad_path) {
+        Err(e) => println!("corrupted checkpoint rejected as expected: {e}"),
+        Ok(_) => panic!("corrupted checkpoint must not load"),
+    }
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&bad_path);
+    println!("done");
+}

@@ -6,9 +6,7 @@
 //! ```
 
 use prionn::core::{run_online_prionn, OnlineConfig, PrionnConfig};
-use prionn::sched::{
-    burst_metrics, io_timeline, predict_turnarounds, JobIoInterval, SimJob,
-};
+use prionn::sched::{burst_metrics, io_timeline, predict_turnarounds, JobIoInterval, SimJob};
 use prionn::workload::{stats, Trace, TraceConfig, TracePreset};
 use std::collections::HashMap;
 
@@ -34,7 +32,10 @@ fn main() {
             ..Default::default()
         },
     };
-    println!("running PRIONN online over {} submissions ...", trace.jobs.len());
+    println!(
+        "running PRIONN online over {} submissions ...",
+        trace.jobs.len()
+    );
     let preds = run_online_prionn(&trace.jobs, &online).expect("online protocol");
     let by_id: HashMap<u64, _> = preds.iter().map(|p| (p.job_id, *p)).collect();
 

@@ -16,7 +16,11 @@ fn main() {
     let trace = Trace::generate(&trace_cfg);
     let jobs: Vec<_> = trace.executed_jobs().collect();
     let (history, incoming) = jobs.split_at(jobs.len() - 5);
-    println!("trace: {} executed jobs, {} unique scripts", jobs.len(), trace.unique_scripts());
+    println!(
+        "trace: {} executed jobs, {} unique scripts",
+        jobs.len(),
+        trace.unique_scripts()
+    );
 
     // 2. PRIONN: whole scripts -> 64x64 word2vec image -> 2D-CNN heads.
     //    (A narrow CNN so the example finishes in seconds on one core.)
@@ -34,17 +38,25 @@ fn main() {
     let runtimes: Vec<f64> = history.iter().map(|j| j.runtime_minutes()).collect();
     let reads: Vec<f64> = history.iter().map(|j| j.bytes_read).collect();
     let writes: Vec<f64> = history.iter().map(|j| j.bytes_written).collect();
-    model.retrain(&scripts, &runtimes, &reads, &writes).expect("training");
+    model
+        .retrain(&scripts, &runtimes, &reads, &writes)
+        .expect("training");
 
     // 3. Predict resources for newly submitted scripts.
-    println!("\n{:<14} {:>12} {:>12} {:>14} {:>14}", "job", "true(min)", "pred(min)", "true read(B)", "pred read(B)");
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>14} {:>14}",
+        "job", "true(min)", "pred(min)", "true read(B)", "pred read(B)"
+    );
     let new_scripts: Vec<&str> = incoming.iter().map(|j| j.script.as_str()).collect();
     let preds = model.predict(&new_scripts).expect("prediction");
     for (job, pred) in incoming.iter().zip(&preds) {
         println!(
             "{:<14} {:>12.1} {:>12.1} {:>14.3e} {:>14.3e}",
-            job.app, job.runtime_minutes(), pred.runtime_minutes,
-            job.bytes_read, pred.read_bytes,
+            job.app,
+            job.runtime_minutes(),
+            pred.runtime_minutes,
+            job.bytes_read,
+            pred.read_bytes,
         );
     }
 }

@@ -32,10 +32,17 @@ fn main() {
         ("word2vec", Box::new(w2v)),
     ];
 
-    println!("{:<10} {:>9} {:>22}", "transform", "channels", "tensor shape");
+    println!(
+        "{:<10} {:>9} {:>22}",
+        "transform", "channels", "tensor shape"
+    );
     for (name, t) in &transforms {
         let img = map_script_2d(SCRIPT, t.as_ref(), 64, 64).expect("mapping");
-        println!("{name:<10} {:>9} {:>22}", t.dim(), format!("{:?}", img.dims()));
+        println!(
+            "{name:<10} {:>9} {:>22}",
+            t.dim(),
+            format!("{:?}", img.dims())
+        );
     }
 
     // The binary mapping as ASCII art (cropped to the script's extent).

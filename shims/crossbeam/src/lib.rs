@@ -1,0 +1,315 @@
+//! Offline stand-in for the `crossbeam` crate: the `channel` module only.
+//!
+//! Implements MPMC bounded/unbounded channels over `Mutex<VecDeque>` +
+//! `Condvar`. Semantics mirror crossbeam-channel where the workspace
+//! depends on them: FIFO order, cloneable senders *and* receivers,
+//! disconnect on last-handle drop, non-blocking `try_send`/`try_recv`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    fn new_chan<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// Channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_chan(None)
+    }
+
+    /// Channel with capacity `cap`; `send` blocks and `try_send` fails with
+    /// `Full` when the queue holds `cap` messages. `cap == 0` is treated as
+    /// capacity 1 (this shim has no rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_chan(Some(cap.max(1)))
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.chan.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.chan.not_full.wait(st).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.chan.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.chan.cap {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        pub fn len(&self) -> usize {
+            self.chan.state.lock().unwrap().queue.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.not_empty.wait(st).unwrap();
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self
+                    .chan
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap();
+                st = guard;
+                if res.timed_out() && st.queue.is_empty() {
+                    if st.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.chan.state.lock().unwrap().queue.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn unbounded_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn bounded_try_send_full() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+        }
+
+        #[test]
+        fn disconnect_on_sender_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn cross_thread_roundtrip() {
+            let (tx, rx) = unbounded();
+            let h = thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            h.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn blocking_send_unblocks_after_recv() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let h = thread::spawn(move || tx.send(2).unwrap());
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Sizes accepted by the collection strategies: an exact length or a range.
+pub trait SizeRange {
+    fn sample_len(&self, rng: &mut ChaCha8Rng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut ChaCha8Rng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut ChaCha8Rng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+pub struct VecStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element, size)`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+    VecStrategy { element, size }
+}
+
+pub struct BTreeSetStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+impl<S, L> Strategy for BTreeSetStrategy<S, L>
+where
+    S: Strategy,
+    S::Value: Ord,
+    L: SizeRange,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> BTreeSet<S::Value> {
+        let target = self.size.sample_len(rng);
+        let mut set = BTreeSet::new();
+        // Inserting duplicates shrinks the set; retry a bounded number of
+        // times to reach the requested size like upstream does.
+        let mut attempts = 0;
+        while set.len() < target && attempts < target * 32 + 64 {
+            set.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// `proptest::collection::btree_set(element, size)`.
+pub fn btree_set<S, L>(element: S, size: L) -> BTreeSetStrategy<S, L>
+where
+    S: Strategy,
+    S::Value: Ord,
+    L: SizeRange,
+{
+    BTreeSetStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn vec_exact_and_ranged_sizes() {
+        let mut rng = case_rng("vec");
+        let exact = vec(0.0f32..1.0, 12usize).sample(&mut rng);
+        assert_eq!(exact.len(), 12);
+        for _ in 0..50 {
+            let ranged = vec(0u64..100, 1usize..20).sample(&mut rng);
+            assert!((1..20).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_hits_target_size() {
+        let mut rng = case_rng("btree");
+        for _ in 0..50 {
+            let s = btree_set(0usize..500, 1usize..12).sample(&mut rng);
+            assert!(!s.is_empty() && s.len() < 12);
+            assert!(s.iter().all(|&v| v < 500));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Strategies: deterministic samplers with a `prop_map` combinator.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// A source of random values of one type. Upstream proptest separates
+/// strategies from value trees (for shrinking); this shim samples directly.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// `strategy.prop_map(f)`.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// Pattern strategies: `"[<lo>-<hi>]{m,n}"` character classes (the only
+/// regex shape the in-tree tests use). Anything else panics loudly at
+/// sample time rather than silently generating the wrong distribution.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> String {
+        let (lo, hi, min_len, max_len) = parse_char_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported proptest string pattern: {self:?}"));
+        let len = rng.gen_range(min_len..=max_len);
+        (0..len)
+            .map(|_| rng.gen_range(lo as u32..=hi as u32))
+            .filter_map(char::from_u32)
+            .collect()
+    }
+}
+
+fn parse_char_class_pattern(pattern: &str) -> Option<(char, char, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let mut chars = rest.chars();
+    let lo = chars.next()?;
+    if chars.next()? != '-' {
+        return None;
+    }
+    let hi = chars.next()?;
+    let rest = chars.as_str().strip_prefix(']')?;
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min_s, max_s) = counts.split_once(',')?;
+    let min_len = min_s.trim().parse().ok()?;
+    let max_len = max_s.trim().parse().ok()?;
+    if lo > hi || min_len > max_len {
+        return None;
+    }
+    Some((lo, hi, min_len, max_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = case_rng("ranges");
+        for _ in 0..200 {
+            let v = (3usize..10).sample(&mut rng);
+            assert!((3..10).contains(&v));
+            let f = (-1.0f64..1.0).sample(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_pattern_sampling() {
+        let mut rng = case_rng("strings");
+        for _ in 0..100 {
+            let s = "[a-z]{1,8}".sample(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[ -~]{0,64}".sample(&mut rng);
+            assert!(t.len() <= 64);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples() {
+        let mut rng = case_rng("combos");
+        let strat =
+            (0u64..10, 0.5f64..1.0, 1usize..4).prop_map(|(a, b, c)| a as f64 * b + c as f64);
+        for _ in 0..50 {
+            let v = strat.sample(&mut rng);
+            assert!(v.is_finite());
+        }
+    }
+}

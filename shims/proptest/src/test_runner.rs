@@ -1,0 +1,42 @@
+//! Runner plumbing for the `proptest!` macro.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Subset of upstream's config the in-tree tests set.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered this sample out; redraw.
+    Reject(&'static str),
+    /// `prop_assert*` failed.
+    Fail(String),
+}
+
+/// Deterministic per-test RNG: seeded from the test name so every run
+/// explores the same cases.
+pub fn case_rng(test_name: &str) -> ChaCha8Rng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    ChaCha8Rng::seed_from_u64(h)
+}

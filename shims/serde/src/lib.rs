@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and record
+//! types but all actual JSON IO goes through explicit conversions in
+//! `serde_json` (in-tree shim) or the binary `prionn-store` format, so the
+//! traits here are empty markers and the derives are no-ops.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; see crate docs.
+pub trait Serialize {}
+
+/// Marker trait; see crate docs.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! Nothing in the workspace serializes through serde's generic machinery
+//! (the only JSON path goes through the in-tree `serde_json` Value type and
+//! hand-written conversions), so `#[derive(Serialize, Deserialize)]` and
+//! `#[serde(...)]` attributes only need to be *accepted*, not expanded.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,555 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Unlike the marker-only `serde` shim, this is a functional JSON library:
+//! [`Value`]/[`Map`]/[`Number`], the [`json!`] macro (object literals,
+//! nested objects, arrays, expressions), a compact and a pretty printer,
+//! and a recursive-descent [`from_str`] parser. It covers everything the
+//! experiment harness and the trace round-trip need, minus serde's generic
+//! `Serialize`/`Deserialize` dispatch.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+mod parse;
+
+pub use parse::from_str;
+
+/// A JSON number: integers keep exact 64-bit representations so ids and
+/// timestamps survive a round-trip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(v) => u64::try_from(v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// String-keyed object map. Like upstream serde_json's default, keys are
+/// ordered (BTreeMap), so output is deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.entries.insert(key, value)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter()
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.keys()
+    }
+
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.values()
+    }
+}
+
+/// Any JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::PosInt(v as u64)) }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v as i64))
+                }
+            }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Error for parse failures (and, for API parity, serialization — which in
+/// this shim never fails).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    line: usize,
+    column: usize,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>, line: usize, column: usize) -> Self {
+        Error {
+            msg: msg.into(),
+            line,
+            column,
+        }
+    }
+
+    /// Build an application-level error (mirrors `serde::de::Error::custom`).
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            line: 0,
+            column: 0,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at line {} column {}",
+            self.msg, self.line, self.column
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) => {
+            if v.is_finite() {
+                // `{}` on f64 prints the shortest decimal that round-trips;
+                // force a fractional part so the value re-parses as a float.
+                let s = v.to_string();
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                // Upstream errors on non-finite floats; printing null keeps
+                // the output valid JSON instead.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(width) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(width * (level + 1)));
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * level));
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(width) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(width * (level + 1)));
+                }
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * level));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Compact serialization.
+pub fn to_string(value: &Value) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    Ok(out)
+}
+
+/// Pretty serialization with 2-space indent.
+pub fn to_string_pretty(value: &Value) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    Ok(out)
+}
+
+/// Build a [`Value`] from a JSON-ish literal: `null`, `[..]` arrays, `{..}`
+/// objects with literal string keys, or any expression convertible via
+/// `Into<Value>`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let array: ::std::vec::Vec<$crate::Value> = {
+            let mut array = ::std::vec::Vec::new();
+            $crate::json_array_items!(array; $($tt)*);
+            array
+        };
+        $crate::Value::Array(array)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_object_items!(map; $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_items {
+    ($map:ident;) => {};
+    ($map:ident; $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_object_items!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : { $($inner:tt)* }) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+    };
+    ($map:ident; $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_object_items!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : [ $($inner:tt)* ]) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+    };
+    ($map:ident; $key:literal : null , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $crate::json_object_items!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : null) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+    };
+    ($map:ident; $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::from($value));
+        $crate::json_object_items!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : $value:expr) => {
+        $map.insert($key.to_string(), $crate::Value::from($value));
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_items {
+    ($array:ident;) => {};
+    ($array:ident; { $($inner:tt)* } , $($rest:tt)*) => {
+        $array.push($crate::json!({ $($inner)* }));
+        $crate::json_array_items!($array; $($rest)*);
+    };
+    ($array:ident; { $($inner:tt)* }) => {
+        $array.push($crate::json!({ $($inner)* }));
+    };
+    ($array:ident; [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $array.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_items!($array; $($rest)*);
+    };
+    ($array:ident; [ $($inner:tt)* ]) => {
+        $array.push($crate::json!([ $($inner)* ]));
+    };
+    ($array:ident; null , $($rest:tt)*) => {
+        $array.push($crate::Value::Null);
+        $crate::json_array_items!($array; $($rest)*);
+    };
+    ($array:ident; null) => {
+        $array.push($crate::Value::Null);
+    };
+    ($array:ident; $value:expr , $($rest:tt)*) => {
+        $array.push($crate::Value::from($value));
+        $crate::json_array_items!($array; $($rest)*);
+    };
+    ($array:ident; $value:expr) => {
+        $array.push($crate::Value::from($value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "a": 1,
+            "b": 2.5,
+            "nested": {"x": "hi", "deep": {"y": true}},
+            "arr": [1, 2, 3],
+            "none": null,
+        });
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            v.get("nested").unwrap().get("x").unwrap().as_str(),
+            Some("hi")
+        );
+        assert_eq!(v.get("arr").unwrap().as_array().unwrap().len(), 3);
+        assert!(v.get("none").unwrap().is_null());
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        let v = json!({
+            "id": 18446744073709551615u64,
+            "neg": -42,
+            "f": 1.5,
+            "s": "line\nbreak \"q\"",
+            "list": [1.0, 2.0],
+        });
+        let s = to_string(&v).unwrap();
+        let back = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_output_parses() {
+        let v = json!({"outer": {"inner": [1, 2]}, "k": "v"});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn float_without_fraction_stays_float() {
+        let v = json!(3.0f64);
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "3.0");
+        assert_eq!(from_str(&s).unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn parse_errors_are_errors_not_panics() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1.2.3",
+            "{}extra",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

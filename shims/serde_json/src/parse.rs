@@ -1,0 +1,242 @@
+//! Recursive-descent JSON parser for the shim's [`Value`] type.
+
+use super::{Error, Map, Number, Result, Value};
+
+pub fn from_str(input: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters"));
+    }
+    Ok(value)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: &str) -> Error {
+        let consumed = &self.bytes[..self.pos.min(self.bytes.len())];
+        let line = consumed.iter().filter(|&&b| b == b'\n').count() + 1;
+        let column = consumed.iter().rev().take_while(|&&b| b != b'\n').count() + 1;
+        Error::new(msg, line, column)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("recursion limit exceeded"));
+        }
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("invalid literal, expected '{word}'")))
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let first = self.parse_hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&first) {
+                            // High surrogate: require a paired \uXXXX low half.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.error("unpaired surrogate"));
+                            }
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(self.error("invalid low surrogate"));
+                            }
+                            0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                        } else {
+                            first
+                        };
+                        match char::from_u32(code) {
+                            Some(c) => out.push(c),
+                            None => return Err(self.error("invalid unicode escape")),
+                        }
+                    }
+                    _ => return Err(self.error("invalid escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.error("control character in string")),
+                Some(b) => {
+                    // Re-decode UTF-8 starting at this byte.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b).ok_or_else(|| self.error("invalid utf-8"))?;
+                    let end = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.error("truncated utf-8"))?;
+                    let s = std::str::from_utf8(slice).map_err(|_| self.error("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| self.error("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(v)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Value::Number(Number::Float(v))),
+            _ => Err(self.error("invalid number")),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7F => Some(1),
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}

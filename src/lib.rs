@@ -15,6 +15,8 @@
 //!   LLNL's non-public dataset;
 //! * [`sched`] — the event-driven cluster simulator (FCFS + EASY backfill),
 //!   snapshot turnaround prediction, IO timelines, and burst metrics;
+//! * [`store`] — the versioned, checksummed checkpoint container behind
+//!   [`core::Prionn::save`] / [`core::Prionn::load`];
 //! * [`core`] — the PRIONN tool itself: whole-script models, warm-started
 //!   online retraining, and the evaluation metrics.
 //!
@@ -49,6 +51,7 @@ pub use prionn_core as core;
 pub use prionn_ml as ml;
 pub use prionn_nn as nn;
 pub use prionn_sched as sched;
+pub use prionn_store as store;
 pub use prionn_tensor as tensor;
 pub use prionn_text as text;
 pub use prionn_workload as workload;

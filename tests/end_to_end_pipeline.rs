@@ -47,9 +47,16 @@ fn online_prionn_beats_user_requests_on_runtime() {
             continue;
         }
         acc_pr.push(relative_accuracy(j.runtime_minutes(), p.runtime_minutes));
-        acc_us.push(relative_accuracy(j.runtime_minutes(), us[&j.id].runtime_minutes));
+        acc_us.push(relative_accuracy(
+            j.runtime_minutes(),
+            us[&j.id].runtime_minutes,
+        ));
     }
-    assert!(acc_pr.len() > 50, "enough trained predictions ({})", acc_pr.len());
+    assert!(
+        acc_pr.len() > 50,
+        "enough trained predictions ({})",
+        acc_pr.len()
+    );
     let (m_pr, m_us) = (stats::mean(&acc_pr), stats::mean(&acc_us));
     assert!(
         m_pr > m_us,
@@ -63,7 +70,10 @@ fn predictions_cover_every_executed_job_exactly_once() {
     let preds = run_online_prionn(&trace.jobs, &tiny_online()).expect("online run");
     let executed: Vec<u64> = trace.executed_jobs().map(|j| j.id).collect();
     let predicted: Vec<u64> = preds.iter().map(|p| p.job_id).collect();
-    assert_eq!(executed, predicted, "aligned, in submission order, no cancelled jobs");
+    assert_eq!(
+        executed, predicted,
+        "aligned, in submission order, no cancelled jobs"
+    );
 }
 
 #[test]
@@ -72,5 +82,7 @@ fn io_predictions_are_produced_and_positive_once_trained() {
     let preds = run_online_prionn(&trace.jobs, &tiny_online()).expect("online run");
     let trained: Vec<_> = preds.iter().filter(|p| p.model_trained).collect();
     assert!(!trained.is_empty());
-    assert!(trained.iter().all(|p| p.read_bytes > 0.0 && p.write_bytes > 0.0));
+    assert!(trained
+        .iter()
+        .all(|p| p.read_bytes > 0.0 && p.write_bytes > 0.0));
 }

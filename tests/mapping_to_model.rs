@@ -3,8 +3,8 @@
 
 use prionn::nn::{ArchConfig, LossTarget, ModelKind, Sgd, SoftmaxCrossEntropy};
 use prionn::text::{
-    map_corpus_1d, map_corpus_2d, BinaryTransform, CharTransform, OneHotTransform,
-    SimpleTransform, Word2vecConfig, Word2vecTransform,
+    map_corpus_1d, map_corpus_2d, BinaryTransform, CharTransform, OneHotTransform, SimpleTransform,
+    Word2vecConfig, Word2vecTransform,
 };
 
 fn scripts() -> Vec<&'static str> {
@@ -69,7 +69,12 @@ fn one_training_step_reduces_loss_on_mapped_scripts() {
     for _ in 0..30 {
         losses.push(
             model
-                .train_batch(&x, &LossTarget::Classes(&classes), &SoftmaxCrossEntropy, &mut opt)
+                .train_batch(
+                    &x,
+                    &LossTarget::Classes(&classes),
+                    &SoftmaxCrossEntropy,
+                    &mut opt,
+                )
                 .unwrap(),
         );
     }
@@ -85,7 +90,11 @@ fn one_training_step_reduces_loss_on_mapped_scripts() {
 fn word2vec_dim_controls_model_input_channels() {
     let scripts = scripts();
     for dim in [2usize, 4, 8] {
-        let cfg = Word2vecConfig { dim, epochs: 1, ..Default::default() };
+        let cfg = Word2vecConfig {
+            dim,
+            epochs: 1,
+            ..Default::default()
+        };
         let t = Word2vecTransform::train(&scripts, &cfg);
         let x = map_corpus_2d(&scripts, &t, 16, 16).unwrap();
         assert_eq!(x.dims(), &[scripts.len(), dim, 16, 16]);

@@ -1,10 +1,10 @@
 //! Cross-crate property tests on the invariants the evaluation depends on.
 
-use proptest::prelude::*;
 use prionn::core::bins::ValueBins;
 use prionn::core::relative_accuracy;
 use prionn::sched::{burst_metrics, io_timeline, JobIoInterval};
 use prionn::text::{map_script_2d, BinaryTransform, SimpleTransform};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

@@ -1,10 +1,8 @@
 //! Integration of the workload generator with the scheduler simulator:
 //! conservation properties, turnaround prediction, and burst metrics.
 
-use prionn::sched::{
-    burst_metrics, io_timeline, predict_turnarounds, JobIoInterval, SimJob,
-};
 use prionn::sched::engine::simulate;
+use prionn::sched::{burst_metrics, io_timeline, predict_turnarounds, JobIoInterval, SimJob};
 use prionn::workload::{Trace, TraceConfig, TracePreset};
 use std::collections::HashMap;
 
@@ -53,7 +51,10 @@ fn perfect_runtime_predictions_give_near_perfect_turnarounds() {
     let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 200));
     let jobs: Vec<SimJob> = sim_jobs(&trace)
         .into_iter()
-        .map(|j| SimJob { estimate: j.runtime, ..j })
+        .map(|j| SimJob {
+            estimate: j.runtime,
+            ..j
+        })
         .collect();
     let perfect: HashMap<u64, u64> = jobs.iter().map(|j| (j.id, j.runtime)).collect();
     let out = predict_turnarounds(96, &jobs, &perfect);
@@ -77,7 +78,10 @@ fn perfect_predictions_are_exact_on_an_uncontended_cluster() {
     let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 120));
     let jobs: Vec<SimJob> = sim_jobs(&trace)
         .into_iter()
-        .map(|j| SimJob { estimate: j.runtime, ..j })
+        .map(|j| SimJob {
+            estimate: j.runtime,
+            ..j
+        })
         .collect();
     let perfect: HashMap<u64, u64> = jobs.iter().map(|j| (j.id, j.runtime)).collect();
     let out = predict_turnarounds(100_000, &jobs, &perfect);
@@ -90,9 +94,17 @@ fn perfect_predictions_are_exact_on_an_uncontended_cluster() {
 fn smaller_clusters_increase_turnarounds() {
     let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 400));
     let jobs = sim_jobs(&trace);
-    let total =
-        |nodes: u32| simulate(nodes, &jobs).entries.iter().map(|e| e.turnaround()).sum::<u64>();
-    assert!(total(64) >= total(1296), "contention grows on smaller machines");
+    let total = |nodes: u32| {
+        simulate(nodes, &jobs)
+            .entries
+            .iter()
+            .map(|e| e.turnaround())
+            .sum::<u64>()
+    };
+    assert!(
+        total(64) >= total(1296),
+        "contention grows on smaller machines"
+    );
 }
 
 #[test]
@@ -116,10 +128,15 @@ fn io_timeline_from_schedule_conserves_bytes() {
     let horizon = prionn::sched::io::horizon_minutes(&intervals);
     let timeline = io_timeline(&intervals, horizon);
     let timeline_bytes: f64 = timeline.iter().sum::<f64>() * 60.0;
-    let trace_bytes: f64 =
-        trace.executed_jobs().map(|j| j.bytes_read + j.bytes_written).sum();
+    let trace_bytes: f64 = trace
+        .executed_jobs()
+        .map(|j| j.bytes_read + j.bytes_written)
+        .sum();
     let rel_err = (timeline_bytes - trace_bytes).abs() / trace_bytes;
-    assert!(rel_err < 0.02, "IO volume conserved within 2% (err {rel_err:.4})");
+    assert!(
+        rel_err < 0.02,
+        "IO volume conserved within 2% (err {rel_err:.4})"
+    );
 }
 
 #[test]
@@ -128,9 +145,10 @@ fn io_aware_policy_reduces_bursts_with_perfect_predictions() {
 
     let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 400));
     let jobs = sim_jobs(&trace);
-    let by_id: HashMap<u64, _> = trace.executed_jobs().map(|j| (j.id, j)).collect();
-    let true_bw: HashMap<u64, f64> =
-        trace.executed_jobs().map(|j| (j.id, j.read_bandwidth() + j.write_bandwidth())).collect();
+    let true_bw: HashMap<u64, f64> = trace
+        .executed_jobs()
+        .map(|j| (j.id, j.read_bandwidth() + j.write_bandwidth()))
+        .collect();
 
     let timeline_of = |schedule: &prionn::sched::Schedule| {
         let intervals: Vec<JobIoInterval> = schedule
@@ -155,14 +173,23 @@ fn io_aware_policy_reduces_bursts_with_perfect_predictions() {
     let max_single = true_bw.values().cloned().fold(0.0f64, f64::max);
     let budget = max_single * 1.05;
     let fcfs_bursts = fcfs_timeline.iter().filter(|&&v| v > budget).count();
-    assert!(fcfs_bursts > 0, "baseline must have stacked bursts for the test to mean anything");
+    assert!(
+        fcfs_bursts > 0,
+        "baseline must have stacked bursts for the test to mean anything"
+    );
 
-    let cfg = IoAwareConfig { bandwidth_budget: budget, max_io_delay: 365 * 24 * 3600 };
+    let cfg = IoAwareConfig {
+        bandwidth_budget: budget,
+        max_io_delay: 365 * 24 * 3600,
+    };
     let gated = simulate_io_aware(256, &jobs, cfg, true_bw.clone());
     assert_eq!(gated.entries.len(), jobs.len(), "every job still completes");
     let gated_timeline = timeline_of(&gated);
     let gated_bursts = gated_timeline.iter().filter(|&&v| v > budget).count();
-    assert_eq!(gated_bursts, 0, "stacked bursts are fully prevented: {gated_bursts} remain");
+    assert_eq!(
+        gated_bursts, 0,
+        "stacked bursts are fully prevented: {gated_bursts} remain"
+    );
 
     // The price is throughput: total turnaround must not decrease.
     let tat = |s: &prionn::sched::Schedule| s.entries.iter().map(|e| e.turnaround()).sum::<u64>();
