@@ -3,10 +3,15 @@
 //! save/load disk round trip. These set the budget for the service's
 //! periodic snapshots — a snapshot runs on the worker thread between
 //! retrains, so it must stay far cheaper than one retraining event.
+//!
+//! The `predict` group measures telemetry overhead on the hot path: the
+//! same forward pass with and without an attached registry. The budget is
+//! ≤5% — see the overhead discussion in `DESIGN.md` §10.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use prionn_core::{Prionn, PrionnConfig};
 use prionn_store::Checkpoint;
+use prionn_telemetry::Telemetry;
 use prionn_workload::{Trace, TraceConfig, TracePreset};
 
 fn trained_model() -> Prionn {
@@ -56,5 +61,26 @@ fn bench_checkpoint(c: &mut Criterion) {
     let _ = std::fs::remove_file(&path);
 }
 
-criterion_group!(benches, bench_checkpoint);
+fn bench_predict_telemetry_overhead(c: &mut Criterion) {
+    let mut model = trained_model();
+    let trace = Trace::generate(&TraceConfig::preset(TracePreset::CabLike, 40));
+    let jobs: Vec<_> = trace.executed_jobs().collect();
+    let scripts: Vec<&str> = jobs.iter().take(16).map(|j| j.script.as_str()).collect();
+
+    let mut group = c.benchmark_group("predict");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(scripts.len() as u64));
+
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| model.predict(&scripts).unwrap());
+    });
+    let registry = Telemetry::default();
+    model.set_telemetry(&registry);
+    group.bench_function("instrumented", |b| {
+        b.iter(|| model.predict(&scripts).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint, bench_predict_telemetry_overhead);
 criterion_main!(benches);

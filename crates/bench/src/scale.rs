@@ -115,6 +115,7 @@ impl ExperimentScale {
                 retrain_every: 100,
                 min_history: 80,
                 cold_start: false,
+                telemetry: None,
                 prionn: self.prionn(),
             },
             ExperimentScale::Standard => OnlineConfig {
@@ -122,6 +123,7 @@ impl ExperimentScale {
                 retrain_every: 100,
                 min_history: 100,
                 cold_start: false,
+                telemetry: None,
                 prionn: self.prionn(),
             },
             ExperimentScale::Full => OnlineConfig {
@@ -129,6 +131,7 @@ impl ExperimentScale {
                 retrain_every: 100,
                 min_history: 100,
                 cold_start: false,
+                telemetry: None,
                 prionn: self.prionn(),
             },
         }

@@ -8,6 +8,7 @@
 //! completed" back into training.
 
 use crate::predictor::{Prionn, PrionnConfig, Result};
+use prionn_telemetry::Telemetry;
 use prionn_workload::JobRecord;
 
 /// Protocol parameters (paper values: window 500, cadence 100).
@@ -22,6 +23,12 @@ pub struct OnlineConfig {
     /// Re-initialise the model at every retraining event instead of
     /// warm-starting (ablation of §2.3's knowledge-retention claim).
     pub cold_start: bool,
+    /// Optional telemetry registry. When set, the protocol records
+    /// `online_retrain_seconds` / `online_submissions_total` /
+    /// `online_fallback_predictions_total` and attaches the registry to the
+    /// model (per-layer timers, retrain events); see
+    /// `docs/OBSERVABILITY.md`.
+    pub telemetry: Option<Telemetry>,
     /// Predictor configuration.
     pub prionn: PrionnConfig,
 }
@@ -33,6 +40,7 @@ impl Default for OnlineConfig {
             retrain_every: 100,
             min_history: 100,
             cold_start: false,
+            telemetry: None,
             prionn: PrionnConfig::default(),
         }
     }
@@ -84,6 +92,27 @@ pub fn resume_online_prionn(
     let w2v_corpus: Vec<&str> = jobs.iter().take(200).map(|j| j.script.as_str()).collect();
     let mut predictions = Vec::with_capacity(jobs.len());
 
+    // Protocol-level instruments (the model adds its own when attached).
+    let instruments = cfg.telemetry.as_ref().map(|t| {
+        (
+            t.histogram(
+                "online_retrain_seconds",
+                "Wall time of one online-protocol retraining event",
+            ),
+            t.counter(
+                "online_submissions_total",
+                "Non-cancelled job submissions processed",
+            ),
+            t.counter(
+                "online_fallback_predictions_total",
+                "Predictions served from the user request (model untrained)",
+            ),
+        )
+    });
+    if let Some(t) = &cfg.telemetry {
+        model.set_telemetry(t);
+    }
+
     // (completion_time, index into jobs) of executed jobs, kept sorted by
     // completion as we sweep submission times forward.
     let mut pending: Vec<(u64, usize)> = Vec::new();
@@ -116,6 +145,9 @@ pub fn resume_online_prionn(
             if cfg.cold_start {
                 // Ablation: throw the learned parameters away each event.
                 model = Prionn::new(cfg.prionn.clone(), &w2v_corpus)?;
+                if let Some(t) = &cfg.telemetry {
+                    model.set_telemetry(t);
+                }
             }
             let (reads, writes): (Vec<f64>, Vec<f64>) = if cfg.prionn.predict_io {
                 (
@@ -125,7 +157,11 @@ pub fn resume_online_prionn(
             } else {
                 (Vec::new(), Vec::new())
             };
+            let retrain_started = std::time::Instant::now();
             model.retrain(&scripts, &runtimes, &reads, &writes)?;
+            if let Some((retrain_seconds, _, _)) = &instruments {
+                retrain_seconds.observe(retrain_started.elapsed().as_secs_f64());
+            }
             trained = true;
             since_retrain = 0;
         }
@@ -149,6 +185,12 @@ pub fn resume_online_prionn(
                 model_trained: false,
             }
         };
+        if let Some((_, submissions, fallbacks)) = &instruments {
+            submissions.inc();
+            if !prediction.model_trained {
+                fallbacks.inc();
+            }
+        }
         predictions.push(prediction);
         since_retrain += 1;
         pending.push((job.submit_time + job.runtime_seconds, idx));
@@ -173,6 +215,7 @@ mod tests {
             retrain_every: 40,
             min_history: 30,
             cold_start: false,
+            telemetry: None,
             prionn,
         }
     }

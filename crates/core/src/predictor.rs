@@ -129,6 +129,18 @@ pub struct Prionn {
     opt_power: Adam,
     rng: ChaCha8Rng,
     retrain_count: usize,
+    telemetry: Option<PredictorTelemetry>,
+}
+
+/// Instrument handles for one predictor, resolved once at attach time.
+struct PredictorTelemetry {
+    registry: prionn_telemetry::Telemetry,
+    retrain_seconds: prionn_telemetry::Histogram,
+    retrains_total: prionn_telemetry::Counter,
+    predict_seconds: prionn_telemetry::Histogram,
+    predictions_total: prionn_telemetry::Counter,
+    map_seconds: prionn_telemetry::Histogram,
+    last_epoch_loss: prionn_telemetry::Gauge,
 }
 
 impl Prionn {
@@ -199,12 +211,60 @@ impl Prionn {
             transform,
             cfg,
             retrain_count: 0,
+            telemetry: None,
         })
     }
 
     /// The active configuration.
     pub fn config(&self) -> &PrionnConfig {
         &self.cfg
+    }
+
+    /// Attach a telemetry registry. Each head's [`Sequential`] gains
+    /// per-layer forward/backward timers and norm gauges (labelled
+    /// `model=runtime|read|write|power`), and the predictor itself records
+    /// `prionn_retrain_seconds`, `prionn_predict_seconds`,
+    /// `prionn_map_seconds`, the matching `_total` counters, the
+    /// `prionn_last_epoch_loss` gauge, and one `retrain` span event per
+    /// training event. Telemetry is process-local state: it is *not*
+    /// persisted by [`Prionn::save`] and must be re-attached after a
+    /// restore.
+    pub fn set_telemetry(&mut self, registry: &prionn_telemetry::Telemetry) {
+        self.runtime_model.set_telemetry(registry, "runtime");
+        if let Some(m) = self.read_model.as_mut() {
+            m.set_telemetry(registry, "read");
+        }
+        if let Some(m) = self.write_model.as_mut() {
+            m.set_telemetry(registry, "write");
+        }
+        if let Some(m) = self.power_model.as_mut() {
+            m.set_telemetry(registry, "power");
+        }
+        self.telemetry = Some(PredictorTelemetry {
+            retrain_seconds: registry.histogram(
+                "prionn_retrain_seconds",
+                "Wall time of one warm-started retraining event (all heads)",
+            ),
+            retrains_total: registry
+                .counter("prionn_retrains_total", "Completed retraining events"),
+            predict_seconds: registry.histogram(
+                "prionn_predict_seconds",
+                "Wall time of one predict() call over a script batch",
+            ),
+            predictions_total: registry.counter(
+                "prionn_predictions_total",
+                "Scripts predicted (batch sizes summed)",
+            ),
+            map_seconds: registry.histogram(
+                "prionn_map_seconds",
+                "Wall time of the script-to-tensor data mapping",
+            ),
+            last_epoch_loss: registry.gauge(
+                "prionn_last_epoch_loss",
+                "Mean runtime-head loss of the final epoch of the last retrain",
+            ),
+            registry: registry.clone(),
+        });
     }
 
     /// Number of completed retraining events.
@@ -243,8 +303,13 @@ impl Prionn {
                 actual: runtime_minutes.len(),
             });
         }
+        let started = std::time::Instant::now();
+        let map_started = std::time::Instant::now();
         let x = self.map_scripts(scripts)?;
-        match self.cfg.head {
+        if let Some(tel) = &self.telemetry {
+            tel.map_seconds.observe(map_started.elapsed().as_secs_f64());
+        }
+        let epoch_losses = match self.cfg.head {
             HeadKind::Classifier => {
                 let runtime_classes: Vec<usize> = runtime_minutes
                     .iter()
@@ -258,7 +323,7 @@ impl Prionn {
                     self.cfg.epochs,
                     self.cfg.batch_size,
                     &mut self.rng,
-                )?;
+                )?
             }
             HeadKind::Regressor => {
                 let scale = (961.0f64).ln() as f32;
@@ -275,9 +340,9 @@ impl Prionn {
                     self.cfg.epochs,
                     self.cfg.batch_size,
                     &mut self.rng,
-                )?;
+                )?
             }
-        }
+        };
         if let Some(read_model) = self.read_model.as_mut() {
             if read_bytes.len() != scripts.len() || write_bytes.len() != scripts.len() {
                 return Err(TensorError::LengthMismatch {
@@ -312,6 +377,24 @@ impl Prionn {
             )?;
         }
         self.retrain_count += 1;
+        if let Some(tel) = &self.telemetry {
+            let secs = started.elapsed().as_secs_f64();
+            let last_loss = epoch_losses.last().copied().unwrap_or(f32::NAN);
+            tel.retrain_seconds.observe(secs);
+            tel.retrains_total.inc();
+            if last_loss.is_finite() {
+                tel.last_epoch_loss.set(last_loss as f64);
+            }
+            tel.registry.events().record(
+                "retrain",
+                format!(
+                    "jobs={} epochs={} last_epoch_loss={last_loss:.4}",
+                    scripts.len(),
+                    self.cfg.epochs
+                ),
+                (secs * 1e6) as u64,
+            );
+        }
         Ok(())
     }
 
@@ -320,6 +403,7 @@ impl Prionn {
         if scripts.is_empty() {
             return Ok(Vec::new());
         }
+        let started = std::time::Instant::now();
         let x = self.map_scripts(scripts)?;
         let bs = self.cfg.batch_size.max(1);
         let runtime: Vec<f64> = match self.cfg.head {
@@ -347,6 +431,10 @@ impl Prionn {
             Some(m) => Some(m.predict_classes(&x, bs)?),
             None => None,
         };
+        if let Some(tel) = &self.telemetry {
+            tel.predict_seconds.observe(started.elapsed().as_secs_f64());
+            tel.predictions_total.add(scripts.len() as u64);
+        }
         Ok((0..scripts.len())
             .map(|i| ResourcePrediction {
                 runtime_minutes: runtime[i],

@@ -26,6 +26,7 @@ use crate::predictor::{Prionn, PrionnConfig, ResourcePrediction, Result};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use prionn_store::StoreError;
+use prionn_telemetry::{Counter, Gauge, Histogram, SpanEvent, Telemetry};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -57,6 +58,10 @@ pub struct ServiceOptions {
     pub snapshot_every_n_retrains: Option<usize>,
     /// Where snapshots are written (atomically: tmp + rename).
     pub snapshot_path: Option<PathBuf>,
+    /// Telemetry registry shared with the caller. `None` means the service
+    /// creates a private registry — metrics are recorded either way and are
+    /// reachable via [`PrionnService::telemetry`].
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for ServiceOptions {
@@ -65,6 +70,7 @@ impl Default for ServiceOptions {
             retrain_queue_cap: 8,
             snapshot_every_n_retrains: None,
             snapshot_path: None,
+            telemetry: None,
         }
     }
 }
@@ -84,6 +90,48 @@ pub struct ServiceStats {
     pub snapshots_taken: AtomicUsize,
     /// Checkpoint attempts that failed (error kept in `last_error`).
     pub snapshots_failed: AtomicUsize,
+}
+
+/// Service-level instrument handles, resolved once at spawn.
+#[derive(Clone)]
+struct ServiceInstruments {
+    predict_seconds: Histogram,
+    predictions_total: Counter,
+    queue_depth: Gauge,
+    retrains_dropped: Counter,
+    retrain_seconds: Histogram,
+    snapshot_seconds: Histogram,
+}
+
+impl ServiceInstruments {
+    fn build(t: &Telemetry) -> Self {
+        ServiceInstruments {
+            predict_seconds: t.histogram(
+                "service_predict_seconds",
+                "Predict RPC latency as the scheduler sees it (queue wait + forward pass)",
+            ),
+            predictions_total: t.counter(
+                "service_predictions_total",
+                "Scripts predicted through the service (batch sizes summed)",
+            ),
+            queue_depth: t.gauge(
+                "service_retrain_queue_depth",
+                "Retraining batches currently waiting in the bounded queue",
+            ),
+            retrains_dropped: t.counter(
+                "service_retrains_dropped_total",
+                "Batches shed by the latest-wins policy because the queue was full",
+            ),
+            retrain_seconds: t.histogram(
+                "service_retrain_seconds",
+                "Wall time of one background retraining event on the worker",
+            ),
+            snapshot_seconds: t.histogram(
+                "service_snapshot_seconds",
+                "Wall time of one checkpoint write on the worker",
+            ),
+        }
+    }
 }
 
 enum Request {
@@ -108,6 +156,8 @@ pub struct PrionnService {
     retrain_rx: Receiver<TrainingBatch>,
     snapshot_configured: bool,
     stats: Arc<ServiceStats>,
+    telemetry: Telemetry,
+    instruments: ServiceInstruments,
     last_error: Arc<Mutex<Option<String>>>,
     handle: Option<JoinHandle<()>>,
 }
@@ -141,15 +191,22 @@ impl PrionnService {
             .map_err(|e| StoreError::Io(std::io::Error::other(e.to_string())))
     }
 
-    fn spawn_model(model: Prionn, options: ServiceOptions) -> Result<Self> {
+    fn spawn_model(mut model: Prionn, options: ServiceOptions) -> Result<Self> {
         let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
         let (retrain_tx, retrain_rx) = bounded(options.retrain_queue_cap.max(1));
         let snapshot_configured = options.snapshot_path.is_some();
+        let telemetry = options.telemetry.clone().unwrap_or_default();
+        let instruments = ServiceInstruments::build(&telemetry);
+        // The worker's model publishes per-layer timers and predictor
+        // metrics into the same registry.
+        model.set_telemetry(&telemetry);
         let stats = Arc::new(ServiceStats::default());
         let last_error = Arc::new(Mutex::new(None));
         let worker_stats = Arc::clone(&stats);
         let worker_error = Arc::clone(&last_error);
         let worker_batches = retrain_rx.clone();
+        let worker_instruments = instruments.clone();
+        let worker_telemetry = telemetry.clone();
         let handle = std::thread::Builder::new()
             .name("prionn-service".into())
             .spawn(move || {
@@ -160,6 +217,8 @@ impl PrionnService {
                     options,
                     worker_stats,
                     worker_error,
+                    worker_instruments,
+                    worker_telemetry,
                 )
             })
             .map_err(|e| {
@@ -171,13 +230,20 @@ impl PrionnService {
             retrain_rx,
             snapshot_configured,
             stats,
+            telemetry,
+            instruments,
             last_error,
             handle: Some(handle),
         })
     }
 
     /// Predict resources for newly submitted scripts (synchronous RPC).
+    ///
+    /// The `service_predict_seconds` histogram times the whole RPC as this
+    /// caller experienced it — queue wait on the worker plus the forward
+    /// pass — which is the latency a scheduler actually pays.
     pub fn predict(&self, scripts: &[String]) -> Result<Vec<ResourcePrediction>> {
+        let timer = self.instruments.predict_seconds.start_timer();
         let (reply_tx, reply_rx) = unbounded();
         self.tx
             .send(Request::Predict {
@@ -185,9 +251,14 @@ impl PrionnService {
                 reply: reply_tx,
             })
             .map_err(|_| prionn_tensor::TensorError::InvalidArgument("service stopped".into()))?;
-        reply_rx.recv().map_err(|_| {
+        let out = reply_rx.recv().map_err(|_| {
             prionn_tensor::TensorError::InvalidArgument("service dropped reply".into())
-        })?
+        })?;
+        timer.stop();
+        if out.is_ok() {
+            self.instruments.predictions_total.add(scripts.len() as u64);
+        }
+        out
     }
 
     /// Enqueue a retraining batch; returns immediately. When the bounded
@@ -195,7 +266,8 @@ impl PrionnService {
     /// counted in [`ServiceStats::retrains_dropped`]. Training failures are
     /// recorded in [`PrionnService::last_error`].
     pub fn retrain_async(&self, mut batch: TrainingBatch) {
-        self.stats.retrains_pending.fetch_add(1, Ordering::SeqCst);
+        let pending = self.stats.retrains_pending.fetch_add(1, Ordering::SeqCst) + 1;
+        self.instruments.queue_depth.set(pending as f64);
         loop {
             match self.retrain_tx.try_send(batch) {
                 Ok(()) => break,
@@ -205,7 +277,9 @@ impl PrionnService {
                     // misses and the retry simply succeeds.
                     if self.retrain_rx.try_recv().is_ok() {
                         self.stats.retrains_dropped.fetch_add(1, Ordering::SeqCst);
-                        self.stats.retrains_pending.fetch_sub(1, Ordering::SeqCst);
+                        self.instruments.retrains_dropped.inc();
+                        let left = self.stats.retrains_pending.fetch_sub(1, Ordering::SeqCst) - 1;
+                        self.instruments.queue_depth.set(left as f64);
                     }
                     batch = b;
                 }
@@ -239,6 +313,21 @@ impl PrionnService {
         &self.stats
     }
 
+    /// The service's telemetry registry: scrape
+    /// [`Telemetry::prometheus`] / [`Telemetry::json`] from here. Shared
+    /// with the worker thread and the model, and with the caller when
+    /// [`ServiceOptions::telemetry`] injected an external registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Drain the structured event log: timestamped `retrain` / `snapshot`
+    /// spans recorded by the worker, oldest first. Draining is destructive
+    /// — each event is returned exactly once.
+    pub fn drain_events(&self) -> Vec<SpanEvent> {
+        self.telemetry.events().drain()
+    }
+
     /// The most recent background-training or snapshot error, if any.
     pub fn last_error(&self) -> Option<String> {
         self.last_error.lock().clone()
@@ -262,6 +351,7 @@ impl Drop for PrionnService {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     mut model: Prionn,
     rx: Receiver<Request>,
@@ -269,6 +359,8 @@ fn worker_loop(
     options: ServiceOptions,
     stats: Arc<ServiceStats>,
     last_error: Arc<Mutex<Option<String>>>,
+    instruments: ServiceInstruments,
+    telemetry: Telemetry,
 ) {
     let snapshot = |model: &Prionn, stats: &ServiceStats, last_error: &Mutex<Option<String>>| {
         let Some(path) = options.snapshot_path.as_deref() else {
@@ -276,12 +368,24 @@ fn worker_loop(
             *last_error.lock() = Some("snapshot requested but no snapshot_path set".into());
             return;
         };
-        match model.save(path) {
+        let started = std::time::Instant::now();
+        let result = model.save(path);
+        let secs = started.elapsed().as_secs_f64();
+        instruments.snapshot_seconds.observe(secs);
+        match result {
             Ok(()) => {
                 stats.snapshots_taken.fetch_add(1, Ordering::SeqCst);
+                telemetry.events().record(
+                    "snapshot",
+                    format!("path={}", path.display()),
+                    (secs * 1e6) as u64,
+                );
             }
             Err(e) => {
                 stats.snapshots_failed.fetch_add(1, Ordering::SeqCst);
+                telemetry
+                    .events()
+                    .record("snapshot_failed", e.to_string(), (secs * 1e6) as u64);
                 *last_error.lock() = Some(format!("snapshot failed: {e}"));
             }
         }
@@ -301,13 +405,18 @@ fn worker_loop(
                     continue;
                 };
                 let refs: Vec<&str> = batch.scripts.iter().map(|s| s.as_str()).collect();
+                let started = std::time::Instant::now();
                 let result = model.retrain(
                     &refs,
                     &batch.runtime_minutes,
                     &batch.read_bytes,
                     &batch.write_bytes,
                 );
-                stats.retrains_pending.fetch_sub(1, Ordering::SeqCst);
+                instruments
+                    .retrain_seconds
+                    .observe(started.elapsed().as_secs_f64());
+                let left = stats.retrains_pending.fetch_sub(1, Ordering::SeqCst) - 1;
+                instruments.queue_depth.set(left as f64);
                 match result {
                     Ok(()) => {
                         let done = stats.retrains_done.fetch_add(1, Ordering::SeqCst) + 1;
@@ -387,6 +496,49 @@ mod tests {
         assert_eq!(svc.stats().retrains_pending.load(Ordering::SeqCst), 0);
         assert_eq!(svc.stats().retrains_dropped.load(Ordering::SeqCst), 0);
         assert!(svc.last_error().is_none());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn predict_path_metrics_populate_after_a_short_run() {
+        let corpus = scripts(16);
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let telemetry = Telemetry::default();
+        let svc = PrionnService::spawn_with_options(
+            tiny_cfg(),
+            &refs,
+            ServiceOptions {
+                telemetry: Some(telemetry.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        svc.retrain_async(TrainingBatch {
+            scripts: corpus.clone(),
+            runtime_minutes: vec![10.0; corpus.len()],
+            ..Default::default()
+        });
+        for chunk in corpus.chunks(4) {
+            svc.predict(chunk).unwrap();
+        }
+
+        let text = svc.telemetry().prometheus();
+        // RPC latency histogram: one observation per predict() call.
+        assert!(text.contains("service_predict_seconds_count 4"), "{text}");
+        // Scripts counted with batch sizes summed.
+        assert!(text.contains("service_predictions_total 16"), "{text}");
+        // The worker's model publishes per-layer forward timings into the
+        // same registry, labelled by head and layer path.
+        assert!(
+            text.contains(r#"nn_layer_forward_seconds_count{layer="0.conv2d",model="runtime"}"#),
+            "{text}"
+        );
+        // One retrain happened and recorded both the histogram and a span.
+        assert!(text.contains("service_retrain_seconds_count 1"), "{text}");
+        assert!(text.contains("prionn_retrains_total 1"), "{text}");
+        let events = svc.drain_events();
+        assert!(events.iter().any(|e| e.name == "retrain"), "{events:?}");
+        assert!(svc.drain_events().is_empty(), "drain empties the ring");
         svc.shutdown();
     }
 
@@ -499,6 +651,7 @@ mod tests {
             retrain_queue_cap: 8,
             snapshot_every_n_retrains: Some(2),
             snapshot_path: Some(path.clone()),
+            ..Default::default()
         };
         let svc = PrionnService::spawn_with_options(tiny_cfg(), &refs, options).unwrap();
         for _ in 0..4 {

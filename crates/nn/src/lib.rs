@@ -22,6 +22,8 @@
 //! Parallelism: convolutions and dense matmuls fan out across rayon workers
 //! per batch row; all randomness is caller-seeded (`ChaCha8Rng`).
 
+#![warn(missing_docs)]
+
 pub mod arch;
 pub mod layer;
 pub mod loss;

@@ -5,9 +5,70 @@ use crate::layer::Layer;
 use crate::loss::{Loss, LossTarget};
 use crate::optim::Optimizer;
 use crate::Result;
+use prionn_telemetry::{Gauge, Histogram, Telemetry};
 use prionn_tensor::{ops, Tensor, TensorError};
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// Per-layer instruments, built once when telemetry is attached so the
+/// forward/backward hot loops never touch the registry.
+struct LayerInstruments {
+    forward: Histogram,
+    backward: Histogram,
+    /// Absent for parameterless layers (ReLU, pooling, reshapes).
+    param_norm: Option<Gauge>,
+    grad_norm: Option<Gauge>,
+}
+
+/// Telemetry wiring for one model: the registry handle, the `model` label
+/// its series carry, and the per-layer instrument cache.
+struct ModelTelemetry {
+    registry: Telemetry,
+    model_label: String,
+    per_layer: Vec<LayerInstruments>,
+}
+
+impl ModelTelemetry {
+    fn build_layers(&mut self, layers: &[Box<dyn Layer>]) {
+        self.per_layer = layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let layer = format!("{i}.{}", l.name());
+                let labels = [
+                    ("model", self.model_label.as_str()),
+                    ("layer", layer.as_str()),
+                ];
+                LayerInstruments {
+                    forward: self.registry.histogram_with(
+                        "nn_layer_forward_seconds",
+                        "Per-layer forward pass wall time",
+                        &labels,
+                    ),
+                    backward: self.registry.histogram_with(
+                        "nn_layer_backward_seconds",
+                        "Per-layer backward pass wall time",
+                        &labels,
+                    ),
+                    param_norm: (l.param_count() > 0).then(|| {
+                        self.registry.gauge_with(
+                            "nn_param_norm",
+                            "L2 norm of the layer's parameters after the last step",
+                            &labels,
+                        )
+                    }),
+                    grad_norm: (l.param_count() > 0).then(|| {
+                        self.registry.gauge_with(
+                            "nn_grad_norm",
+                            "L2 norm of the layer's gradients at the last step",
+                            &labels,
+                        )
+                    }),
+                }
+            })
+            .collect();
+    }
+}
 
 /// A feed-forward stack of layers trained with backprop.
 ///
@@ -18,12 +79,46 @@ use rand::Rng;
 #[derive(Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    telemetry: Option<ModelTelemetry>,
 }
 
 impl Sequential {
     /// An empty model.
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential::default()
+    }
+
+    /// Attach a telemetry registry: every layer gains
+    /// `nn_layer_forward_seconds` / `nn_layer_backward_seconds` histograms
+    /// and `nn_param_norm` / `nn_grad_norm` gauges, all labelled
+    /// `{model=<model_label>, layer=<index>.<name>}`. Instruments are
+    /// resolved once here; the hot loops only pay one `Instant::now()` pair
+    /// per layer plus a striped atomic add. Call with the same registry to
+    /// share one exposition endpoint across models; layers pushed after
+    /// attachment are picked up automatically.
+    pub fn set_telemetry(&mut self, registry: &Telemetry, model_label: &str) {
+        let mut mt = ModelTelemetry {
+            registry: registry.clone(),
+            model_label: model_label.to_string(),
+            per_layer: Vec::new(),
+        };
+        mt.build_layers(&self.layers);
+        self.telemetry = Some(mt);
+    }
+
+    /// Detach telemetry (instrumentation becomes zero-cost again).
+    pub fn clear_telemetry(&mut self) {
+        self.telemetry = None;
+    }
+
+    /// Rebuild the per-layer instrument cache if layers changed since
+    /// attachment; no-op in the common case.
+    fn refresh_telemetry(&mut self) {
+        if let Some(mt) = self.telemetry.as_mut() {
+            if mt.per_layer.len() != self.layers.len() {
+                mt.build_layers(&self.layers);
+            }
+        }
     }
 
     /// Append a layer (builder style).
@@ -63,31 +158,84 @@ impl Sequential {
 
     /// Run the full forward pass.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        self.refresh_telemetry();
         let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = layer.forward(&cur, train)?;
+        match &self.telemetry {
+            Some(mt) => {
+                for (layer, inst) in self.layers.iter_mut().zip(&mt.per_layer) {
+                    let t = std::time::Instant::now();
+                    cur = layer.forward(&cur, train)?;
+                    inst.forward.observe(t.elapsed().as_secs_f64());
+                }
+            }
+            None => {
+                for layer in &mut self.layers {
+                    cur = layer.forward(&cur, train)?;
+                }
+            }
         }
         Ok(cur)
     }
 
     /// Run the full backward pass from an output gradient.
     pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        self.refresh_telemetry();
         let mut cur = grad.clone();
-        for layer in self.layers.iter_mut().rev() {
-            cur = layer.backward(&cur)?;
+        match &self.telemetry {
+            Some(mt) => {
+                for (layer, inst) in self.layers.iter_mut().rev().zip(mt.per_layer.iter().rev()) {
+                    let t = std::time::Instant::now();
+                    cur = layer.backward(&cur)?;
+                    inst.backward.observe(t.elapsed().as_secs_f64());
+                }
+            }
+            None => {
+                for layer in self.layers.iter_mut().rev() {
+                    cur = layer.backward(&cur)?;
+                }
+            }
         }
         Ok(cur)
     }
 
     /// Apply one optimiser step using the gradients from the last backward.
+    ///
+    /// With telemetry attached, each parameterised layer's L2 parameter and
+    /// gradient norms are published as gauges (`nn_param_norm`,
+    /// `nn_grad_norm`) — the norm reduction only runs when instrumented.
     pub fn step(&mut self, opt: &mut dyn Optimizer) {
+        self.refresh_telemetry();
         opt.begin_step();
         let mut slot = 0usize;
-        for layer in &mut self.layers {
+        let telemetry = self.telemetry.as_ref();
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            let inst = telemetry.map(|mt| &mt.per_layer[li]);
+            let mut p_sq = 0f64;
+            let mut g_sq = 0f64;
             layer.visit_params(&mut |param, grad| {
+                if inst.is_some() {
+                    g_sq += grad
+                        .as_slice()
+                        .iter()
+                        .map(|&v| v as f64 * v as f64)
+                        .sum::<f64>();
+                }
                 opt.update(slot, param, grad);
+                if inst.is_some() {
+                    p_sq += param
+                        .as_slice()
+                        .iter()
+                        .map(|&v| v as f64 * v as f64)
+                        .sum::<f64>();
+                }
                 slot += 1;
             });
+            if let Some(inst) = inst {
+                if let (Some(p), Some(g)) = (&inst.param_norm, &inst.grad_norm) {
+                    p.set(p_sq.sqrt());
+                    g.set(g_sq.sqrt());
+                }
+            }
         }
     }
 
@@ -472,6 +620,46 @@ mod tests {
         assert!(m
             .fit_values(&x, &y, &MseLoss, &mut opt, 1, 2, &mut srng)
             .is_err());
+    }
+
+    #[test]
+    fn telemetry_records_per_layer_timings_and_norms() {
+        use prionn_telemetry::Telemetry;
+        let t = Telemetry::new();
+        let mut m = xor_model(3);
+        m.set_telemetry(&t, "runtime");
+        let (x, y) = xor_data();
+        let mut opt = Sgd::with_momentum(0.5, 0.9);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        m.fit_classes(&x, &y, &SoftmaxCrossEntropy, &mut opt, 2, 4, &mut rng)
+            .unwrap();
+        let text = t.prometheus();
+        assert!(
+            text.contains("nn_layer_forward_seconds_bucket{layer=\"0.dense\",model=\"runtime\""),
+            "{text}"
+        );
+        assert!(text.contains("nn_layer_backward_seconds_bucket{layer=\"2.dense\""));
+        // ReLU has no parameters: only the dense layers publish norms.
+        assert!(text.contains("nn_param_norm{layer=\"0.dense\""));
+        assert!(!text.contains("nn_param_norm{layer=\"1.relu\""));
+        let h = t.histogram_with(
+            "nn_layer_forward_seconds",
+            "",
+            &[("model", "runtime"), ("layer", "0.dense")],
+        );
+        // 2 epochs x 1 batch of 4 = 2 forward passes through layer 0.
+        assert_eq!(h.count(), 2);
+        // Instrumented and uninstrumented training agree bit-for-bit.
+        let mut plain = xor_model(3);
+        let mut opt2 = Sgd::with_momentum(0.5, 0.9);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(0);
+        plain
+            .fit_classes(&x, &y, &SoftmaxCrossEntropy, &mut opt2, 2, 4, &mut rng2)
+            .unwrap();
+        assert_eq!(
+            m.forward(&x, false).unwrap(),
+            plain.forward(&x, false).unwrap()
+        );
     }
 
     #[test]

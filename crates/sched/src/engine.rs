@@ -1,5 +1,6 @@
 //! The incremental scheduling engine: FCFS with EASY backfilling.
 
+use prionn_telemetry::{Counter, Histogram, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -63,6 +64,37 @@ struct Running {
     end_estimated: u64,
 }
 
+/// Simulator instruments, resolved once when telemetry is attached.
+#[derive(Debug, Clone)]
+struct SchedInstruments {
+    jobs_submitted: Counter,
+    jobs_started: Counter,
+    jobs_backfilled: Counter,
+    sim_steps: Counter,
+    submit_seconds: Histogram,
+}
+
+impl SchedInstruments {
+    fn build(t: &Telemetry) -> Self {
+        SchedInstruments {
+            jobs_submitted: t.counter("sched_jobs_submitted_total", "Jobs submitted to the engine"),
+            jobs_started: t.counter("sched_jobs_started_total", "Jobs placed on nodes"),
+            jobs_backfilled: t.counter(
+                "sched_jobs_backfilled_total",
+                "Jobs started by EASY backfill ahead of the queue head",
+            ),
+            sim_steps: t.counter(
+                "sched_sim_steps_total",
+                "Discrete simulation steps (completion sweeps + scheduling passes)",
+            ),
+            submit_seconds: t.histogram(
+                "sched_submit_seconds",
+                "Wall time of one submit() call (clock advance + scheduling pass)",
+            ),
+        }
+    }
+}
+
 /// The incremental FCFS + EASY-backfill engine.
 ///
 /// Cloneable by design: the snapshot turnaround predictor clones the live
@@ -75,6 +107,7 @@ pub struct SimEngine {
     running: Vec<Running>,
     queue: VecDeque<SimJob>,
     finished: Vec<ScheduleEntry>,
+    telemetry: Option<SchedInstruments>,
 }
 
 impl SimEngine {
@@ -88,7 +121,19 @@ impl SimEngine {
             running: Vec::new(),
             queue: VecDeque::new(),
             finished: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry registry: the engine publishes
+    /// `sched_jobs_submitted_total`, `sched_jobs_started_total`,
+    /// `sched_jobs_backfilled_total`, `sched_sim_steps_total`, and the
+    /// `sched_submit_seconds` latency histogram (sim-step throughput =
+    /// `sched_sim_steps_total / sched_submit_seconds_sum`). Speculative
+    /// forks made by [`SimEngine::fork_with_predictions`] never record —
+    /// only the live engine's work counts.
+    pub fn attach_telemetry(&mut self, t: &Telemetry) {
+        self.telemetry = Some(SchedInstruments::build(t));
     }
 
     /// Current simulation time.
@@ -127,6 +172,9 @@ impl SimEngine {
             let next_end = self.running.iter().map(|r| r.end_actual).min();
             match next_end {
                 Some(end) if end <= t => {
+                    if let Some(tel) = &self.telemetry {
+                        tel.sim_steps.inc();
+                    }
                     self.now = end;
                     let mut i = 0;
                     while i < self.running.len() {
@@ -148,9 +196,17 @@ impl SimEngine {
     /// Submit a job at its `submit` time (the clock is advanced there) and
     /// run the scheduling pass.
     pub fn submit(&mut self, job: SimJob) {
+        let timer = self
+            .telemetry
+            .as_ref()
+            .map(|t| (t.jobs_submitted.clone(), t.submit_seconds.start_timer()));
         self.advance_to(job.submit.max(self.now));
         self.queue.push_back(job);
         self.try_schedule();
+        if let Some((submitted, timer)) = timer {
+            submitted.inc();
+            timer.stop();
+        }
     }
 
     /// Run until all submitted work has completed and return the schedule.
@@ -181,6 +237,8 @@ impl SimEngine {
     /// imminent (one second from now).
     pub fn fork_with_predictions(&self, predicted: impl Fn(u64) -> u64) -> SimEngine {
         let mut fork = self.clone();
+        // Speculative what-if rollouts must not pollute the live metrics.
+        fork.telemetry = None;
         fork.finished.clear();
         for r in &mut fork.running {
             let end = r.start + predicted(r.id).max(1);
@@ -218,6 +276,9 @@ impl SimEngine {
     }
 
     fn start_job(&mut self, job: SimJob) {
+        if let Some(tel) = &self.telemetry {
+            tel.jobs_started.inc();
+        }
         self.free_nodes -= job.nodes;
         let start = self.now;
         self.running.push(Running {
@@ -237,6 +298,9 @@ impl SimEngine {
 
     /// FCFS with conservative EASY backfill.
     fn try_schedule(&mut self) {
+        if let Some(tel) = &self.telemetry {
+            tel.sim_steps.inc();
+        }
         // FCFS: start queue-head jobs while they fit.
         while let Some(head) = self.queue.front() {
             let nodes = head.nodes.min(self.total_nodes);
@@ -277,6 +341,9 @@ impl SimEngine {
             let cand = self.queue[i];
             if cand.nodes <= self.free_nodes && self.now.saturating_add(cand.estimate) <= shadow {
                 self.queue.remove(i);
+                if let Some(tel) = &self.telemetry {
+                    tel.jobs_backfilled.inc();
+                }
                 self.start_job(cand);
                 // A start never frees nodes, so the head still does not fit;
                 // the shadow computed from estimated ends is unchanged by
@@ -294,6 +361,23 @@ impl SimEngine {
 /// machine (matching how real schedulers reject-or-clamp oversized asks).
 pub fn simulate(total_nodes: u32, jobs: &[SimJob]) -> Schedule {
     let mut engine = SimEngine::new(total_nodes);
+    let mut sorted: Vec<SimJob> = jobs.to_vec();
+    sorted.sort_by_key(|j| (j.submit, j.id));
+    for job in sorted {
+        engine.submit(job);
+    }
+    engine.drain()
+}
+
+/// [`simulate`] with an instrumented engine: submission/start/backfill
+/// counters, sim-step totals, and per-submit latency land in `telemetry`.
+pub fn simulate_with_telemetry(
+    total_nodes: u32,
+    jobs: &[SimJob],
+    telemetry: &Telemetry,
+) -> Schedule {
+    let mut engine = SimEngine::new(total_nodes);
+    engine.attach_telemetry(telemetry);
     let mut sorted: Vec<SimJob> = jobs.to_vec();
     sorted.sort_by_key(|j| (j.submit, j.id));
     for job in sorted {
@@ -430,6 +514,47 @@ mod tests {
             in_use += d;
             assert!(in_use <= 16, "capacity exceeded: {in_use}");
         }
+    }
+
+    #[test]
+    fn telemetry_counts_submissions_starts_and_backfills() {
+        let t = Telemetry::default();
+        let jobs = [
+            job(0, 0, 8, 100, 100), // runs now
+            job(1, 1, 8, 100, 100), // head, waits
+            job(2, 2, 2, 10, 10),   // backfills
+        ];
+        let instrumented = simulate_with_telemetry(10, &jobs, &t);
+        let plain = simulate(10, &jobs);
+        assert_eq!(
+            instrumented.entries, plain.entries,
+            "instrumentation must not perturb the schedule"
+        );
+
+        let text = t.prometheus();
+        assert!(text.contains("sched_jobs_submitted_total 3"), "{text}");
+        assert!(text.contains("sched_jobs_started_total 3"), "{text}");
+        assert!(text.contains("sched_jobs_backfilled_total 1"), "{text}");
+        assert!(text.contains("sched_submit_seconds_count 3"), "{text}");
+        // Every submission triggers at least one scheduling pass.
+        assert!(!text.contains("sched_sim_steps_total 0"), "{text}");
+    }
+
+    #[test]
+    fn speculative_forks_do_not_record_telemetry() {
+        let t = Telemetry::default();
+        let mut engine = SimEngine::new(10);
+        engine.attach_telemetry(&t);
+        engine.submit(job(0, 0, 8, 100, 100));
+        engine.submit(job(1, 1, 8, 100, 100));
+        let before = t.prometheus();
+        let fork = engine.fork_with_predictions(|_| 50);
+        fork.run_until_finished(u64::MAX);
+        assert_eq!(
+            t.prometheus(),
+            before,
+            "fork rollout leaked into live metrics"
+        );
     }
 
     #[test]

@@ -29,6 +29,8 @@
 //! then renamed over the destination, so a crash mid-snapshot leaves the
 //! previous checkpoint intact.
 
+#![warn(missing_docs)]
+
 pub mod wire;
 
 use std::fmt;
@@ -51,6 +53,7 @@ const MAX_NAME_LEN: u32 = 1 << 12;
 /// Everything that can go wrong writing or reading a checkpoint.
 #[derive(Debug)]
 pub enum StoreError {
+    /// Underlying filesystem error while reading or writing.
     Io(std::io::Error),
     /// The file does not start with [`MAGIC`].
     BadMagic,
@@ -61,6 +64,7 @@ pub enum StoreError {
     Truncated(&'static str),
     /// A section's CRC32 did not match its contents.
     ChecksumMismatch {
+        /// Name of the section whose CRC failed.
         section: String,
     },
     /// Structurally invalid contents (bad UTF-8 name, absurd lengths,
@@ -109,6 +113,7 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
+/// Crate-wide result alias over [`StoreError`].
 pub type Result<T> = std::result::Result<T, StoreError>;
 
 /// An in-memory checkpoint: an ordered set of named byte sections.
@@ -121,6 +126,7 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
+    /// An empty checkpoint with no sections.
     pub fn new() -> Self {
         Checkpoint::default()
     }
@@ -155,14 +161,17 @@ impl Checkpoint {
             .ok_or_else(|| StoreError::MissingSection(name.to_string()))
     }
 
+    /// True if a section with this name exists.
     pub fn contains(&self, name: &str) -> bool {
         self.get(name).is_some()
     }
 
+    /// Number of sections.
     pub fn len(&self) -> usize {
         self.sections.len()
     }
 
+    /// True if the checkpoint holds no sections.
     pub fn is_empty(&self) -> bool {
         self.sections.is_empty()
     }
@@ -303,10 +312,12 @@ impl Default for Crc32 {
 }
 
 impl Crc32 {
+    /// A fresh accumulator (state `!0`, per the IEEE convention).
     pub fn new() -> Self {
         Crc32 { state: !0 }
     }
 
+    /// Fold more bytes into the running checksum.
     pub fn update(&mut self, bytes: &[u8]) {
         let table = crc32_table();
         let mut s = self.state;
@@ -316,6 +327,7 @@ impl Crc32 {
         self.state = s;
     }
 
+    /// The final checksum value (does not consume the accumulator).
     pub fn finish(&self) -> u32 {
         !self.state
     }

@@ -7,26 +7,32 @@
 
 use crate::{Result, StoreError};
 
+/// Append one raw byte.
 pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
     buf.push(v);
 }
 
+/// Append a `u32`, little-endian.
 pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Append a `u64`, little-endian.
 pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Append a `u128`, little-endian.
 pub fn put_u128(buf: &mut Vec<u8>, v: u128) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Append an `f64` as its IEEE-754 bit pattern, little-endian.
 pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Append a bool as one byte (0 or 1).
 pub fn put_bool(buf: &mut Vec<u8>, v: bool) {
     buf.push(v as u8);
 }
@@ -79,14 +85,17 @@ pub struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
+    /// Bytes left to read.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
+    /// True once every byte has been consumed.
     pub fn is_at_end(&self) -> bool {
         self.remaining() == 0
     }
@@ -103,6 +112,7 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Read exactly `len` raw bytes, or [`StoreError::Truncated`].
     pub fn get_bytes(&mut self, len: usize, what: &'static str) -> Result<&'a [u8]> {
         if len > self.remaining() {
             return Err(StoreError::Truncated(what));
@@ -112,14 +122,17 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    /// Read exactly `N` bytes into an array.
     pub fn get_array<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N]> {
         Ok(self.get_bytes(N, what)?.try_into().expect("length checked"))
     }
 
+    /// Read one raw byte.
     pub fn get_u8(&mut self, what: &'static str) -> Result<u8> {
         Ok(self.get_array::<1>(what)?[0])
     }
 
+    /// Read a bool byte; anything other than 0/1 is [`StoreError::Corrupt`].
     pub fn get_bool(&mut self, what: &'static str) -> Result<bool> {
         match self.get_u8(what)? {
             0 => Ok(false),
@@ -130,22 +143,27 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Read a little-endian `u32`.
     pub fn get_u32(&mut self, what: &'static str) -> Result<u32> {
         Ok(u32::from_le_bytes(self.get_array::<4>(what)?))
     }
 
+    /// Read a little-endian `u64`.
     pub fn get_u64(&mut self, what: &'static str) -> Result<u64> {
         Ok(u64::from_le_bytes(self.get_array::<8>(what)?))
     }
 
+    /// Read a little-endian `u128`.
     pub fn get_u128(&mut self, what: &'static str) -> Result<u128> {
         Ok(u128::from_le_bytes(self.get_array::<16>(what)?))
     }
 
+    /// Read a little-endian IEEE-754 `f64`.
     pub fn get_f64(&mut self, what: &'static str) -> Result<f64> {
         Ok(f64::from_le_bytes(self.get_array::<8>(what)?))
     }
 
+    /// Read a `u64` and convert to `usize`, erroring on overflow.
     pub fn get_usize(&mut self, what: &'static str) -> Result<usize> {
         let v = self.get_u64(what)?;
         usize::try_from(v)

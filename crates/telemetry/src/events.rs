@@ -1,0 +1,219 @@
+//! The structured event log: a bounded ring of timestamped spans.
+//!
+//! Metrics aggregate; spans narrate. A [`SpanLog`] keeps the most recent N
+//! completed spans (a retrain, a snapshot, a prediction burst) so an
+//! operator can ask "what just happened" without scraping a time series.
+//! When full, the oldest span is evicted — the log never grows and never
+//! blocks a recording thread for more than a short mutex hold.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One completed, timestamped span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Microseconds since the owning log was created, at span *end*.
+    pub at_micros: u64,
+    /// Span name, e.g. `retrain` or `snapshot`.
+    pub name: String,
+    /// Free-form detail, e.g. `batch=500 loss=0.41`.
+    pub detail: String,
+    /// Span duration in microseconds (0 for instantaneous events).
+    pub duration_micros: u64,
+}
+
+struct LogInner {
+    start: Instant,
+    cap: usize,
+    ring: Mutex<RingState>,
+}
+
+struct RingState {
+    events: VecDeque<SpanEvent>,
+    /// Spans evicted because the ring was full (operators can detect loss).
+    dropped: u64,
+}
+
+/// A bounded, drainable ring buffer of [`SpanEvent`]s. Cloning shares the
+/// underlying ring.
+///
+/// ```
+/// use prionn_telemetry::SpanLog;
+/// let log = SpanLog::with_capacity(2);
+/// log.record("a", "", 0);
+/// log.record("b", "", 0);
+/// log.record("c", "", 0); // evicts "a"
+/// let drained = log.drain();
+/// assert_eq!(drained.len(), 2);
+/// assert_eq!(drained[0].name, "b");
+/// assert_eq!(log.dropped(), 1);
+/// assert!(log.drain().is_empty());
+/// ```
+#[derive(Clone)]
+pub struct SpanLog {
+    inner: Arc<LogInner>,
+}
+
+impl SpanLog {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// A log holding at most [`SpanLog::DEFAULT_CAPACITY`] spans.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A log holding at most `cap` spans (minimum 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(1);
+        SpanLog {
+            inner: Arc::new(LogInner {
+                start: Instant::now(),
+                cap,
+                ring: Mutex::new(RingState {
+                    events: VecDeque::with_capacity(cap),
+                    dropped: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Record a completed span with an explicit duration.
+    pub fn record(&self, name: &str, detail: impl Into<String>, duration_micros: u64) {
+        let ev = SpanEvent {
+            at_micros: self.inner.start.elapsed().as_micros() as u64,
+            name: name.to_string(),
+            detail: detail.into(),
+            duration_micros,
+        };
+        let mut ring = self.inner.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.events.len() >= self.inner.cap {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(ev);
+    }
+
+    /// Open a span; the guard records it (with its wall duration) on drop.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        SpanGuard {
+            log: self.clone(),
+            name,
+            detail: String::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Remove and return all buffered spans, oldest first.
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        let mut ring = self.inner.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.events.drain(..).collect()
+    }
+
+    /// Copy the buffered spans without draining, oldest first.
+    pub fn peek(&self) -> Vec<SpanEvent> {
+        let ring = self.inner.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.events.iter().cloned().collect()
+    }
+
+    /// Number of spans currently buffered.
+    pub fn len(&self) -> usize {
+        let ring = self.inner.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.events.len()
+    }
+
+    /// True when no spans are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans evicted so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        let ring = self.inner.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.dropped
+    }
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SpanLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanLog")
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// RAII guard from [`SpanLog::span`]; records the span on drop.
+pub struct SpanGuard {
+    log: SpanLog,
+    name: &'static str,
+    detail: String,
+    started: Instant,
+}
+
+impl SpanGuard {
+    /// Attach free-form detail to the span (last call wins).
+    pub fn detail(&mut self, detail: impl Into<String>) {
+        self.detail = detail.into();
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let micros = self.started.elapsed().as_micros() as u64;
+        self.log
+            .record(self.name, std::mem::take(&mut self.detail), micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let log = SpanLog::new();
+        {
+            let mut g = log.span("work");
+            g.detail("n=3");
+        }
+        let evs = log.drain();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "work");
+        assert_eq!(evs[0].detail, "n=3");
+    }
+
+    #[test]
+    fn ring_is_bounded_under_concurrency() {
+        let log = SpanLog::with_capacity(64);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let log = log.clone();
+                s.spawn(move || {
+                    for i in 0..500 {
+                        log.record("e", format!("{t}:{i}"), 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(log.len(), 64);
+        assert_eq!(log.dropped(), 4 * 500 - 64);
+    }
+
+    #[test]
+    fn peek_does_not_drain() {
+        let log = SpanLog::new();
+        log.record("x", "", 0);
+        assert_eq!(log.peek().len(), 1);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.drain().len(), 1);
+        assert!(log.is_empty());
+    }
+}

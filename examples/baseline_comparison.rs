@@ -53,6 +53,7 @@ fn main() {
         retrain_every: 80,
         min_history: 60,
         cold_start: false,
+        telemetry: None,
         prionn: PrionnConfig {
             base_width: 4,
             epochs: 10,

@@ -24,6 +24,7 @@ fn main() {
         retrain_every: 80,
         min_history: 60,
         cold_start: false,
+        telemetry: None,
         prionn: PrionnConfig {
             base_width: 3,
             io_bins: 48,

@@ -1,0 +1,107 @@
+//! Dump the full telemetry surface: run a short train/predict session
+//! through [`PrionnService`] and the instrumented cluster simulator, then
+//! print the span-event log and both export formats (Prometheus text
+//! exposition and JSON).
+//!
+//! ```text
+//! cargo run --release --example metrics_dump
+//! ```
+//!
+//! The output includes per-layer forward/backward timings
+//! (`nn_layer_forward_seconds` / `nn_layer_backward_seconds`), the
+//! predict-latency histogram with p50/p90/p99 estimates in the JSON view,
+//! and the scheduler work counters. `docs/OBSERVABILITY.md` documents every
+//! metric that appears here.
+
+use prionn::core::{PrionnConfig, PrionnService, ServiceOptions, TrainingBatch};
+use prionn::sched::{simulate_with_telemetry, SimJob};
+use prionn::telemetry::Telemetry;
+use prionn::workload::{Trace, TraceConfig, TracePreset};
+
+fn main() {
+    // One registry shared by the service, the model inside it, and the
+    // simulator — exactly how an operator would wire a scrape endpoint.
+    let telemetry = Telemetry::default();
+
+    // 1. A small synthetic workload (stand-in for a live submission stream).
+    let mut trace_cfg = TraceConfig::preset(TracePreset::CabLike, 200);
+    trace_cfg.n_users = 25;
+    let trace = Trace::generate(&trace_cfg);
+    let jobs: Vec<_> = trace.executed_jobs().collect();
+    let corpus: Vec<&str> = jobs.iter().map(|j| j.script.as_str()).collect();
+
+    // 2. The service, sized so the example finishes in seconds on one core.
+    let cfg = PrionnConfig {
+        grid: (32, 32),
+        base_width: 2,
+        runtime_bins: 120,
+        io_bins: 32,
+        epochs: 2,
+        batch_size: 8,
+        ..Default::default()
+    };
+    let options = ServiceOptions {
+        telemetry: Some(telemetry.clone()),
+        ..Default::default()
+    };
+    let service = PrionnService::spawn_with_options(cfg, &corpus, options).expect("spawn service");
+
+    // 3. One retraining event fills the backward-pass timers and the
+    //    retrain histograms ...
+    let (history, incoming) = jobs.split_at(jobs.len() - 40);
+    service.retrain_async(TrainingBatch {
+        scripts: history.iter().map(|j| j.script.clone()).collect(),
+        runtime_minutes: history.iter().map(|j| j.runtime_minutes()).collect(),
+        read_bytes: history.iter().map(|j| j.bytes_read).collect(),
+        write_bytes: history.iter().map(|j| j.bytes_written).collect(),
+    });
+
+    // 4. ... then a stream of predict RPCs fills the latency histograms.
+    //    (The first predict doubles as a barrier: it is served only after
+    //    the queued batch has trained.)
+    let mut predicted_minutes = Vec::with_capacity(incoming.len());
+    for chunk in incoming.chunks(8) {
+        let scripts: Vec<String> = chunk.iter().map(|j| j.script.clone()).collect();
+        let preds = service.predict(&scripts).expect("predict");
+        predicted_minutes.extend(preds.iter().map(|p| p.runtime_minutes));
+    }
+
+    // 5. Feed the predictions into the instrumented cluster simulator so
+    //    the sched_* counters are populated too.
+    let sim_jobs: Vec<SimJob> = incoming
+        .iter()
+        .zip(&predicted_minutes)
+        .map(|(j, mins)| SimJob {
+            id: j.id,
+            submit: j.submit_time,
+            nodes: j.nodes,
+            runtime: j.runtime_seconds,
+            estimate: (mins * 60.0).max(1.0) as u64,
+        })
+        .collect();
+    let schedule = simulate_with_telemetry(64, &sim_jobs, &telemetry);
+    println!(
+        "simulated {} predicted jobs; makespan {} s",
+        schedule.entries.len(),
+        schedule.entries.iter().map(|e| e.end).max().unwrap_or(0)
+    );
+
+    // 6. The structured event log: timestamped spans for retrains and
+    //    snapshots, drained through the service API.
+    println!("\n== span events ==");
+    for ev in service.drain_events() {
+        println!(
+            "  +{:>8} us  {:<10} {:>8} us  {}",
+            ev.at_micros, ev.name, ev.duration_micros, ev.detail
+        );
+    }
+
+    // 7. Both export formats, from the same registry.
+    println!(
+        "\n== prometheus text exposition ==\n{}",
+        telemetry.prometheus()
+    );
+    println!("== json snapshot ==\n{}", telemetry.json());
+
+    service.shutdown();
+}

@@ -17,6 +17,8 @@
 //!   snapshot turnaround prediction, IO timelines, and burst metrics;
 //! * [`store`] — the versioned, checksummed checkpoint container behind
 //!   [`core::Prionn::save`] / [`core::Prionn::load`];
+//! * [`telemetry`] — dependency-free counters, gauges, and latency
+//!   histograms with Prometheus/JSON export (see `docs/OBSERVABILITY.md`);
 //! * [`core`] — the PRIONN tool itself: whole-script models, warm-started
 //!   online retraining, and the evaluation metrics.
 //!
@@ -52,6 +54,7 @@ pub use prionn_ml as ml;
 pub use prionn_nn as nn;
 pub use prionn_sched as sched;
 pub use prionn_store as store;
+pub use prionn_telemetry as telemetry;
 pub use prionn_tensor as tensor;
 pub use prionn_text as text;
 pub use prionn_workload as workload;

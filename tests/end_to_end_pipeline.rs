@@ -19,6 +19,7 @@ fn tiny_online() -> OnlineConfig {
         retrain_every: 50,
         min_history: 40,
         cold_start: false,
+        telemetry: None,
         prionn: PrionnConfig {
             grid: (16, 16),
             base_width: 2,
