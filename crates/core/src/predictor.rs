@@ -141,6 +141,8 @@ struct PredictorTelemetry {
     predictions_total: prionn_telemetry::Counter,
     map_seconds: prionn_telemetry::Histogram,
     last_epoch_loss: prionn_telemetry::Gauge,
+    gemm_gflops: prionn_telemetry::Gauge,
+    gemm_pack_share: prionn_telemetry::Gauge,
 }
 
 impl Prionn {
@@ -263,6 +265,14 @@ impl Prionn {
                 "prionn_last_epoch_loss",
                 "Mean runtime-head loss of the final epoch of the last retrain",
             ),
+            gemm_gflops: registry.gauge(
+                "prionn_gemm_gflops",
+                "Runtime-head GEMM throughput (GFLOP/s) over the last retrain",
+            ),
+            gemm_pack_share: registry.gauge(
+                "prionn_gemm_pack_share",
+                "Fraction of runtime-head GEMM time spent packing panels",
+            ),
             registry: registry.clone(),
         });
     }
@@ -309,6 +319,9 @@ impl Prionn {
         if let Some(tel) = &self.telemetry {
             tel.map_seconds.observe(map_started.elapsed().as_secs_f64());
         }
+        // Window the kernel counters to this retrain so the GEMM gauges
+        // report per-retrain efficiency.
+        self.runtime_model.reset_scratch_stats();
         let epoch_losses = match self.cfg.head {
             HeadKind::Classifier => {
                 let runtime_classes: Vec<usize> = runtime_minutes
@@ -385,6 +398,9 @@ impl Prionn {
             if last_loss.is_finite() {
                 tel.last_epoch_loss.set(last_loss as f64);
             }
+            let kstats = self.runtime_model.scratch_stats();
+            tel.gemm_gflops.set(kstats.gemm_gflops());
+            tel.gemm_pack_share.set(kstats.gemm_pack_share());
             tel.registry.events().record(
                 "retrain",
                 format!(
@@ -548,6 +564,7 @@ impl Prionn {
             &SoftmaxCrossEntropy,
             &logits,
             &prionn_nn::LossTarget::Classes(&classes),
+            &mut prionn_tensor::Scratch::new(),
         )?;
         Ok(loss as f64)
     }

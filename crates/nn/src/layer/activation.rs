@@ -2,7 +2,7 @@
 
 use super::Layer;
 use crate::Result;
-use prionn_tensor::{Tensor, TensorError};
+use prionn_tensor::{Scratch, Tensor, TensorError};
 
 /// Rectified linear unit, applied elementwise to any rank.
 #[derive(Default)]
@@ -19,10 +19,16 @@ impl ReLU {
 }
 
 impl Layer for ReLU {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
-        let mut mask = vec![0.0f32; x.len()];
-        let mut out = x.clone();
-        for (v, m) in out.as_mut_slice().iter_mut().zip(&mut mask) {
+    fn forward(&mut self, x: &Tensor, _train: bool, scratch: &mut Scratch) -> Result<Tensor> {
+        // Forward-only loops (predict) never reach backward, so recycle any
+        // stale mask before replacing it.
+        if let Some(old) = self.mask.take() {
+            scratch.recycle(old);
+        }
+        let mut mask = scratch.take_zeroed(x.len());
+        let mut out = scratch.take(x.len());
+        out.copy_from_slice(x.as_slice());
+        for (v, m) in out.iter_mut().zip(&mut mask) {
             if *v > 0.0 {
                 *m = 1.0;
             } else {
@@ -30,10 +36,10 @@ impl Layer for ReLU {
             }
         }
         self.mask = Some(mask);
-        Ok(out)
+        Tensor::from_vec(x.shape().clone(), out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
         let mask = self
             .mask
             .take()
@@ -44,11 +50,12 @@ impl Layer for ReLU {
                 actual: grad_out.len(),
             });
         }
-        let mut g = grad_out.clone();
-        for (gv, m) in g.as_mut_slice().iter_mut().zip(&mask) {
-            *gv *= m;
+        let mut g = scratch.take(grad_out.len());
+        for ((gv, &go), m) in g.iter_mut().zip(grad_out.as_slice()).zip(&mask) {
+            *gv = go * m;
         }
-        Ok(g)
+        scratch.recycle(mask);
+        Tensor::from_vec(grad_out.shape().clone(), g)
     }
 
     fn name(&self) -> &'static str {
@@ -63,8 +70,9 @@ mod tests {
     #[test]
     fn clamps_negatives() {
         let mut r = ReLU::new();
+        let mut s = Scratch::new();
         let y = r
-            .forward(&Tensor::from_slice(&[-1.0, 0.0, 2.0]), true)
+            .forward(&Tensor::from_slice(&[-1.0, 0.0, 2.0]), true, &mut s)
             .unwrap();
         assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
     }
@@ -72,8 +80,12 @@ mod tests {
     #[test]
     fn gradient_masked_by_activation() {
         let mut r = ReLU::new();
-        r.forward(&Tensor::from_slice(&[-1.0, 3.0]), true).unwrap();
-        let g = r.backward(&Tensor::from_slice(&[10.0, 10.0])).unwrap();
+        let mut s = Scratch::new();
+        r.forward(&Tensor::from_slice(&[-1.0, 3.0]), true, &mut s)
+            .unwrap();
+        let g = r
+            .backward(&Tensor::from_slice(&[10.0, 10.0]), &mut s)
+            .unwrap();
         assert_eq!(g.as_slice(), &[0.0, 10.0]);
     }
 
@@ -81,14 +93,17 @@ mod tests {
     fn zero_input_has_zero_gradient() {
         // Subgradient convention: f'(0) = 0.
         let mut r = ReLU::new();
-        r.forward(&Tensor::from_slice(&[0.0]), true).unwrap();
-        let g = r.backward(&Tensor::from_slice(&[1.0])).unwrap();
+        let mut s = Scratch::new();
+        r.forward(&Tensor::from_slice(&[0.0]), true, &mut s)
+            .unwrap();
+        let g = r.backward(&Tensor::from_slice(&[1.0]), &mut s).unwrap();
         assert_eq!(g.as_slice(), &[0.0]);
     }
 
     #[test]
     fn backward_without_forward_errors() {
         let mut r = ReLU::new();
-        assert!(r.backward(&Tensor::from_slice(&[1.0])).is_err());
+        let mut s = Scratch::new();
+        assert!(r.backward(&Tensor::from_slice(&[1.0]), &mut s).is_err());
     }
 }

@@ -2,7 +2,7 @@
 
 use super::Layer;
 use crate::Result;
-use prionn_tensor::{Tensor, TensorError};
+use prionn_tensor::{Scratch, Tensor, TensorError};
 
 /// Per-channel batch normalisation with learnable scale/shift.
 ///
@@ -79,13 +79,18 @@ impl BatchNorm {
 }
 
 impl Layer for BatchNorm {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+    fn forward(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Result<Tensor> {
+        // Recycle a stale cache left by a forward-only pass (predict).
+        if let Some((_, xh, inv)) = self.cache.take() {
+            scratch.recycle(xh);
+            scratch.recycle(inv);
+        }
         let (batch, spatial) = self.layout(x.dims())?;
         let n = (batch * spatial) as f32;
         let xs = x.as_slice();
-        let mut out = vec![0.0f32; xs.len()];
-        let mut x_hat = vec![0.0f32; xs.len()];
-        let mut inv_stds = vec![0.0f32; self.channels];
+        let mut out = scratch.take(xs.len());
+        let mut x_hat = scratch.take(xs.len());
+        let mut inv_stds = scratch.take(self.channels);
 
         // The channel index addresses four parallel arrays at once; an
         // iterator chain over just one of them would obscure that.
@@ -121,12 +126,13 @@ impl Layer for BatchNorm {
         if train {
             self.cache = Some((x.dims().to_vec(), x_hat, inv_stds));
         } else {
-            self.cache = None;
+            scratch.recycle(x_hat);
+            scratch.recycle(inv_stds);
         }
         Tensor::from_vec(x.dims().to_vec(), out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
         let (dims, x_hat, inv_stds) = self.cache.take().ok_or_else(|| {
             TensorError::InvalidArgument("batchnorm backward without train-mode forward".into())
         })?;
@@ -140,7 +146,7 @@ impl Layer for BatchNorm {
         let (batch, spatial) = self.layout(&dims)?;
         let n = (batch * spatial) as f32;
         let gys = grad_out.as_slice();
-        let mut dx = vec![0.0f32; gys.len()];
+        let mut dx = scratch.take_zeroed(gys.len());
 
         #[allow(clippy::needless_range_loop)]
         for c in 0..self.channels {
@@ -160,6 +166,8 @@ impl Layer for BatchNorm {
                 dx[i] = scale * (gys[i] - mean_gy - x_hat[i] * mean_gy_xhat);
             });
         }
+        scratch.recycle(x_hat);
+        scratch.recycle(inv_stds);
         Tensor::from_vec(dims, dx)
     }
 
@@ -226,8 +234,9 @@ mod tests {
     #[test]
     fn train_forward_normalises_each_channel() {
         let mut bn = BatchNorm::new(3).unwrap();
+        let mut s = Scratch::new();
         let x = prionn_tensor::init::uniform([16, 3, 4, 4], -5.0, 9.0, &mut rng());
-        let y = bn.forward(&x, true).unwrap();
+        let y = bn.forward(&x, true, &mut s).unwrap();
         let ys = y.as_slice();
         for c in 0..3 {
             let mut vals = Vec::new();
@@ -247,14 +256,15 @@ mod tests {
     #[test]
     fn eval_uses_running_statistics() {
         let mut bn = BatchNorm::new(2).unwrap();
+        let mut s = Scratch::new();
         // Feed several constant-distribution batches to settle running stats.
         let x = prionn_tensor::init::normal([64, 2], 3.0, 2.0, &mut rng());
         for _ in 0..50 {
-            bn.forward(&x, true).unwrap();
+            bn.forward(&x, true, &mut s).unwrap();
         }
         // A single eval sample at the distribution mean should map near beta.
         let probe = Tensor::from_vec([1, 2], vec![3.0, 3.0]).unwrap();
-        let y = bn.forward(&probe, false).unwrap();
+        let y = bn.forward(&probe, false, &mut s).unwrap();
         for &v in y.as_slice() {
             assert!(v.abs() < 0.3, "eval output {v} should be near 0");
         }
@@ -267,7 +277,7 @@ mod tests {
         // Loss = weighted sum of outputs (fixed weights make it nontrivial).
         let weights: Vec<f32> = (0..10).map(|i| ((i * 7 % 5) as f32 - 2.0) / 2.0).collect();
         let loss = |bn: &mut BatchNorm, x: &Tensor| -> f32 {
-            bn.forward(x, true)
+            bn.forward(x, true, &mut Scratch::new())
                 .unwrap()
                 .as_slice()
                 .iter()
@@ -277,7 +287,7 @@ mod tests {
         };
         loss(&mut bn, &x);
         let grad_out = Tensor::from_vec([5, 2], weights.clone()).unwrap();
-        let dx = bn.backward(&grad_out).unwrap();
+        let dx = bn.backward(&grad_out, &mut Scratch::new()).unwrap();
         let eps = 1e-3f32;
         for &(i, j) in &[(0usize, 0usize), (2, 1), (4, 0)] {
             let mut xp = x.clone();
@@ -298,28 +308,32 @@ mod tests {
     #[test]
     fn state_round_trip_includes_running_stats() {
         let mut a = BatchNorm::new(2).unwrap();
+        let mut s = Scratch::new();
         let x = prionn_tensor::init::normal([32, 2], 5.0, 1.0, &mut rng());
         for _ in 0..20 {
-            a.forward(&x, true).unwrap();
+            a.forward(&x, true, &mut s).unwrap();
         }
         let mut b = BatchNorm::new(2).unwrap();
         assert_eq!(b.load_state(&a.state()).unwrap(), 4);
         let probe = prionn_tensor::init::normal([4, 2], 5.0, 1.0, &mut rng());
         assert_eq!(
-            a.forward(&probe, false).unwrap(),
-            b.forward(&probe, false).unwrap()
+            a.forward(&probe, false, &mut s).unwrap(),
+            b.forward(&probe, false, &mut s).unwrap()
         );
     }
 
     #[test]
     fn rejects_wrong_channel_count_and_eval_backward() {
         let mut bn = BatchNorm::new(3).unwrap();
-        assert!(bn.forward(&Tensor::zeros([2, 4]), true).is_err());
-        assert!(bn.forward(&Tensor::zeros([2, 4, 2, 2]), true).is_err());
+        let mut s = Scratch::new();
+        assert!(bn.forward(&Tensor::zeros([2, 4]), true, &mut s).is_err());
+        assert!(bn
+            .forward(&Tensor::zeros([2, 4, 2, 2]), true, &mut s)
+            .is_err());
         let mut bn2 = BatchNorm::new(2).unwrap();
-        bn2.forward(&Tensor::zeros([2, 2]), false).unwrap();
+        bn2.forward(&Tensor::zeros([2, 2]), false, &mut s).unwrap();
         assert!(
-            bn2.backward(&Tensor::zeros([2, 2])).is_err(),
+            bn2.backward(&Tensor::zeros([2, 2]), &mut s).is_err(),
             "eval forward caches nothing"
         );
     }

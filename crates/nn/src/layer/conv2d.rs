@@ -3,10 +3,20 @@
 
 use super::Layer;
 use crate::Result;
+use prionn_tensor::ops::gemm::{self, Epilogue, GemmWorkspace, Layout};
 use prionn_tensor::ops::{self, Conv2dGeom};
-use prionn_tensor::{Tensor, TensorError};
+use prionn_tensor::{Scratch, Tensor, TensorError};
 use rand::Rng;
 use rayon::prelude::*;
+
+/// Worker-group count for sample-level parallelism.
+fn sample_groups(batch: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(batch)
+        .max(1)
+}
 
 /// A 2-D convolution over `[batch, in_c, H, W]` inputs.
 ///
@@ -20,8 +30,9 @@ pub struct Conv2d {
     b: Tensor,
     grad_w: Tensor,
     grad_b: Tensor,
-    // Cached per-sample im2col matrices from the last forward pass.
-    cached_cols: Vec<Tensor>,
+    // Flat pooled im2col cache from the last forward pass:
+    // `batch` back-to-back `[col_rows, n_pos]` matrices.
+    cached_cols: Option<(Vec<f32>, usize)>,
 }
 
 impl Conv2d {
@@ -86,7 +97,7 @@ impl Conv2d {
             b: Tensor::zeros([out_channels]),
             grad_w: Tensor::zeros([out_channels, fan_in]),
             grad_b: Tensor::zeros([out_channels]),
-            cached_cols: Vec::new(),
+            cached_cols: None,
         })
     }
 
@@ -142,53 +153,98 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+    fn forward(&mut self, x: &Tensor, _train: bool, scratch: &mut Scratch) -> Result<Tensor> {
         let batch = self.check_input(x)?;
         let g = self.geom;
         let sample_len = g.in_channels * g.in_h * g.in_w;
         let (oh, ow) = (g.out_h(), g.out_w());
         let n_pos = oh * ow;
+        let col_rows = g.col_rows();
+        let cols_sample = col_rows * n_pos;
+        let out_sample = self.out_channels * n_pos;
         let xs = x.as_slice();
-        let w = &self.w;
+        let w = self.w.as_slice();
         let bias = self.b.as_slice();
+        let out_c = self.out_channels;
 
-        // Per-sample: cols = im2col(x_i); y_i = W · cols + b.
-        let per_sample: Vec<Result<(Tensor, Vec<f32>)>> = (0..batch)
-            .into_par_iter()
-            .map(|i| {
-                let cols = ops::im2col(&xs[i * sample_len..(i + 1) * sample_len], &g)?;
-                let mut y = ops::matmul(w, &cols)?;
-                for (oc, &bv) in bias.iter().enumerate() {
-                    for v in &mut y.as_mut_slice()[oc * n_pos..(oc + 1) * n_pos] {
-                        *v += bv;
-                    }
+        // Recycle last step's cols cache, then draw both the im2col matrix
+        // (all samples, back to back) and the output from the pool.
+        if let Some((old, _)) = self.cached_cols.take() {
+            scratch.recycle(old);
+        }
+        let mut cols_flat = scratch.take(batch * cols_sample);
+        let mut out_flat = scratch.take(batch * out_sample);
+
+        // Per-sample: cols = im2col(x_i); y_i = W · cols + b (fused BiasRow
+        // epilogue). Samples are sharded across worker groups, each with its
+        // own GEMM pack workspace and disjoint cols/out chunks.
+        let groups = sample_groups(batch);
+        let (_, workers) = scratch.gemm_workspaces(groups);
+        let per = batch.div_ceil(groups);
+        let mut items: Vec<(usize, &mut [f32], &mut [f32], &mut GemmWorkspace)> =
+            Vec::with_capacity(groups);
+        {
+            let mut cols_rest: &mut [f32] = &mut cols_flat;
+            let mut out_rest: &mut [f32] = &mut out_flat;
+            let mut s0 = 0usize;
+            for ws in workers.iter_mut() {
+                if s0 == batch {
+                    break;
                 }
-                Ok((cols, y.into_vec()))
+                let take = per.min(batch - s0);
+                let (cchunk, ctail) = cols_rest.split_at_mut(take * cols_sample);
+                let (ochunk, otail) = out_rest.split_at_mut(take * out_sample);
+                items.push((s0, cchunk, ochunk, ws));
+                s0 += take;
+                cols_rest = ctail;
+                out_rest = otail;
+            }
+        }
+        let results: Vec<Result<()>> = items
+            .into_par_iter()
+            .map(|(s0, cchunk, ochunk, ws)| {
+                for (si, (cols_i, out_i)) in cchunk
+                    .chunks_exact_mut(cols_sample)
+                    .zip(ochunk.chunks_exact_mut(out_sample))
+                    .enumerate()
+                {
+                    let i = s0 + si;
+                    ops::im2col_into(&xs[i * sample_len..(i + 1) * sample_len], &g, cols_i)?;
+                    gemm::gemm(
+                        ws,
+                        out_c,
+                        n_pos,
+                        col_rows,
+                        w,
+                        Layout::RowMajor,
+                        cols_i,
+                        Layout::RowMajor,
+                        out_i,
+                        false,
+                        Epilogue::BiasRow(bias),
+                    );
+                }
+                Ok(())
             })
             .collect();
-
-        let mut cols_cache = Vec::with_capacity(batch);
-        let mut out = Vec::with_capacity(batch * self.out_channels * n_pos);
-        for r in per_sample {
-            let (cols, y) = r?;
-            cols_cache.push(cols);
-            out.extend_from_slice(&y);
+        for r in results {
+            r?;
         }
-        self.cached_cols = cols_cache;
-        Tensor::from_vec([batch, self.out_channels, oh, ow], out)
+        self.cached_cols = Some((cols_flat, batch));
+        Tensor::from_vec([batch, self.out_channels, oh, ow], out_flat)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
         let g = self.geom;
         let (oh, ow) = (g.out_h(), g.out_w());
         let n_pos = oh * ow;
-        let batch = self.cached_cols.len();
-        if batch == 0 {
+        let Some((cols_flat, batch)) = self.cached_cols.take() else {
             return Err(TensorError::InvalidArgument(
                 "conv2d backward without forward".into(),
             ));
-        }
+        };
         if grad_out.dims() != [batch, self.out_channels, oh, ow] {
+            self.cached_cols = Some((cols_flat, batch));
             return Err(TensorError::ShapeMismatch {
                 op: "conv2d_backward",
                 lhs: vec![batch, self.out_channels, oh, ow],
@@ -196,43 +252,134 @@ impl Layer for Conv2d {
             });
         }
         let go = grad_out.as_slice();
-        let w = &self.w;
-        let cols_cache = std::mem::take(&mut self.cached_cols);
+        let w = self.w.as_slice();
         let out_c = self.out_channels;
+        let col_rows = g.col_rows();
+        let cols_sample = col_rows * n_pos;
+        let out_sample = out_c * n_pos;
+        let sample_len = g.in_channels * g.in_h * g.in_w;
 
-        // Per-sample gradient pieces, reduced afterwards.
-        type GradPiece = (Tensor, Vec<f32>, Vec<f32>); // (dW_i, db_i, dX_i)
-        let pieces: Vec<Result<GradPiece>> = cols_cache
-            .par_iter()
-            .enumerate()
-            .map(|(i, cols)| {
-                let dy = Tensor::from_vec(
-                    [out_c, n_pos],
-                    go[i * out_c * n_pos..(i + 1) * out_c * n_pos].to_vec(),
-                )?;
-                // dW_i = dY · colsᵀ ; db_i = row sums of dY ;
-                // dX_i = col2im(Wᵀ · dY).
-                let dw = ops::matmul_a_bt(&dy, cols)?;
-                let db = ops::row_sums(&dy)?;
-                let dcols = ops::matmul_at_b(w, &dy)?;
-                let dx = ops::col2im(&dcols, &g)?;
-                Ok((dw, db, dx))
+        // Pooled per-group partial accumulators + per-group dcols workspace,
+        // and the flat dX output. All recycled (or returned) below.
+        let groups = sample_groups(batch);
+        let mut dw_parts: Vec<Vec<f32>> = (0..groups)
+            .map(|_| scratch.take_zeroed(out_c * col_rows))
+            .collect();
+        let mut db_parts: Vec<Vec<f32>> = (0..groups).map(|_| scratch.take_zeroed(out_c)).collect();
+        let mut dcols_parts: Vec<Vec<f32>> =
+            (0..groups).map(|_| scratch.take(cols_sample)).collect();
+        let mut dx_flat = scratch.take(batch * sample_len);
+
+        let (_, workers) = scratch.gemm_workspaces(groups);
+        let per = batch.div_ceil(groups);
+        type Item<'a> = (
+            usize,
+            &'a [f32],
+            &'a mut [f32],
+            &'a mut [f32],
+            &'a mut [f32],
+            &'a mut [f32],
+            &'a mut GemmWorkspace,
+        );
+        let mut items: Vec<Item<'_>> = Vec::with_capacity(groups);
+        {
+            let mut cols_rest: &[f32] = &cols_flat;
+            let mut dx_rest: &mut [f32] = &mut dx_flat;
+            let mut s0 = 0usize;
+            for (((ws, dw), db), dc) in workers
+                .iter_mut()
+                .zip(dw_parts.iter_mut())
+                .zip(db_parts.iter_mut())
+                .zip(dcols_parts.iter_mut())
+            {
+                if s0 == batch {
+                    break;
+                }
+                let take = per.min(batch - s0);
+                let (cchunk, ctail) = cols_rest.split_at(take * cols_sample);
+                let (xchunk, xtail) = dx_rest.split_at_mut(take * sample_len);
+                items.push((s0, cchunk, xchunk, dw, db, dc, ws));
+                s0 += take;
+                cols_rest = ctail;
+                dx_rest = xtail;
+            }
+        }
+        let results: Vec<Result<()>> = items
+            .into_par_iter()
+            .map(|(s0, cchunk, xchunk, dw, db, dcols, ws)| {
+                for (si, (cols_i, dx_i)) in cchunk
+                    .chunks_exact(cols_sample)
+                    .zip(xchunk.chunks_exact_mut(sample_len))
+                    .enumerate()
+                {
+                    let i = s0 + si;
+                    let dy = &go[i * out_sample..(i + 1) * out_sample];
+                    // dW += dY · colsᵀ (accumulated across the group's
+                    // samples); db += row sums of dY; dX_i = col2im(Wᵀ · dY).
+                    gemm::gemm(
+                        ws,
+                        out_c,
+                        col_rows,
+                        n_pos,
+                        dy,
+                        Layout::RowMajor,
+                        cols_i,
+                        Layout::Transposed,
+                        dw,
+                        true,
+                        Epilogue::None,
+                    );
+                    for (oc, b) in db.iter_mut().enumerate() {
+                        for &v in &dy[oc * n_pos..(oc + 1) * n_pos] {
+                            *b += v;
+                        }
+                    }
+                    gemm::gemm(
+                        ws,
+                        col_rows,
+                        n_pos,
+                        out_c,
+                        w,
+                        Layout::Transposed,
+                        dy,
+                        Layout::RowMajor,
+                        dcols,
+                        false,
+                        Epilogue::None,
+                    );
+                    ops::col2im_into(dcols, &g, dx_i)?;
+                }
+                Ok(())
             })
             .collect();
+        for r in results {
+            r?;
+        }
 
+        // Reduce group partials into the persistent gradient tensors.
         self.grad_w.fill_zero();
         self.grad_b.fill_zero();
-        let sample_len = g.in_channels * g.in_h * g.in_w;
-        let mut dx_all = Vec::with_capacity(batch * sample_len);
-        for piece in pieces {
-            let (dw, db, dx) = piece?;
-            ops::add_assign(&mut self.grad_w, &dw)?;
-            for (b, d) in self.grad_b.as_mut_slice().iter_mut().zip(&db) {
-                *b += d;
+        let gw = self.grad_w.as_mut_slice();
+        for dw in &dw_parts {
+            for (acc, &v) in gw.iter_mut().zip(dw) {
+                *acc += v;
             }
-            dx_all.extend_from_slice(&dx);
         }
-        Tensor::from_vec([batch, g.in_channels, g.in_h, g.in_w], dx_all)
+        let gb = self.grad_b.as_mut_slice();
+        for db in &db_parts {
+            for (acc, &v) in gb.iter_mut().zip(db) {
+                *acc += v;
+            }
+        }
+        for buf in dw_parts
+            .into_iter()
+            .chain(db_parts)
+            .chain(dcols_parts)
+            .chain(std::iter::once(cols_flat))
+        {
+            scratch.recycle(buf);
+        }
+        Tensor::from_vec([batch, g.in_channels, g.in_h, g.in_w], dx_flat)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
@@ -288,18 +435,20 @@ mod tests {
     #[test]
     fn forward_shapes() {
         let mut c = Conv2d::new(2, 4, 8, 8, 3, 1, 1, &mut rng()).unwrap();
+        let mut s = Scratch::new();
         let x = Tensor::zeros([3, 2, 8, 8]);
-        let y = c.forward(&x, true).unwrap();
+        let y = c.forward(&x, true, &mut s).unwrap();
         assert_eq!(y.dims(), &[3, 4, 8, 8]);
     }
 
     #[test]
     fn one_by_one_identity_kernel_passes_input_through() {
         let mut c = Conv2d::new(1, 1, 3, 3, 1, 1, 0, &mut rng()).unwrap();
+        let mut s = Scratch::new();
         c.w = Tensor::from_vec([1, 1], vec![1.0]).unwrap();
         c.b.fill_zero();
         let x = Tensor::from_vec([1, 1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
-        let y = c.forward(&x, true).unwrap();
+        let y = c.forward(&x, true, &mut s).unwrap();
         assert_eq!(y.as_slice(), x.as_slice());
     }
 
@@ -308,10 +457,11 @@ mod tests {
         // All-ones 3x3 kernel with padding 1: each output = sum of 3x3
         // neighbourhood. Centre of a 3x3 all-ones image = 9.
         let mut c = Conv2d::new(1, 1, 3, 3, 3, 1, 1, &mut rng()).unwrap();
+        let mut s = Scratch::new();
         c.w = Tensor::full([1, 9], 1.0);
         c.b.fill_zero();
         let x = Tensor::full([1, 1, 3, 3], 1.0);
-        let y = c.forward(&x, true).unwrap();
+        let y = c.forward(&x, true, &mut s).unwrap();
         assert_eq!(y.get(&[0, 0, 1, 1]).unwrap(), 9.0);
         assert_eq!(y.get(&[0, 0, 0, 0]).unwrap(), 4.0); // corner sees 2x2
     }
@@ -319,24 +469,28 @@ mod tests {
     #[test]
     fn forward_rejects_wrong_input() {
         let mut c = Conv2d::new(2, 4, 8, 8, 3, 1, 1, &mut rng()).unwrap();
-        assert!(c.forward(&Tensor::zeros([3, 2, 8, 7]), true).is_err());
-        assert!(c.forward(&Tensor::zeros([3, 2, 8]), true).is_err());
+        let mut s = Scratch::new();
+        assert!(c
+            .forward(&Tensor::zeros([3, 2, 8, 7]), true, &mut s)
+            .is_err());
+        assert!(c.forward(&Tensor::zeros([3, 2, 8]), true, &mut s).is_err());
     }
 
     #[test]
     fn gradient_check_weights_and_input() {
         let mut c = Conv2d::new(1, 2, 4, 4, 3, 1, 1, &mut rng()).unwrap();
+        let mut s = Scratch::new();
         let x = prionn_tensor::init::uniform([2, 1, 4, 4], -1.0, 1.0, &mut rng());
         let ones = Tensor::full([2, 2, 4, 4], 1.0);
-        c.forward(&x, true).unwrap();
-        let dx = c.backward(&ones).unwrap();
+        c.forward(&x, true, &mut s).unwrap();
+        let dx = c.backward(&ones, &mut s).unwrap();
         let eps = 1e-2f32;
         for &(i, j) in &[(0usize, 0usize), (1, 4), (1, 8)] {
             let orig = c.w.get(&[i, j]).unwrap();
             c.w.set(&[i, j], orig + eps).unwrap();
-            let up = ops::sum(&c.forward(&x, true).unwrap());
+            let up = ops::sum(&c.forward(&x, true, &mut s).unwrap());
             c.w.set(&[i, j], orig - eps).unwrap();
-            let dn = ops::sum(&c.forward(&x, true).unwrap());
+            let dn = ops::sum(&c.forward(&x, true, &mut s).unwrap());
             c.w.set(&[i, j], orig).unwrap();
             let numeric = (up - dn) / (2.0 * eps);
             let analytic = c.grad_w.get(&[i, j]).unwrap();
@@ -350,9 +504,9 @@ mod tests {
         let orig = x.get(&idx).unwrap();
         let mut xp = x.clone();
         xp.set(&idx, orig + eps).unwrap();
-        let up = ops::sum(&c.forward(&xp, true).unwrap());
+        let up = ops::sum(&c.forward(&xp, true, &mut s).unwrap());
         xp.set(&idx, orig - eps).unwrap();
-        let dn = ops::sum(&c.forward(&xp, true).unwrap());
+        let dn = ops::sum(&c.forward(&xp, true, &mut s).unwrap());
         let numeric = (up - dn) / (2.0 * eps);
         let analytic = dx.get(&idx).unwrap();
         assert!((numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0));
@@ -370,14 +524,19 @@ mod tests {
     fn state_round_trip() {
         let mut a = Conv2d::new(1, 2, 4, 4, 3, 1, 1, &mut rng()).unwrap();
         let mut b = Conv2d::new(1, 2, 4, 4, 3, 1, 1, &mut ChaCha8Rng::seed_from_u64(5)).unwrap();
+        let mut s = Scratch::new();
         b.load_state(&a.state()).unwrap();
         let x = prionn_tensor::init::uniform([1, 1, 4, 4], -1.0, 1.0, &mut rng());
-        assert_eq!(a.forward(&x, false).unwrap(), b.forward(&x, false).unwrap());
+        assert_eq!(
+            a.forward(&x, false, &mut s).unwrap(),
+            b.forward(&x, false, &mut s).unwrap()
+        );
     }
 
     #[test]
     fn backward_without_forward_errors() {
         let mut c = Conv2d::new(1, 2, 4, 4, 3, 1, 1, &mut rng()).unwrap();
-        assert!(c.backward(&Tensor::zeros([1, 2, 4, 4])).is_err());
+        let mut s = Scratch::new();
+        assert!(c.backward(&Tensor::zeros([1, 2, 4, 4]), &mut s).is_err());
     }
 }

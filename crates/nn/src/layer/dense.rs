@@ -3,7 +3,7 @@
 use super::Layer;
 use crate::Result;
 use prionn_tensor::ops;
-use prionn_tensor::{Tensor, TensorError};
+use prionn_tensor::{Scratch, Tensor, TensorError};
 use rand::Rng;
 
 /// A fully connected layer: `y = x · W + b`.
@@ -52,7 +52,7 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+    fn forward(&mut self, x: &Tensor, _train: bool, scratch: &mut Scratch) -> Result<Tensor> {
         if x.rank() != 2 || x.dims()[1] != self.in_features {
             return Err(TensorError::ShapeMismatch {
                 op: "dense_forward",
@@ -60,27 +60,37 @@ impl Layer for Dense {
                 rhs: x.dims().to_vec(),
             });
         }
-        let mut y = ops::matmul(x, &self.w)?;
-        // Broadcast-add the bias across batch rows.
-        let bias = self.b.as_slice();
-        for row in 0..y.dims()[0] {
-            let r = y.row_mut(row)?;
-            for (v, &bv) in r.iter_mut().zip(bias) {
-                *v += bv;
-            }
+        // Recycle a stale cached input left by a forward-only pass (predict).
+        if let Some(old) = self.cached_input.take() {
+            scratch.recycle_tensor(old);
         }
-        self.cached_input = Some(x.clone());
+        // Fused GEMM + bias epilogue: one pass over the output.
+        let y = ops::matmul_bias_with(scratch, x, &self.w, &self.b)?;
+        // Cache the input in a pooled buffer rather than a fresh clone.
+        let mut cached = scratch.take(x.len());
+        cached.copy_from_slice(x.as_slice());
+        self.cached_input = Some(Tensor::from_vec(x.shape().clone(), cached)?);
         Ok(y)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
         let x = self
             .cached_input
             .take()
             .ok_or_else(|| TensorError::InvalidArgument("dense backward without forward".into()))?;
-        self.grad_w = ops::matmul_at_b(&x, grad_out)?;
-        self.grad_b = Tensor::from_vec([self.out_features], ops::col_sums(grad_out)?)?;
-        ops::matmul_a_bt(grad_out, &self.w)
+        // Write xᵀ·dy straight into the persistent gradient tensor.
+        ops::matmul_at_b_into(scratch, &x, grad_out, &mut self.grad_w)?;
+        // In-place column sums for the bias gradient.
+        let gb = self.grad_b.as_mut_slice();
+        gb.fill(0.0);
+        for row in grad_out.as_slice().chunks_exact(self.out_features) {
+            for (g, &v) in gb.iter_mut().zip(row) {
+                *g += v;
+            }
+        }
+        let dx = ops::matmul_a_bt_with(scratch, grad_out, &self.w)?;
+        scratch.recycle_tensor(x);
+        Ok(dx)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
@@ -140,7 +150,8 @@ mod tests {
         d.w.fill_zero();
         d.b = Tensor::from_slice(&[1.0, -2.0]);
         let x = Tensor::zeros([4, 3]);
-        let y = d.forward(&x, true).unwrap();
+        let mut s = Scratch::new();
+        let y = d.forward(&x, true, &mut s).unwrap();
         assert_eq!(y.dims(), &[4, 2]);
         assert_eq!(y.row(2).unwrap(), &[1.0, -2.0]);
     }
@@ -148,32 +159,35 @@ mod tests {
     #[test]
     fn forward_rejects_wrong_width() {
         let mut d = Dense::new(3, 2, &mut rng());
-        assert!(d.forward(&Tensor::zeros([4, 5]), true).is_err());
+        let mut s = Scratch::new();
+        assert!(d.forward(&Tensor::zeros([4, 5]), true, &mut s).is_err());
     }
 
     #[test]
     fn backward_without_forward_errors() {
         let mut d = Dense::new(3, 2, &mut rng());
-        assert!(d.backward(&Tensor::zeros([4, 2])).is_err());
+        let mut s = Scratch::new();
+        assert!(d.backward(&Tensor::zeros([4, 2]), &mut s).is_err());
     }
 
     #[test]
     fn gradients_match_finite_differences() {
         let mut d = Dense::new(4, 3, &mut rng());
         let x = prionn_tensor::init::uniform([2, 4], -1.0, 1.0, &mut rng());
+        let mut s = Scratch::new();
         // Scalar objective: sum of outputs. dL/dy = ones.
         let ones = Tensor::full([2, 3], 1.0);
-        d.forward(&x, true).unwrap();
-        let dx = d.backward(&ones).unwrap();
+        d.forward(&x, true, &mut s).unwrap();
+        let dx = d.backward(&ones, &mut s).unwrap();
 
         let eps = 1e-3f32;
         // Check dW via central differences on a few entries.
         for &(i, j) in &[(0usize, 0usize), (2, 1), (3, 2)] {
             let orig = d.w.get(&[i, j]).unwrap();
             d.w.set(&[i, j], orig + eps).unwrap();
-            let up = ops::sum(&d.forward(&x, true).unwrap());
+            let up = ops::sum(&d.forward(&x, true, &mut s).unwrap());
             d.w.set(&[i, j], orig - eps).unwrap();
-            let dn = ops::sum(&d.forward(&x, true).unwrap());
+            let dn = ops::sum(&d.forward(&x, true, &mut s).unwrap());
             d.w.set(&[i, j], orig).unwrap();
             let numeric = (up - dn) / (2.0 * eps);
             let analytic = d.grad_w.get(&[i, j]).unwrap();
@@ -186,9 +200,9 @@ mod tests {
         let orig = x.get(&[1, 2]).unwrap();
         let mut xp = x.clone();
         xp.set(&[1, 2], orig + eps).unwrap();
-        let up = ops::sum(&d.forward(&xp, true).unwrap());
+        let up = ops::sum(&d.forward(&xp, true, &mut s).unwrap());
         xp.set(&[1, 2], orig - eps).unwrap();
-        let dn = ops::sum(&d.forward(&xp, true).unwrap());
+        let dn = ops::sum(&d.forward(&xp, true, &mut s).unwrap());
         let numeric = (up - dn) / (2.0 * eps);
         assert!((numeric - dx.get(&[1, 2]).unwrap()).abs() < 1e-2);
     }

@@ -2,7 +2,7 @@
 
 use super::Layer;
 use crate::Result;
-use prionn_tensor::{Tensor, TensorError};
+use prionn_tensor::{Scratch, Tensor, TensorError};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -32,31 +32,38 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+    fn forward(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Result<Tensor> {
+        // Recycle a stale mask left by a forward-only pass (predict).
+        if let Some(old) = self.mask.take() {
+            scratch.recycle(old);
+        }
         if !train || self.p == 0.0 {
-            self.mask = Some(vec![1.0; x.len()]);
-            return Ok(x.clone());
+            let mut mask = scratch.take(x.len());
+            mask.fill(1.0);
+            self.mask = Some(mask);
+            let mut out = scratch.take(x.len());
+            out.copy_from_slice(x.as_slice());
+            return Tensor::from_vec(x.shape().clone(), out);
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask: Vec<f32> = (0..x.len())
-            .map(|_| {
-                if self.rng.gen::<f32>() < keep {
-                    scale
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let mut out = x.clone();
-        for (v, m) in out.as_mut_slice().iter_mut().zip(&mask) {
-            *v *= m;
+        let mut mask = scratch.take(x.len());
+        for m in mask.iter_mut() {
+            *m = if self.rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            };
+        }
+        let mut out = scratch.take(x.len());
+        for ((o, &xv), m) in out.iter_mut().zip(x.as_slice()).zip(&mask) {
+            *o = xv * m;
         }
         self.mask = Some(mask);
-        Ok(out)
+        Tensor::from_vec(x.shape().clone(), out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
         let mask = self.mask.take().ok_or_else(|| {
             TensorError::InvalidArgument("dropout backward without forward".into())
         })?;
@@ -66,11 +73,12 @@ impl Layer for Dropout {
                 actual: grad_out.len(),
             });
         }
-        let mut g = grad_out.clone();
-        for (gv, m) in g.as_mut_slice().iter_mut().zip(&mask) {
-            *gv *= m;
+        let mut g = scratch.take(grad_out.len());
+        for ((gv, &go), m) in g.iter_mut().zip(grad_out.as_slice()).zip(&mask) {
+            *gv = go * m;
         }
-        Ok(g)
+        scratch.recycle(mask);
+        Tensor::from_vec(grad_out.shape().clone(), g)
     }
 
     fn name(&self) -> &'static str {
@@ -85,15 +93,17 @@ mod tests {
     #[test]
     fn eval_mode_is_identity() {
         let mut d = Dropout::new(0.5, 1).unwrap();
+        let mut s = Scratch::new();
         let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
-        assert_eq!(d.forward(&x, false).unwrap(), x);
+        assert_eq!(d.forward(&x, false, &mut s).unwrap(), x);
     }
 
     #[test]
     fn train_mode_preserves_expectation() {
         let mut d = Dropout::new(0.3, 2).unwrap();
+        let mut s = Scratch::new();
         let x = Tensor::full([10_000], 1.0);
-        let y = d.forward(&x, true).unwrap();
+        let y = d.forward(&x, true, &mut s).unwrap();
         let mean = prionn_tensor::ops::mean(&y);
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
     }
@@ -101,9 +111,10 @@ mod tests {
     #[test]
     fn dropped_elements_block_gradient() {
         let mut d = Dropout::new(0.5, 3).unwrap();
+        let mut s = Scratch::new();
         let x = Tensor::full([64], 1.0);
-        let y = d.forward(&x, true).unwrap();
-        let g = d.backward(&Tensor::full([64], 1.0)).unwrap();
+        let y = d.forward(&x, true, &mut s).unwrap();
+        let g = d.backward(&Tensor::full([64], 1.0), &mut s).unwrap();
         for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
             assert_eq!(*yv == 0.0, *gv == 0.0);
         }

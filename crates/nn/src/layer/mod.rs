@@ -17,7 +17,7 @@ pub use pool::MaxPool2d;
 pub use shape_ops::{Flatten, Reshape};
 
 use crate::Result;
-use prionn_tensor::Tensor;
+use prionn_tensor::{Scratch, Tensor};
 
 /// A differentiable network layer.
 ///
@@ -32,14 +32,18 @@ use prionn_tensor::Tensor;
 ///    across calls — optimiser state (momentum/Adam moments) is keyed by that
 ///    order;
 /// 3. `state` / `load_state` round-trip all learned parameters, enabling the
-///    paper's warm-started online retraining.
+///    paper's warm-started online retraining;
+/// 4. both passes draw every sizeable temporary from the shared [`Scratch`]
+///    workspace and recycle buffers they are done with, so steady-state
+///    training over fixed shapes performs no heap allocation.
 pub trait Layer: Send {
     /// Compute the layer output for a batch. `train` toggles train-only
-    /// behaviour (dropout sampling).
-    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor>;
+    /// behaviour (dropout sampling). `scratch` supplies pooled buffers and
+    /// GEMM pack workspaces; outputs may be built from pooled storage.
+    fn forward(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Result<Tensor>;
 
     /// Propagate the loss gradient; returns the gradient w.r.t. the input.
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+    fn backward(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Result<Tensor>;
 
     /// Visit `(parameter, gradient)` pairs in a stable order.
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &Tensor)) {}

@@ -2,7 +2,7 @@
 
 use super::Layer;
 use crate::Result;
-use prionn_tensor::{Tensor, TensorError};
+use prionn_tensor::{Scratch, Tensor, TensorError};
 
 /// Max pooling over `[batch, C, H, W]` with a `ph × pw` window and matching
 /// stride (the standard non-overlapping configuration).
@@ -44,7 +44,11 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+    fn forward(&mut self, x: &Tensor, _train: bool, scratch: &mut Scratch) -> Result<Tensor> {
+        // Recycle a stale argmax cache left by a forward-only pass (predict).
+        if let Some((_, old)) = self.cache.take() {
+            scratch.recycle_idx(old);
+        }
         if x.rank() != 4 {
             return Err(TensorError::RankMismatch {
                 op: "maxpool",
@@ -61,8 +65,8 @@ impl Layer for MaxPool2d {
             )));
         }
         let xs = x.as_slice();
-        let mut out = vec![f32::NEG_INFINITY; b * c * oh * ow];
-        let mut argmax = vec![0usize; out.len()];
+        let mut out = scratch.take(b * c * oh * ow);
+        let mut argmax = scratch.take_idx(out.len());
         for bi in 0..b {
             for ci in 0..c {
                 let plane = (bi * c + ci) * h * w;
@@ -92,7 +96,7 @@ impl Layer for MaxPool2d {
         Tensor::from_vec([b, c, oh, ow], out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
         let (in_dims, argmax) = self.cache.take().ok_or_else(|| {
             TensorError::InvalidArgument("maxpool backward without forward".into())
         })?;
@@ -102,10 +106,11 @@ impl Layer for MaxPool2d {
                 actual: grad_out.len(),
             });
         }
-        let mut dx = vec![0.0f32; in_dims.iter().product()];
+        let mut dx = scratch.take_zeroed(in_dims.iter().product());
         for (&idx, &g) in argmax.iter().zip(grad_out.as_slice()) {
             dx[idx] += g;
         }
+        scratch.recycle_idx(argmax);
         Tensor::from_vec(in_dims, dx)
     }
 
@@ -121,6 +126,7 @@ mod tests {
     #[test]
     fn pools_known_maxima() {
         let mut p = MaxPool2d::new(2).unwrap();
+        let mut s = Scratch::new();
         let x = Tensor::from_vec(
             [1, 1, 4, 4],
             vec![
@@ -131,7 +137,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let y = p.forward(&x, true).unwrap();
+        let y = p.forward(&x, true, &mut s).unwrap();
         assert_eq!(y.dims(), &[1, 1, 2, 2]);
         assert_eq!(y.as_slice(), &[4., 5., 9., 7.]);
     }
@@ -139,38 +145,45 @@ mod tests {
     #[test]
     fn backward_routes_gradient_to_argmax() {
         let mut p = MaxPool2d::new(2).unwrap();
+        let mut s = Scratch::new();
         let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 3., 2., 0.]).unwrap();
-        p.forward(&x, true).unwrap();
+        p.forward(&x, true, &mut s).unwrap();
         let dy = Tensor::from_vec([1, 1, 1, 1], vec![5.0]).unwrap();
-        let dx = p.backward(&dy).unwrap();
+        let dx = p.backward(&dy, &mut s).unwrap();
         assert_eq!(dx.as_slice(), &[0., 5., 0., 0.]);
     }
 
     #[test]
     fn truncates_ragged_edges() {
         let mut p = MaxPool2d::new(2).unwrap();
+        let mut s = Scratch::new();
         let x = Tensor::zeros([1, 1, 5, 5]);
-        let y = p.forward(&x, true).unwrap();
+        let y = p.forward(&x, true, &mut s).unwrap();
         assert_eq!(y.dims(), &[1, 1, 2, 2]);
     }
 
     #[test]
     fn one_d_window() {
         let mut p = MaxPool2d::with_window(1, 2).unwrap();
+        let mut s = Scratch::new();
         let x = Tensor::from_vec([1, 1, 1, 4], vec![1., 9., 2., 3.]).unwrap();
-        let y = p.forward(&x, true).unwrap();
+        let y = p.forward(&x, true, &mut s).unwrap();
         assert_eq!(y.as_slice(), &[9., 3.]);
     }
 
     #[test]
     fn rejects_oversized_window() {
         let mut p = MaxPool2d::new(4).unwrap();
-        assert!(p.forward(&Tensor::zeros([1, 1, 2, 2]), true).is_err());
+        let mut s = Scratch::new();
+        assert!(p
+            .forward(&Tensor::zeros([1, 1, 2, 2]), true, &mut s)
+            .is_err());
     }
 
     #[test]
     fn backward_without_forward_errors() {
         let mut p = MaxPool2d::new(2).unwrap();
-        assert!(p.backward(&Tensor::zeros([1, 1, 1, 1])).is_err());
+        let mut s = Scratch::new();
+        assert!(p.backward(&Tensor::zeros([1, 1, 1, 1]), &mut s).is_err());
     }
 }

@@ -2,7 +2,14 @@
 
 use super::Layer;
 use crate::Result;
-use prionn_tensor::{Tensor, TensorError};
+use prionn_tensor::{Scratch, Tensor, TensorError};
+
+/// Copy a tensor's elements into a pooled buffer and rebuild it with `dims`.
+fn pooled_reshape(scratch: &mut Scratch, x: &Tensor, dims: Vec<usize>) -> Result<Tensor> {
+    let mut buf = scratch.take(x.len());
+    buf.copy_from_slice(x.as_slice());
+    Tensor::from_vec(dims, buf)
+}
 
 /// Flatten `[batch, d1, d2, ...]` to `[batch, d1·d2·...]`.
 #[derive(Default)]
@@ -18,7 +25,7 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+    fn forward(&mut self, x: &Tensor, _train: bool, scratch: &mut Scratch) -> Result<Tensor> {
         if x.rank() < 2 {
             return Err(TensorError::RankMismatch {
                 op: "flatten",
@@ -29,14 +36,14 @@ impl Layer for Flatten {
         let batch = x.dims()[0];
         let inner: usize = x.dims()[1..].iter().product();
         self.in_dims = Some(x.dims().to_vec());
-        x.clone().reshape([batch, inner])
+        pooled_reshape(scratch, x, vec![batch, inner])
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
         let dims = self.in_dims.take().ok_or_else(|| {
             TensorError::InvalidArgument("flatten backward without forward".into())
         })?;
-        grad_out.clone().reshape(dims)
+        pooled_reshape(scratch, grad_out, dims)
     }
 
     fn name(&self) -> &'static str {
@@ -63,7 +70,7 @@ impl Reshape {
 }
 
 impl Layer for Reshape {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+    fn forward(&mut self, x: &Tensor, _train: bool, scratch: &mut Scratch) -> Result<Tensor> {
         if x.rank() < 1 {
             return Err(TensorError::RankMismatch {
                 op: "reshape",
@@ -83,14 +90,14 @@ impl Layer for Reshape {
         self.in_dims = Some(x.dims().to_vec());
         let mut dims = vec![batch];
         dims.extend_from_slice(&self.trailing);
-        x.clone().reshape(dims)
+        pooled_reshape(scratch, x, dims)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Result<Tensor> {
         let dims = self.in_dims.take().ok_or_else(|| {
             TensorError::InvalidArgument("reshape backward without forward".into())
         })?;
-        grad_out.clone().reshape(dims)
+        pooled_reshape(scratch, grad_out, dims)
     }
 
     fn name(&self) -> &'static str {
@@ -105,32 +112,36 @@ mod tests {
     #[test]
     fn flatten_round_trip() {
         let mut f = Flatten::new();
+        let mut s = Scratch::new();
         let x = Tensor::zeros([2, 3, 4, 5]);
-        let y = f.forward(&x, true).unwrap();
+        let y = f.forward(&x, true, &mut s).unwrap();
         assert_eq!(y.dims(), &[2, 60]);
-        let dx = f.backward(&y).unwrap();
+        let dx = f.backward(&y, &mut s).unwrap();
         assert_eq!(dx.dims(), &[2, 3, 4, 5]);
     }
 
     #[test]
     fn flatten_rejects_rank1() {
         let mut f = Flatten::new();
-        assert!(f.forward(&Tensor::zeros([5]), true).is_err());
+        let mut s = Scratch::new();
+        assert!(f.forward(&Tensor::zeros([5]), true, &mut s).is_err());
     }
 
     #[test]
     fn reshape_changes_trailing_axes() {
         let mut r = Reshape::new([4, 1, 6]);
+        let mut s = Scratch::new();
         let x = Tensor::zeros([3, 24]);
-        let y = r.forward(&x, true).unwrap();
+        let y = r.forward(&x, true, &mut s).unwrap();
         assert_eq!(y.dims(), &[3, 4, 1, 6]);
-        let dx = r.backward(&y).unwrap();
+        let dx = r.backward(&y, &mut s).unwrap();
         assert_eq!(dx.dims(), &[3, 24]);
     }
 
     #[test]
     fn reshape_rejects_element_mismatch() {
         let mut r = Reshape::new([4, 5]);
-        assert!(r.forward(&Tensor::zeros([3, 24]), true).is_err());
+        let mut s = Scratch::new();
+        assert!(r.forward(&Tensor::zeros([3, 24]), true, &mut s).is_err());
     }
 }

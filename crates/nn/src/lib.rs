@@ -7,7 +7,7 @@
 //!
 //! This crate provides everything those models need and nothing more:
 //!
-//! * [`layer`] — the [`Layer`](layer::Layer) trait plus `Dense`, `Conv2d`
+//! * [`layer`] — the [`Layer`] trait plus `Dense`, `Conv2d`
 //!   (with a 1-D convenience constructor), `MaxPool2d`, `ReLU`, `Dropout`,
 //!   `Flatten`, and `Reshape`,
 //! * [`loss`] — softmax cross-entropy (classifier head) and MSE (regression
@@ -15,7 +15,7 @@
 //! * [`optim`] — SGD with momentum and Adam, with state keyed by parameter
 //!   slot so warm-started retraining (the paper's online protocol) keeps
 //!   optimiser state coherent,
-//! * [`model`] — a [`Sequential`](model::Sequential) container with batched
+//! * [`model`] — a [`Sequential`] container with batched
 //!   training, prediction, and weight export/import,
 //! * [`arch`] — the paper's three architectures behind one [`arch::ArchConfig`].
 //!

@@ -2,7 +2,7 @@
 //! (regression ablation).
 
 use crate::Result;
-use prionn_tensor::{Tensor, TensorError};
+use prionn_tensor::{Scratch, Tensor, TensorError};
 
 /// Target values for a loss computation.
 pub enum LossTarget<'a> {
@@ -15,8 +15,15 @@ pub enum LossTarget<'a> {
 /// A scalar training loss with an analytic gradient w.r.t. the model output.
 pub trait Loss: Send + Sync {
     /// Compute the mean loss over the batch and the gradient tensor
-    /// `dL/d(output)` (already divided by the batch size).
-    fn loss_and_grad(&self, output: &Tensor, target: &LossTarget<'_>) -> Result<(f32, Tensor)>;
+    /// `dL/d(output)` (already divided by the batch size). The gradient is
+    /// built from a pooled `scratch` buffer so the training loop can recycle
+    /// it after backprop.
+    fn loss_and_grad(
+        &self,
+        output: &Tensor,
+        target: &LossTarget<'_>,
+        scratch: &mut Scratch,
+    ) -> Result<(f32, Tensor)>;
 }
 
 /// Softmax + cross-entropy, fused for numerical stability.
@@ -26,6 +33,22 @@ pub trait Loss: Send + Sync {
 /// `(softmax(z) − onehot(y)) / batch`.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SoftmaxCrossEntropy;
+
+/// Row-wise softmax over `cols`-wide rows, in place.
+fn softmax_in_place(data: &mut [f32], cols: usize) {
+    for row in data.chunks_mut(cols) {
+        // Max-shift for stability before exponentiating.
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
 
 impl SoftmaxCrossEntropy {
     /// Row-wise softmax of a `[batch, classes]` tensor.
@@ -37,26 +60,19 @@ impl SoftmaxCrossEntropy {
                 actual: logits.rank(),
             });
         }
-        let cols = logits.dims()[1];
         let mut out = logits.clone();
-        for row in out.as_mut_slice().chunks_mut(cols) {
-            // Max-shift for stability before exponentiating.
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            for v in row.iter_mut() {
-                *v = (*v - m).exp();
-                sum += *v;
-            }
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
-        }
+        softmax_in_place(out.as_mut_slice(), logits.dims()[1]);
         Ok(out)
     }
 }
 
 impl Loss for SoftmaxCrossEntropy {
-    fn loss_and_grad(&self, output: &Tensor, target: &LossTarget<'_>) -> Result<(f32, Tensor)> {
+    fn loss_and_grad(
+        &self,
+        output: &Tensor,
+        target: &LossTarget<'_>,
+        scratch: &mut Scratch,
+    ) -> Result<(f32, Tensor)> {
         let LossTarget::Classes(classes) = target else {
             return Err(TensorError::InvalidArgument(
                 "SoftmaxCrossEntropy requires class targets".into(),
@@ -69,7 +85,11 @@ impl Loss for SoftmaxCrossEntropy {
                 actual: classes.len(),
             });
         }
-        let mut probs = Self::softmax(output)?;
+        // Pooled copy of the logits; softmax + fused gradient in place.
+        let mut buf = scratch.take(output.len());
+        buf.copy_from_slice(output.as_slice());
+        let mut probs = Tensor::from_vec(output.shape().clone(), buf)?;
+        softmax_in_place(probs.as_mut_slice(), n_classes);
         let mut loss = 0.0f32;
         let inv_batch = 1.0 / batch.max(1) as f32;
         for (row, &cls) in (0..batch).zip(classes.iter()) {
@@ -97,7 +117,12 @@ impl Loss for SoftmaxCrossEntropy {
 pub struct MseLoss;
 
 impl Loss for MseLoss {
-    fn loss_and_grad(&self, output: &Tensor, target: &LossTarget<'_>) -> Result<(f32, Tensor)> {
+    fn loss_and_grad(
+        &self,
+        output: &Tensor,
+        target: &LossTarget<'_>,
+        scratch: &mut Scratch,
+    ) -> Result<(f32, Tensor)> {
         let LossTarget::Values(t) = target else {
             return Err(TensorError::InvalidArgument(
                 "MseLoss requires value targets".into(),
@@ -111,13 +136,14 @@ impl Loss for MseLoss {
             });
         }
         let n = output.len().max(1) as f32;
-        let mut grad = output.clone();
+        let mut gbuf = scratch.take(output.len());
         let mut loss = 0.0f32;
-        for (g, &tv) in grad.as_mut_slice().iter_mut().zip(t.as_slice()) {
-            let diff = *g - tv;
+        for ((g, &ov), &tv) in gbuf.iter_mut().zip(output.as_slice()).zip(t.as_slice()) {
+            let diff = ov - tv;
             loss += diff * diff;
             *g = 2.0 * diff / n;
         }
+        let grad = Tensor::from_vec(output.shape().clone(), gbuf)?;
         Ok((loss / n, grad))
     }
 }
@@ -151,7 +177,7 @@ mod tests {
     fn perfect_prediction_has_near_zero_loss() {
         let logits = Tensor::from_vec([1, 3], vec![100., 0., 0.]).unwrap();
         let (loss, _) = SoftmaxCrossEntropy
-            .loss_and_grad(&logits, &LossTarget::Classes(&[0]))
+            .loss_and_grad(&logits, &LossTarget::Classes(&[0]), &mut Scratch::new())
             .unwrap();
         assert!(loss < 1e-5);
     }
@@ -160,7 +186,7 @@ mod tests {
     fn uniform_logits_give_log_classes() {
         let logits = Tensor::zeros([1, 4]);
         let (loss, _) = SoftmaxCrossEntropy
-            .loss_and_grad(&logits, &LossTarget::Classes(&[2]))
+            .loss_and_grad(&logits, &LossTarget::Classes(&[2]), &mut Scratch::new())
             .unwrap();
         assert!((loss - (4.0f32).ln()).abs() < 1e-5);
     }
@@ -170,7 +196,7 @@ mod tests {
         let logits = Tensor::from_vec([2, 3], vec![0.5, -1.0, 2.0, 0.1, 0.2, -0.3]).unwrap();
         let targets = [2usize, 0usize];
         let (_, grad) = SoftmaxCrossEntropy
-            .loss_and_grad(&logits, &LossTarget::Classes(&targets))
+            .loss_and_grad(&logits, &LossTarget::Classes(&targets), &mut Scratch::new())
             .unwrap();
         let eps = 1e-3f32;
         for &(i, j) in &[(0usize, 0usize), (0, 2), (1, 1)] {
@@ -179,10 +205,10 @@ mod tests {
             let mut dn = logits.clone();
             dn.set(&[i, j], logits.get(&[i, j]).unwrap() - eps).unwrap();
             let (lu, _) = SoftmaxCrossEntropy
-                .loss_and_grad(&up, &LossTarget::Classes(&targets))
+                .loss_and_grad(&up, &LossTarget::Classes(&targets), &mut Scratch::new())
                 .unwrap();
             let (ld, _) = SoftmaxCrossEntropy
-                .loss_and_grad(&dn, &LossTarget::Classes(&targets))
+                .loss_and_grad(&dn, &LossTarget::Classes(&targets), &mut Scratch::new())
                 .unwrap();
             let numeric = (lu - ld) / (2.0 * eps);
             let analytic = grad.get(&[i, j]).unwrap();
@@ -197,7 +223,7 @@ mod tests {
     fn ce_rejects_bad_class_index() {
         let logits = Tensor::zeros([1, 3]);
         assert!(SoftmaxCrossEntropy
-            .loss_and_grad(&logits, &LossTarget::Classes(&[3]))
+            .loss_and_grad(&logits, &LossTarget::Classes(&[3]), &mut Scratch::new())
             .is_err());
     }
 
@@ -206,7 +232,7 @@ mod tests {
         let logits = Tensor::zeros([1, 3]);
         let vals = Tensor::zeros([1, 3]);
         assert!(SoftmaxCrossEntropy
-            .loss_and_grad(&logits, &LossTarget::Values(&vals))
+            .loss_and_grad(&logits, &LossTarget::Values(&vals), &mut Scratch::new())
             .is_err());
     }
 
@@ -214,7 +240,7 @@ mod tests {
     fn mse_zero_for_exact_match() {
         let out = Tensor::from_slice(&[1.0, 2.0]).reshape([1, 2]).unwrap();
         let (loss, grad) = MseLoss
-            .loss_and_grad(&out, &LossTarget::Values(&out.clone()))
+            .loss_and_grad(&out, &LossTarget::Values(&out.clone()), &mut Scratch::new())
             .unwrap();
         assert_eq!(loss, 0.0);
         assert!(grad.as_slice().iter().all(|&g| g == 0.0));
@@ -225,7 +251,7 @@ mod tests {
         let out = Tensor::from_vec([1, 2], vec![2.0, 0.0]).unwrap();
         let tgt = Tensor::from_vec([1, 2], vec![0.0, 1.0]).unwrap();
         let (loss, grad) = MseLoss
-            .loss_and_grad(&out, &LossTarget::Values(&tgt))
+            .loss_and_grad(&out, &LossTarget::Values(&tgt), &mut Scratch::new())
             .unwrap();
         assert!((loss - (4.0 + 1.0) / 2.0).abs() < 1e-6);
         assert!(grad.get(&[0, 0]).unwrap() > 0.0); // overpredicted -> positive grad
@@ -237,7 +263,7 @@ mod tests {
         let out = Tensor::zeros([1, 2]);
         let tgt = Tensor::zeros([2, 1]);
         assert!(MseLoss
-            .loss_and_grad(&out, &LossTarget::Values(&tgt))
+            .loss_and_grad(&out, &LossTarget::Values(&tgt), &mut Scratch::new())
             .is_err());
     }
 }

@@ -6,7 +6,7 @@ use crate::loss::{Loss, LossTarget};
 use crate::optim::Optimizer;
 use crate::Result;
 use prionn_telemetry::{Gauge, Histogram, Telemetry};
-use prionn_tensor::{ops, Tensor, TensorError};
+use prionn_tensor::{ops, Scratch, ScratchStats, Tensor, TensorError};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -72,7 +72,8 @@ impl ModelTelemetry {
 
 /// A feed-forward stack of layers trained with backprop.
 ///
-/// Weights persist across [`Sequential::fit`] calls, which is what implements
+/// Weights persist across [`Sequential::fit_classes`] calls, which is what
+/// implements
 /// the paper's warm-started online retraining: PRIONN retrains the same model
 /// instance every 100 job submissions on the 500 most recently completed
 /// jobs, so "learned parameters pass to subsequent models".
@@ -80,6 +81,9 @@ impl ModelTelemetry {
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
     telemetry: Option<ModelTelemetry>,
+    // Shared workspace threaded through every layer pass; holds the buffer
+    // pool and GEMM pack panels so steady-state training never allocates.
+    scratch: Scratch,
 }
 
 impl Sequential {
@@ -121,6 +125,29 @@ impl Sequential {
         }
     }
 
+    /// Copy the rows of `x` selected by `idx` into a pooled tensor
+    /// (`x.gather_axis0` without the fresh allocation).
+    fn gather_rows(scratch: &mut Scratch, x: &Tensor, idx: &[usize]) -> Result<Tensor> {
+        let n = x.dims()[0];
+        let row_len: usize = x.dims()[1..].iter().product();
+        let mut buf = scratch.take(idx.len() * row_len);
+        let xs = x.as_slice();
+        for (r, &i) in idx.iter().enumerate() {
+            if i >= n {
+                return Err(TensorError::IndexOutOfBounds {
+                    axis: 0,
+                    index: i,
+                    len: n,
+                });
+            }
+            buf[r * row_len..(r + 1) * row_len]
+                .copy_from_slice(&xs[i * row_len..(i + 1) * row_len]);
+        }
+        let mut dims = x.dims().to_vec();
+        dims[0] = idx.len();
+        Tensor::from_vec(dims, buf)
+    }
+
     /// Append a layer (builder style).
     pub fn push(mut self, layer: impl Layer + 'static) -> Self {
         self.layers.push(Box::new(layer));
@@ -156,46 +183,72 @@ impl Sequential {
         s
     }
 
-    /// Run the full forward pass.
+    /// Run the full forward pass. Intermediate activations are recycled
+    /// into the model's scratch pool as soon as the next layer has consumed
+    /// them.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
         self.refresh_telemetry();
-        let mut cur = x.clone();
-        match &self.telemetry {
-            Some(mt) => {
-                for (layer, inst) in self.layers.iter_mut().zip(&mt.per_layer) {
-                    let t = std::time::Instant::now();
-                    cur = layer.forward(&cur, train)?;
-                    inst.forward.observe(t.elapsed().as_secs_f64());
-                }
+        let Sequential {
+            layers,
+            telemetry,
+            scratch,
+        } = self;
+        let insts = telemetry.as_ref().map(|mt| &mt.per_layer);
+        let mut cur: Option<Tensor> = None;
+        for (i, layer) in layers.iter_mut().enumerate() {
+            let t = insts.map(|_| std::time::Instant::now());
+            let next = layer.forward(cur.as_ref().unwrap_or(x), train, scratch)?;
+            if let (Some(insts), Some(t)) = (insts, t) {
+                insts[i].forward.observe(t.elapsed().as_secs_f64());
             }
-            None => {
-                for layer in &mut self.layers {
-                    cur = layer.forward(&cur, train)?;
-                }
+            if let Some(prev) = cur.replace(next) {
+                scratch.recycle_tensor(prev);
             }
         }
-        Ok(cur)
+        Ok(match cur {
+            Some(out) => out,
+            None => x.clone(),
+        })
     }
 
-    /// Run the full backward pass from an output gradient.
+    /// Run the full backward pass from an output gradient, recycling
+    /// intermediate gradients like [`Sequential::forward`] does activations.
     pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
         self.refresh_telemetry();
-        let mut cur = grad.clone();
-        match &self.telemetry {
-            Some(mt) => {
-                for (layer, inst) in self.layers.iter_mut().rev().zip(mt.per_layer.iter().rev()) {
-                    let t = std::time::Instant::now();
-                    cur = layer.backward(&cur)?;
-                    inst.backward.observe(t.elapsed().as_secs_f64());
-                }
+        let Sequential {
+            layers,
+            telemetry,
+            scratch,
+        } = self;
+        let insts = telemetry.as_ref().map(|mt| &mt.per_layer);
+        let mut cur: Option<Tensor> = None;
+        for (i, layer) in layers.iter_mut().enumerate().rev() {
+            let t = insts.map(|_| std::time::Instant::now());
+            let next = layer.backward(cur.as_ref().unwrap_or(grad), scratch)?;
+            if let (Some(insts), Some(t)) = (insts, t) {
+                insts[i].backward.observe(t.elapsed().as_secs_f64());
             }
-            None => {
-                for layer in self.layers.iter_mut().rev() {
-                    cur = layer.backward(&cur)?;
-                }
+            if let Some(prev) = cur.replace(next) {
+                scratch.recycle_tensor(prev);
             }
         }
-        Ok(cur)
+        Ok(match cur {
+            Some(out) => out,
+            None => grad.clone(),
+        })
+    }
+
+    /// Pool and GEMM counters for the model's scratch workspace. The
+    /// `grows` counter staying flat across steps is the zero-allocation
+    /// signal; `gemm` carries kernel GFLOP/s and pack-time share.
+    pub fn scratch_stats(&self) -> ScratchStats {
+        self.scratch.stats()
+    }
+
+    /// Reset the scratch counters (pooled buffers are kept), e.g. around a
+    /// retrain window so gauges report per-window kernel efficiency.
+    pub fn reset_scratch_stats(&mut self) {
+        self.scratch.reset_stats();
     }
 
     /// Apply one optimiser step using the gradients from the last backward.
@@ -248,8 +301,11 @@ impl Sequential {
         opt: &mut dyn Optimizer,
     ) -> Result<f32> {
         let out = self.forward(x, true)?;
-        let (loss_val, grad) = loss.loss_and_grad(&out, target)?;
-        self.backward(&grad)?;
+        let (loss_val, grad) = loss.loss_and_grad(&out, target, &mut self.scratch)?;
+        self.scratch.recycle_tensor(out);
+        let dx = self.backward(&grad)?;
+        self.scratch.recycle_tensor(grad);
+        self.scratch.recycle_tensor(dx);
         self.step(opt);
         Ok(loss_val)
     }
@@ -284,9 +340,14 @@ impl Sequential {
             let mut total = 0.0f32;
             let mut batches = 0usize;
             for chunk in order.chunks(batch_size) {
-                let bx = x.gather_axis0(chunk)?;
-                let by: Vec<usize> = chunk.iter().map(|&i| classes[i]).collect();
+                let bx = Self::gather_rows(&mut self.scratch, x, chunk)?;
+                let mut by = self.scratch.take_idx(chunk.len());
+                for (slot, &i) in by.iter_mut().zip(chunk) {
+                    *slot = classes[i];
+                }
                 total += self.train_batch(&bx, &LossTarget::Classes(&by), loss, opt)?;
+                self.scratch.recycle_tensor(bx);
+                self.scratch.recycle_idx(by);
                 batches += 1;
             }
             epoch_losses.push(total / batches.max(1) as f32);
@@ -325,9 +386,11 @@ impl Sequential {
             let mut total = 0.0f32;
             let mut batches = 0usize;
             for chunk in order.chunks(batch_size) {
-                let bx = x.gather_axis0(chunk)?;
-                let by = targets.gather_axis0(chunk)?;
+                let bx = Self::gather_rows(&mut self.scratch, x, chunk)?;
+                let by = Self::gather_rows(&mut self.scratch, targets, chunk)?;
                 total += self.train_batch(&bx, &LossTarget::Values(&by), loss, opt)?;
+                self.scratch.recycle_tensor(bx);
+                self.scratch.recycle_tensor(by);
                 batches += 1;
             }
             epoch_losses.push(total / batches.max(1) as f32);
@@ -340,26 +403,33 @@ impl Sequential {
     pub fn predict(&mut self, x: &Tensor, batch_size: usize) -> Result<Tensor> {
         let n = x.dims()[0];
         let bs = batch_size.max(1);
-        let mut outputs: Vec<Tensor> = Vec::new();
+        let row_len: usize = x.dims()[1..].iter().product();
+        // Per-batch inputs/outputs come from the pool; only the stacked
+        // result is a fresh allocation handed to the caller.
+        let mut data: Vec<f32> = Vec::new();
+        let mut out_dims: Option<Vec<usize>> = None;
+        let mut rows = 0usize;
         let mut start = 0usize;
         while start < n {
             let end = (start + bs).min(n);
-            let bx = x.slice_axis0(start, end)?;
-            outputs.push(self.forward(&bx, false)?);
+            let mut bbuf = self.scratch.take((end - start) * row_len);
+            bbuf.copy_from_slice(&x.as_slice()[start * row_len..end * row_len]);
+            let mut bdims = x.dims().to_vec();
+            bdims[0] = end - start;
+            let bx = Tensor::from_vec(bdims, bbuf)?;
+            let out = self.forward(&bx, false)?;
+            self.scratch.recycle_tensor(bx);
+            if out_dims.is_none() {
+                out_dims = Some(out.dims().to_vec());
+                data.reserve(n.div_ceil(out.dims()[0].max(1)) * out.len());
+            }
+            rows += out.dims()[0];
+            data.extend_from_slice(out.as_slice());
+            self.scratch.recycle_tensor(out);
             start = end;
         }
-        // Concatenate along axis 0.
-        let mut data = Vec::new();
-        let mut dims = outputs
-            .first()
-            .ok_or_else(|| TensorError::InvalidArgument("predict on empty input".into()))?
-            .dims()
-            .to_vec();
-        let mut rows = 0usize;
-        for o in &outputs {
-            rows += o.dims()[0];
-            data.extend_from_slice(o.as_slice());
-        }
+        let mut dims = out_dims
+            .ok_or_else(|| TensorError::InvalidArgument("predict on empty input".into()))?;
         dims[0] = rows;
         Tensor::from_vec(dims, data)
     }

@@ -79,7 +79,9 @@ proptest! {
         conv.load_state(&state).unwrap();
 
         let x = prionn_tensor::init::uniform([2, in_c, h, wid], -1.0, 1.0, &mut rng);
-        let fast = conv.forward(&x, false).unwrap();
+        let fast = conv
+            .forward(&x, false, &mut prionn_tensor::Scratch::new())
+            .unwrap();
         let naive = naive_conv(&x, &state[0], state[1].as_slice(), in_c, k, stride, pad);
         prop_assert_eq!(fast.len(), naive.len());
         for (i, (a, b)) in fast.as_slice().iter().zip(&naive).enumerate() {

@@ -4,7 +4,7 @@
 
 use prionn_nn::layer::{Conv2d, Dense, Flatten, MaxPool2d, ReLU};
 use prionn_nn::{Loss, LossTarget, Sequential, SoftmaxCrossEntropy};
-use prionn_tensor::{ops, Tensor};
+use prionn_tensor::{ops, Scratch, Tensor};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -20,7 +20,7 @@ fn model(rng: &mut ChaCha8Rng) -> Sequential {
 fn loss_of(model: &mut Sequential, x: &Tensor, y: &[usize]) -> f32 {
     let out = model.forward(x, true).unwrap();
     let (l, _) = SoftmaxCrossEntropy
-        .loss_and_grad(&out, &LossTarget::Classes(y))
+        .loss_and_grad(&out, &LossTarget::Classes(y), &mut Scratch::new())
         .unwrap();
     l
 }
@@ -35,7 +35,7 @@ fn full_network_input_gradient_matches_finite_differences() {
     // Analytic input gradient.
     let out = m.forward(&x, true).unwrap();
     let (_, grad_out) = SoftmaxCrossEntropy
-        .loss_and_grad(&out, &LossTarget::Classes(&y))
+        .loss_and_grad(&out, &LossTarget::Classes(&y), &mut Scratch::new())
         .unwrap();
     let dx = m.backward(&grad_out).unwrap();
 
@@ -76,7 +76,7 @@ fn full_network_weight_gradients_match_finite_differences() {
 
     let out = m.forward(&x, true).unwrap();
     let (_, grad_out) = SoftmaxCrossEntropy
-        .loss_and_grad(&out, &LossTarget::Classes(&y))
+        .loss_and_grad(&out, &LossTarget::Classes(&y), &mut Scratch::new())
         .unwrap();
     m.backward(&grad_out).unwrap();
 
@@ -158,13 +158,13 @@ fn ordering_of_visit_params_is_stable_across_steps() {
     let mut second = Shapes(Vec::new());
     let out = m.forward(&x, true).unwrap();
     let (_, g) = SoftmaxCrossEntropy
-        .loss_and_grad(&out, &LossTarget::Classes(&y))
+        .loss_and_grad(&out, &LossTarget::Classes(&y), &mut Scratch::new())
         .unwrap();
     m.backward(&g).unwrap();
     m.step(&mut first);
     let out = m.forward(&x, true).unwrap();
     let (_, g) = SoftmaxCrossEntropy
-        .loss_and_grad(&out, &LossTarget::Classes(&y))
+        .loss_and_grad(&out, &LossTarget::Classes(&y), &mut Scratch::new())
         .unwrap();
     m.backward(&g).unwrap();
     m.step(&mut second);
@@ -186,7 +186,7 @@ fn training_reduces_loss_on_the_full_stack() {
     for _ in 0..60 {
         let out = m.forward(&x, true).unwrap();
         let (l, g) = SoftmaxCrossEntropy
-            .loss_and_grad(&out, &LossTarget::Classes(&y))
+            .loss_and_grad(&out, &LossTarget::Classes(&y), &mut Scratch::new())
             .unwrap();
         m.backward(&g).unwrap();
         m.step(&mut opt);

@@ -1,0 +1,86 @@
+//! Zero-allocation hot-path acceptance test: after a warm-up step, repeated
+//! training steps over fixed shapes must be served entirely from the
+//! [`prionn_tensor::Scratch`] pool — `ScratchStats::grows` stays flat.
+
+use prionn_nn::layer::{Conv2d, Dense, Dropout, Flatten, MaxPool2d, ReLU};
+use prionn_nn::{LossTarget, Sequential, Sgd, SoftmaxCrossEntropy};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn small_cnn(rng: &mut ChaCha8Rng) -> Sequential {
+    // 1x8x8 input -> conv(4,k3,p1) -> relu -> pool2 -> flatten -> dense(10).
+    Sequential::new()
+        .push(Conv2d::new(1, 4, 8, 8, 3, 1, 1, rng).unwrap())
+        .push(ReLU::new())
+        .push(MaxPool2d::new(2).unwrap())
+        .push(Dropout::new(0.25, 42).unwrap())
+        .push(Flatten::new())
+        .push(Dense::new(4 * 4 * 4, 10, rng))
+}
+
+#[test]
+fn steady_state_training_does_not_grow_the_pool() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut model = small_cnn(&mut rng);
+    let mut opt = Sgd::new(0.01);
+    let loss = SoftmaxCrossEntropy;
+    let x = prionn_tensor::init::uniform([6, 1, 8, 8], -1.0, 1.0, &mut rng);
+    let classes: Vec<usize> = (0..6).map(|i| i % 10).collect();
+    let target = LossTarget::Classes(&classes);
+
+    // Warm-up: first steps populate the pool and pack workspaces.
+    for _ in 0..2 {
+        model.train_batch(&x, &target, &loss, &mut opt).unwrap();
+    }
+    let warm = model.scratch_stats();
+    assert!(warm.takes > 0, "training must draw from the pool");
+
+    // Steady state: every take must now hit the pool.
+    for _ in 0..8 {
+        model.train_batch(&x, &target, &loss, &mut opt).unwrap();
+    }
+    let after = model.scratch_stats();
+    assert_eq!(
+        after.grows, warm.grows,
+        "steady-state training allocated fresh buffers: {warm:?} -> {after:?}"
+    );
+    assert_eq!(after.takes - warm.takes, after.hits - warm.hits);
+    assert!(after.gemm.calls > warm.gemm.calls, "GEMM stats must flow");
+}
+
+#[test]
+fn steady_state_prediction_does_not_grow_the_pool() {
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let mut model = small_cnn(&mut rng);
+    let x = prionn_tensor::init::uniform([4, 1, 8, 8], -1.0, 1.0, &mut rng);
+
+    // The pool needs one extra round to reach its best-fit fixed point
+    // because the first call grows buffers in a different interleaving.
+    for _ in 0..3 {
+        model.predict(&x, 4).unwrap();
+    }
+    let warm = model.scratch_stats();
+    for _ in 0..6 {
+        let out = model.predict(&x, 4).unwrap();
+        assert_eq!(out.dims(), &[4, 10]);
+    }
+    let after = model.scratch_stats();
+    assert_eq!(
+        after.grows, warm.grows,
+        "steady-state predict allocated fresh buffers: {warm:?} -> {after:?}"
+    );
+}
+
+#[test]
+fn gemm_throughput_counters_populate() {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let mut model = Sequential::new().push(Dense::new(64, 32, &mut rng));
+    let x = prionn_tensor::init::uniform([16, 64], -1.0, 1.0, &mut rng);
+    model.forward(&x, false).unwrap();
+    let st = model.scratch_stats();
+    assert!(st.gemm.calls >= 1);
+    assert!(st.gemm.flops > 0.0);
+    assert!(st.gemm_gflops() > 0.0);
+    let share = st.gemm_pack_share();
+    assert!((0.0..=1.0).contains(&share));
+}

@@ -8,8 +8,11 @@
 //!
 //! * [`Shape`] — a small owned dimension list (1–4 axes in practice),
 //! * [`Tensor`] — contiguous row-major storage plus a shape,
-//! * [`ops`] — matmul (plain and transposed variants), im2col/col2im for
-//!   convolutions, elementwise arithmetic, and reductions,
+//! * [`ops`] — cache-blocked GEMM (plain and transposed variants, fused
+//!   bias/ReLU epilogues), im2col/col2im for convolutions, elementwise
+//!   arithmetic, and reductions,
+//! * [`Scratch`] — a reusable buffer pool + GEMM pack workspace that keeps
+//!   the training hot path allocation-free,
 //! * [`init`] — seeded weight initialisers (uniform, normal, Xavier/Glorot,
 //!   He) used by the `prionn-nn` layers.
 //!
@@ -19,10 +22,12 @@
 pub mod error;
 pub mod init;
 pub mod ops;
+pub mod scratch;
 pub mod shape;
 pub mod tensor;
 
 pub use error::TensorError;
+pub use scratch::{Scratch, ScratchStats};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

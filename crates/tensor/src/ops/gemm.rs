@@ -1,0 +1,952 @@
+//! Cache-blocked, register-tiled f32 GEMM — the single kernel every matmul
+//! variant in this crate lowers onto.
+//!
+//! The structure is the classical three-level blocking of Goto & van de
+//! Geijn, specialised to the shapes PRIONN trains on:
+//!
+//! ```text
+//! for j0 in 0..n step NC            // B column panel  (fits L3 / whole n)
+//!   for p0 in 0..k step KC          // K block         (packed B fits L2)
+//!     pack B[p0.., j0..]  -> bpack  // [kc x NR] strips, NR-contiguous
+//!     for i0 in 0..m step MC        // A row panel     (packed A fits L1/L2)
+//!       pack A[i0.., p0..] -> apack // [kc x MR] strips, MR-contiguous
+//!       for each (MR x NR) tile: microkernel over kc, write back to C
+//! ```
+//!
+//! * The 6×16 microkernel keeps a 6×16 accumulator block in registers
+//!   (12 YMM registers on AVX2) and streams packed A/B strips through it;
+//!   the inner loop is written so LLVM auto-vectorises it to FMAs.
+//! * Transposed operands are handled at *pack time* ([`Layout`]): packing
+//!   already walks every element once, so transposition is free and all
+//!   three `matmul` variants share this one core.
+//! * Bias and bias+ReLU epilogues ([`Epilogue`]) are fused into the final
+//!   write-back of the last K block, saving one full pass over C for the
+//!   Dense and Conv2d forward paths.
+//! * Pack buffers live in a caller-provided [`GemmWorkspace`] so steady-state
+//!   training never allocates; [`GemmStats`] records FLOPs and pack time for
+//!   the telemetry gauges.
+//!
+//! Dispatch: on x86_64 the block loop is compiled twice, once portably and
+//! once under `#[target_feature(enable = "avx2,fma")]`; the AVX2 path is
+//! selected once at runtime via `is_x86_feature_detected!`.
+
+use crate::scratch::Scratch;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Microkernel tile rows (accumulator height).
+pub const MR: usize = 6;
+/// Microkernel tile columns (accumulator width; two 8-lane AVX2 vectors).
+pub const NR: usize = 16;
+/// Row-panel height (`MC × KC` packed A block, a multiple of [`MR`]).
+pub const MC: usize = 72;
+/// K-block depth (`KC × NR` packed B strips stream from L2).
+pub const KC: usize = 256;
+/// Column-panel width (a multiple of [`NR`]; covers every PRIONN layer).
+pub const NC: usize = 4096;
+
+/// Parallelising a GEMM below this many FLOPs costs more in thread spawn
+/// overhead than the split recovers.
+const PAR_FLOP_THRESHOLD: f64 = 8e6;
+
+/// How a logical `[rows, cols]` operand is laid out in its backing slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Stored row-major as `[rows, cols]`.
+    RowMajor,
+    /// Stored row-major as `[cols, rows]` — the logical matrix is the
+    /// transpose of the stored one. Packing performs the transposition.
+    Transposed,
+}
+
+/// An operation fused into the final write-back of C.
+///
+/// Bias slices are indexed by *global* output row/column, so they must have
+/// at least `m` (row variants) or `n` (column variants) elements.
+#[derive(Debug, Clone, Copy)]
+pub enum Epilogue<'a> {
+    /// Plain `C = A·B` (or `C += A·B` in accumulate mode).
+    None,
+    /// `C[i,j] += bias[j]` — per-output-feature bias (Dense forward).
+    BiasCol(&'a [f32]),
+    /// `C[i,j] = max(C[i,j] + bias[j], 0)` — fused Dense + ReLU.
+    BiasColRelu(&'a [f32]),
+    /// `C[i,j] += bias[i]` — per-output-channel bias (Conv2d forward).
+    BiasRow(&'a [f32]),
+    /// `C[i,j] = max(C[i,j] + bias[i], 0)` — fused Conv2d + ReLU.
+    BiasRowRelu(&'a [f32]),
+}
+
+impl<'a> Epilogue<'a> {
+    /// Rebase row-indexed biases for a C chunk starting at `row0` (used when
+    /// row panels are distributed across workers).
+    fn offset_rows(self, row0: usize) -> Self {
+        match self {
+            Epilogue::BiasRow(b) => Epilogue::BiasRow(&b[row0..]),
+            Epilogue::BiasRowRelu(b) => Epilogue::BiasRowRelu(&b[row0..]),
+            other => other,
+        }
+    }
+
+    fn check(&self, m: usize, n: usize) {
+        match self {
+            Epilogue::None => {}
+            Epilogue::BiasCol(b) | Epilogue::BiasColRelu(b) => {
+                assert!(b.len() >= n, "gemm: column bias shorter than n");
+            }
+            Epilogue::BiasRow(b) | Epilogue::BiasRowRelu(b) => {
+                assert!(b.len() >= m, "gemm: row bias shorter than m");
+            }
+        }
+    }
+}
+
+/// Per-workspace kernel counters, aggregated by [`Scratch::stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct GemmStats {
+    /// Number of GEMM calls that ran (or packed) through this workspace.
+    pub calls: u64,
+    /// Total floating-point operations issued (`2·m·n·k` per call).
+    pub flops: f64,
+    /// Wall time spent packing A/B panels.
+    pub pack_seconds: f64,
+    /// Total wall time of the GEMM calls driven from this workspace.
+    pub total_seconds: f64,
+    /// Times a pack buffer had to grow (zero once shapes have been seen).
+    pub pack_grows: u64,
+}
+
+impl GemmStats {
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: &GemmStats) {
+        self.calls += other.calls;
+        self.flops += other.flops;
+        self.pack_seconds += other.pack_seconds;
+        self.total_seconds += other.total_seconds;
+        self.pack_grows += other.pack_grows;
+    }
+}
+
+/// Reusable pack buffers for one GEMM execution stream.
+///
+/// Buffers grow to the high-water mark of the shapes seen and are then
+/// reused verbatim, so a training loop with fixed layer shapes performs
+/// zero pack-buffer allocations after the first step.
+#[derive(Debug, Default)]
+pub struct GemmWorkspace {
+    pack_a: Vec<f32>,
+    pack_b: Vec<f32>,
+    /// Kernel counters for this workspace.
+    pub stats: GemmStats,
+}
+
+impl GemmWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        GemmWorkspace::default()
+    }
+}
+
+/// FLOPs of one `m×n×k` GEMM (multiply + add per inner-product term).
+#[inline]
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+/// Resize a pack buffer, counting reallocations.
+fn ensure_len(buf: &mut Vec<f32>, len: usize, grows: &mut u64) {
+    if buf.capacity() < len {
+        *grows += 1;
+    }
+    buf.resize(len, 0.0);
+}
+
+/// Pack an `mc × kc` block of A (rows `i0..`, depth `p0..`) into MR-wide
+/// strips: `dst[strip][p][r]`, zero-padding the ragged last strip.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    dst: &mut [f32],
+    a: &[f32],
+    layout: Layout,
+    m: usize,
+    k: usize,
+    i0: usize,
+    p0: usize,
+    mc: usize,
+    kc: usize,
+) {
+    let strips = mc.div_ceil(MR);
+    for s in 0..strips {
+        let base = s * kc * MR;
+        let row0 = i0 + s * MR;
+        let mr_eff = MR.min(i0 + mc - row0);
+        for p in 0..kc {
+            let out = &mut dst[base + p * MR..base + p * MR + MR];
+            match layout {
+                Layout::RowMajor => {
+                    for (r, o) in out.iter_mut().enumerate().take(mr_eff) {
+                        *o = a[(row0 + r) * k + (p0 + p)];
+                    }
+                }
+                Layout::Transposed => {
+                    // Stored [k, m]: logical A[i, p] lives at a[p*m + i].
+                    let src = &a[(p0 + p) * m + row0..(p0 + p) * m + row0 + mr_eff];
+                    out[..mr_eff].copy_from_slice(src);
+                }
+            }
+            for o in out.iter_mut().skip(mr_eff) {
+                *o = 0.0;
+            }
+        }
+    }
+}
+
+/// Pack a `kc × nc` block of B (depth `p0..`, columns `j0..`) into NR-wide
+/// strips: `dst[strip][p][c]`, zero-padding the ragged last strip.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    dst: &mut [f32],
+    b: &[f32],
+    layout: Layout,
+    k: usize,
+    n: usize,
+    p0: usize,
+    j0: usize,
+    kc: usize,
+    nc: usize,
+) {
+    let strips = nc.div_ceil(NR);
+    for t in 0..strips {
+        let base = t * kc * NR;
+        let col0 = j0 + t * NR;
+        let nr_eff = NR.min(j0 + nc - col0);
+        for p in 0..kc {
+            let out = &mut dst[base + p * NR..base + p * NR + NR];
+            match layout {
+                Layout::RowMajor => {
+                    let src = &b[(p0 + p) * n + col0..(p0 + p) * n + col0 + nr_eff];
+                    out[..nr_eff].copy_from_slice(src);
+                }
+                Layout::Transposed => {
+                    // Stored [n, k]: logical B[p, j] lives at b[j*k + p].
+                    for (c, o) in out.iter_mut().enumerate().take(nr_eff) {
+                        *o = b[(col0 + c) * k + (p0 + p)];
+                    }
+                }
+            }
+            for o in out.iter_mut().skip(nr_eff) {
+                *o = 0.0;
+            }
+        }
+    }
+}
+
+/// Rank-1-update microkernel: accumulate a full `MR × NR` tile over `kc`.
+///
+/// The `mul + add` in the inner loop contracts to FMA under the AVX2+FMA
+/// instantiation; the accumulator array maps onto 12 YMM registers.
+#[inline(always)]
+fn microkernel(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for p in 0..kc {
+        let av: &[f32; MR] = a[p * MR..p * MR + MR].try_into().unwrap();
+        let bv: &[f32; NR] = b[p * NR..p * NR + NR].try_into().unwrap();
+        for i in 0..MR {
+            let ai = av[i];
+            for j in 0..NR {
+                acc[i][j] += ai * bv[j];
+            }
+        }
+    }
+}
+
+/// Write one accumulator tile back to C, masking the ragged edges and
+/// applying the fused epilogue when this is the last K block.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn write_back(
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    acc: &[[f32; NR]; MR],
+    overwrite: bool,
+    epi: Epilogue<'_>,
+) {
+    for (r, acc_row) in acc.iter().enumerate().take(mr_eff) {
+        let off = (row0 + r) * ldc + col0;
+        let crow = &mut c[off..off + nr_eff];
+        for (cc, out) in crow.iter_mut().enumerate() {
+            let mut v = acc_row[cc];
+            if !overwrite {
+                v += *out;
+            }
+            v = match epi {
+                Epilogue::None => v,
+                Epilogue::BiasCol(bias) => v + bias[col0 + cc],
+                Epilogue::BiasColRelu(bias) => (v + bias[col0 + cc]).max(0.0),
+                Epilogue::BiasRow(bias) => v + bias[row0 + r],
+                Epilogue::BiasRowRelu(bias) => (v + bias[row0 + r]).max(0.0),
+            };
+            *out = v;
+        }
+    }
+}
+
+/// Run every `MR × NR` tile of one packed `(mc × kc) · (kc × nc)` block.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn block_loop_impl(
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    overwrite: bool,
+    epi: Epilogue<'_>,
+) {
+    let m_strips = mc.div_ceil(MR);
+    let n_strips = nc.div_ceil(NR);
+    for t in 0..n_strips {
+        let bstrip = &bpack[t * kc * NR..(t + 1) * kc * NR];
+        let col0 = j0 + t * NR;
+        let nr_eff = NR.min(j0 + nc - col0);
+        for s in 0..m_strips {
+            let astrip = &apack[s * kc * MR..(s + 1) * kc * MR];
+            let row0 = i0 + s * MR;
+            let mr_eff = MR.min(i0 + mc - row0);
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(kc, astrip, bstrip, &mut acc);
+            write_back(c, ldc, row0, col0, mr_eff, nr_eff, &acc, overwrite, epi);
+        }
+    }
+}
+
+/// AVX2+FMA instantiation of the block loop (monomorphised through the
+/// `#[inline(always)]` helpers above, so the microkernel compiles to FMAs).
+///
+/// # Safety
+/// The caller must have verified that the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn block_loop_avx2(
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    overwrite: bool,
+    epi: Epilogue<'_>,
+) {
+    block_loop_impl(apack, bpack, c, ldc, i0, j0, mc, nc, kc, overwrite, epi);
+}
+
+/// True when the AVX2+FMA block loop may be used (checked once per process).
+#[cfg(target_arch = "x86_64")]
+fn avx2_fma_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn run_block_loop(
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    overwrite: bool,
+    epi: Epilogue<'_>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_available() {
+        // SAFETY: feature presence verified at runtime above.
+        unsafe {
+            block_loop_avx2(apack, bpack, c, ldc, i0, j0, mc, nc, kc, overwrite, epi);
+        }
+        return;
+    }
+    block_loop_impl(apack, bpack, c, ldc, i0, j0, mc, nc, kc, overwrite, epi);
+}
+
+fn check_operands(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &[f32],
+    epi: &Epilogue<'_>,
+) {
+    assert!(a.len() >= m * k, "gemm: A slice shorter than m*k");
+    assert!(b.len() >= k * n, "gemm: B slice shorter than k*n");
+    assert!(c.len() >= m * n, "gemm: C slice shorter than m*n");
+    epi.check(m, n);
+}
+
+/// Apply only the degenerate `k == 0` semantics: zero (or keep) C, then run
+/// the epilogue.
+fn gemm_k0(m: usize, n: usize, c: &mut [f32], accumulate: bool, epi: Epilogue<'_>) {
+    if !accumulate {
+        c[..m * n].fill(0.0);
+    }
+    for i in 0..m {
+        let row = &mut c[i * n..(i + 1) * n];
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = match epi {
+                Epilogue::None => *v,
+                Epilogue::BiasCol(bias) => *v + bias[j],
+                Epilogue::BiasColRelu(bias) => (*v + bias[j]).max(0.0),
+                Epilogue::BiasRow(bias) => *v + bias[i],
+                Epilogue::BiasRowRelu(bias) => (*v + bias[i]).max(0.0),
+            };
+        }
+    }
+}
+
+/// Serial blocked GEMM: `C = A·B` (or `C += A·B` with `accumulate`), with an
+/// optional fused epilogue applied to the final value of C.
+///
+/// `a` is a logical `[m, k]` matrix and `b` a logical `[k, n]` matrix, each
+/// interpreted through its [`Layout`]; `c` is `[m, n]` row-major. Slices may
+/// be longer than required; the excess is ignored.
+///
+/// # Panics
+/// Panics when a slice is shorter than its logical shape requires.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    ws: &mut GemmWorkspace,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    la: Layout,
+    b: &[f32],
+    lb: Layout,
+    c: &mut [f32],
+    accumulate: bool,
+    epi: Epilogue<'_>,
+) {
+    check_operands(m, n, k, a, b, c, &epi);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let t0 = Instant::now();
+    if k == 0 {
+        gemm_k0(m, n, c, accumulate, epi);
+    } else {
+        for j0 in (0..n).step_by(NC) {
+            let nc = NC.min(n - j0);
+            for p0 in (0..k).step_by(KC) {
+                let kc = KC.min(k - p0);
+                let first = p0 == 0;
+                let last = p0 + kc == k;
+                let tp = Instant::now();
+                ensure_len(
+                    &mut ws.pack_b,
+                    nc.div_ceil(NR) * kc * NR,
+                    &mut ws.stats.pack_grows,
+                );
+                pack_b(&mut ws.pack_b, b, lb, k, n, p0, j0, kc, nc);
+                ws.stats.pack_seconds += tp.elapsed().as_secs_f64();
+                for i0 in (0..m).step_by(MC) {
+                    let mc = MC.min(m - i0);
+                    let tp = Instant::now();
+                    ensure_len(
+                        &mut ws.pack_a,
+                        mc.div_ceil(MR) * kc * MR,
+                        &mut ws.stats.pack_grows,
+                    );
+                    pack_a(&mut ws.pack_a, a, la, m, k, i0, p0, mc, kc);
+                    ws.stats.pack_seconds += tp.elapsed().as_secs_f64();
+                    let epi_here = if last { epi } else { Epilogue::None };
+                    run_block_loop(
+                        &ws.pack_a,
+                        &ws.pack_b,
+                        c,
+                        n,
+                        i0,
+                        j0,
+                        mc,
+                        nc,
+                        kc,
+                        first && !accumulate,
+                        epi_here,
+                    );
+                }
+            }
+        }
+    }
+    ws.stats.calls += 1;
+    ws.stats.flops += gemm_flops(m, n, k);
+    ws.stats.total_seconds += t0.elapsed().as_secs_f64();
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// Blocked GEMM that distributes row panels across rayon workers when the
+/// problem is large enough (and runs [`gemm`] serially otherwise).
+///
+/// Each worker packs A panels into its own [`GemmWorkspace`] from `scratch`;
+/// the B panel is packed once and shared read-only. The parallel path
+/// requires `n <= NC` (one column panel) — wider problems fall back to the
+/// serial kernel, which handles any size.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_parallel(
+    scratch: &mut Scratch,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    la: Layout,
+    b: &[f32],
+    lb: Layout,
+    c: &mut [f32],
+    accumulate: bool,
+    epi: Epilogue<'_>,
+) {
+    let panels = m.div_ceil(MC);
+    let groups = hardware_threads().min(panels);
+    if groups <= 1 || n > NC || k == 0 || gemm_flops(m, n, k) < PAR_FLOP_THRESHOLD {
+        gemm(
+            scratch.gemm_mut(),
+            m,
+            n,
+            k,
+            a,
+            la,
+            b,
+            lb,
+            c,
+            accumulate,
+            epi,
+        );
+        return;
+    }
+    gemm_with_groups(scratch, groups, m, n, k, a, la, b, lb, c, accumulate, epi);
+}
+
+/// [`gemm_parallel`] with an explicit worker-group count (exposed so tests
+/// can exercise the split path on any machine).
+///
+/// # Panics
+/// Panics when `n > NC`, `k == 0`, `groups == 0`, or a slice is too short.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_groups(
+    scratch: &mut Scratch,
+    groups: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    la: Layout,
+    b: &[f32],
+    lb: Layout,
+    c: &mut [f32],
+    accumulate: bool,
+    epi: Epilogue<'_>,
+) {
+    assert!(groups > 0, "gemm: zero worker groups");
+    assert!(
+        n <= NC && k > 0,
+        "gemm: grouped path needs n <= NC and k > 0"
+    );
+    check_operands(m, n, k, a, b, c, &epi);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let panels = m.div_ceil(MC);
+    let per_group = panels.div_ceil(groups);
+    let (main, workers) = scratch.gemm_workspaces(groups);
+    let t0 = Instant::now();
+    for p0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - p0);
+        let first = p0 == 0;
+        let last = p0 + kc == k;
+        let tp = Instant::now();
+        ensure_len(
+            &mut main.pack_b,
+            n.div_ceil(NR) * kc * NR,
+            &mut main.stats.pack_grows,
+        );
+        pack_b(&mut main.pack_b, b, lb, k, n, p0, 0, kc, n);
+        main.stats.pack_seconds += tp.elapsed().as_secs_f64();
+        let bpack: &[f32] = &main.pack_b;
+
+        // Carve C into per-group row chunks (contiguous because n <= NC
+        // means a single column panel spans the full row).
+        let mut items: Vec<(usize, usize, &mut [f32], &mut GemmWorkspace)> =
+            Vec::with_capacity(groups);
+        let mut rest: &mut [f32] = &mut c[..m * n];
+        let mut row = 0usize;
+        for ws in workers.iter_mut() {
+            if row == m {
+                break;
+            }
+            let rows = (per_group * MC).min(m - row);
+            let (chunk, tail) = rest.split_at_mut(rows * n);
+            items.push((row, rows, chunk, ws));
+            row += rows;
+            rest = tail;
+        }
+        let epi_here = if last { epi } else { Epilogue::None };
+        items.into_par_iter().for_each(|(row0, rows, cchunk, ws)| {
+            let epi_local = epi_here.offset_rows(row0);
+            for ii in (0..rows).step_by(MC) {
+                let mc = MC.min(rows - ii);
+                let tp = Instant::now();
+                ensure_len(
+                    &mut ws.pack_a,
+                    mc.div_ceil(MR) * kc * MR,
+                    &mut ws.stats.pack_grows,
+                );
+                pack_a(&mut ws.pack_a, a, la, m, k, row0 + ii, p0, mc, kc);
+                ws.stats.pack_seconds += tp.elapsed().as_secs_f64();
+                run_block_loop(
+                    &ws.pack_a,
+                    bpack,
+                    cchunk,
+                    n,
+                    ii,
+                    0,
+                    mc,
+                    n,
+                    kc,
+                    first && !accumulate,
+                    epi_local,
+                );
+            }
+        });
+    }
+    main.stats.calls += 1;
+    main.stats.flops += gemm_flops(m, n, k);
+    main.stats.total_seconds += t0.elapsed().as_secs_f64();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        // Small deterministic values keep f32 accumulation error tiny.
+        (0..len)
+            .map(|i| {
+                (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 16) % 17) as f32 / 8.0
+                    - 1.0
+            })
+            .collect()
+    }
+
+    fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                for j in 0..n {
+                    c[i * n + j] += aip * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn assert_close(got: &[f32], want: &[f32]) {
+        for (idx, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-4 * w.abs().max(1.0),
+                "element {idx}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_tail_shapes() {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (MR, NR, 4),
+            (MR + 1, NR + 1, KC + 1),
+            (MC + 5, NR * 3 - 2, 97),
+            (3, 200, 33),
+            (1, 960, 128), // predict-shaped
+        ] {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let mut c = vec![0.0f32; m * n];
+            let mut ws = GemmWorkspace::new();
+            gemm(
+                &mut ws,
+                m,
+                n,
+                k,
+                &a,
+                Layout::RowMajor,
+                &b,
+                Layout::RowMajor,
+                &mut c,
+                false,
+                Epilogue::None,
+            );
+            assert_close(&c, &naive(m, n, k, &a, &b));
+        }
+    }
+
+    #[test]
+    fn transposed_layouts_match_explicit_transposes() {
+        let (m, n, k) = (13usize, 29usize, 21usize);
+        let a = fill(m * k, 3);
+        let b = fill(k * n, 4);
+        let want = naive(m, n, k, &a, &b);
+        // A stored transposed as [k, m].
+        let mut at = vec![0.0f32; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        // B stored transposed as [n, k].
+        let mut bt = vec![0.0f32; k * n];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let mut ws = GemmWorkspace::new();
+        let mut c = vec![0.0f32; m * n];
+        gemm(
+            &mut ws,
+            m,
+            n,
+            k,
+            &at,
+            Layout::Transposed,
+            &b,
+            Layout::RowMajor,
+            &mut c,
+            false,
+            Epilogue::None,
+        );
+        assert_close(&c, &want);
+        c.fill(7.0);
+        gemm(
+            &mut ws,
+            m,
+            n,
+            k,
+            &a,
+            Layout::RowMajor,
+            &bt,
+            Layout::Transposed,
+            &mut c,
+            false,
+            Epilogue::None,
+        );
+        assert_close(&c, &want);
+    }
+
+    #[test]
+    fn accumulate_adds_onto_existing_c() {
+        let (m, n, k) = (9usize, 17usize, 40usize);
+        let a = fill(m * k, 5);
+        let b = fill(k * n, 6);
+        let base = fill(m * n, 7);
+        let mut c = base.clone();
+        let mut ws = GemmWorkspace::new();
+        gemm(
+            &mut ws,
+            m,
+            n,
+            k,
+            &a,
+            Layout::RowMajor,
+            &b,
+            Layout::RowMajor,
+            &mut c,
+            true,
+            Epilogue::None,
+        );
+        let want: Vec<f32> = naive(m, n, k, &a, &b)
+            .iter()
+            .zip(&base)
+            .map(|(x, y)| x + y)
+            .collect();
+        assert_close(&c, &want);
+    }
+
+    #[test]
+    fn epilogues_apply_bias_and_relu_once() {
+        let (m, n, k) = (7usize, 19usize, KC + 3); // spans two K blocks
+        let a = fill(m * k, 8);
+        let b = fill(k * n, 9);
+        let bias_col = fill(n, 10);
+        let bias_row = fill(m, 11);
+        let plain = naive(m, n, k, &a, &b);
+        let mut ws = GemmWorkspace::new();
+
+        let mut c = vec![0.0f32; m * n];
+        gemm(
+            &mut ws,
+            m,
+            n,
+            k,
+            &a,
+            Layout::RowMajor,
+            &b,
+            Layout::RowMajor,
+            &mut c,
+            false,
+            Epilogue::BiasColRelu(&bias_col),
+        );
+        let want: Vec<f32> = plain
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v + bias_col[i % n]).max(0.0))
+            .collect();
+        assert_close(&c, &want);
+
+        let mut c = vec![0.0f32; m * n];
+        gemm(
+            &mut ws,
+            m,
+            n,
+            k,
+            &a,
+            Layout::RowMajor,
+            &b,
+            Layout::RowMajor,
+            &mut c,
+            false,
+            Epilogue::BiasRow(&bias_row),
+        );
+        let want: Vec<f32> = plain
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + bias_row[i / n])
+            .collect();
+        assert_close(&c, &want);
+    }
+
+    #[test]
+    fn k0_zeroes_or_keeps_c_and_applies_bias() {
+        let mut ws = GemmWorkspace::new();
+        let mut c = vec![3.0f32; 6];
+        let bias = [1.0f32, -2.0, 0.5];
+        gemm(
+            &mut ws,
+            2,
+            3,
+            0,
+            &[],
+            Layout::RowMajor,
+            &[],
+            Layout::RowMajor,
+            &mut c,
+            false,
+            Epilogue::BiasCol(&bias),
+        );
+        assert_eq!(c, vec![1.0, -2.0, 0.5, 1.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    fn grouped_split_matches_serial() {
+        let (m, n, k) = (MC * 2 + 11, 130usize, KC + 17);
+        let a = fill(m * k, 12);
+        let b = fill(k * n, 13);
+        let bias = fill(m, 14);
+        let mut serial = vec![0.0f32; m * n];
+        let mut ws = GemmWorkspace::new();
+        gemm(
+            &mut ws,
+            m,
+            n,
+            k,
+            &a,
+            Layout::RowMajor,
+            &b,
+            Layout::RowMajor,
+            &mut serial,
+            false,
+            Epilogue::BiasRowRelu(&bias),
+        );
+        for groups in [1usize, 2, 3, 7] {
+            let mut scratch = Scratch::new();
+            let mut c = vec![0.0f32; m * n];
+            gemm_with_groups(
+                &mut scratch,
+                groups,
+                m,
+                n,
+                k,
+                &a,
+                Layout::RowMajor,
+                &b,
+                Layout::RowMajor,
+                &mut c,
+                false,
+                Epilogue::BiasRowRelu(&bias),
+            );
+            assert_close(&c, &serial);
+        }
+    }
+
+    #[test]
+    fn stats_record_flops_and_pack_time() {
+        let mut ws = GemmWorkspace::new();
+        let (m, n, k) = (64usize, 64, 64);
+        let a = fill(m * k, 15);
+        let b = fill(k * n, 16);
+        let mut c = vec![0.0f32; m * n];
+        gemm(
+            &mut ws,
+            m,
+            n,
+            k,
+            &a,
+            Layout::RowMajor,
+            &b,
+            Layout::RowMajor,
+            &mut c,
+            false,
+            Epilogue::None,
+        );
+        assert_eq!(ws.stats.calls, 1);
+        assert_eq!(ws.stats.flops, gemm_flops(m, n, k));
+        assert!(ws.stats.total_seconds > 0.0);
+        assert!(ws.stats.pack_seconds <= ws.stats.total_seconds);
+        assert_eq!(ws.stats.pack_grows, 2); // one grow per pack buffer
+        let before = ws.stats.pack_grows;
+        gemm(
+            &mut ws,
+            m,
+            n,
+            k,
+            &a,
+            Layout::RowMajor,
+            &b,
+            Layout::RowMajor,
+            &mut c,
+            false,
+            Epilogue::None,
+        );
+        assert_eq!(ws.stats.pack_grows, before, "steady state must not grow");
+    }
+}

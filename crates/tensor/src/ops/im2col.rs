@@ -126,6 +126,15 @@ impl Conv2dGeom {
 /// Unfold one `[C, H, W]` sample (flattened row-major) into a
 /// `[C·kh·kw, oh·ow]` matrix. Out-of-image taps contribute zeros.
 pub fn im2col(x: &[f32], g: &Conv2dGeom) -> Result<Tensor> {
+    let mut out = vec![0.0f32; g.col_rows() * g.col_cols()];
+    im2col_into(x, g, &mut out)?;
+    Tensor::from_vec([g.col_rows(), g.col_cols()], out)
+}
+
+/// [`im2col`] writing into a caller-provided buffer of exactly
+/// `col_rows · col_cols` elements (overwritten, including padding zeros),
+/// so hot loops can reuse one buffer across samples.
+pub fn im2col_into(x: &[f32], g: &Conv2dGeom, out: &mut [f32]) -> Result<()> {
     let expected = g.in_channels * g.in_h * g.in_w;
     if x.len() != expected {
         return Err(TensorError::LengthMismatch {
@@ -136,7 +145,13 @@ pub fn im2col(x: &[f32], g: &Conv2dGeom) -> Result<Tensor> {
     let (oh, ow) = (g.out_h(), g.out_w());
     let rows = g.col_rows();
     let cols = oh * ow;
-    let mut out = vec![0.0f32; rows * cols];
+    if out.len() != rows * cols {
+        return Err(TensorError::LengthMismatch {
+            expected: rows * cols,
+            actual: out.len(),
+        });
+    }
+    out.fill(0.0);
     let (pad_h, pad_w) = (g.pad_h as isize, g.pad_w as isize);
     for c in 0..g.in_channels {
         let plane = &x[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
@@ -160,7 +175,7 @@ pub fn im2col(x: &[f32], g: &Conv2dGeom) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec([rows, cols], out)
+    Ok(())
 }
 
 /// Fold a `[C·kh·kw, oh·ow]` gradient matrix back onto a `[C, H, W]` image,
@@ -173,11 +188,31 @@ pub fn col2im(cols: &Tensor, g: &Conv2dGeom) -> Result<Vec<f32>> {
             rhs: cols.dims().to_vec(),
         });
     }
+    let mut img = vec![0.0f32; g.in_channels * g.in_h * g.in_w];
+    col2im_into(cols.as_slice(), g, &mut img)?;
+    Ok(img)
+}
+
+/// [`col2im`] writing into a caller-provided `[C·H·W]` buffer (overwritten),
+/// taking the gradient matrix as a raw `col_rows · col_cols` slice so hot
+/// loops can fold sub-slices of a batched buffer without a `Tensor` wrapper.
+pub fn col2im_into(data: &[f32], g: &Conv2dGeom, img: &mut [f32]) -> Result<()> {
+    if data.len() != g.col_rows() * g.col_cols() {
+        return Err(TensorError::LengthMismatch {
+            expected: g.col_rows() * g.col_cols(),
+            actual: data.len(),
+        });
+    }
+    if img.len() != g.in_channels * g.in_h * g.in_w {
+        return Err(TensorError::LengthMismatch {
+            expected: g.in_channels * g.in_h * g.in_w,
+            actual: img.len(),
+        });
+    }
+    img.fill(0.0);
     let (oh, ow) = (g.out_h(), g.out_w());
     let n_cols = oh * ow;
-    let mut img = vec![0.0f32; g.in_channels * g.in_h * g.in_w];
     let (pad_h, pad_w) = (g.pad_h as isize, g.pad_w as isize);
-    let data = cols.as_slice();
     for c in 0..g.in_channels {
         let plane = &mut img[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
         for kh in 0..g.kernel_h {
@@ -199,7 +234,7 @@ pub fn col2im(cols: &Tensor, g: &Conv2dGeom) -> Result<Vec<f32>> {
             }
         }
     }
-    Ok(img)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -297,6 +332,34 @@ mod tests {
             (lhs - rhs).abs() < 1e-6 * lhs.abs().max(1.0),
             "{lhs} vs {rhs}"
         );
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let g = Conv2dGeom::new(2, 4, 5, 3, 3, 1, 1).unwrap();
+        let x: Vec<f32> = (0..g.in_channels * g.in_h * g.in_w)
+            .map(|i| ((i * 3 + 1) % 7) as f32 - 3.0)
+            .collect();
+        let cols = im2col(&x, &g).unwrap();
+        let mut buf = vec![9.0f32; g.col_rows() * g.col_cols()];
+        im2col_into(&x, &g, &mut buf).unwrap();
+        assert_eq!(buf, cols.as_slice());
+
+        let back = col2im(&cols, &g).unwrap();
+        let mut img = vec![-1.0f32; x.len()];
+        col2im_into(cols.as_slice(), &g, &mut img).unwrap();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn into_variants_check_buffer_lengths() {
+        let g = Conv2dGeom::new(1, 3, 3, 2, 2, 1, 0).unwrap();
+        let x = [0.0f32; 9];
+        let mut short = vec![0.0f32; 3];
+        assert!(im2col_into(&x, &g, &mut short).is_err());
+        let cols = vec![0.0f32; g.col_rows() * g.col_cols()];
+        let mut img = vec![0.0f32; 5];
+        assert!(col2im_into(&cols, &g, &mut img).is_err());
     }
 
     #[test]
