@@ -1,0 +1,219 @@
+//! Serving bench: 8 concurrent clients against the micro-batching gateway
+//! versus the same clients serialised through `PrionnService::predict`
+//! (the pre-gateway serving path, one forward pass per request).
+//!
+//! Runs as a custom harness (`cargo bench -p prionn-bench --bench serve`)
+//! and writes `BENCH_serve.json` to the workspace root (override with
+//! `BENCH_SERVE_OUT`). Flags:
+//!
+//! * `--smoke`   — fewer requests per client, for CI;
+//! * `--enforce` — exit non-zero unless the gateway sustains ≥2× the
+//!   serialized throughput AND its p50 latency beats the serialized p50
+//!   (the PR's acceptance floor).
+//!
+//! Both sides serve the *same* trained weights (handed over via the
+//! checkpoint wire format), so the comparison isolates the serving layer.
+//! On a single-core host the win comes from batch fusion: one batch-N
+//! forward amortises the data mapping and GEMM overhead that batch-1
+//! requests pay N times.
+
+use prionn_core::{Prionn, PrionnConfig, PrionnService, ServiceOptions};
+use prionn_serve::{Gateway, GatewayConfig};
+use serde_json::json;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+
+fn corpus() -> Vec<String> {
+    let mut scripts = Vec::new();
+    for i in 0..16 {
+        scripts.push(format!(
+            "#!/bin/bash\n#SBATCH -N 2\n#SBATCH -t 02:00:00\nmodule load mkl\nsrun ./short_app run{i}\n"
+        ));
+        scripts.push(format!(
+            "#!/bin/bash\n#SBATCH -N 64\n#SBATCH -t 12:00:00\nmodule load big\nexport OMP_NUM_THREADS=4\nsrun ./long_app case{i}\nsync\n"
+        ));
+    }
+    scripts
+}
+
+fn trained_model(scripts: &[String]) -> Prionn {
+    let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+    let cfg = PrionnConfig {
+        grid: (16, 16),
+        base_width: 2,
+        runtime_bins: 64,
+        predict_io: false,
+        epochs: 1,
+        batch_size: 32,
+        ..Default::default()
+    };
+    let mut model = Prionn::new(cfg, &refs).unwrap();
+    let runtimes: Vec<f64> = (0..refs.len())
+        .map(|i| if i % 2 == 0 { 100.0 } else { 700.0 })
+        .collect();
+    model.retrain(&refs, &runtimes, &[], &[]).unwrap();
+    model
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Run `CLIENTS` threads, each issuing `reqs` single-script predicts
+/// through `call`. Returns (wall seconds, sorted per-request latencies).
+fn drive_clients(
+    scripts: &[String],
+    reqs: usize,
+    call: impl Fn(&[String]) + Sync,
+) -> (f64, Vec<f64>) {
+    let started = Instant::now();
+    let mut lat: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let call = &call;
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(reqs);
+                    for r in 0..reqs {
+                        let idx = (c * 7 + r) % scripts.len();
+                        let one = std::slice::from_ref(&scripts[idx]);
+                        let t = Instant::now();
+                        call(one);
+                        lat.push(t.elapsed().as_secs_f64());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    (wall, lat)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let enforce = args.iter().any(|a| a == "--enforce");
+    let reqs = if smoke { 15 } else { 40 };
+    let mode = if smoke { "smoke" } else { "full" };
+    println!("serve bench ({mode} mode): {CLIENTS} clients x {reqs} requests");
+
+    let scripts = corpus();
+    let model = trained_model(&scripts);
+    // Hand the same weights to both serving paths through the checkpoint
+    // wire format, exactly like a production handover.
+    let ck_path = std::env::temp_dir().join("prionn_bench_serve.ck");
+    model.save(&ck_path).unwrap();
+
+    // Baseline: the single-worker service, one forward pass per request.
+    let service =
+        PrionnService::spawn_from_checkpoint(&ck_path, ServiceOptions::default()).unwrap();
+    let (service_wall, service_lat) = drive_clients(&scripts, reqs, |one| {
+        service.predict(one).unwrap();
+    });
+    service.shutdown();
+
+    // Gateway: same weights, micro-batched. One replica — on a small host
+    // the win must come from fusion, not parallelism.
+    let gateway = Gateway::spawn_from_checkpoint(
+        &ck_path,
+        GatewayConfig {
+            replicas: 1,
+            max_batch: CLIENTS,
+            max_wait: Duration::from_micros(500),
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap();
+    // Warm the replica (first batch pays one-time setup).
+    gateway.predict(&scripts[..1]).unwrap();
+    let warm_batches = gateway.stats().batches_served.load(Ordering::SeqCst);
+    let warm_fused = gateway.stats().scripts_predicted.load(Ordering::SeqCst);
+    let (gateway_wall, gateway_lat) = drive_clients(&scripts, reqs, |one| {
+        gateway.predict(one).unwrap();
+    });
+    let batches = gateway.stats().batches_served.load(Ordering::SeqCst) - warm_batches;
+    let fused = gateway.stats().scripts_predicted.load(Ordering::SeqCst) - warm_fused;
+    gateway.shutdown();
+    let _ = std::fs::remove_file(&ck_path);
+
+    let total = (CLIENTS * reqs) as f64;
+    let service_rps = total / service_wall;
+    let gateway_rps = total / gateway_wall;
+    let speedup = gateway_rps / service_rps;
+    let service_p50 = percentile(&service_lat, 0.50) * 1e3;
+    let gateway_p50 = percentile(&gateway_lat, 0.50) * 1e3;
+    let mean_batch = fused as f64 / batches.max(1) as f64;
+
+    println!(
+        "  serialized service: {service_rps:.1} req/s  p50 {service_p50:.2} ms  p95 {:.2} ms",
+        percentile(&service_lat, 0.95) * 1e3
+    );
+    println!(
+        "  batched gateway:    {gateway_rps:.1} req/s  p50 {gateway_p50:.2} ms  p95 {:.2} ms  \
+         ({batches} batches, {mean_batch:.1} scripts/batch)",
+        percentile(&gateway_lat, 0.95) * 1e3
+    );
+    println!("  throughput speedup: {speedup:.2}x");
+
+    let report = json!({
+        "bench": "serve",
+        "mode": mode,
+        "clients": CLIENTS,
+        "requests_per_client": reqs,
+        "serialized_service": {
+            "throughput_rps": service_rps,
+            "p50_ms": service_p50,
+            "p95_ms": percentile(&service_lat, 0.95) * 1e3,
+        },
+        "gateway": {
+            "replicas": 1,
+            "max_batch": CLIENTS,
+            "throughput_rps": gateway_rps,
+            "p50_ms": gateway_p50,
+            "p95_ms": percentile(&gateway_lat, 0.95) * 1e3,
+            "batches": batches,
+            "mean_scripts_per_batch": mean_batch,
+        },
+        "throughput_speedup_vs_serialized": speedup,
+        "p50_speedup_vs_serialized": service_p50 / gateway_p50,
+    });
+
+    // Cargo runs bench binaries with the package dir as CWD; default to the
+    // workspace root so the committed JSON lands next to README.md.
+    let out = std::env::var("BENCH_SERVE_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").into());
+    std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap()).unwrap();
+    println!("wrote {out}");
+
+    if enforce {
+        if speedup < 2.0 {
+            eprintln!(
+                "FAIL: gateway {gateway_rps:.1} req/s is only {speedup:.2}x the serialized \
+                 {service_rps:.1} req/s (< 2.0x floor)"
+            );
+            std::process::exit(1);
+        }
+        if gateway_p50 > service_p50 {
+            eprintln!(
+                "FAIL: gateway p50 {gateway_p50:.2} ms is worse than serialized p50 \
+                 {service_p50:.2} ms"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "enforce: throughput {speedup:.2}x >= 2.0x, p50 {gateway_p50:.2} ms <= \
+             {service_p50:.2} ms OK"
+        );
+    }
+}

@@ -654,6 +654,117 @@ impl Prionn {
         Ok(ck)
     }
 
+    /// An independent replica of this predictor: same configuration,
+    /// transform, bins, weights, optimiser state, and RNG position. Built
+    /// through the checkpoint round trip, so the replica is bit-identical —
+    /// it serves exactly the predictions this instance would. This is how
+    /// the serving gateway fans one trained model out to N worker threads.
+    pub fn fork_replica(&self) -> CkptResult<Self> {
+        Self::from_checkpoint(&self.to_checkpoint()?)
+    }
+
+    /// Only the learned head weights, in checkpoint section format
+    /// (`model.runtime` [+ `model.read`/`model.write`/`model.power`]).
+    /// This is the hot-swap payload broadcast to serving replicas after a
+    /// retrain: weights are all a frozen serving replica needs, so the
+    /// optimiser moments, RNG stream, and transform table stay out of the
+    /// per-swap cost.
+    pub fn weights_checkpoint(&self) -> CkptResult<Checkpoint> {
+        let mut ck = Checkpoint::new();
+        ck.insert(
+            "model.runtime",
+            checkpoint::encode_state_dict(&self.runtime_model.state_dict()),
+        )?;
+        if let (Some(read), Some(write)) = (&self.read_model, &self.write_model) {
+            ck.insert(
+                "model.read",
+                checkpoint::encode_state_dict(&read.state_dict()),
+            )?;
+            ck.insert(
+                "model.write",
+                checkpoint::encode_state_dict(&write.state_dict()),
+            )?;
+        }
+        if let Some(power) = &self.power_model {
+            ck.insert(
+                "model.power",
+                checkpoint::encode_state_dict(&power.state_dict()),
+            )?;
+        }
+        Ok(ck)
+    }
+
+    /// Apply a weight set produced by [`Prionn::weights_checkpoint`] on a
+    /// predictor with the identical architecture. Every head is decoded and
+    /// shape-checked *before* any weight is written, so a mismatched or
+    /// corrupt payload leaves the current weights fully intact — the
+    /// all-or-nothing property the replica hot-swap protocol relies on.
+    pub fn apply_weights_checkpoint(&mut self, ck: &Checkpoint) -> CkptResult<()> {
+        fn mismatch(what: &str, e: TensorError) -> StoreError {
+            StoreError::Corrupt(format!("{what}: {e}"))
+        }
+        let runtime = checkpoint::decode_state_dict(ck.require("model.runtime")?)?;
+        let io = if self.read_model.is_some() {
+            Some((
+                checkpoint::decode_state_dict(ck.require("model.read")?)?,
+                checkpoint::decode_state_dict(ck.require("model.write")?)?,
+            ))
+        } else {
+            None
+        };
+        let power = if self.power_model.is_some() {
+            Some(checkpoint::decode_state_dict(ck.require("model.power")?)?)
+        } else {
+            None
+        };
+        // load_state_dict validates a whole dict before touching its model,
+        // so each head is individually all-or-nothing; roll back the
+        // already-swapped heads if a later one rejects, keeping the swap
+        // atomic across heads too.
+        type HeadSwap<'a> = (&'static str, &'a mut Sequential, Vec<(String, Tensor)>);
+        let mut heads: Vec<HeadSwap<'_>> =
+            vec![("model.runtime", &mut self.runtime_model, runtime)];
+        if let Some((read, write)) = io {
+            heads.push((
+                "model.read",
+                self.read_model.as_mut().expect("checked above"),
+                read,
+            ));
+            heads.push((
+                "model.write",
+                self.write_model.as_mut().expect("io heads built together"),
+                write,
+            ));
+        }
+        if let Some(power) = power {
+            heads.push((
+                "model.power",
+                self.power_model.as_mut().expect("checked above"),
+                power,
+            ));
+        }
+        let mut prevs: Vec<Vec<(String, Tensor)>> = Vec::with_capacity(heads.len());
+        let mut failed: Option<(&'static str, TensorError)> = None;
+        for (what, model, dict) in heads.iter_mut() {
+            let prev = model.state_dict();
+            match model.load_state_dict(dict) {
+                Ok(()) => prevs.push(prev),
+                Err(e) => {
+                    failed = Some((*what, e));
+                    break;
+                }
+            }
+        }
+        if let Some((what, e)) = failed {
+            // `prevs` holds exactly the heads that already swapped.
+            for ((_, model, _), prev) in heads.iter_mut().zip(&prevs) {
+                model.load_state_dict(prev).expect("rollback of own state");
+            }
+            return Err(mismatch(what, e));
+        }
+        Ok(())
+    }
+
     /// Rebuild a predictor from an in-memory checkpoint (see
     /// [`Prionn::load`]).
     pub fn from_checkpoint(ck: &Checkpoint) -> CkptResult<Self> {
@@ -983,6 +1094,97 @@ mod tests {
             a.predict_power(&refs[..4]).unwrap(),
             b.predict_power(&refs[..4]).unwrap()
         );
+    }
+
+    #[test]
+    fn fork_replica_is_bit_identical_and_independent() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut a = Prionn::new(tiny_cfg(), &refs).unwrap();
+        let runtimes: Vec<f64> = (0..refs.len())
+            .map(|i| if i % 2 == 0 { 30.0 } else { 500.0 })
+            .collect();
+        let io = vec![1e9; refs.len()];
+        a.retrain(&refs, &runtimes, &io, &io).unwrap();
+        let mut replica = a.fork_replica().unwrap();
+        assert_eq!(
+            a.predict(&refs[..4]).unwrap(),
+            replica.predict(&refs[..4]).unwrap()
+        );
+        // Independence: training the original must not move the replica.
+        let before = replica.predict(&refs[..2]).unwrap();
+        a.retrain(&refs, &runtimes, &io, &io).unwrap();
+        assert_eq!(replica.predict(&refs[..2]).unwrap(), before);
+    }
+
+    #[test]
+    fn weights_checkpoint_hot_swaps_a_replica_onto_new_weights() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut master = Prionn::new(tiny_cfg(), &refs).unwrap();
+        let runtimes: Vec<f64> = (0..refs.len())
+            .map(|i| if i % 2 == 0 { 30.0 } else { 500.0 })
+            .collect();
+        let io = vec![1e9; refs.len()];
+        master.retrain(&refs, &runtimes, &io, &io).unwrap();
+        let mut replica = master.fork_replica().unwrap();
+
+        // Master keeps learning; the replica is now stale ...
+        for _ in 0..3 {
+            master.retrain(&refs, &runtimes, &io, &io).unwrap();
+        }
+        // ... until the weight broadcast catches it up exactly.
+        let weights = master.weights_checkpoint().unwrap();
+        replica.apply_weights_checkpoint(&weights).unwrap();
+        assert_eq!(
+            master.predict(&refs[..4]).unwrap(),
+            replica.predict(&refs[..4]).unwrap()
+        );
+    }
+
+    #[test]
+    fn apply_weights_checkpoint_rejects_bad_payloads_atomically() {
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut a = Prionn::new(tiny_cfg(), &refs).unwrap();
+        let runtimes = vec![60.0; refs.len()];
+        let io = vec![1e8; refs.len()];
+        a.retrain(&refs, &runtimes, &io, &io).unwrap();
+        let before = a.predict(&refs[..4]).unwrap();
+
+        // A wider architecture's weights must be rejected outright.
+        let mut wide_cfg = tiny_cfg();
+        wide_cfg.base_width = 4;
+        let wide = Prionn::new(wide_cfg, &refs).unwrap();
+        assert!(a
+            .apply_weights_checkpoint(&wide.weights_checkpoint().unwrap())
+            .is_err());
+        assert_eq!(a.predict(&refs[..4]).unwrap(), before);
+
+        // A payload whose runtime head is valid but whose read head is the
+        // wrong shape must roll the runtime head back: no torn mix.
+        let mut donor = Prionn::new(tiny_cfg(), &refs).unwrap();
+        donor.retrain(&refs, &runtimes, &io, &io).unwrap();
+        let good = donor.weights_checkpoint().unwrap();
+        let wide_ck = wide.weights_checkpoint().unwrap();
+        let mut mixed = prionn_store::Checkpoint::new();
+        mixed
+            .insert("model.runtime", good.get("model.runtime").unwrap().to_vec())
+            .unwrap();
+        mixed
+            .insert("model.read", wide_ck.get("model.read").unwrap().to_vec())
+            .unwrap();
+        mixed
+            .insert("model.write", good.get("model.write").unwrap().to_vec())
+            .unwrap();
+        assert!(a.apply_weights_checkpoint(&mixed).is_err());
+        assert_eq!(a.predict(&refs[..4]).unwrap(), before);
+
+        // A missing section errors too.
+        assert!(a
+            .apply_weights_checkpoint(&prionn_store::Checkpoint::new())
+            .is_err());
+        assert_eq!(a.predict(&refs[..4]).unwrap(), before);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::checkpoint::CkptResult;
 use crate::predictor::{Prionn, PrionnConfig, ResourcePrediction, Result};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use prionn_store::StoreError;
+use prionn_store::{Checkpoint, StoreError};
 use prionn_telemetry::{Counter, Gauge, Histogram, SpanEvent, Telemetry};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -144,7 +144,27 @@ enum Request {
     /// served *after* that batch trains — callers use this as a barrier.
     RetrainTick,
     Snapshot,
+    /// Export the live model as an in-memory checkpoint (taken between
+    /// requests on the worker, so it never races a retrain).
+    Export {
+        reply: Sender<CkptResult<Checkpoint>>,
+    },
     Shutdown,
+    /// Test-only: panic on the worker thread to exercise the crash-surface
+    /// path (`last_error` + non-wedging shutdown).
+    #[cfg(test)]
+    CrashForTest,
+}
+
+/// Best-effort rendering of a panic payload for `last_error`.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Handle to the background PRIONN worker.
@@ -210,16 +230,56 @@ impl PrionnService {
         let handle = std::thread::Builder::new()
             .name("prionn-service".into())
             .spawn(move || {
-                worker_loop(
-                    model,
-                    rx,
-                    worker_batches,
-                    options,
-                    worker_stats,
-                    worker_error,
-                    worker_instruments,
-                    worker_telemetry,
-                )
+                // A panic anywhere in the worker must surface through
+                // `last_error()` instead of silently killing the thread:
+                // callers then see request failures *and* the cause, and
+                // `shutdown()`/`Drop` join a thread that exited normally.
+                let dead_rx = rx.clone();
+                let dead_batches = worker_batches.clone();
+                let dead_stats = Arc::clone(&worker_stats);
+                let panic_error = Arc::clone(&worker_error);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    worker_loop(
+                        model,
+                        rx,
+                        worker_batches,
+                        options,
+                        worker_stats,
+                        worker_error,
+                        worker_instruments,
+                        worker_telemetry,
+                    )
+                }));
+                if let Err(payload) = result {
+                    *panic_error.lock() = Some(format!(
+                        "worker panicked: {}",
+                        panic_message(payload.as_ref())
+                    ));
+                    // Dead mode: requests already queued during the unwind
+                    // (and any sent before a caller learns of the crash)
+                    // hold reply senders inside the channel — if nobody
+                    // consumes them, those callers block forever. Keep
+                    // draining with instant failures until shutdown.
+                    while let Ok(req) = dead_rx.recv() {
+                        match req {
+                            // Dropping the reply sender fails the caller's
+                            // recv() immediately.
+                            Request::Predict { reply, .. } => drop(reply),
+                            Request::Export { reply } => drop(reply),
+                            Request::RetrainTick => {
+                                if dead_batches.try_recv().is_ok() {
+                                    dead_stats.retrains_pending.fetch_sub(1, Ordering::SeqCst);
+                                }
+                            }
+                            Request::Snapshot => {
+                                dead_stats.snapshots_failed.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Request::Shutdown => break,
+                            #[cfg(test)]
+                            Request::CrashForTest => {}
+                        }
+                    }
+                }
             })
             .map_err(|e| {
                 prionn_tensor::TensorError::InvalidArgument(format!("spawn failed: {e}"))
@@ -308,6 +368,25 @@ impl PrionnService {
         self.tx.send(Request::Snapshot).is_ok()
     }
 
+    /// A point-in-time checkpoint of the live model, taken on the worker
+    /// thread between requests (so it can never observe a half-finished
+    /// retrain) and returned in memory without touching disk.
+    ///
+    /// This is the handoff path to the serving gateway: a running
+    /// single-worker service exports its model here and
+    /// `prionn_serve::Gateway::spawn_from_service` fans it out to N
+    /// micro-batching replicas, after which this service can be retired or
+    /// kept as the trainer.
+    pub fn model_checkpoint(&self) -> CkptResult<Checkpoint> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(Request::Export { reply: reply_tx })
+            .map_err(|_| StoreError::Io(std::io::Error::other("service stopped")))?;
+        reply_rx
+            .recv()
+            .map_err(|_| StoreError::Io(std::io::Error::other("service dropped reply")))?
+    }
+
     /// Live counters.
     pub fn stats(&self) -> &ServiceStats {
         &self.stats
@@ -331,6 +410,13 @@ impl PrionnService {
     /// The most recent background-training or snapshot error, if any.
     pub fn last_error(&self) -> Option<String> {
         self.last_error.lock().clone()
+    }
+
+    /// Test-only: make the worker thread panic, to exercise the
+    /// crash-surfacing path.
+    #[cfg(test)]
+    fn crash_worker_for_test(&self) {
+        let _ = self.tx.send(Request::CrashForTest);
     }
 
     /// Stop the worker after draining queued work.
@@ -430,7 +516,12 @@ fn worker_loop(
                 }
             }
             Request::Snapshot => snapshot(&model, &stats, &last_error),
+            Request::Export { reply } => {
+                let _ = reply.send(model.to_checkpoint());
+            }
             Request::Shutdown => break,
+            #[cfg(test)]
+            Request::CrashForTest => panic!("injected test panic"),
         }
     }
 }
@@ -727,5 +818,118 @@ mod tests {
         let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
         let svc = PrionnService::spawn(tiny_cfg(), &refs).unwrap();
         drop(svc); // must not hang or panic
+    }
+
+    #[test]
+    fn worker_panic_surfaces_and_never_wedges_shutdown() {
+        let corpus = scripts(4);
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let svc = PrionnService::spawn(tiny_cfg(), &refs).unwrap();
+        svc.crash_worker_for_test();
+        // The crash is queued ahead of this predict, so the RPC must fail
+        // (reply channel dropped during unwind or send to a dead worker) —
+        // never hang.
+        assert!(svc.predict(&corpus[..1]).is_err());
+        // The panic handler writes last_error after the unwind finishes;
+        // poll briefly rather than racing it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            if let Some(err) = svc.last_error() {
+                assert!(err.contains("worker panicked"), "{err}");
+                assert!(err.contains("injected test panic"), "{err}");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "last_error never surfaced the panic"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        // Enqueues against the dead worker must not block or panic ...
+        svc.retrain_async(TrainingBatch {
+            scripts: corpus.clone(),
+            runtime_minutes: vec![1.0; corpus.len()],
+            ..Default::default()
+        });
+        assert!(svc.model_checkpoint().is_err());
+        assert!(!svc.snapshot_async() || svc.last_error().is_some());
+        // ... and shutdown joins the already-exited thread immediately.
+        svc.shutdown();
+    }
+
+    #[test]
+    fn model_checkpoint_exports_the_live_model() {
+        let corpus = scripts(16);
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let svc = PrionnService::spawn(tiny_cfg(), &refs).unwrap();
+        svc.retrain_async(TrainingBatch {
+            scripts: corpus.clone(),
+            runtime_minutes: vec![10.0; corpus.len()],
+            ..Default::default()
+        });
+        // The export rides the same FIFO as predicts, so it reflects the
+        // completed retrain.
+        let ck = svc.model_checkpoint().unwrap();
+        let via_service = svc.predict(&corpus[..3]).unwrap();
+        let mut restored = Prionn::from_checkpoint(&ck).unwrap();
+        assert_eq!(restored.retrain_count(), 1);
+        let via_export: Vec<_> = restored
+            .predict(&corpus[..3].iter().map(|s| s.as_str()).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(via_service, via_export);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn concurrent_retrains_account_every_batch_and_newest_survives() {
+        let corpus = scripts(12);
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let mut cfg = tiny_cfg();
+        cfg.epochs = 1;
+        let options = ServiceOptions {
+            retrain_queue_cap: 2,
+            ..Default::default()
+        };
+        let svc = PrionnService::spawn_with_options(cfg, &refs, options).unwrap();
+        // Four submitters race the latest-wins eviction against each other
+        // and against the worker's own drains.
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 5;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        svc.retrain_async(TrainingBatch {
+                            scripts: corpus.clone(),
+                            runtime_minutes: vec![10.0; corpus.len()],
+                            ..Default::default()
+                        });
+                    }
+                });
+            }
+        });
+        // All submitters done: enqueue one final, newest batch that is
+        // deliberately malformed. Latest-wins must never shed it (only
+        // older batches are evicted), so it reaches the trainer and fails
+        // there — `last_error` is the proof of survival.
+        svc.retrain_async(TrainingBatch {
+            scripts: corpus.clone(),
+            runtime_minutes: vec![1.0], // wrong length
+            ..Default::default()
+        });
+        let _ = svc.predict(&corpus[..1]).unwrap(); // barrier: all ticks drained
+        let done = svc.stats().retrains_done.load(Ordering::SeqCst);
+        let dropped = svc.stats().retrains_dropped.load(Ordering::SeqCst);
+        assert_eq!(
+            done + dropped,
+            THREADS * PER_THREAD,
+            "every good batch either trained ({done}) or was counted shed ({dropped})"
+        );
+        assert_eq!(svc.stats().retrains_pending.load(Ordering::SeqCst), 0);
+        assert!(
+            svc.last_error().is_some(),
+            "the newest (malformed) batch must survive eviction and reach the trainer"
+        );
+        svc.shutdown();
     }
 }

@@ -28,9 +28,15 @@
 //! Writes are atomic: the file is assembled in `<path>.tmp`, fsynced,
 //! then renamed over the destination, so a crash mid-snapshot leaves the
 //! previous checkpoint intact.
+//!
+//! The same section format also travels *in memory*: [`broadcast::WeightBus`]
+//! publishes epoch-tagged weight checkpoints to serving replicas with an
+//! atomic swap, so a retrained model reaches every replica without any
+//! reader ever observing a torn payload.
 
 #![warn(missing_docs)]
 
+pub mod broadcast;
 pub mod wire;
 
 use std::fmt;

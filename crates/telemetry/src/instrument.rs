@@ -219,6 +219,41 @@ impl Histogram {
         }
     }
 
+    /// A histogram with `count` uniformly spaced bucket bounds starting at
+    /// `start` and stepping by `width` (plus the implicit `+Inf` overflow
+    /// bucket). Built for small-integer quantities with a known range —
+    /// micro-batch sizes, queue depths — where log buckets would smear
+    /// adjacent values together. `count` is clamped to 512 bounds; a
+    /// non-positive `width` falls back to 1.
+    ///
+    /// ```
+    /// use prionn_telemetry::Histogram;
+    /// let h = Histogram::with_linear_buckets(1.0, 1.0, 4);
+    /// assert_eq!(h.bounds(), &[1.0, 2.0, 3.0, 4.0]);
+    /// h.observe(3.0);
+    /// assert_eq!(h.count(), 1);
+    /// ```
+    pub fn with_linear_buckets(start: f64, width: f64, count: usize) -> Self {
+        let width = if width > 0.0 && width.is_finite() {
+            width
+        } else {
+            1.0
+        };
+        let start = if start.is_finite() { start } else { 0.0 };
+        let bounds: Vec<f64> = (0..count.clamp(1, 512))
+            .map(|i| start + width * i as f64)
+            .collect();
+        let shards = (0..SHARDS)
+            .map(|_| HistShard {
+                counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            })
+            .collect();
+        Histogram {
+            inner: Arc::new(HistInner { bounds, shards }),
+        }
+    }
+
     /// The default latency layout: 1 µs to ~64 s, two bounds per octave
     /// (≈41% bucket width). 52 buckets, ~3.3 KiB of counters per shard.
     pub fn latency() -> Self {
@@ -485,5 +520,28 @@ mod tests {
         h.observe(-1.0);
         assert_eq!(h.count(), 3);
         assert!(h.sum().is_finite());
+    }
+
+    #[test]
+    fn linear_buckets_keep_adjacent_integers_distinct() {
+        let h = Histogram::with_linear_buckets(1.0, 1.0, 8);
+        assert_eq!(h.bounds().len(), 8);
+        for v in 1..=8 {
+            h.observe(v as f64);
+        }
+        // Every observation lands in its own bucket (bounds are inclusive
+        // upper edges: partition_point(|b| b < v)).
+        let counts = h.merged_counts();
+        assert!(counts[..8].iter().all(|&c| c == 1), "{counts:?}");
+        h.observe(100.0); // overflow bucket
+        assert_eq!(h.count(), 9);
+    }
+
+    #[test]
+    fn degenerate_linear_layouts_are_clamped() {
+        let h = Histogram::with_linear_buckets(f64::NAN, -3.0, 0);
+        assert_eq!(h.bounds(), &[0.0]);
+        h.observe(0.5);
+        assert_eq!(h.count(), 1);
     }
 }

@@ -20,7 +20,10 @@
 //! * [`telemetry`] — dependency-free counters, gauges, and latency
 //!   histograms with Prometheus/JSON export (see `docs/OBSERVABILITY.md`);
 //! * [`core`] — the PRIONN tool itself: whole-script models, warm-started
-//!   online retraining, and the evaluation metrics.
+//!   online retraining, and the evaluation metrics;
+//! * [`serve`] — the sharded, micro-batching inference gateway: replica
+//!   workers, admission control with load shedding, and epoch-tagged
+//!   weight hot-swap (see `docs/SERVING.md`).
 //!
 //! # Example
 //!
@@ -53,6 +56,7 @@ pub use prionn_core as core;
 pub use prionn_ml as ml;
 pub use prionn_nn as nn;
 pub use prionn_sched as sched;
+pub use prionn_serve as serve;
 pub use prionn_store as store;
 pub use prionn_telemetry as telemetry;
 pub use prionn_tensor as tensor;
