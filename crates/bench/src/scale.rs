@@ -116,6 +116,7 @@ impl ExperimentScale {
                 min_history: 80,
                 cold_start: false,
                 telemetry: None,
+                drift: None,
                 prionn: self.prionn(),
             },
             ExperimentScale::Standard => OnlineConfig {
@@ -124,6 +125,7 @@ impl ExperimentScale {
                 min_history: 100,
                 cold_start: false,
                 telemetry: None,
+                drift: None,
                 prionn: self.prionn(),
             },
             ExperimentScale::Full => OnlineConfig {
@@ -132,6 +134,7 @@ impl ExperimentScale {
                 min_history: 100,
                 cold_start: false,
                 telemetry: None,
+                drift: None,
                 prionn: self.prionn(),
             },
         }

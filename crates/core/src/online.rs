@@ -29,6 +29,13 @@ pub struct OnlineConfig {
     /// model (per-layer timers, retrain events); see
     /// `docs/OBSERVABILITY.md`.
     pub telemetry: Option<Telemetry>,
+    /// Optional model-quality drift monitor. When set, each job's prediction
+    /// (made at submission) is scored against its true usage at *completion*
+    /// — the moment the truth becomes known — so the rolling relative
+    /// accuracy tracks the protocol's live quality; retraining events mark
+    /// the weights fresh. Fallback (untrained-model) predictions are not
+    /// scored: they measure the user request, not the model.
+    pub drift: Option<prionn_observe::DriftMonitor>,
     /// Predictor configuration.
     pub prionn: PrionnConfig,
 }
@@ -41,6 +48,7 @@ impl Default for OnlineConfig {
             min_history: 100,
             cold_start: false,
             telemetry: None,
+            drift: None,
             prionn: PrionnConfig::default(),
         }
     }
@@ -119,6 +127,13 @@ pub fn resume_online_prionn(
     let mut completed: Vec<usize> = Vec::new();
     let mut trained = model.retrain_count() > 0;
     let mut since_retrain = 0usize;
+    // Model predictions by job index, held until the job completes — that
+    // is when the truth becomes known and the drift monitor can score it.
+    let mut in_flight: Vec<Option<(f64, f64, f64)>> = if cfg.drift.is_some() {
+        vec![None; jobs.len()]
+    } else {
+        Vec::new()
+    };
 
     for (idx, job) in jobs.iter().enumerate() {
         if job.cancelled {
@@ -129,6 +144,16 @@ pub fn resume_online_prionn(
         pending.sort_unstable_by_key(|&(end, _)| end);
         while let Some(&(end, j)) = pending.first() {
             if end <= now {
+                if let Some(drift) = &cfg.drift {
+                    if let Some((rt, rd, wr)) = in_flight[j].take() {
+                        use prionn_observe::DriftHead;
+                        drift.record(DriftHead::Runtime, jobs[j].runtime_minutes(), rt);
+                        if cfg.prionn.predict_io {
+                            drift.record(DriftHead::Read, jobs[j].bytes_read, rd);
+                            drift.record(DriftHead::Write, jobs[j].bytes_written, wr);
+                        }
+                    }
+                }
                 completed.push(j);
                 pending.remove(0);
             } else {
@@ -162,6 +187,9 @@ pub fn resume_online_prionn(
             if let Some((retrain_seconds, _, _)) = &instruments {
                 retrain_seconds.observe(retrain_started.elapsed().as_secs_f64());
             }
+            if let Some(drift) = &cfg.drift {
+                drift.mark_weight_update();
+            }
             trained = true;
             since_retrain = 0;
         }
@@ -169,6 +197,9 @@ pub fn resume_online_prionn(
         // Predict at submission.
         let prediction = if trained {
             let p = model.predict(&[job.script.as_str()])?[0];
+            if cfg.drift.is_some() {
+                in_flight[idx] = Some((p.runtime_minutes, p.read_bytes, p.write_bytes));
+            }
             JobPrediction {
                 job_id: job.id,
                 runtime_minutes: p.runtime_minutes,
@@ -216,6 +247,7 @@ mod tests {
             min_history: 30,
             cold_start: false,
             telemetry: None,
+            drift: None,
             prionn,
         }
     }
@@ -306,6 +338,38 @@ mod tests {
         let restored_again = Prionn::from_checkpoint(&ck).unwrap();
         let (preds2, _) = resume_online_prionn(&trace.jobs, &cfg, restored_again).unwrap();
         assert_eq!(preds, preds2);
+    }
+
+    #[test]
+    fn drift_monitor_scores_predictions_at_completion() {
+        use prionn_observe::{DriftConfig, DriftMonitor};
+        let trace = tiny_trace(300);
+        let telemetry = Telemetry::default();
+        let drift = DriftMonitor::new(
+            &telemetry,
+            DriftConfig {
+                min_samples: 8,
+                ..Default::default()
+            },
+        );
+        let mut cfg = tiny_online_cfg();
+        cfg.telemetry = Some(telemetry.clone());
+        cfg.drift = Some(drift.clone());
+        let preds = run_online_prionn(&trace.jobs, &cfg).unwrap();
+        let trained = preds.iter().filter(|p| p.model_trained).count();
+        assert!(trained > 0, "model never trained");
+
+        let snap = drift.snapshot();
+        let runtime = snap.heads.iter().find(|h| h.head == "runtime").unwrap();
+        // Only trained predictions whose jobs completed before the sweep
+        // ended are scored — never more than the trained predictions made.
+        assert!(runtime.samples > 0, "no completions were scored");
+        assert!(runtime.samples <= trained as u64);
+        assert!((0.0..=1.0).contains(&runtime.relative_accuracy));
+        assert!(snap.weight_updates > 0, "retrains mark the weights fresh");
+        assert!(telemetry
+            .prometheus()
+            .contains(r#"drift_samples_total{head="runtime"}"#));
     }
 
     #[test]

@@ -420,31 +420,69 @@ impl Prionn {
             return Ok(Vec::new());
         }
         let started = std::time::Instant::now();
-        let x = self.map_scripts(scripts)?;
+        let tracing = prionn_observe::trace::active();
+        let x = {
+            let _span = if tracing {
+                prionn_observe::trace::child_of_current(|| "map".to_string())
+            } else {
+                None
+            };
+            self.map_scripts(scripts)?
+        };
         let bs = self.cfg.batch_size.max(1);
-        let runtime: Vec<f64> = match self.cfg.head {
-            HeadKind::Classifier => self
-                .runtime_model
-                .predict_classes(&x, bs)?
-                .into_iter()
-                .map(|c| self.runtime_bins.decode(c))
-                .collect(),
-            HeadKind::Regressor => {
-                let scale = (961.0f64).ln();
-                self.runtime_model
-                    .predict(&x, bs)?
-                    .as_slice()
-                    .iter()
-                    .map(|&v| ((v as f64 * scale).exp() - 1.0).clamp(0.0, 960.0))
-                    .collect()
+        // Each head span is pushed as the implicit context so the per-layer
+        // spans opened inside `Sequential::forward` nest under it.
+        let head_span = |name: &'static str| -> Option<prionn_observe::Span> {
+            if tracing {
+                prionn_observe::trace::child_of_current(|| name.to_string())
+            } else {
+                None
+            }
+        };
+        let runtime: Vec<f64> = {
+            let span = head_span("head:runtime");
+            let _ctx = prionn_observe::trace::extend_current(
+                span.as_ref()
+                    .map_or(prionn_observe::SpanCtx::NONE, |s| s.ctx()),
+            );
+            match self.cfg.head {
+                HeadKind::Classifier => self
+                    .runtime_model
+                    .predict_classes(&x, bs)?
+                    .into_iter()
+                    .map(|c| self.runtime_bins.decode(c))
+                    .collect(),
+                HeadKind::Regressor => {
+                    let scale = (961.0f64).ln();
+                    self.runtime_model
+                        .predict(&x, bs)?
+                        .as_slice()
+                        .iter()
+                        .map(|&v| ((v as f64 * scale).exp() - 1.0).clamp(0.0, 960.0))
+                        .collect()
+                }
             }
         };
         let read = match self.read_model.as_mut() {
-            Some(m) => Some(m.predict_classes(&x, bs)?),
+            Some(m) => {
+                let span = head_span("head:read");
+                let _ctx = prionn_observe::trace::extend_current(
+                    span.as_ref()
+                        .map_or(prionn_observe::SpanCtx::NONE, |s| s.ctx()),
+                );
+                Some(m.predict_classes(&x, bs)?)
+            }
             None => None,
         };
         let write = match self.write_model.as_mut() {
-            Some(m) => Some(m.predict_classes(&x, bs)?),
+            Some(m) => {
+                let span = head_span("head:write");
+                let _ctx = prionn_observe::trace::extend_current(
+                    span.as_ref()
+                        .map_or(prionn_observe::SpanCtx::NONE, |s| s.ctx()),
+                );
+                Some(m.predict_classes(&x, bs)?)
+            }
             None => None,
         };
         if let Some(tel) = &self.telemetry {
@@ -905,6 +943,47 @@ mod tests {
             preds[1].runtime_minutes
         );
         assert!(preds[0].read_bytes < preds[1].read_bytes);
+    }
+
+    #[test]
+    fn predict_attaches_map_and_head_spans_under_a_trace_context() {
+        use prionn_observe::{trace, FlightConfig, FlightRecorder, Tracer};
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let mut p = Prionn::new(tiny_cfg(), &refs).unwrap();
+
+        let rec = FlightRecorder::new(FlightConfig::default());
+        let tracer = Tracer::new(&rec);
+        let root = tracer.root("predict");
+        {
+            let _ctx = trace::push_current(&tracer, root.ctx());
+            p.predict(&refs[..2]).unwrap();
+        }
+        let root_ctx = root.ctx();
+        drop(root);
+
+        let spans = rec.snapshot();
+        let map = spans.iter().find(|s| s.name == "map").unwrap();
+        assert_eq!(map.trace_id, root_ctx.trace_id);
+        assert_eq!(map.parent_id, root_ctx.span_id);
+        for head in ["head:runtime", "head:read", "head:write"] {
+            let span = spans
+                .iter()
+                .find(|s| s.name == head)
+                .unwrap_or_else(|| panic!("missing {head} span"));
+            assert_eq!(span.parent_id, root_ctx.span_id);
+            // Per-layer spans nest under the head span, not the root.
+            assert!(
+                spans
+                    .iter()
+                    .any(|s| s.parent_id == span.span_id && s.name.starts_with("layer:")),
+                "no layer spans under {head}"
+            );
+        }
+        // Untraced predictions record nothing new.
+        let before = rec.snapshot().len();
+        p.predict(&refs[..2]).unwrap();
+        assert_eq!(rec.snapshot().len(), before);
     }
 
     #[test]

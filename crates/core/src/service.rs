@@ -62,6 +62,18 @@ pub struct ServiceOptions {
     /// creates a private registry — metrics are recorded either way and are
     /// reachable via [`PrionnService::telemetry`].
     pub telemetry: Option<Telemetry>,
+    /// Span-event buffer bound for the *private* registry created when
+    /// `telemetry` is `None` (see `prionn_telemetry::Telemetry::
+    /// with_event_capacity` for the drop policy: oldest events are evicted
+    /// and `telemetry_events_dropped_total` counts them). Ignored when an
+    /// external registry is injected — capacity is fixed at construction.
+    pub event_capacity: Option<usize>,
+    /// Model-quality drift monitor. When attached, every retraining batch is
+    /// first scored with the *current* (pre-retrain) weights — "how well did
+    /// the live model predict the jobs that just completed" — and the
+    /// per-head rolling relative accuracy, calibration error, and
+    /// weight-staleness gauges update; see `prionn_observe::DriftMonitor`.
+    pub drift: Option<prionn_observe::DriftMonitor>,
 }
 
 impl Default for ServiceOptions {
@@ -71,6 +83,8 @@ impl Default for ServiceOptions {
             snapshot_every_n_retrains: None,
             snapshot_path: None,
             telemetry: None,
+            event_capacity: None,
+            drift: None,
         }
     }
 }
@@ -178,6 +192,7 @@ pub struct PrionnService {
     stats: Arc<ServiceStats>,
     telemetry: Telemetry,
     instruments: ServiceInstruments,
+    drift: Option<prionn_observe::DriftMonitor>,
     last_error: Arc<Mutex<Option<String>>>,
     handle: Option<JoinHandle<()>>,
 }
@@ -215,12 +230,19 @@ impl PrionnService {
         let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
         let (retrain_tx, retrain_rx) = bounded(options.retrain_queue_cap.max(1));
         let snapshot_configured = options.snapshot_path.is_some();
-        let telemetry = options.telemetry.clone().unwrap_or_default();
+        let telemetry = options
+            .telemetry
+            .clone()
+            .unwrap_or_else(|| match options.event_capacity {
+                Some(cap) => Telemetry::with_event_capacity(cap),
+                None => Telemetry::default(),
+            });
         let instruments = ServiceInstruments::build(&telemetry);
         // The worker's model publishes per-layer timers and predictor
         // metrics into the same registry.
         model.set_telemetry(&telemetry);
         let stats = Arc::new(ServiceStats::default());
+        let drift = options.drift.clone();
         let last_error = Arc::new(Mutex::new(None));
         let worker_stats = Arc::clone(&stats);
         let worker_error = Arc::clone(&last_error);
@@ -292,6 +314,7 @@ impl PrionnService {
             stats,
             telemetry,
             instruments,
+            drift,
             last_error,
             handle: Some(handle),
         })
@@ -407,6 +430,13 @@ impl PrionnService {
         self.telemetry.events().drain()
     }
 
+    /// The drift monitor attached via [`ServiceOptions::drift`], if any.
+    /// Read [`prionn_observe::DriftMonitor::snapshot`] from here for a
+    /// point-in-time quality readout.
+    pub fn drift(&self) -> Option<&prionn_observe::DriftMonitor> {
+        self.drift.as_ref()
+    }
+
     /// The most recent background-training or snapshot error, if any.
     pub fn last_error(&self) -> Option<String> {
         self.last_error.lock().clone()
@@ -491,6 +521,26 @@ fn worker_loop(
                     continue;
                 };
                 let refs: Vec<&str> = batch.scripts.iter().map(|s| s.as_str()).collect();
+                // Completed jobs arriving for retraining are also ground
+                // truth for the *current* weights: score the batch with the
+                // pre-retrain model so the drift monitor tracks live model
+                // quality as the workload evolves.
+                if let Some(drift) = &options.drift {
+                    if let Ok(preds) = model.predict(&refs) {
+                        use prionn_observe::DriftHead;
+                        for (i, p) in preds.iter().enumerate() {
+                            if let Some(&t) = batch.runtime_minutes.get(i) {
+                                drift.record(DriftHead::Runtime, t, p.runtime_minutes);
+                            }
+                            if let Some(&t) = batch.read_bytes.get(i) {
+                                drift.record(DriftHead::Read, t, p.read_bytes);
+                            }
+                            if let Some(&t) = batch.write_bytes.get(i) {
+                                drift.record(DriftHead::Write, t, p.write_bytes);
+                            }
+                        }
+                    }
+                }
                 let started = std::time::Instant::now();
                 let result = model.retrain(
                     &refs,
@@ -505,6 +555,9 @@ fn worker_loop(
                 instruments.queue_depth.set(left as f64);
                 match result {
                     Ok(()) => {
+                        if let Some(drift) = &options.drift {
+                            drift.mark_weight_update();
+                        }
                         let done = stats.retrains_done.fetch_add(1, Ordering::SeqCst) + 1;
                         if let Some(n) = options.snapshot_every_n_retrains {
                             if n > 0 && done.is_multiple_of(n) {
@@ -630,6 +683,80 @@ mod tests {
         let events = svc.drain_events();
         assert!(events.iter().any(|e| e.name == "retrain"), "{events:?}");
         assert!(svc.drain_events().is_empty(), "drain empties the ring");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn drift_monitor_updates_as_completed_jobs_arrive() {
+        use prionn_observe::{DriftConfig, DriftMonitor};
+        let corpus = scripts(16);
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let telemetry = Telemetry::default();
+        let drift = DriftMonitor::new(
+            &telemetry,
+            DriftConfig {
+                min_samples: 4,
+                ..Default::default()
+            },
+        );
+        let svc = PrionnService::spawn_with_options(
+            tiny_cfg(),
+            &refs,
+            ServiceOptions {
+                telemetry: Some(telemetry.clone()),
+                drift: Some(drift.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        svc.retrain_async(TrainingBatch {
+            scripts: corpus.clone(),
+            runtime_minutes: vec![10.0; corpus.len()],
+            ..Default::default()
+        });
+        let _ = svc.predict(&corpus[..1]).unwrap(); // barrier
+        let snap = drift.snapshot();
+        let runtime = snap.heads.iter().find(|h| h.head == "runtime").unwrap();
+        assert_eq!(runtime.samples, corpus.len() as u64);
+        assert!((0.0..=1.0).contains(&runtime.relative_accuracy));
+        assert_eq!(snap.weight_updates, 1, "retrain marked the weights fresh");
+        // The gauges land on the shared registry's scrape surface.
+        let text = telemetry.prometheus();
+        assert!(
+            text.contains(r#"drift_relative_accuracy{head="runtime"}"#),
+            "{text}"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn private_registry_event_capacity_is_configurable() {
+        let corpus = scripts(8);
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let svc = PrionnService::spawn_with_options(
+            tiny_cfg(),
+            &refs,
+            ServiceOptions {
+                event_capacity: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..4 {
+            svc.retrain_async(TrainingBatch {
+                scripts: corpus.clone(),
+                runtime_minutes: vec![10.0; corpus.len()],
+                ..Default::default()
+            });
+            let _ = svc.predict(&corpus[..1]).unwrap(); // barrier: no eviction drops
+        }
+        // Only the 2 newest retrain events survive; evictions are counted.
+        let events = svc.drain_events();
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert!(svc
+            .telemetry()
+            .prometheus()
+            .contains("telemetry_events_dropped_total 2"));
         svc.shutdown();
     }
 

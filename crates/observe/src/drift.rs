@@ -1,0 +1,521 @@
+//! Model-quality drift monitors for the online loop.
+//!
+//! PRIONN retrains every hundred submissions on the five hundred most
+//! recent completed jobs, so prediction quality is a *moving* quantity: a
+//! workload shift shows up first as decaying relativeAccuracy, long before
+//! any latency metric notices. A [`DriftMonitor`] watches completed jobs as
+//! they arrive (truth vs. the prediction served at submission) and keeps,
+//! per prediction head:
+//!
+//! * **rolling relativeAccuracy** (paper Equation 1,
+//!   `1 − |true − pred| / (max(true, pred) + ε)`) over a bounded window —
+//!   exported as the `drift_relative_accuracy{head=...}` gauge;
+//! * **per-bin calibration error** — the window is partitioned into bins by
+//!   the true value's magnitude, and the count-weighted mean of each bin's
+//!   relative bias `|mean_pred − mean_true| / max(mean_true, mean_pred)`
+//!   becomes `drift_calibration_error{head=...}`. A model can hold a good
+//!   *average* accuracy while systematically over-predicting short jobs and
+//!   under-predicting long ones; binning catches exactly that;
+//! * **weight-epoch staleness** — seconds since the serving weights last
+//!   changed (`drift_weight_staleness_seconds`), the "has the online loop
+//!   stalled" alarm.
+//!
+//! Crossing the accuracy threshold downward records a `drift_alert` event
+//! in the telemetry span log (and bumps `drift_alerts_total`); crossing
+//! back up records `drift_recovered`. Alerts are edge-triggered so a model
+//! sitting below threshold does not flood the event ring.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use prionn_telemetry::{Counter, Gauge, Telemetry};
+
+/// Which prediction head a sample belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftHead {
+    /// Job runtime (minutes).
+    Runtime,
+    /// IO read volume.
+    Read,
+    /// IO write volume.
+    Write,
+}
+
+impl DriftHead {
+    /// The metric label for this head.
+    pub fn label(self) -> &'static str {
+        match self {
+            DriftHead::Runtime => "runtime",
+            DriftHead::Read => "read",
+            DriftHead::Write => "write",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            DriftHead::Runtime => 0,
+            DriftHead::Read => 1,
+            DriftHead::Write => 2,
+        }
+    }
+}
+
+const HEADS: [DriftHead; 3] = [DriftHead::Runtime, DriftHead::Read, DriftHead::Write];
+
+/// Drift-monitor tuning.
+#[derive(Clone, Debug)]
+pub struct DriftConfig {
+    /// Rolling window length per head (completed jobs).
+    pub window: usize,
+    /// Samples required in a head's window before alerts can fire.
+    pub min_samples: usize,
+    /// Rolling relativeAccuracy below this raises `drift_alert`.
+    pub accuracy_threshold: f64,
+    /// Calibration bins per head.
+    pub bins: usize,
+    /// Upper edge for runtime binning (values clamp into the last bin).
+    pub runtime_bin_max: f64,
+    /// Upper edge for IO-head binning.
+    pub io_bin_max: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            window: 256,
+            min_samples: 16,
+            accuracy_threshold: 0.5,
+            bins: 8,
+            // The paper's runtime range: Cab jobs up to 16 hours.
+            runtime_bin_max: 960.0,
+            io_bin_max: 10_000.0,
+        }
+    }
+}
+
+/// Paper Equation 1, duplicated from `prionn-core` (this crate sits below
+/// `core` in the dependency graph).
+fn relative_accuracy(truth: f64, pred: f64) -> f64 {
+    let denom = truth.max(pred) + f64::EPSILON;
+    1.0 - (truth - pred).abs() / denom
+}
+
+#[derive(Clone, Copy, Default)]
+struct BinStats {
+    count: u64,
+    sum_truth: f64,
+    sum_pred: f64,
+}
+
+struct HeadState {
+    /// (accuracy, (truth, predicted), bin) — enough to undo a sample when
+    /// it slides out of the window.
+    window: std::collections::VecDeque<(f64, (f64, f64), usize)>,
+    sum_acc: f64,
+    bins: Vec<BinStats>,
+    alerting: bool,
+    samples: u64,
+    acc_gauge: Gauge,
+    calib_gauge: Gauge,
+    sample_counter: Counter,
+    alert_counter: Counter,
+}
+
+struct DriftInner {
+    cfg: DriftConfig,
+    telemetry: Telemetry,
+    heads: [Mutex<HeadState>; 3],
+    staleness: Gauge,
+    weight_updates: Counter,
+    last_weight_update: Mutex<Instant>,
+}
+
+/// Rolling model-quality monitor. Cloning shares state; all methods take
+/// `&self` and are thread-safe.
+#[derive(Clone)]
+pub struct DriftMonitor {
+    inner: Arc<DriftInner>,
+}
+
+impl std::fmt::Debug for DriftMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriftMonitor").finish()
+    }
+}
+
+impl DriftMonitor {
+    /// Build a monitor registering its gauges/counters in `telemetry`.
+    pub fn new(telemetry: &Telemetry, cfg: DriftConfig) -> Self {
+        let head_state = |h: DriftHead| {
+            let l = [("head", h.label())];
+            Mutex::new(HeadState {
+                window: std::collections::VecDeque::with_capacity(cfg.window.max(1)),
+                sum_acc: 0.0,
+                bins: vec![BinStats::default(); cfg.bins.max(1)],
+                alerting: false,
+                samples: 0,
+                acc_gauge: telemetry.gauge_with(
+                    "drift_relative_accuracy",
+                    "Rolling-window relativeAccuracy (paper Eq. 1) per prediction head",
+                    &l,
+                ),
+                calib_gauge: telemetry.gauge_with(
+                    "drift_calibration_error",
+                    "Count-weighted per-bin relative bias over the rolling window",
+                    &l,
+                ),
+                sample_counter: telemetry.counter_with(
+                    "drift_samples_total",
+                    "Completed jobs folded into the drift monitor",
+                    &l,
+                ),
+                alert_counter: telemetry.counter_with(
+                    "drift_alerts_total",
+                    "Rolling accuracy fell below the alert threshold",
+                    &l,
+                ),
+            })
+        };
+        DriftMonitor {
+            inner: Arc::new(DriftInner {
+                telemetry: telemetry.clone(),
+                staleness: telemetry.gauge(
+                    "drift_weight_staleness_seconds",
+                    "Seconds since serving weights last changed",
+                ),
+                weight_updates: telemetry.counter(
+                    "drift_weight_updates_total",
+                    "Weight publishes observed by the drift monitor",
+                ),
+                heads: [
+                    head_state(DriftHead::Runtime),
+                    head_state(DriftHead::Read),
+                    head_state(DriftHead::Write),
+                ],
+                last_weight_update: Mutex::new(Instant::now()),
+                cfg,
+            }),
+        }
+    }
+
+    /// Monitor with default tuning.
+    pub fn with_defaults(telemetry: &Telemetry) -> Self {
+        Self::new(telemetry, DriftConfig::default())
+    }
+
+    fn bin_of(&self, head: DriftHead, truth: f64) -> usize {
+        let max = match head {
+            DriftHead::Runtime => self.inner.cfg.runtime_bin_max,
+            _ => self.inner.cfg.io_bin_max,
+        };
+        let bins = self.inner.cfg.bins.max(1);
+        if !truth.is_finite() || truth <= 0.0 || max <= 0.0 {
+            return 0;
+        }
+        (((truth / max) * bins as f64) as usize).min(bins - 1)
+    }
+
+    /// Fold one completed job (truth vs. the prediction that was served
+    /// for it) into `head`'s window, updating gauges and firing
+    /// threshold-crossing events.
+    pub fn record(&self, head: DriftHead, truth: f64, predicted: f64) {
+        if !truth.is_finite() || !predicted.is_finite() {
+            return;
+        }
+        let acc = relative_accuracy(truth, predicted);
+        let bin = self.bin_of(head, truth);
+        let cfg = &self.inner.cfg;
+        let mut s = lock(&self.inner.heads[head.index()]);
+        if s.window.len() >= cfg.window.max(1) {
+            if let Some((old_acc, old_truth_pred, old_bin)) = s.window.pop_front() {
+                s.sum_acc -= old_acc;
+                let b = &mut s.bins[old_bin];
+                b.count -= 1;
+                b.sum_truth -= old_truth_pred.0;
+                b.sum_pred -= old_truth_pred.1;
+            }
+        }
+        s.window.push_back((acc, (truth, predicted), bin));
+        s.sum_acc += acc;
+        {
+            let b = &mut s.bins[bin];
+            b.count += 1;
+            b.sum_truth += truth;
+            b.sum_pred += predicted;
+        }
+        s.samples += 1;
+        s.sample_counter.inc();
+
+        let rolling = s.sum_acc / s.window.len() as f64;
+        s.acc_gauge.set(rolling);
+        let calib = calibration_error(&s.bins);
+        s.calib_gauge.set(calib);
+
+        if s.window.len() >= cfg.min_samples.max(1) {
+            if rolling < cfg.accuracy_threshold && !s.alerting {
+                s.alerting = true;
+                s.alert_counter.inc();
+                self.inner.telemetry.events().record(
+                    "drift_alert",
+                    format!(
+                        "head={} relative_accuracy={rolling:.4} threshold={} window={}",
+                        head.label(),
+                        cfg.accuracy_threshold,
+                        s.window.len()
+                    ),
+                    0,
+                );
+            } else if rolling >= cfg.accuracy_threshold && s.alerting {
+                s.alerting = false;
+                self.inner.telemetry.events().record(
+                    "drift_recovered",
+                    format!(
+                        "head={} relative_accuracy={rolling:.4} threshold={}",
+                        head.label(),
+                        cfg.accuracy_threshold
+                    ),
+                    0,
+                );
+            }
+        }
+        drop(s);
+        self.refresh_staleness();
+    }
+
+    /// Note a weight publish (retrain / hot-swap): resets the staleness
+    /// clock and bumps `drift_weight_updates_total`.
+    pub fn mark_weight_update(&self) {
+        *lock(&self.inner.last_weight_update) = Instant::now();
+        self.inner.weight_updates.inc();
+        self.inner.staleness.set(0.0);
+    }
+
+    /// Recompute and return weight staleness in seconds (gauges are pull
+    /// snapshots, so scrape paths call this before export).
+    pub fn refresh_staleness(&self) -> f64 {
+        let secs = lock(&self.inner.last_weight_update).elapsed().as_secs_f64();
+        self.inner.staleness.set(secs);
+        secs
+    }
+
+    /// Point-in-time readout of every head plus the staleness clock.
+    pub fn snapshot(&self) -> DriftSnapshot {
+        let heads = HEADS
+            .iter()
+            .map(|&h| {
+                let s = lock(&self.inner.heads[h.index()]);
+                let n = s.window.len();
+                HeadSnapshot {
+                    head: h.label(),
+                    samples: s.samples,
+                    window_len: n,
+                    relative_accuracy: if n == 0 { 1.0 } else { s.sum_acc / n as f64 },
+                    calibration_error: calibration_error(&s.bins),
+                    alerting: s.alerting,
+                }
+            })
+            .collect();
+        DriftSnapshot {
+            heads,
+            staleness_seconds: self.refresh_staleness(),
+            weight_updates: self.inner.weight_updates.value(),
+        }
+    }
+}
+
+fn calibration_error(bins: &[BinStats]) -> f64 {
+    let total: u64 = bins.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    bins.iter()
+        .filter(|b| b.count > 0)
+        .map(|b| {
+            let mean_t = b.sum_truth / b.count as f64;
+            let mean_p = b.sum_pred / b.count as f64;
+            let bias = (mean_t - mean_p).abs() / (mean_t.max(mean_p) + f64::EPSILON);
+            bias * (b.count as f64 / total as f64)
+        })
+        .sum()
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One head's readout in a [`DriftSnapshot`].
+#[derive(Clone, Debug)]
+pub struct HeadSnapshot {
+    /// Head label (`runtime` / `read` / `write`).
+    pub head: &'static str,
+    /// Samples ever folded into this head.
+    pub samples: u64,
+    /// Samples currently in the rolling window.
+    pub window_len: usize,
+    /// Rolling-window mean relativeAccuracy (1.0 when empty).
+    pub relative_accuracy: f64,
+    /// Count-weighted per-bin relative bias.
+    pub calibration_error: f64,
+    /// True while below the alert threshold.
+    pub alerting: bool,
+}
+
+/// Point-in-time drift readout from [`DriftMonitor::snapshot`].
+#[derive(Clone, Debug)]
+pub struct DriftSnapshot {
+    /// Per-head readouts, `runtime` / `read` / `write` order.
+    pub heads: Vec<HeadSnapshot>,
+    /// Seconds since the last weight publish.
+    pub staleness_seconds: f64,
+    /// Weight publishes observed.
+    pub weight_updates: u64,
+}
+
+impl DriftSnapshot {
+    /// Compact single-line rendering for logs and demos.
+    pub fn render(&self) -> String {
+        let mut parts: Vec<String> = self
+            .heads
+            .iter()
+            .map(|h| {
+                format!(
+                    "{}: acc={:.3} calib={:.3} n={}{}",
+                    h.head,
+                    h.relative_accuracy,
+                    h.calibration_error,
+                    h.window_len,
+                    if h.alerting { " ALERT" } else { "" }
+                )
+            })
+            .collect();
+        parts.push(format!(
+            "weights: {} updates, stale {:.1}s",
+            self.weight_updates, self.staleness_seconds
+        ));
+        parts.join(" | ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let t = Telemetry::new();
+        let d = DriftMonitor::with_defaults(&t);
+        for i in 0..32 {
+            d.record(DriftHead::Runtime, 10.0 + i as f64, 10.0 + i as f64);
+        }
+        let snap = d.snapshot();
+        let rt = &snap.heads[0];
+        assert!((rt.relative_accuracy - 1.0).abs() < 1e-9);
+        assert!(rt.calibration_error < 1e-9);
+        assert!(!rt.alerting);
+    }
+
+    #[test]
+    fn window_slides_and_recovers() {
+        let t = Telemetry::new();
+        let d = DriftMonitor::new(
+            &t,
+            DriftConfig {
+                window: 8,
+                min_samples: 4,
+                ..DriftConfig::default()
+            },
+        );
+        // Fill the window with terrible predictions, then good ones: the
+        // rolling mean must fully recover once the bad samples age out.
+        for _ in 0..8 {
+            d.record(DriftHead::Read, 100.0, 0.0);
+        }
+        assert!(d.snapshot().heads[1].alerting);
+        for _ in 0..8 {
+            d.record(DriftHead::Read, 100.0, 100.0);
+        }
+        let snap = d.snapshot();
+        assert!((snap.heads[1].relative_accuracy - 1.0).abs() < 1e-9);
+        assert!(!snap.heads[1].alerting);
+        assert_eq!(snap.heads[1].window_len, 8);
+    }
+
+    #[test]
+    fn alerts_are_edge_triggered_and_logged() {
+        let t = Telemetry::new();
+        let d = DriftMonitor::new(
+            &t,
+            DriftConfig {
+                window: 16,
+                min_samples: 2,
+                accuracy_threshold: 0.9,
+                ..DriftConfig::default()
+            },
+        );
+        for _ in 0..6 {
+            d.record(DriftHead::Runtime, 100.0, 10.0);
+        }
+        let events = t.events().drain();
+        let alerts: Vec<_> = events.iter().filter(|e| e.name == "drift_alert").collect();
+        assert_eq!(alerts.len(), 1, "alert fires once, not per sample");
+        assert!(
+            alerts[0].detail.contains("head=runtime"),
+            "{}",
+            alerts[0].detail
+        );
+        for _ in 0..60 {
+            d.record(DriftHead::Runtime, 100.0, 100.0);
+        }
+        let events = t.events().drain();
+        assert!(events.iter().any(|e| e.name == "drift_recovered"));
+        assert!(t
+            .prometheus()
+            .contains("drift_alerts_total{head=\"runtime\"} 1"));
+    }
+
+    #[test]
+    fn calibration_catches_systematic_per_bin_bias() {
+        let t = Telemetry::new();
+        let d = DriftMonitor::new(
+            &t,
+            DriftConfig {
+                window: 64,
+                bins: 4,
+                runtime_bin_max: 100.0,
+                ..DriftConfig::default()
+            },
+        );
+        // Short jobs over-predicted 2x, long jobs under-predicted 2x: mean
+        // accuracy is mediocre-but-flat, calibration error is large.
+        for _ in 0..16 {
+            d.record(DriftHead::Runtime, 10.0, 20.0);
+            d.record(DriftHead::Runtime, 90.0, 45.0);
+        }
+        let snap = d.snapshot();
+        assert!(
+            snap.heads[0].calibration_error > 0.4,
+            "calib={}",
+            snap.heads[0].calibration_error
+        );
+    }
+
+    #[test]
+    fn staleness_tracks_weight_updates() {
+        let t = Telemetry::new();
+        let d = DriftMonitor::with_defaults(&t);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(d.refresh_staleness() >= 0.01);
+        d.mark_weight_update();
+        assert!(d.refresh_staleness() < 0.01);
+        assert_eq!(d.snapshot().weight_updates, 1);
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let t = Telemetry::new();
+        let d = DriftMonitor::with_defaults(&t);
+        d.record(DriftHead::Write, f64::NAN, 1.0);
+        d.record(DriftHead::Write, 1.0, f64::INFINITY);
+        assert_eq!(d.snapshot().heads[2].window_len, 0);
+    }
+}

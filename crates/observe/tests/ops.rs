@@ -1,0 +1,165 @@
+//! HTTP-level integration tests for the embedded ops endpoint, plus the
+//! pinned metric surface of the observe crate: every drift_* series (and
+//! the event-log drop counter) must appear in the Prometheus export with
+//! exactly the documented names and labels — renaming a metric breaks
+//! dashboards, so renames must break this test first.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use prionn_observe::{
+    DriftConfig, DriftHead, DriftMonitor, FlightConfig, FlightRecorder, OpsOptions, OpsServer,
+    Readiness, Tracer,
+};
+use prionn_telemetry::Telemetry;
+
+/// One raw HTTP/1.0 GET; returns the full response (headers + body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    out
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("")
+}
+
+/// A fully wired endpoint: telemetry + recorder + drift + readiness probe.
+fn wired() -> (OpsServer, Telemetry, FlightRecorder, DriftMonitor) {
+    let telemetry = Telemetry::new();
+    let rec = FlightRecorder::new(FlightConfig {
+        dump_dir: Some(std::env::temp_dir().join(format!("prionn-ops-{}", std::process::id()))),
+        ..FlightConfig::default()
+    });
+    rec.attach_telemetry(&telemetry);
+    let drift = DriftMonitor::new(&telemetry, DriftConfig::default());
+    // Some traced work so /traces has content.
+    let tracer = Tracer::new(&rec);
+    {
+        let root = tracer.root("predict");
+        let _child = root.child("admission");
+    }
+    drift.record(DriftHead::Runtime, 100.0, 90.0);
+    drift.mark_weight_update();
+    let server = OpsServer::start(
+        "127.0.0.1:0",
+        OpsOptions {
+            telemetry: Some(telemetry.clone()),
+            recorder: Some(rec.clone()),
+            drift: Some(drift.clone()),
+            readiness: Some(Arc::new(|| Readiness {
+                ready: true,
+                detail: "live_replicas=2/2 queue=0/128".into(),
+            })),
+            max_traces: 16,
+        },
+    )
+    .unwrap();
+    (server, telemetry, rec, drift)
+}
+
+#[test]
+fn ops_routes_serve_wellformed_output() {
+    let (server, _telemetry, _rec, _drift) = wired();
+    let addr = server.addr();
+
+    let metrics = http_get(addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.0 200"), "{metrics}");
+    assert!(
+        metrics.contains("text/plain; version=0.0.4"),
+        "prometheus content type: {metrics}"
+    );
+    assert!(body_of(&metrics).contains("# TYPE drift_relative_accuracy gauge"));
+
+    let health = http_get(addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+    assert_eq!(body_of(&health), "ok\n");
+
+    let ready = http_get(addr, "/readyz");
+    assert!(ready.starts_with("HTTP/1.0 200"), "{ready}");
+    assert!(body_of(&ready).contains("live_replicas=2/2"), "{ready}");
+
+    let traces = http_get(addr, "/traces");
+    assert!(traces.starts_with("HTTP/1.0 200"), "{traces}");
+    let parsed: serde_json::Value = serde_json::from_str(body_of(&traces)).unwrap();
+    let trees = parsed
+        .get("traces")
+        .and_then(|t| t.as_array())
+        .expect("/traces returns {\"traces\": [...]}");
+    assert_eq!(trees.len(), 1, "one recorded trace");
+    let spans = trees[0].get("spans").unwrap().as_array().unwrap();
+    assert_eq!(spans.len(), 2, "root + child");
+
+    let flight = http_get(addr, "/flight");
+    assert!(flight.starts_with("HTTP/1.0 200"), "{flight}");
+    let parsed: serde_json::Value = serde_json::from_str(body_of(&flight)).unwrap();
+    assert_eq!(parsed.get("dumped").unwrap().as_bool(), Some(true));
+    let path = parsed.get("path").unwrap().as_str().unwrap().to_string();
+    assert!(std::path::Path::new(&path).exists(), "{path}");
+    let _ = std::fs::remove_file(&path);
+
+    let missing = http_get(addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+
+    server.shutdown();
+}
+
+#[test]
+fn readiness_probe_failure_is_a_503() {
+    let server = OpsServer::start(
+        "127.0.0.1:0",
+        OpsOptions {
+            readiness: Some(Arc::new(|| Readiness {
+                ready: false,
+                detail: "live_replicas=0/2 queue=128/128".into(),
+            })),
+            ..OpsOptions::default()
+        },
+    )
+    .unwrap();
+    let ready = http_get(server.addr(), "/readyz");
+    assert!(ready.starts_with("HTTP/1.0 503"), "{ready}");
+    assert!(body_of(&ready).contains("not ready"), "{ready}");
+    server.shutdown();
+}
+
+#[test]
+fn observe_metric_names_and_labels_are_pinned() {
+    let telemetry = Telemetry::new();
+    let drift = DriftMonitor::new(&telemetry, DriftConfig::default());
+    for _ in 0..4 {
+        drift.record(DriftHead::Runtime, 100.0, 95.0);
+        drift.record(DriftHead::Read, 1e9, 2e9);
+        drift.record(DriftHead::Write, 1e9, 1e9);
+    }
+    drift.mark_weight_update();
+    drift.refresh_staleness();
+
+    let text = telemetry.prometheus();
+    for series in [
+        "# TYPE drift_relative_accuracy gauge",
+        "# TYPE drift_calibration_error gauge",
+        "# TYPE drift_samples_total counter",
+        "# TYPE drift_alerts_total counter",
+        "# TYPE drift_weight_staleness_seconds gauge",
+        "# TYPE drift_weight_updates_total counter",
+        "# TYPE telemetry_events_dropped_total counter",
+        r#"drift_relative_accuracy{head="runtime"}"#,
+        r#"drift_relative_accuracy{head="read"}"#,
+        r#"drift_relative_accuracy{head="write"}"#,
+        r#"drift_calibration_error{head="runtime"}"#,
+        r#"drift_samples_total{head="runtime"} 4"#,
+        r#"drift_samples_total{head="read"} 4"#,
+        r#"drift_samples_total{head="write"} 4"#,
+        r#"drift_alerts_total{head="runtime"} 0"#,
+        "drift_weight_updates_total 1",
+    ] {
+        assert!(text.contains(series), "missing `{series}` in:\n{text}");
+    }
+}

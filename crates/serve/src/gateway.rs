@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use prionn_core::{Prionn, PrionnService, ResourcePrediction, TrainingBatch};
+use prionn_observe::{trace, DriftHead, DriftMonitor, Span, SpanCtx, Tracer};
 use prionn_store::broadcast::WeightBus;
 use prionn_store::Checkpoint;
 use prionn_telemetry::{Counter, Gauge, Histogram, Telemetry};
@@ -76,6 +77,21 @@ pub struct GatewayConfig {
     pub retrain_queue_cap: usize,
     /// Metrics registry; a private one is created when `None`.
     pub telemetry: Option<Telemetry>,
+    /// Span tracer; `None` disables request tracing (zero per-request
+    /// cost beyond one branch per call site). Pass a
+    /// [`Tracer`] backed by a flight recorder to get per-request span
+    /// trees through admission, fusion, and the per-layer forward.
+    pub tracer: Option<Tracer>,
+    /// Drift monitor; when present the trainer marks every published
+    /// weight epoch on it and [`Gateway::record_outcome`] feeds completed
+    /// jobs into its rolling-accuracy windows.
+    pub drift: Option<DriftMonitor>,
+    /// Test hook (integration tests and failure drills): when true, a
+    /// request containing the reserved script `__serve_test_panic__`
+    /// panics the serving replica, exercising the panic-containment and
+    /// flight-dump paths. Never enable in production.
+    #[doc(hidden)]
+    pub test_panic_marker: bool,
 }
 
 impl Default for GatewayConfig {
@@ -88,6 +104,9 @@ impl Default for GatewayConfig {
             default_deadline: None,
             retrain_queue_cap: 8,
             telemetry: None,
+            tracer: None,
+            drift: None,
+            test_panic_marker: false,
         }
     }
 }
@@ -139,6 +158,8 @@ struct Job {
     reply: Sender<ServeResult<PredictionReply>>,
     enqueued: Instant,
     deadline: Option<Instant>,
+    /// The caller's trace context ([`SpanCtx::NONE`] when untraced).
+    trace: SpanCtx,
 }
 
 /// Telemetry instruments shared by the admission path and the workers.
@@ -239,7 +260,11 @@ pub struct Gateway {
     last_error: Arc<Mutex<Option<String>>>,
     stopped: Arc<AtomicBool>,
     telemetry: Telemetry,
+    tracer: Tracer,
+    drift: Option<DriftMonitor>,
     instruments: Instruments,
+    live_replicas: Arc<AtomicUsize>,
+    configured_replicas: usize,
     queue_cap: usize,
     default_deadline: Option<Duration>,
 }
@@ -264,6 +289,7 @@ impl Gateway {
         let master_ck = model.to_checkpoint().map_err(|e| spawn_err(&e))?;
 
         let telemetry = cfg.telemetry.clone().unwrap_or_default();
+        let tracer = cfg.tracer.clone().unwrap_or_default();
         let instruments = Instruments::build(&telemetry, cfg.max_batch);
         let (req_tx, req_rx) = bounded::<Job>(cfg.queue_cap.max(1));
         let (retrain_tx, retrain_rx) = bounded::<TrainingBatch>(cfg.retrain_queue_cap.max(1));
@@ -285,6 +311,8 @@ impl Gateway {
             let last_error = Arc::clone(&last_error);
             let live = Arc::clone(&live_replicas);
             let instr = instruments.clone();
+            let replica_tracer = tracer.clone();
+            let panic_marker = cfg.test_panic_marker;
             let swaps_applied = telemetry.counter_with(
                 "serve_swaps_applied_total",
                 "Weight swaps applied, per replica",
@@ -304,6 +332,8 @@ impl Gateway {
                             &last_error,
                             &instr,
                             &swaps_applied,
+                            &replica_tracer,
+                            panic_marker,
                         );
                     }));
                     if let Err(payload) = result {
@@ -340,6 +370,7 @@ impl Gateway {
             let last_error = Arc::clone(&last_error);
             let instr = instruments.clone();
             let events = telemetry.clone();
+            let trainer_drift = cfg.drift.clone();
             std::thread::Builder::new()
                 .name("prionn-serve-trainer".to_string())
                 .spawn(move || {
@@ -353,6 +384,7 @@ impl Gateway {
                             &last_error,
                             &instr,
                             &events,
+                            trainer_drift.as_ref(),
                         );
                     }));
                     if let Err(payload) = result {
@@ -380,7 +412,11 @@ impl Gateway {
             last_error,
             stopped,
             telemetry,
+            tracer,
+            drift: cfg.drift,
             instruments,
+            live_replicas,
+            configured_replicas: cfg.replicas,
             queue_cap: cfg.queue_cap.max(1),
             default_deadline: cfg.default_deadline,
         })
@@ -441,6 +477,12 @@ impl Gateway {
         if self.stopped.load(Ordering::SeqCst) {
             return Err(ServeError::Stopped);
         }
+        // The request's trace root: records on every exit path (shed,
+        // stopped, served) so failed requests leave evidence too.
+        let mut root = self.tracer.root("predict");
+        if root.is_recording() {
+            root.set_detail(format!("scripts={}", scripts.len()));
+        }
         let now = Instant::now();
         let (reply_tx, reply_rx) = unbounded();
         let job = Job {
@@ -448,10 +490,12 @@ impl Gateway {
             reply: reply_tx,
             enqueued: now,
             deadline: deadline.map(|d| now + d),
+            trace: root.ctx(),
         };
         {
             // Admission happens under the sender lock so shutdown's
             // take-then-drain cannot race a straggling enqueue.
+            let mut admission = root.child("admission");
             let guard = self.req_tx.lock();
             let Some(tx) = guard.as_ref() else {
                 return Err(ServeError::Stopped);
@@ -463,6 +507,7 @@ impl Gateway {
                         .requests_shed_overload
                         .fetch_add(1, Ordering::SeqCst);
                     self.instruments.shed_overload.inc();
+                    admission.set_detail("shed=overloaded");
                     return Err(ServeError::Overloaded {
                         queue_cap: self.queue_cap,
                     });
@@ -474,7 +519,9 @@ impl Gateway {
         self.instruments.requests_total.inc();
         self.instruments.queue_depth.set(self.req_rx.len() as f64);
         let timer = self.instruments.predict_seconds.start_timer();
+        let queued = root.child("queued");
         let out = reply_rx.recv().map_err(|_| ServeError::Stopped)?;
+        drop(queued);
         timer.stop();
         out
     }
@@ -527,6 +574,9 @@ impl Gateway {
         let epoch = self.bus.publish(ck);
         self.stats.swaps_published.fetch_add(1, Ordering::SeqCst);
         self.instruments.swap_epoch.set(epoch as f64);
+        if let Some(d) = &self.drift {
+            d.mark_weight_update();
+        }
         epoch
     }
 
@@ -549,6 +599,62 @@ impl Gateway {
     /// replicas), for Prometheus/JSON export.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The tracer serving this gateway (disabled when none was configured).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The drift monitor, when one was configured.
+    pub fn drift(&self) -> Option<&DriftMonitor> {
+        self.drift.as_ref()
+    }
+
+    /// Feed a completed job back into the drift monitor: `prediction` is
+    /// what the gateway answered at submission, the rest is ground truth
+    /// observed at completion. No-op without a configured monitor.
+    pub fn record_outcome(
+        &self,
+        prediction: &ResourcePrediction,
+        runtime_minutes: f64,
+        read_bytes: f64,
+        write_bytes: f64,
+    ) {
+        let Some(d) = &self.drift else { return };
+        d.record(
+            DriftHead::Runtime,
+            runtime_minutes,
+            prediction.runtime_minutes,
+        );
+        d.record(DriftHead::Read, read_bytes, prediction.read_bytes);
+        d.record(DriftHead::Write, write_bytes, prediction.write_bytes);
+    }
+
+    /// Replica worker threads still alive (panics decrement this).
+    pub fn live_replicas(&self) -> usize {
+        self.live_replicas.load(Ordering::SeqCst)
+    }
+
+    /// Readiness verdict for ops probes (`/readyz`): ready while the
+    /// gateway is running, at least one configured replica is alive, and
+    /// the admission queue has headroom. The detail string is what the
+    /// probe body shows.
+    pub fn readiness(&self) -> (bool, String) {
+        let live = self.live_replicas();
+        let depth = self.req_rx.len();
+        let stopped = self.stopped.load(Ordering::SeqCst);
+        let ready =
+            !stopped && (self.configured_replicas == 0 || live > 0) && depth < self.queue_cap;
+        (
+            ready,
+            format!(
+                "live_replicas={live}/{} queue={depth}/{}{}",
+                self.configured_replicas,
+                self.queue_cap,
+                if stopped { " stopped" } else { "" }
+            ),
+        )
     }
 
     /// Most recent background failure (replica panic, rejected hot-swap,
@@ -603,6 +709,8 @@ fn replica_loop(
     last_error: &Mutex<Option<String>>,
     instr: &Instruments,
     swaps_applied: &Counter,
+    tracer: &Tracer,
+    test_panic_marker: bool,
 ) {
     // Epoch of the weights this replica currently serves. Only this loop
     // mutates `model`, so between the pre-batch swap and the reply the
@@ -641,16 +749,6 @@ fn replica_loop(
         }
         instr.queue_depth.set(rx.len() as f64);
 
-        // Test hook: a reserved script marker kills this replica so the
-        // panic-surfacing and no-wedge guarantees can be exercised.
-        #[cfg(test)]
-        if jobs
-            .iter()
-            .any(|j| j.scripts.iter().any(|s| s == "__serve_test_panic__"))
-        {
-            panic!("injected replica panic");
-        }
-
         // Shed expired requests before spending a forward pass on them.
         let now = Instant::now();
         let mut live = Vec::with_capacity(jobs.len());
@@ -658,6 +756,7 @@ fn replica_loop(
             if job.deadline.is_some_and(|d| now > d) {
                 stats.requests_shed_deadline.fetch_add(1, Ordering::SeqCst);
                 instr.shed_deadline.inc();
+                tracer.instant(job.trace, "shed", "reason=deadline", vec![]);
                 let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
             } else {
                 live.push(job);
@@ -665,6 +764,47 @@ fn replica_loop(
         }
         if live.is_empty() {
             continue;
+        }
+
+        // The fused forward is a trace of its own — one batch serves many
+        // callers — linked both ways: the fused span lists every caller
+        // context, and each caller's tree gains a `fused` child pointing
+        // back. The `batch_assembled` instant records *immediately* (span
+        // guards only record on drop), so a crash dump taken mid-batch
+        // still names the requests that were on board.
+        let mut fused = tracer.root("fused_forward");
+        for job in &live {
+            fused.add_link(job.trace);
+        }
+        // Held until the replies are sent: each caller's tree shows a
+        // `fused` span covering its share of the batch.
+        let _job_spans: Vec<Span> = live
+            .iter()
+            .map(|job| {
+                let mut s = tracer.span_within(job.trace, "fused");
+                s.add_link(fused.ctx());
+                s
+            })
+            .collect();
+        if fused.is_recording() {
+            tracer.instant(
+                fused.ctx(),
+                "batch_assembled",
+                format!("jobs={}", live.len()),
+                live.iter().map(|j| j.trace).collect(),
+            );
+        }
+
+        // Test hook: a reserved script marker kills this replica so the
+        // panic-surfacing, no-wedge, and flight-dump guarantees can be
+        // exercised (placed after `batch_assembled` so the dump carries
+        // the dying batch's trace links).
+        if test_panic_marker
+            && live
+                .iter()
+                .any(|j| j.scripts.iter().any(|s| s == "__serve_test_panic__"))
+        {
+            panic!("injected replica panic");
         }
 
         // Pre-batch epoch check: catch up to the latest published weights.
@@ -675,13 +815,16 @@ fn replica_loop(
         let latest = bus.latest();
         if latest.epoch != local_epoch {
             if let Some(payload) = latest.payload.as_deref() {
+                let mut swap_span = fused.child("weight_swap");
                 match model.apply_weights_checkpoint(payload) {
                     Ok(()) => {
                         local_epoch = latest.epoch;
                         stats.swaps_applied.fetch_add(1, Ordering::SeqCst);
                         swaps_applied.inc();
+                        swap_span.set_detail(format!("epoch={}", latest.epoch));
                     }
                     Err(e) => {
+                        swap_span.set_detail("rejected");
                         *last_error.lock() = Some(format!("hot-swap rejected: {e}"));
                     }
                 }
@@ -696,12 +839,20 @@ fn replica_loop(
         }
         let total: usize = live.iter().map(|j| j.scripts.len()).sum();
         instr.batch_scripts.observe(total as f64);
+        if fused.is_recording() {
+            fused.set_detail(format!("jobs={} scripts={total} epoch={epoch}", live.len()));
+        }
 
         let refs: Vec<&str> = live
             .iter()
             .flat_map(|j| j.scripts.iter().map(String::as_str))
             .collect();
-        match model.predict(&refs) {
+        // The implicit context makes the per-layer forward spans children
+        // of the fused span without any nn-crate API change.
+        let ctx_guard = trace::push_current(tracer, fused.ctx());
+        let predicted = model.predict(&refs);
+        drop(ctx_guard);
+        match predicted {
             Ok(mut preds) => {
                 // Post-batch epoch check: this loop owns the weights, so
                 // the epoch cannot have moved under the forward pass.
@@ -741,6 +892,7 @@ fn trainer_loop(
     last_error: &Mutex<Option<String>>,
     instr: &Instruments,
     telemetry: &Telemetry,
+    drift: Option<&DriftMonitor>,
 ) {
     while let Ok(cmd) = cmd_rx.recv() {
         match cmd {
@@ -771,6 +923,9 @@ fn trainer_loop(
                                 let epoch = bus.publish(ck);
                                 stats.swaps_published.fetch_add(1, Ordering::SeqCst);
                                 instr.swap_epoch.set(epoch as f64);
+                                if let Some(d) = drift {
+                                    d.mark_weight_update();
+                                }
                                 telemetry.events().record(
                                     "serve_hot_swap",
                                     format!("epoch={epoch}"),
@@ -833,6 +988,7 @@ mod tests {
             GatewayConfig {
                 replicas: 1,
                 max_wait: Duration::from_micros(100),
+                test_panic_marker: true,
                 ..GatewayConfig::default()
             },
         )

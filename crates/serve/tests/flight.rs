@@ -1,0 +1,112 @@
+//! Flight-recorder crash forensics: a replica panic (contained by the
+//! gateway's catch_unwind) must leave a parseable `flight-*.json` dump on
+//! disk carrying the panicking request's trace.
+//!
+//! Kept in its own integration binary: `install_panic_hook` chains a
+//! process-global hook, which must not interfere with other tests' panics.
+
+use std::time::Duration;
+
+use prionn_core::{Prionn, PrionnConfig};
+use prionn_observe::{FlightConfig, FlightRecorder, Tracer};
+use prionn_serve::{Gateway, GatewayConfig, ServeError};
+
+fn tiny_model() -> Prionn {
+    let cfg = PrionnConfig {
+        grid: (16, 16),
+        base_width: 2,
+        runtime_bins: 8,
+        io_bins: 4,
+        epochs: 2,
+        batch_size: 32,
+        ..Default::default()
+    };
+    let corpus = ["#!/bin/bash\nsrun ./app\n"];
+    Prionn::new(cfg, &corpus).unwrap()
+}
+
+#[test]
+fn replica_panic_dumps_a_parseable_flight_recording_with_the_dying_trace() {
+    let dump_dir = std::env::temp_dir().join(format!("prionn-flight-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dump_dir);
+
+    let rec = FlightRecorder::new(FlightConfig::default());
+    rec.set_dump_dir(&dump_dir);
+    rec.install_panic_hook();
+    let tracer = Tracer::new(&rec);
+
+    let gw = Gateway::spawn(
+        tiny_model(),
+        GatewayConfig {
+            replicas: 1,
+            max_wait: Duration::from_micros(100),
+            tracer: Some(tracer),
+            test_panic_marker: true,
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap();
+
+    // The reserved marker script kills the replica mid-batch; the caller's
+    // reply channel dies with it. The panic hook runs before the unwind is
+    // contained, so the dump is on disk by the time the error surfaces.
+    let err = gw
+        .predict(&["__serve_test_panic__".to_string()])
+        .unwrap_err();
+    assert_eq!(err, ServeError::Stopped);
+    assert_eq!(rec.dumps_written(), 1, "panic hook wrote exactly one dump");
+
+    let dump_path = std::fs::read_dir(&dump_dir)
+        .expect("dump dir created")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flight-") && n.ends_with(".json"))
+        })
+        .expect("no flight-*.json written");
+
+    let text = std::fs::read_to_string(&dump_path).unwrap();
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("dump must be valid JSON");
+    let field = |v: &serde_json::Value, k: &str| -> serde_json::Value {
+        v.get(k).unwrap_or_else(|| panic!("missing `{k}`")).clone()
+    };
+    let reason = field(&doc, "reason").as_str().unwrap().to_string();
+    assert!(reason.contains("panic"), "{reason}");
+    assert!(reason.contains("injected replica panic"), "{reason}");
+
+    // Flatten every thread's spans and find the dying batch: the
+    // `batch_assembled` marker is recorded immediately (not on scope exit),
+    // so it survives into the dump and its links name the request's trace.
+    let spans: Vec<serde_json::Value> = field(&doc, "threads")
+        .as_array()
+        .unwrap()
+        .iter()
+        .flat_map(|t| field(t, "spans").as_array().unwrap().clone())
+        .collect();
+    let name_of = |s: &serde_json::Value| field(s, "name").as_str().unwrap().to_string();
+    let assembled = spans
+        .iter()
+        .find(|s| name_of(s) == "batch_assembled")
+        .expect("dump carries the dying batch's assembly marker");
+    let linked_trace = field(
+        &field(assembled, "links").as_array().unwrap()[0],
+        "trace_id",
+    )
+    .as_u64()
+    .unwrap();
+    assert!(linked_trace > 0);
+    // The panicking request's own spans (admission happened on the caller
+    // thread before the crash) are in the dump under that same trace id.
+    assert!(
+        spans
+            .iter()
+            .any(|s| field(s, "trace_id").as_u64() == Some(linked_trace)
+                && name_of(s) == "admission"),
+        "panicking request's trace missing from the dump"
+    );
+
+    gw.shutdown();
+    let _ = std::fs::remove_dir_all(&dump_dir);
+}

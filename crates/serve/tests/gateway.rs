@@ -306,6 +306,105 @@ fn mismatched_hot_swap_is_rejected_not_applied() {
     gw.shutdown();
 }
 
+/// Request-scoped tracing across micro-batch fusion: N concurrent predicts
+/// coalesced into shared forward passes must each yield a complete span
+/// tree (admission → queued → fused) under a *distinct* trace id, with the
+/// shared fused-forward span linked from every participating request.
+#[test]
+fn concurrent_fused_predictions_carry_complete_linked_span_trees() {
+    use prionn_observe::{FlightConfig, FlightRecorder, Tracer};
+
+    let rec = FlightRecorder::new(FlightConfig::default());
+    let tracer = Tracer::new(&rec);
+    let scripts = corpus();
+    const CLIENTS: usize = 4;
+    let gw = Gateway::spawn(
+        trained_model(1),
+        GatewayConfig {
+            replicas: 1,
+            max_batch: CLIENTS,
+            // A generous linger so concurrently submitted requests reliably
+            // coalesce into one fused batch.
+            max_wait: Duration::from_millis(50),
+            tracer: Some(tracer.clone()),
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let gw = &gw;
+                let scripts = &scripts;
+                s.spawn(move || gw.predict_detailed(std::slice::from_ref(&scripts[c]), None))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+    });
+    gw.shutdown();
+
+    let spans = rec.snapshot();
+    let roots: Vec<_> = spans.iter().filter(|s| s.name == "predict").collect();
+    assert_eq!(roots.len(), CLIENTS, "one root span per request");
+    let mut trace_ids: Vec<u64> = roots.iter().map(|r| r.trace_id).collect();
+    trace_ids.sort_unstable();
+    trace_ids.dedup();
+    assert_eq!(trace_ids.len(), CLIENTS, "trace ids must be distinct");
+
+    // Every request's tree is complete: admission, queue wait, and the
+    // fused stage all recorded under the caller's trace.
+    let mut fused_targets: Vec<u64> = Vec::new();
+    for root in &roots {
+        for stage in ["admission", "queued", "fused"] {
+            let span = spans
+                .iter()
+                .find(|s| s.trace_id == root.trace_id && s.name == stage)
+                .unwrap_or_else(|| panic!("missing `{stage}` span in trace {}", root.trace_id));
+            assert_eq!(span.parent_id, root.span_id, "`{stage}` hangs off the root");
+            if stage == "fused" {
+                assert_eq!(span.links.len(), 1, "fused stage links the shared batch");
+                fused_targets.push(span.links[0].span_id);
+            }
+        }
+    }
+    // At least two requests must have coalesced into the *same* fused
+    // forward pass — their link targets coincide.
+    fused_targets.sort_unstable();
+    let distinct_batches = {
+        let mut t = fused_targets.clone();
+        t.dedup();
+        t.len()
+    };
+    assert!(
+        distinct_batches < CLIENTS,
+        "no coalescing observed: {fused_targets:?}"
+    );
+
+    // The fused forward passes are their own traces, linking back to every
+    // participating caller, with per-layer spans nested beneath them.
+    let fused_roots: Vec<_> = spans.iter().filter(|s| s.name == "fused_forward").collect();
+    assert!(!fused_roots.is_empty());
+    let linked_callers: usize = fused_roots.iter().map(|f| f.links.len()).sum();
+    assert_eq!(linked_callers, CLIENTS, "every caller linked from a batch");
+    for f in &fused_roots {
+        for link in &f.links {
+            assert!(
+                trace_ids.binary_search(&link.trace_id).is_ok(),
+                "fused_forward links an unknown trace"
+            );
+        }
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.trace_id == f.trace_id && s.name.starts_with("layer:")),
+            "no per-layer spans under fused_forward"
+        );
+    }
+}
+
 /// The gateway's metric surface: every serve_* series must appear in the
 /// Prometheus text export with the documented names and labels.
 #[test]

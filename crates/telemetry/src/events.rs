@@ -3,12 +3,23 @@
 //! Metrics aggregate; spans narrate. A [`SpanLog`] keeps the most recent N
 //! completed spans (a retrain, a snapshot, a prediction burst) so an
 //! operator can ask "what just happened" without scraping a time series.
-//! When full, the oldest span is evicted — the log never grows and never
-//! blocks a recording thread for more than a short mutex hold.
+//!
+//! # Drop policy
+//!
+//! The ring is bounded at construction time ([`SpanLog::with_capacity`];
+//! [`SpanLog::DEFAULT_CAPACITY`] otherwise). When a new span arrives and
+//! the ring is full, the **oldest** span is evicted — recent history always
+//! wins, the log never grows, and a recording thread is never blocked for
+//! more than a short mutex hold. Every eviction increments the
+//! [`SpanLog::dropped`] tally, and — when the log is owned by a
+//! [`crate::Telemetry`] registry — the `telemetry_events_dropped_total`
+//! counter, so silent loss is observable from the metric surface itself.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+use crate::instrument::Counter;
 
 /// One completed, timestamped span.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +44,8 @@ struct RingState {
     events: VecDeque<SpanEvent>,
     /// Spans evicted because the ring was full (operators can detect loss).
     dropped: u64,
+    /// Optional metric mirror of `dropped`, bumped on every eviction.
+    drop_counter: Option<Counter>,
 }
 
 /// A bounded, drainable ring buffer of [`SpanEvent`]s. Cloning shares the
@@ -74,6 +87,7 @@ impl SpanLog {
                 ring: Mutex::new(RingState {
                     events: VecDeque::with_capacity(cap),
                     dropped: 0,
+                    drop_counter: None,
                 }),
             }),
         }
@@ -81,18 +95,42 @@ impl SpanLog {
 
     /// Record a completed span with an explicit duration.
     pub fn record(&self, name: &str, detail: impl Into<String>, duration_micros: u64) {
-        let ev = SpanEvent {
+        self.push(SpanEvent {
             at_micros: self.inner.start.elapsed().as_micros() as u64,
             name: name.to_string(),
             detail: detail.into(),
             duration_micros,
-        };
+        });
+    }
+
+    /// Mirror evictions into `counter` (used by the registry to expose
+    /// `telemetry_events_dropped_total`). Last call wins.
+    pub fn set_drop_counter(&self, counter: Counter) {
+        let mut ring = self.inner.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.drop_counter = Some(counter);
+    }
+
+    fn push(&self, ev: SpanEvent) {
         let mut ring = self.inner.ring.lock().unwrap_or_else(|e| e.into_inner());
         if ring.events.len() >= self.inner.cap {
             ring.events.pop_front();
             ring.dropped += 1;
+            if let Some(c) = &ring.drop_counter {
+                c.inc();
+            }
         }
         ring.events.push_back(ev);
+    }
+
+    /// Test hook: record with an explicit timestamp, bypassing the clock.
+    #[cfg(test)]
+    fn record_at(&self, name: &str, at_micros: u64) {
+        self.push(SpanEvent {
+            at_micros,
+            name: name.to_string(),
+            detail: String::new(),
+            duration_micros: 0,
+        });
     }
 
     /// Open a span; the guard records it (with its wall duration) on drop.
@@ -105,16 +143,30 @@ impl SpanLog {
         }
     }
 
-    /// Remove and return all buffered spans, oldest first.
+    /// Remove and return all buffered spans, oldest first by `at_micros`.
+    ///
+    /// Concurrent writers stamp `at_micros` *before* taking the ring lock,
+    /// so insertion order can interleave out of timestamp order under
+    /// contention; the drain re-sorts (stably) so consumers always see a
+    /// timeline.
     pub fn drain(&self) -> Vec<SpanEvent> {
-        let mut ring = self.inner.ring.lock().unwrap_or_else(|e| e.into_inner());
-        ring.events.drain(..).collect()
+        let mut out: Vec<SpanEvent> = {
+            let mut ring = self.inner.ring.lock().unwrap_or_else(|e| e.into_inner());
+            ring.events.drain(..).collect()
+        };
+        out.sort_by_key(|e| e.at_micros);
+        out
     }
 
-    /// Copy the buffered spans without draining, oldest first.
+    /// Copy the buffered spans without draining, oldest first by
+    /// `at_micros` (same re-sort as [`SpanLog::drain`]).
     pub fn peek(&self) -> Vec<SpanEvent> {
-        let ring = self.inner.ring.lock().unwrap_or_else(|e| e.into_inner());
-        ring.events.iter().cloned().collect()
+        let mut out: Vec<SpanEvent> = {
+            let ring = self.inner.ring.lock().unwrap_or_else(|e| e.into_inner());
+            ring.events.iter().cloned().collect()
+        };
+        out.sort_by_key(|e| e.at_micros);
+        out
     }
 
     /// Number of spans currently buffered.
@@ -205,6 +257,68 @@ mod tests {
         });
         assert_eq!(log.len(), 64);
         assert_eq!(log.dropped(), 4 * 500 - 64);
+    }
+
+    #[test]
+    fn drain_sorts_interleaved_timestamps() {
+        // Writers stamp `at_micros` before taking the ring lock, so under
+        // contention the ring can hold events out of timestamp order.
+        // Inject that interleaving directly and check drain repairs it.
+        let log = SpanLog::new();
+        log.record_at("c", 30);
+        log.record_at("a", 10);
+        log.record_at("b", 20);
+        let peeked = log.peek();
+        assert_eq!(
+            peeked.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            ["a", "b", "c"]
+        );
+        let drained = log.drain();
+        assert_eq!(
+            drained.iter().map(|e| e.at_micros).collect::<Vec<_>>(),
+            [10, 20, 30]
+        );
+    }
+
+    #[test]
+    fn drain_sort_is_stable_for_equal_timestamps() {
+        let log = SpanLog::new();
+        log.record_at("first", 5);
+        log.record_at("second", 5);
+        let drained = log.drain();
+        assert_eq!(drained[0].name, "first");
+        assert_eq!(drained[1].name, "second");
+    }
+
+    #[test]
+    fn concurrent_drain_is_timestamp_ordered() {
+        let log = SpanLog::with_capacity(4096);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let log = log.clone();
+                s.spawn(move || {
+                    for _ in 0..256 {
+                        log.record("e", "", 0);
+                    }
+                });
+            }
+        });
+        let drained = log.drain();
+        assert_eq!(drained.len(), 4 * 256);
+        assert!(drained.windows(2).all(|w| w[0].at_micros <= w[1].at_micros));
+    }
+
+    #[test]
+    fn eviction_bumps_drop_counter() {
+        let log = SpanLog::with_capacity(2);
+        let c = Counter::default();
+        log.set_drop_counter(c.clone());
+        log.record("a", "", 0);
+        log.record("b", "", 0);
+        assert_eq!(c.value(), 0);
+        log.record("c", "", 0);
+        assert_eq!(c.value(), 1);
+        assert_eq!(log.dropped(), 1);
     }
 
     #[test]

@@ -72,14 +72,24 @@ impl Telemetry {
     }
 
     /// An empty registry whose span log holds at most `cap` events.
+    ///
+    /// When the log fills, the oldest event is evicted (recent history
+    /// wins) and the always-registered `telemetry_events_dropped_total`
+    /// counter is incremented, so span loss shows up on `/metrics`.
     pub fn with_event_capacity(cap: usize) -> Self {
-        Telemetry {
+        let t = Telemetry {
             inner: Arc::new(RegistryInner {
                 start: Instant::now(),
                 entries: Mutex::new(Vec::new()),
                 events: SpanLog::with_capacity(cap),
             }),
-        }
+        };
+        let dropped = t.counter(
+            "telemetry_events_dropped_total",
+            "Span events evicted from the bounded event log",
+        );
+        t.inner.events.set_drop_counter(dropped);
+        t
     }
 
     /// Get or register the counter `name` with no labels.
@@ -449,8 +459,20 @@ queue_depth{queue=\"retrain\"} 2
 # HELP requests_total Requests served
 # TYPE requests_total counter
 requests_total 3
+# HELP telemetry_events_dropped_total Span events evicted from the bounded event log
+# TYPE telemetry_events_dropped_total counter
+telemetry_events_dropped_total 0
 ";
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn event_eviction_is_visible_on_the_metric_surface() {
+        let t = Telemetry::with_event_capacity(2);
+        for i in 0..5 {
+            t.events().record("e", format!("{i}"), 0);
+        }
+        assert!(t.prometheus().contains("telemetry_events_dropped_total 3"));
     }
 
     #[test]

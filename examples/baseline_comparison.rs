@@ -54,6 +54,7 @@ fn main() {
         min_history: 60,
         cold_start: false,
         telemetry: None,
+        drift: None,
         prionn: PrionnConfig {
             base_width: 4,
             epochs: 10,

@@ -25,6 +25,7 @@ fn main() {
         min_history: 60,
         cold_start: false,
         telemetry: None,
+        drift: None,
         prionn: PrionnConfig {
             base_width: 3,
             io_bins: 48,

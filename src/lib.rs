@@ -19,6 +19,10 @@
 //!   [`core::Prionn::save`] / [`core::Prionn::load`];
 //! * [`telemetry`] — dependency-free counters, gauges, and latency
 //!   histograms with Prometheus/JSON export (see `docs/OBSERVABILITY.md`);
+//! * [`observe`] — request-scoped span tracing, the lock-free flight
+//!   recorder with panic-hook crash dumps, model-drift monitors, and the
+//!   embedded `/metrics` + `/healthz` + `/readyz` + `/traces` + `/flight`
+//!   ops endpoint;
 //! * [`core`] — the PRIONN tool itself: whole-script models, warm-started
 //!   online retraining, and the evaluation metrics;
 //! * [`serve`] — the sharded, micro-batching inference gateway: replica
@@ -55,6 +59,7 @@
 pub use prionn_core as core;
 pub use prionn_ml as ml;
 pub use prionn_nn as nn;
+pub use prionn_observe as observe;
 pub use prionn_sched as sched;
 pub use prionn_serve as serve;
 pub use prionn_store as store;

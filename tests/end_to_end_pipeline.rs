@@ -20,6 +20,7 @@ fn tiny_online() -> OnlineConfig {
         min_history: 40,
         cold_start: false,
         telemetry: None,
+        drift: None,
         prionn: PrionnConfig {
             grid: (16, 16),
             base_width: 2,
