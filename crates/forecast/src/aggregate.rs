@@ -1,0 +1,358 @@
+//! The incremental cluster aggregator: a hierarchical time-wheel over
+//! per-minute buckets that maintains the system IO timeline *online*.
+//!
+//! `prionn_sched::io_timeline` rebuilds the whole per-minute timeline from
+//! scratch — O(jobs × minutes) — every time anything changes. At the
+//! ROADMAP's target scale (100k+ concurrent simulated jobs, multi-day
+//! horizons) that rebuild is millions of bucket updates per submission.
+//! [`IoAggregator`] instead supports adding or removing one job's predicted
+//! IO interval in **O(log n)** and reading the live aggregate in **O(1)**,
+//! while producing the *same* per-minute values as the batch rebuild.
+//!
+//! # Structure
+//!
+//! A job interval `[start, end)` at bandwidth `b` decomposes into at most
+//! two *partial* boundary minutes plus a run of *full* minutes:
+//!
+//! ```text
+//!         start                                      end
+//!           v                                         v
+//! |....|..██|████|████|████|████|█...|....|
+//!       ^^^^ partial      full ^^^^^ partial
+//! ```
+//!
+//! * **Partial minutes** (≤ 2 per job) go straight into a per-minute
+//!   `partial` bucket array — a point update each.
+//! * **Full minutes** all receive exactly the same per-minute contribution,
+//!   so the run is stored as a *range add* in a difference array
+//!   (`delta[l] += c; delta[r] -= c`) — O(1) — mirrored into a Fenwick
+//!   (binary-indexed) tree so random-access point reads stay O(log n)
+//!   instead of O(n) prefix scans.
+//!
+//! The value of minute `m` is `partial[m] + Σ delta[0..=m]`. A full
+//! [`snapshot`](IoAggregator::snapshot) is one linear sweep over the
+//! difference array (O(horizon)), a random [`value_at`](IoAggregator::value_at)
+//! is a Fenwick prefix sum (O(log n)), and the monotone
+//! [`advance_to`](IoAggregator::advance_to) cursor — the "wheel" the
+//! forecaster rides as simulated time passes — is amortized O(1).
+//!
+//! # Parity with the batch timeline
+//!
+//! Every per-(job, minute) term is computed by
+//! [`prionn_sched::minute_contribution`], the same function the batch
+//! [`prionn_sched::io_timeline`] uses, so the two sides agree term-by-term.
+//! The only remaining difference is floating-point summation *order*; on
+//! minute-aligned integer-bandwidth workloads (where f64 addition is exact)
+//! the aggregator is bit-for-bit identical to the batch rebuild — the
+//! randomized parity suite in `tests/parity.rs` asserts exactly that, plus
+//! a 1e-9 relative bound on arbitrary unaligned inputs.
+
+use prionn_sched::io::{minute_contribution, JobIoInterval};
+
+/// Incremental per-minute system-IO aggregate over a fixed horizon.
+///
+/// Intervals extending past the horizon are truncated exactly like the
+/// batch [`prionn_sched::io_timeline`] truncates them (the part within the
+/// horizon still contributes); intervals entirely past it contribute
+/// nothing. Degenerate intervals (`end <= start` or non-positive
+/// bandwidth) are ignored, also mirroring the batch semantics.
+#[derive(Debug, Clone)]
+pub struct IoAggregator {
+    /// Partial (boundary) minute contributions, point-updated.
+    partial: Vec<f64>,
+    /// Difference array for full-minute range adds; minute `m`'s full
+    /// contribution is the prefix sum `delta[0..=m]`.
+    delta: Vec<f64>,
+    /// Fenwick tree over `delta` for O(log n) point reads.
+    fenwick: Vec<f64>,
+    /// Jobs currently resident (adds minus removes that contributed).
+    active_jobs: usize,
+    /// Sum of resident jobs' bandwidths — the O(1) "cluster is moving this
+    /// many bytes/second right now (while all resident jobs run)" readout.
+    total_bandwidth: f64,
+    /// Jobs whose interval was clipped at the horizon.
+    truncated_jobs: u64,
+    /// Streaming cursor: minute index and the full-minute prefix at it.
+    cursor: usize,
+    cursor_prefix: f64,
+    /// Set when an update touched `delta[..=cursor]`; the next
+    /// `advance_to` resynchronises from the Fenwick tree.
+    cursor_dirty: bool,
+}
+
+impl IoAggregator {
+    /// An empty aggregator covering minutes `[0, horizon_minutes)`.
+    pub fn new(horizon_minutes: usize) -> Self {
+        IoAggregator {
+            partial: vec![0.0; horizon_minutes],
+            delta: vec![0.0; horizon_minutes],
+            fenwick: vec![0.0; horizon_minutes],
+            active_jobs: 0,
+            total_bandwidth: 0.0,
+            truncated_jobs: 0,
+            cursor: 0,
+            cursor_prefix: 0.0,
+            cursor_dirty: true,
+        }
+    }
+
+    /// The aggregation horizon, in minutes.
+    pub fn horizon_minutes(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Jobs currently contributing to the aggregate.
+    pub fn active_jobs(&self) -> usize {
+        self.active_jobs
+    }
+
+    /// O(1): the summed bandwidth of every resident job (the instantaneous
+    /// cluster IO rate while all of them run).
+    pub fn total_bandwidth(&self) -> f64 {
+        self.total_bandwidth
+    }
+
+    /// Jobs whose interval was clipped at the horizon so far.
+    pub fn truncated_jobs(&self) -> u64 {
+        self.truncated_jobs
+    }
+
+    /// Add one job's predicted IO interval. O(log horizon).
+    pub fn add(&mut self, iv: &JobIoInterval) {
+        self.apply(iv, 1.0);
+    }
+
+    /// Remove a previously added interval (the job finished, or its
+    /// prediction was revised — remove the old, add the new). O(log
+    /// horizon). Removing an interval that was never added is a caller
+    /// bug; the aggregate goes negative in its minutes.
+    pub fn remove(&mut self, iv: &JobIoInterval) {
+        self.apply(iv, -1.0);
+    }
+
+    fn apply(&mut self, iv: &JobIoInterval, sign: f64) {
+        if iv.end <= iv.start || iv.bandwidth <= 0.0 {
+            return; // same degenerate-interval skip as the batch rebuild
+        }
+        let horizon_secs = self.partial.len() as u64 * 60;
+        if iv.end > horizon_secs && sign > 0.0 {
+            self.truncated_jobs += 1;
+        }
+        let start = iv.start.min(horizon_secs);
+        let end = iv.end.min(horizon_secs);
+        self.active_jobs = if sign > 0.0 {
+            self.active_jobs + 1
+        } else {
+            self.active_jobs.saturating_sub(1)
+        };
+        self.total_bandwidth += sign * iv.bandwidth;
+        if start == end {
+            return; // entirely past the horizon: resident but contributing 0
+        }
+
+        let first = (start / 60) as usize;
+        let last = ((end - 1) / 60) as usize; // inclusive
+        if first == last {
+            // Entirely within one minute.
+            let overlap = end - start;
+            if overlap == 60 {
+                self.range_add(
+                    first,
+                    first + 1,
+                    sign * minute_contribution(iv.bandwidth, 60),
+                );
+            } else {
+                self.partial[first] += sign * minute_contribution(iv.bandwidth, overlap);
+            }
+            return;
+        }
+
+        // Head minute.
+        let head_overlap = (first as u64 + 1) * 60 - start;
+        let mut full_lo = first;
+        if head_overlap < 60 {
+            self.partial[first] += sign * minute_contribution(iv.bandwidth, head_overlap);
+            full_lo = first + 1;
+        }
+        // Tail minute.
+        let tail_overlap = end - last as u64 * 60;
+        let mut full_hi = last + 1;
+        if tail_overlap < 60 {
+            self.partial[last] += sign * minute_contribution(iv.bandwidth, tail_overlap);
+            full_hi = last;
+        }
+        if full_lo < full_hi {
+            self.range_add(
+                full_lo,
+                full_hi,
+                sign * minute_contribution(iv.bandwidth, 60),
+            );
+        }
+    }
+
+    /// Range-add `v` to the full-minute layer over `[l, r)`: two point
+    /// updates in the difference array, mirrored into the Fenwick tree.
+    fn range_add(&mut self, l: usize, r: usize, v: f64) {
+        self.delta[l] += v;
+        self.fenwick_add(l, v);
+        if r < self.delta.len() {
+            self.delta[r] -= v;
+            self.fenwick_add(r, -v);
+        }
+        if l <= self.cursor {
+            self.cursor_dirty = true;
+        }
+    }
+
+    fn fenwick_add(&mut self, idx: usize, v: f64) {
+        let mut i = idx + 1;
+        while i <= self.fenwick.len() {
+            self.fenwick[i - 1] += v;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Prefix sum `delta[0..=m]` from the Fenwick tree. O(log horizon).
+    fn fenwick_prefix(&self, m: usize) -> f64 {
+        let mut i = m + 1;
+        let mut s = 0.0;
+        while i > 0 {
+            s += self.fenwick[i - 1];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// The aggregate bandwidth at minute `m`. O(log horizon).
+    pub fn value_at(&self, m: usize) -> f64 {
+        if m >= self.partial.len() {
+            return 0.0;
+        }
+        self.partial[m] + self.fenwick_prefix(m)
+    }
+
+    /// Streaming read at minute `m` for a monotonically advancing clock —
+    /// the time-wheel cursor. Amortized O(1) while `m` only moves forward
+    /// and no update lands behind the cursor; falls back to one O(log
+    /// horizon) Fenwick resync otherwise.
+    pub fn advance_to(&mut self, m: usize) -> f64 {
+        if m >= self.partial.len() {
+            return 0.0;
+        }
+        if self.cursor_dirty || m < self.cursor {
+            self.cursor_prefix = self.fenwick_prefix(m);
+            self.cursor = m;
+            self.cursor_dirty = false;
+        } else {
+            while self.cursor < m {
+                self.cursor += 1;
+                self.cursor_prefix += self.delta[self.cursor];
+            }
+        }
+        self.partial[m] + self.cursor_prefix
+    }
+
+    /// Materialise the first `horizon_minutes` buckets — the same shape
+    /// the batch [`prionn_sched::io_timeline`] returns. One linear sweep:
+    /// O(min(horizon_minutes, capacity)), independent of job count.
+    pub fn snapshot(&self, horizon_minutes: usize) -> Vec<f64> {
+        let h = horizon_minutes.min(self.partial.len());
+        let mut out = Vec::with_capacity(horizon_minutes);
+        let mut running = 0.0;
+        for m in 0..h {
+            running += self.delta[m];
+            out.push(self.partial[m] + running);
+        }
+        out.resize(horizon_minutes, 0.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prionn_sched::io_timeline;
+
+    fn iv(start: u64, end: u64, bandwidth: f64) -> JobIoInterval {
+        JobIoInterval {
+            start,
+            end,
+            bandwidth,
+        }
+    }
+
+    #[test]
+    fn matches_batch_on_basic_shapes() {
+        let intervals = [
+            iv(0, 60, 100.0),      // one full minute
+            iv(30, 90, 100.0),     // two partial halves
+            iv(0, 120, 10.0),      // two full minutes
+            iv(65, 70, 12.0),      // sub-minute sliver
+            iv(60, 60, 99.0),      // degenerate
+            iv(10, 5, 99.0),       // inverted
+            iv(0, 60, 0.0),        // zero bandwidth
+            iv(100, 100_000, 3.0), // clipped at horizon
+        ];
+        let h = 5;
+        let batch = io_timeline(&intervals, h);
+        let mut agg = IoAggregator::new(h);
+        for i in &intervals {
+            agg.add(i);
+        }
+        assert_eq!(agg.snapshot(h), batch);
+        for (m, expected) in batch.iter().enumerate() {
+            assert_eq!(agg.value_at(m), *expected, "minute {m}");
+        }
+    }
+
+    #[test]
+    fn remove_undoes_add_exactly_on_aligned_input() {
+        let keep = iv(0, 180, 5.0);
+        let gone = iv(60, 240, 7.0);
+        let mut agg = IoAggregator::new(6);
+        agg.add(&keep);
+        agg.add(&gone);
+        agg.remove(&gone);
+        assert_eq!(agg.snapshot(6), io_timeline(&[keep], 6));
+        assert_eq!(agg.active_jobs(), 1);
+        assert!((agg.total_bandwidth() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cursor_advances_and_resyncs_after_late_updates() {
+        let mut agg = IoAggregator::new(10);
+        agg.add(&iv(0, 600, 2.0));
+        assert_eq!(agg.advance_to(0), 2.0);
+        assert_eq!(agg.advance_to(4), 2.0);
+        // An update landing behind the cursor forces a resync.
+        agg.add(&iv(0, 300, 1.0));
+        assert_eq!(agg.advance_to(4), 3.0);
+        assert_eq!(agg.advance_to(5), 2.0);
+        assert_eq!(agg.advance_to(9), 2.0);
+        // Rewinding is allowed (one Fenwick resync).
+        assert_eq!(agg.advance_to(2), 3.0);
+    }
+
+    #[test]
+    fn horizon_truncation_is_clean() {
+        let mut agg = IoAggregator::new(3);
+        agg.add(&iv(0, 6000, 7.0)); // clipped: only minutes 0..3 count
+        agg.add(&iv(100_000, 200_000, 9.0)); // entirely past the horizon
+        assert_eq!(agg.snapshot(3), vec![7.0, 7.0, 7.0]);
+        assert_eq!(agg.truncated_jobs(), 2);
+        assert_eq!(agg.active_jobs(), 2);
+        assert_eq!(agg.value_at(10), 0.0);
+        // Snapshots longer than the capacity zero-fill the excess.
+        assert_eq!(agg.snapshot(5), vec![7.0, 7.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_aggregator_reads_zero_everywhere() {
+        let mut agg = IoAggregator::new(8);
+        assert_eq!(agg.snapshot(8), vec![0.0; 8]);
+        assert_eq!(agg.value_at(3), 0.0);
+        assert_eq!(agg.advance_to(7), 0.0);
+        assert_eq!(agg.total_bandwidth(), 0.0);
+        assert_eq!(agg.active_jobs(), 0);
+    }
+}

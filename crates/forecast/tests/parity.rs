@@ -1,0 +1,145 @@
+//! Randomized parity suite: the incremental [`IoAggregator`] against the
+//! batch `prionn_sched::io_timeline`, which is the correctness oracle.
+//!
+//! Two regimes:
+//!
+//! * **Exact** — minute-aligned intervals with integer bandwidths. Every
+//!   per-(job, minute) contribution is an integer, f64 addition of
+//!   integers below 2^53 is exact in any order, so the aggregator must
+//!   match the batch rebuild **bit-for-bit**, through adds *and* removes.
+//! * **General** — arbitrary second-aligned intervals and fractional
+//!   bandwidths. Both sides compute identical per-(job, minute) terms
+//!   (`prionn_sched::minute_contribution`); only summation order differs,
+//!   so the snapshots must agree to a tight relative bound.
+
+use prionn_forecast::IoAggregator;
+use prionn_sched::io::{horizon_minutes, io_timeline, JobIoInterval};
+use proptest::prelude::*;
+
+const HORIZON: usize = 240; // minutes
+
+fn exact_intervals() -> impl Strategy<Value = Vec<JobIoInterval>> {
+    // Minute-aligned starts/lengths (some past the horizon), integer
+    // bandwidths; lengths of 0 exercise the degenerate-interval skip.
+    proptest::collection::vec((0u64..300, 0u64..120, 0u64..1000), 0..64).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(start_min, len_min, bw)| JobIoInterval {
+                start: start_min * 60,
+                end: (start_min + len_min) * 60,
+                bandwidth: bw as f64,
+            })
+            .collect()
+    })
+}
+
+fn general_intervals() -> impl Strategy<Value = Vec<JobIoInterval>> {
+    proptest::collection::vec((0u64..18_000, 0u64..7_200, 0u64..1_000_000), 0..64).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(start, len, bw)| JobIoInterval {
+                start,
+                end: start + len,
+                bandwidth: bw as f64 / 997.0, // fractional, non-dyadic
+            })
+            .collect()
+    })
+}
+
+fn build(intervals: &[JobIoInterval]) -> IoAggregator {
+    let mut agg = IoAggregator::new(HORIZON);
+    for iv in intervals {
+        agg.add(iv);
+    }
+    agg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Exact regime: snapshot equals the batch timeline bit-for-bit.
+    #[test]
+    fn aligned_snapshot_is_bit_identical(intervals in exact_intervals()) {
+        let batch = io_timeline(&intervals, HORIZON);
+        let agg = build(&intervals);
+        let snap = agg.snapshot(HORIZON);
+        prop_assert_eq!(&snap, &batch);
+        // Random-access point reads agree with the sweep.
+        for m in (0..HORIZON).step_by(17) {
+            prop_assert_eq!(agg.value_at(m), batch[m]);
+        }
+    }
+
+    // Exact regime with churn: removing a random suffix leaves exactly
+    // the batch timeline of the remaining prefix — removes fully undo
+    // adds.
+    #[test]
+    fn aligned_removal_matches_batch_of_remainder(
+        intervals in exact_intervals(),
+        keep_frac in 0usize..101,
+    ) {
+        let keep = intervals.len() * keep_frac / 100;
+        let mut agg = build(&intervals);
+        for iv in &intervals[keep..] {
+            agg.remove(iv);
+        }
+        let batch = io_timeline(&intervals[..keep], HORIZON);
+        prop_assert_eq!(agg.snapshot(HORIZON), batch);
+    }
+
+    // General regime: identical per-term arithmetic, so any difference is
+    // summation order — bounded at 1e-9 relative per minute.
+    #[test]
+    fn general_snapshot_matches_batch_tightly(intervals in general_intervals()) {
+        let batch = io_timeline(&intervals, HORIZON);
+        let agg = build(&intervals);
+        let snap = agg.snapshot(HORIZON);
+        for (m, (a, b)) in snap.iter().zip(&batch).enumerate() {
+            let scale = b.abs().max(1.0);
+            prop_assert!(
+                (a - b).abs() <= 1e-9 * scale,
+                "minute {}: incremental {} vs batch {}", m, a, b
+            );
+        }
+    }
+
+    // The streaming cursor agrees with the snapshot along a monotone
+    // advance — the read path the forecaster actually uses.
+    #[test]
+    fn cursor_walk_matches_snapshot(intervals in exact_intervals()) {
+        let batch = io_timeline(&intervals, HORIZON);
+        let mut agg = build(&intervals);
+        for (m, &expect) in batch.iter().enumerate() {
+            prop_assert_eq!(agg.advance_to(m), expect, "minute {}", m);
+        }
+    }
+
+    // Intervals past the horizon are cleanly truncated: the part within
+    // the horizon contributes exactly as the batch (which clips the same
+    // way), and reads past the horizon are zero. Also pins
+    // `horizon_minutes` round-up behaviour.
+    #[test]
+    fn horizon_truncation_is_clean(
+        intervals in exact_intervals(),
+        extra_start in 0u64..200,
+        extra_len in 1u64..100_000,
+    ) {
+        let mut all = intervals;
+        // One interval guaranteed to span (or start past) the horizon.
+        let runaway = JobIoInterval {
+            start: extra_start * 60,
+            end: extra_start * 60 + extra_len * 60,
+            bandwidth: 13.0,
+        };
+        all.push(runaway);
+        let batch = io_timeline(&all, HORIZON);
+        let agg = build(&all);
+        prop_assert_eq!(agg.snapshot(HORIZON), batch);
+        prop_assert_eq!(agg.value_at(HORIZON), 0.0);
+        prop_assert_eq!(agg.value_at(HORIZON + 1000), 0.0);
+        // horizon_minutes always covers every interval's end, rounded up.
+        let h = horizon_minutes(&all);
+        for iv in &all {
+            prop_assert!(h as u64 * 60 >= iv.end);
+        }
+        prop_assert!(h == 0 || all.iter().any(|iv| iv.end > (h as u64 - 1) * 60));
+    }
+}

@@ -53,7 +53,7 @@ pub mod trace;
 
 pub use drift::{DriftConfig, DriftHead, DriftMonitor, DriftSnapshot, HeadSnapshot};
 pub use flight::{FlightConfig, FlightRecorder};
-pub use ops::{OpsOptions, OpsServer, Readiness, ReadyProbe};
+pub use ops::{ForecastProbe, OpsOptions, OpsServer, Readiness, ReadyProbe};
 pub use trace::{
     active, child_of_current, push_current, render_trace_tree, CurrentGuard, Span, SpanCtx,
     SpanRecord, Tracer,

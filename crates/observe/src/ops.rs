@@ -12,6 +12,7 @@
 //! | `/readyz`  | readiness from the injected probe (gateway queue + replica liveness); `503` when not ready |
 //! | `/traces`  | recent span trees from the flight recorder, as JSON |
 //! | `/flight`  | triggers a flight dump to disk, returns the path |
+//! | `/forecast`| live IO-forecast snapshot from the injected probe, as JSON |
 //!
 //! Anything else is `404`. The server binds before [`OpsServer::start`]
 //! returns, so tests and scripts can read the bound port immediately.
@@ -40,6 +41,12 @@ pub struct Readiness {
 /// The readiness probe: called per `/readyz` request.
 pub type ReadyProbe = Arc<dyn Fn() -> Readiness + Send + Sync>;
 
+/// The forecast probe: called per `/forecast` request, returns a JSON
+/// document (e.g. `prionn-forecast`'s `ForecastEngine::ops_probe`). A
+/// closure rather than a typed handle keeps `observe` below the forecast
+/// crate in the dependency graph.
+pub type ForecastProbe = Arc<dyn Fn() -> String + Send + Sync>;
+
 /// What the ops endpoint exposes. Every field is optional; absent sources
 /// degrade their route to a clear `404`/empty answer rather than an error.
 #[derive(Clone, Default)]
@@ -53,6 +60,8 @@ pub struct OpsOptions {
     pub drift: Option<DriftMonitor>,
     /// Readiness probe behind `/readyz` (absent = always ready).
     pub readiness: Option<ReadyProbe>,
+    /// Forecast snapshot probe behind `/forecast` (absent = `404`).
+    pub forecast: Option<ForecastProbe>,
     /// Most recent traces returned by `/traces` (default 64).
     pub max_traces: usize,
 }
@@ -211,6 +220,14 @@ fn route(path: &str, opts: &OpsOptions) -> (&'static str, &'static str, String) 
                 "no flight recorder attached\n".into(),
             ),
         },
+        "/forecast" => match &opts.forecast {
+            Some(probe) => (OK, JSON, probe()),
+            None => (
+                "404 Not Found",
+                TEXT,
+                "no forecast engine attached\n".into(),
+            ),
+        },
         "/flight" => match &opts.recorder {
             Some(rec) => match rec.dump_to_file("ops endpoint /flight") {
                 Ok(path) => (
@@ -327,6 +344,23 @@ mod tests {
         let (status, _, body) = route("/readyz", &opts);
         assert_eq!(status, "200 OK");
         assert!(body.contains("live=1"), "{body}");
+    }
+
+    #[test]
+    fn forecast_route_serves_probe_json_or_404() {
+        let opts = OpsOptions::default();
+        let (status, _, body) = route("/forecast", &opts);
+        assert_eq!(status, "404 Not Found");
+        assert!(body.contains("no forecast engine"), "{body}");
+
+        let opts = OpsOptions {
+            forecast: Some(Arc::new(|| "{\"alerting\":false}".to_string())),
+            ..OpsOptions::default()
+        };
+        let (status, ctype, body) = route("/forecast", &opts);
+        assert_eq!(status, "200 OK");
+        assert_eq!(ctype, "application/json");
+        assert_eq!(body, "{\"alerting\":false}");
     }
 
     #[test]

@@ -57,6 +57,7 @@ fn wired() -> (OpsServer, Telemetry, FlightRecorder, DriftMonitor) {
                 ready: true,
                 detail: "live_replicas=2/2 queue=0/128".into(),
             })),
+            forecast: None,
             max_traces: 16,
         },
     )
@@ -162,4 +163,71 @@ fn observe_metric_names_and_labels_are_pinned() {
     ] {
         assert!(text.contains(series), "missing `{series}` in:\n{text}");
     }
+}
+
+/// The forecast_* metric surface is pinned the same way: the forecast
+/// engine registers its instruments in the shared registry, and the ops
+/// endpoint exposes its snapshot on `/forecast`. Renames break here first.
+#[test]
+fn forecast_metric_names_are_pinned_and_forecast_route_serves_json() {
+    use prionn_forecast::{ForecastConfig, ForecastEngine, JobIoInterval};
+
+    let telemetry = Telemetry::new();
+    let engine = ForecastEngine::new(
+        &telemetry,
+        ForecastConfig {
+            horizon_minutes: 120,
+            lead_minutes: 5,
+            ..ForecastConfig::default()
+        },
+    );
+    engine.job_started(&JobIoInterval {
+        start: 0,
+        end: 3600,
+        bandwidth: 2.5e8,
+    });
+    engine.tick();
+
+    let text = telemetry.prometheus();
+    for series in [
+        "# TYPE forecast_aggregate_bandwidth gauge",
+        "# TYPE forecast_horizon_bandwidth gauge",
+        "# TYPE forecast_burst_threshold gauge",
+        "# TYPE forecast_burst_active gauge",
+        "# TYPE forecast_burst_alerts_total counter",
+        "# TYPE forecast_samples_total counter",
+        "# TYPE forecast_abs_error histogram",
+        "# TYPE forecast_resident_jobs gauge",
+        "# TYPE forecast_truncated_jobs gauge",
+        "forecast_samples_total 1",
+        "forecast_resident_jobs 1",
+        "forecast_abs_error_count",
+    ] {
+        assert!(text.contains(series), "missing `{series}` in:\n{text}");
+    }
+
+    let server = OpsServer::start(
+        "127.0.0.1:0",
+        OpsOptions {
+            telemetry: Some(telemetry.clone()),
+            forecast: Some(engine.ops_probe()),
+            ..OpsOptions::default()
+        },
+    )
+    .unwrap();
+    let resp = http_get(server.addr(), "/forecast");
+    assert!(resp.starts_with("HTTP/1.0 200"), "{resp}");
+    let parsed: serde_json::Value = serde_json::from_str(body_of(&resp)).unwrap();
+    assert_eq!(parsed.get("active_jobs").unwrap().as_u64(), Some(1));
+    assert_eq!(parsed.get("lead_minutes").unwrap().as_u64(), Some(5));
+    assert!(parsed.get("aggregate_bps").unwrap().as_f64().unwrap() > 0.0);
+    assert!(parsed.get("alerting").is_some());
+    server.shutdown();
+
+    // Without a probe the route degrades to a clear 404.
+    let bare = OpsServer::start("127.0.0.1:0", OpsOptions::default()).unwrap();
+    let resp = http_get(bare.addr(), "/forecast");
+    assert!(resp.starts_with("HTTP/1.0 404"), "{resp}");
+    assert!(body_of(&resp).contains("no forecast engine"), "{resp}");
+    bare.shutdown();
 }

@@ -22,18 +22,34 @@ pub struct BurstMetrics {
 }
 
 /// The burst threshold: mean + 1σ of the actual timeline.
+///
+/// Non-finite entries (a poisoned upstream aggregate) are skipped rather
+/// than allowed to turn the threshold into `NaN` — a `NaN` threshold makes
+/// *every* comparison false and silently reports zero bursts. An empty or
+/// all-non-finite timeline yields `0.0`, and a zero-variance timeline
+/// yields exactly its mean (`σ = 0`), never `NaN`.
 pub fn burst_threshold(timeline: &[f64]) -> f64 {
-    if timeline.is_empty() {
+    let mut n = 0usize;
+    let mut sum = 0.0f64;
+    for &v in timeline {
+        if v.is_finite() {
+            n += 1;
+            sum += v;
+        }
+    }
+    if n == 0 {
         return 0.0;
     }
-    let n = timeline.len() as f64;
-    let mean = timeline.iter().sum::<f64>() / n;
+    let mean = sum / n as f64;
     let var = timeline
         .iter()
+        .filter(|v| v.is_finite())
         .map(|v| (v - mean) * (v - mean))
         .sum::<f64>()
-        / n;
-    mean + var.sqrt()
+        / n as f64;
+    // (v - mean)^2 is non-negative termwise, but guard the sqrt anyway so a
+    // pathological accumulation can never produce NaN.
+    mean + var.max(0.0).sqrt()
 }
 
 /// Minute indices whose value exceeds `threshold`.
@@ -169,5 +185,57 @@ mod tests {
         let t = [0.0, 10.0, 0.0, 10.0];
         let b = burst_minutes(&t, 5.0);
         assert_eq!(b, vec![1, 3]);
+    }
+
+    #[test]
+    fn empty_timelines_yield_finite_perfect_metrics() {
+        // Regression: an empty pair must not divide by zero anywhere.
+        let m = burst_metrics(&[], &[], 5);
+        assert_eq!(m.actual_bursts, 0);
+        assert_eq!(m.predicted_bursts, 0);
+        assert_eq!(m.sensitivity, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert!(m.sensitivity.is_finite() && m.precision.is_finite());
+    }
+
+    #[test]
+    fn zero_variance_timeline_threshold_is_mean_not_nan() {
+        // Regression: σ = 0 must give threshold == mean exactly, with no
+        // minute strictly above it (nothing can exceed mean + 0).
+        let t = vec![7.5; 64];
+        let thr = burst_threshold(&t);
+        assert!(thr.is_finite());
+        assert!((thr - 7.5).abs() < 1e-12);
+        assert!(burst_minutes(&t, thr).is_empty());
+        let m = burst_metrics(&t, &t, 5);
+        assert_eq!(m.sensitivity, 1.0);
+        assert_eq!(m.precision, 1.0);
+    }
+
+    #[test]
+    fn non_finite_entries_do_not_poison_the_threshold() {
+        // Regression: one NaN/inf minute (a poisoned aggregate) must not
+        // turn the threshold into NaN and silently disable burst detection.
+        let mut t = spiky(50, &[25]);
+        t[3] = f64::NAN;
+        t[4] = f64::INFINITY;
+        let thr = burst_threshold(&t);
+        assert!(thr.is_finite(), "threshold {thr}");
+        // The real spike is still detected against the finite-only stats.
+        assert!(burst_minutes(&t, thr).contains(&25));
+        let m = burst_metrics(&t, &t, 5);
+        assert!(m.sensitivity.is_finite() && m.precision.is_finite());
+        assert_eq!(m.sensitivity, 1.0);
+    }
+
+    #[test]
+    fn window_zero_behaves_like_exact_match() {
+        let a = spiky(40, &[10]);
+        let p = spiky(40, &[11]);
+        let m = burst_metrics(&a, &p, 0);
+        assert_eq!(m.sensitivity, 0.0);
+        assert_eq!(m.precision, 0.0);
+        let exact = burst_metrics(&a, &a, 0);
+        assert_eq!(exact.sensitivity, 1.0);
     }
 }

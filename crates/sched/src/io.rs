@@ -15,6 +15,18 @@ pub struct JobIoInterval {
     pub bandwidth: f64,
 }
 
+/// One job's contribution to a single minute bucket: its bandwidth weighted
+/// by the fraction of the minute it overlapped.
+///
+/// This is *the* formula both the batch [`io_timeline`] and the incremental
+/// `prionn-forecast` aggregator use, so the two agree term-by-term: any
+/// difference between them can only come from summation order, never from
+/// the per-(job, minute) contribution itself.
+#[inline]
+pub fn minute_contribution(bandwidth: f64, overlap_secs: u64) -> f64 {
+    bandwidth * overlap_secs as f64 / 60.0
+}
+
 /// Accumulate per-minute system IO bandwidth over `[0, horizon_minutes)`.
 ///
 /// Minute `m` covers seconds `[60m, 60m+60)`; a job contributes its
@@ -34,7 +46,7 @@ pub fn io_timeline(intervals: &[JobIoInterval], horizon_minutes: usize) -> Vec<f
             let bin_end = bin_start + 60;
             let overlap = end.min(bin_end).saturating_sub(start.max(bin_start));
             if overlap > 0 {
-                timeline[m] += iv.bandwidth * overlap as f64 / 60.0;
+                timeline[m] += minute_contribution(iv.bandwidth, overlap);
             }
             m += 1;
             if m >= horizon_minutes {

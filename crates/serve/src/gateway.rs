@@ -27,6 +27,10 @@ pub enum ServeError {
     /// The request sat in the queue past its deadline and was shed before
     /// a forward pass was spent on it.
     DeadlineExceeded,
+    /// Shed by the pre-burst admission tightener: an IO burst is forecast
+    /// (the configured [`PressureProbe`] returned true) and the request
+    /// was either low-priority or beyond the tightened queue cap.
+    ShedPreBurst,
     /// The gateway has shut down (or every replica died) before the
     /// request could be served.
     Stopped,
@@ -43,6 +47,12 @@ impl std::fmt::Display for ServeError {
                 write!(f, "gateway overloaded: request queue full ({queue_cap})")
             }
             ServeError::DeadlineExceeded => write!(f, "request deadline exceeded in queue"),
+            ServeError::ShedPreBurst => {
+                write!(
+                    f,
+                    "shed pre-emptively: IO burst forecast, admission tightened"
+                )
+            }
             ServeError::Stopped => write!(f, "gateway stopped"),
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::Spawn(e) => write!(f, "gateway spawn failed: {e}"),
@@ -55,8 +65,31 @@ impl std::error::Error for ServeError {}
 /// Result alias for gateway operations.
 pub type ServeResult<T> = Result<T, ServeError>;
 
+/// Forecast pressure probe: returns true while an IO burst is forecast
+/// within the lead horizon. A closure rather than a typed handle so the
+/// gateway stays decoupled from `prionn-forecast` — wire
+/// `ForecastEngine::pressure_probe()` in here.
+pub type PressureProbe = Arc<dyn Fn() -> bool + Send + Sync>;
+
+/// Request priority class for [`Gateway::predict_prioritized`].
+///
+/// Priorities only matter while the [`PressureProbe`] reports forecast
+/// burst pressure: low-priority requests are shed outright and normal ones
+/// face a tightened queue cap. Without pressure both classes are admitted
+/// identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Interactive / scheduler-critical work; admitted under pressure up
+    /// to the tightened queue cap.
+    #[default]
+    Normal,
+    /// Batch / speculative work; shed at admission while a burst is
+    /// forecast.
+    Low,
+}
+
 /// Tuning knobs for [`Gateway::spawn`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct GatewayConfig {
     /// Number of replica worker threads, each owning a private model copy.
     /// `0` is allowed (accept-and-queue only, useful for tests and staged
@@ -86,12 +119,36 @@ pub struct GatewayConfig {
     /// weight epoch on it and [`Gateway::record_outcome`] feeds completed
     /// jobs into its rolling-accuracy windows.
     pub drift: Option<DriftMonitor>,
+    /// Forecast pressure probe; when present, admission tightens while it
+    /// returns true (see [`Priority`]). `None` disables pre-shedding.
+    pub pressure: Option<PressureProbe>,
+    /// Fraction of [`queue_cap`](Self::queue_cap) normal-priority requests
+    /// may still fill while a burst is forecast (clamped to `(0, 1]`;
+    /// the tightened cap never drops below 1).
+    pub preshed_queue_frac: f64,
     /// Test hook (integration tests and failure drills): when true, a
     /// request containing the reserved script `__serve_test_panic__`
     /// panics the serving replica, exercising the panic-containment and
     /// flight-dump paths. Never enable in production.
     #[doc(hidden)]
     pub test_panic_marker: bool,
+}
+
+impl std::fmt::Debug for GatewayConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Manual impl: the pressure probe is an opaque closure.
+        f.debug_struct("GatewayConfig")
+            .field("replicas", &self.replicas)
+            .field("max_batch", &self.max_batch)
+            .field("max_wait", &self.max_wait)
+            .field("queue_cap", &self.queue_cap)
+            .field("default_deadline", &self.default_deadline)
+            .field("retrain_queue_cap", &self.retrain_queue_cap)
+            .field("pressure", &self.pressure.as_ref().map(|_| "<probe>"))
+            .field("preshed_queue_frac", &self.preshed_queue_frac)
+            .field("test_panic_marker", &self.test_panic_marker)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for GatewayConfig {
@@ -106,6 +163,8 @@ impl Default for GatewayConfig {
             telemetry: None,
             tracer: None,
             drift: None,
+            pressure: None,
+            preshed_queue_frac: 0.5,
             test_panic_marker: false,
         }
     }
@@ -121,6 +180,8 @@ pub struct GatewayStats {
     pub requests_shed_overload: AtomicUsize,
     /// Requests shed by a replica because their deadline had passed.
     pub requests_shed_deadline: AtomicUsize,
+    /// Requests shed pre-emptively while an IO burst was forecast.
+    pub requests_shed_preburst: AtomicUsize,
     /// Fused forward passes run across all replicas.
     pub batches_served: AtomicUsize,
     /// Scripts predicted across all replicas.
@@ -172,6 +233,8 @@ struct Instruments {
     batches_total: Counter,
     shed_overload: Counter,
     shed_deadline: Counter,
+    shed_preburst: Counter,
+    preshed_active: Gauge,
     queue_depth: Gauge,
     swap_epoch: Gauge,
     retrain_seconds: Histogram,
@@ -208,6 +271,15 @@ impl Instruments {
                 "serve_shed_total",
                 "Requests shed by admission control",
                 &[("reason", "deadline")],
+            ),
+            shed_preburst: t.counter_with(
+                "serve_shed_total",
+                "Requests shed by admission control",
+                &[("reason", "preburst")],
+            ),
+            preshed_active: t.gauge(
+                "serve_preshed_active",
+                "1 while forecast pressure is tightening admission, else 0",
             ),
             queue_depth: t.gauge("serve_queue_depth", "Requests currently queued"),
             swap_epoch: t.gauge(
@@ -267,6 +339,9 @@ pub struct Gateway {
     configured_replicas: usize,
     queue_cap: usize,
     default_deadline: Option<Duration>,
+    pressure: Option<PressureProbe>,
+    preshed_cap: usize,
+    preshed_engaged: AtomicBool,
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -419,6 +494,16 @@ impl Gateway {
             configured_replicas: cfg.replicas,
             queue_cap: cfg.queue_cap.max(1),
             default_deadline: cfg.default_deadline,
+            pressure: cfg.pressure,
+            preshed_cap: {
+                let frac = if cfg.preshed_queue_frac > 0.0 && cfg.preshed_queue_frac <= 1.0 {
+                    cfg.preshed_queue_frac
+                } else {
+                    0.5
+                };
+                ((cfg.queue_cap.max(1) as f64 * frac) as usize).max(1)
+            },
+            preshed_engaged: AtomicBool::new(false),
         })
     }
 
@@ -463,10 +548,26 @@ impl Gateway {
 
     /// Full-fidelity predict: returns the weight epoch alongside the
     /// predictions so callers can correlate answers with hot-swaps.
+    /// Admits at [`Priority::Normal`].
     pub fn predict_detailed(
         &self,
         scripts: &[String],
         deadline: Option<Duration>,
+    ) -> ServeResult<PredictionReply> {
+        self.predict_prioritized(scripts, deadline, Priority::Normal)
+    }
+
+    /// [`predict_detailed`](Self::predict_detailed) with an explicit
+    /// [`Priority`]. While the configured [`PressureProbe`] reports a
+    /// forecast IO burst, [`Priority::Low`] requests are shed with
+    /// [`ServeError::ShedPreBurst`] and normal requests face the tightened
+    /// queue cap ([`GatewayConfig::preshed_queue_frac`]) — load is
+    /// shed *before* the burst arrives rather than during it.
+    pub fn predict_prioritized(
+        &self,
+        scripts: &[String],
+        deadline: Option<Duration>,
+        priority: Priority,
     ) -> ServeResult<PredictionReply> {
         if scripts.is_empty() {
             return Ok(PredictionReply {
@@ -476,6 +577,14 @@ impl Gateway {
         }
         if self.stopped.load(Ordering::SeqCst) {
             return Err(ServeError::Stopped);
+        }
+        let under_pressure = self.refresh_pressure();
+        if under_pressure && priority == Priority::Low {
+            self.stats
+                .requests_shed_preburst
+                .fetch_add(1, Ordering::SeqCst);
+            self.instruments.shed_preburst.inc();
+            return Err(ServeError::ShedPreBurst);
         }
         // The request's trace root: records on every exit path (shed,
         // stopped, served) so failed requests leave evidence too.
@@ -500,6 +609,17 @@ impl Gateway {
             let Some(tx) = guard.as_ref() else {
                 return Err(ServeError::Stopped);
             };
+            // Pre-burst tightening: while a burst is forecast, normal
+            // requests only fill a fraction of the queue, keeping headroom
+            // for the burst itself.
+            if under_pressure && self.req_rx.len() >= self.preshed_cap {
+                self.stats
+                    .requests_shed_preburst
+                    .fetch_add(1, Ordering::SeqCst);
+                self.instruments.shed_preburst.inc();
+                admission.set_detail("shed=preburst");
+                return Err(ServeError::ShedPreBurst);
+            }
             match tx.try_send(job) {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) => {
@@ -634,6 +754,37 @@ impl Gateway {
     /// Replica worker threads still alive (panics decrement this).
     pub fn live_replicas(&self) -> usize {
         self.live_replicas.load(Ordering::SeqCst)
+    }
+
+    /// Poll the pressure probe, record engage/release edges in the event
+    /// log, and return the current verdict. `false` without a probe.
+    fn refresh_pressure(&self) -> bool {
+        let Some(probe) = &self.pressure else {
+            return false;
+        };
+        let now = probe();
+        let was = self.preshed_engaged.swap(now, Ordering::SeqCst);
+        if now != was {
+            self.instruments
+                .preshed_active
+                .set(if now { 1.0 } else { 0.0 });
+            self.telemetry.events().record(
+                if now {
+                    "serve_preshed_engage"
+                } else {
+                    "serve_preshed_release"
+                },
+                format!("tightened_cap={}/{}", self.preshed_cap, self.queue_cap),
+                0,
+            );
+        }
+        now
+    }
+
+    /// True while forecast pressure is tightening admission (the verdict
+    /// from the most recent admission attempt).
+    pub fn preshed_active(&self) -> bool {
+        self.preshed_engaged.load(Ordering::SeqCst)
     }
 
     /// Readiness verdict for ops probes (`/readyz`): ready while the
@@ -1102,6 +1253,108 @@ mod tests {
         assert_eq!(reply.epoch, 0);
         assert_eq!(gw.stats().requests_admitted.load(Ordering::SeqCst), 0);
         gw.shutdown();
+    }
+
+    /// While the pressure probe reports a forecast burst, low-priority
+    /// requests are shed outright, normal ones face the tightened cap, and
+    /// the engage/release edges land in the event log exactly once each.
+    #[test]
+    fn forecast_pressure_sheds_low_priority_and_tightens_the_cap() {
+        let pressure = Arc::new(AtomicBool::new(false));
+        let probe_flag = Arc::clone(&pressure);
+        let telemetry = Telemetry::new();
+        let gw = Gateway::spawn(
+            tiny_model(),
+            GatewayConfig {
+                replicas: 0,
+                queue_cap: 4,
+                preshed_queue_frac: 0.5, // tightened cap = 2
+                telemetry: Some(telemetry.clone()),
+                pressure: Some(Arc::new(move || probe_flag.load(Ordering::SeqCst))),
+                ..GatewayConfig::default()
+            },
+        )
+        .unwrap();
+        let scripts = corpus();
+
+        std::thread::scope(|s| {
+            // No pressure: both priorities queue freely.
+            let clients: Vec<_> = (0..3)
+                .map(|i| {
+                    let scripts = &scripts;
+                    let gw = &gw;
+                    s.spawn(move || {
+                        let prio = if i == 0 {
+                            Priority::Low
+                        } else {
+                            Priority::Normal
+                        };
+                        gw.predict_prioritized(&scripts[..1], None, prio)
+                    })
+                })
+                .collect();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while gw.queue_depth() < 3 {
+                assert!(Instant::now() < deadline, "clients never queued");
+                std::thread::yield_now();
+            }
+            assert!(!gw.preshed_active());
+
+            // Pressure on: a low-priority request is shed before queueing,
+            // and a normal one hits the tightened cap (depth 3 >= 2).
+            pressure.store(true, Ordering::SeqCst);
+            let err = gw
+                .predict_prioritized(&scripts[..1], None, Priority::Low)
+                .unwrap_err();
+            assert_eq!(err, ServeError::ShedPreBurst);
+            let err = gw
+                .predict_prioritized(&scripts[..1], None, Priority::Normal)
+                .unwrap_err();
+            assert_eq!(err, ServeError::ShedPreBurst);
+            assert!(gw.preshed_active());
+            assert_eq!(gw.stats().requests_shed_preburst.load(Ordering::SeqCst), 2);
+            assert_eq!(gw.stats().requests_shed_overload.load(Ordering::SeqCst), 0);
+
+            // Pressure off: admission is back to the full cap (depth 3 < 4).
+            pressure.store(false, Ordering::SeqCst);
+            let c = s.spawn(|| gw.predict_prioritized(&scripts[..1], None, Priority::Low));
+            while gw.queue_depth() < 4 {
+                assert!(
+                    Instant::now() < deadline,
+                    "post-release client never queued"
+                );
+                std::thread::yield_now();
+            }
+            assert!(!gw.preshed_active());
+
+            gw.shutdown();
+            for client in clients {
+                assert_eq!(client.join().unwrap().unwrap_err(), ServeError::Stopped);
+            }
+            assert_eq!(c.join().unwrap().unwrap_err(), ServeError::Stopped);
+        });
+
+        // Exactly one engage edge and one release edge.
+        let events = telemetry.events().drain();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == "serve_preshed_engage")
+                .count(),
+            1
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == "serve_preshed_release")
+                .count(),
+            1
+        );
+        let text = telemetry.prometheus();
+        assert!(
+            text.contains(r#"serve_shed_total{reason="preburst"} 2"#),
+            "{text}"
+        );
     }
 
     /// After shutdown (observable via Drop too) the gateway answers

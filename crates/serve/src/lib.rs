@@ -46,4 +46,7 @@
 
 mod gateway;
 
-pub use gateway::{Gateway, GatewayConfig, GatewayStats, PredictionReply, ServeError, ServeResult};
+pub use gateway::{
+    Gateway, GatewayConfig, GatewayStats, PredictionReply, PressureProbe, Priority, ServeError,
+    ServeResult,
+};

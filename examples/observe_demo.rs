@@ -108,6 +108,7 @@ fn main() {
                 let (ready, detail) = probe_gw.readiness();
                 Readiness { ready, detail }
             })),
+            forecast: None,
             max_traces: 64,
         },
     )

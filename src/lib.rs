@@ -27,7 +27,12 @@
 //!   online retraining, and the evaluation metrics;
 //! * [`serve`] — the sharded, micro-batching inference gateway: replica
 //!   workers, admission control with load shedding, and epoch-tagged
-//!   weight hot-swap (see `docs/SERVING.md`).
+//!   weight hot-swap (see `docs/SERVING.md`);
+//! * [`forecast`] — cluster-scale IO burst forecasting: the incremental
+//!   per-minute aggregator (O(log n) per job arrival/completion), the
+//!   EWMA / Holt / seasonal-naive forecaster family, and edge-triggered
+//!   pre-burst alerts that tighten gateway admission (see `DESIGN.md`
+//!   §14).
 //!
 //! # Example
 //!
@@ -57,6 +62,7 @@
 //! ```
 
 pub use prionn_core as core;
+pub use prionn_forecast as forecast;
 pub use prionn_ml as ml;
 pub use prionn_nn as nn;
 pub use prionn_observe as observe;
