@@ -17,6 +17,9 @@ pub struct Dense {
     cached_input: Option<Tensor>,
     in_features: usize,
     out_features: usize,
+    /// Packed int8 weights for eval-mode forwards; rebuilt from `w` on
+    /// every [`Layer::load_state`] while present (quantize-at-hot-swap).
+    qw: Option<ops::QuantizedWeights>,
 }
 
 impl Dense {
@@ -32,6 +35,7 @@ impl Dense {
             cached_input: None,
             in_features,
             out_features,
+            qw: None,
         }
     }
 
@@ -52,7 +56,7 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, x: &Tensor, _train: bool, scratch: &mut Scratch) -> Result<Tensor> {
+    fn forward(&mut self, x: &Tensor, train: bool, scratch: &mut Scratch) -> Result<Tensor> {
         if x.rank() != 2 || x.dims()[1] != self.in_features {
             return Err(TensorError::ShapeMismatch {
                 op: "dense_forward",
@@ -63,6 +67,21 @@ impl Layer for Dense {
         // Recycle a stale cached input left by a forward-only pass (predict).
         if let Some(old) = self.cached_input.take() {
             scratch.recycle_tensor(old);
+        }
+        // Quantized eval path: integer GEMM over packed int8 weights. No
+        // input cache — backprop through the int8 product is undefined, so
+        // a subsequent backward (which only train passes issue) must not
+        // silently use it.
+        if !train {
+            if let Some(qw) = &self.qw {
+                let rows = x.dims()[0];
+                let mut qa = scratch.take_u8(x.len());
+                let aq = ops::quantize_activations_into(x.as_slice(), &mut qa);
+                let mut out = scratch.take(rows * self.out_features);
+                ops::qgemm(&qa, aq, rows, qw, Some(self.b.as_slice()), false, &mut out);
+                scratch.recycle_u8(qa);
+                return Tensor::from_vec([rows, self.out_features], out);
+            }
         }
         // Fused GEMM + bias epilogue: one pass over the output.
         let y = ops::matmul_bias_with(scratch, x, &self.w, &self.b)?;
@@ -129,7 +148,28 @@ impl Layer for Dense {
         }
         self.w = w.clone();
         self.b = b.clone();
+        // Hot-swap invariant: new weights must never serve through stale
+        // int8 codes.
+        if self.qw.is_some() {
+            self.quantize();
+        }
         Ok(2)
+    }
+
+    fn quantize(&mut self) {
+        self.qw = Some(ops::QuantizedWeights::quantize(
+            self.w.as_slice(),
+            self.in_features,
+            self.out_features,
+        ));
+    }
+
+    fn dequantize(&mut self) {
+        self.qw = None;
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.qw.is_some()
     }
 }
 
@@ -229,5 +269,50 @@ mod tests {
     fn param_count_is_w_plus_b() {
         let d = Dense::new(5, 4, &mut rng());
         assert_eq!(d.param_count(), 5 * 4 + 4);
+    }
+
+    #[test]
+    fn quantized_eval_forward_tracks_f32_closely() {
+        let mut d = Dense::new(32, 24, &mut rng());
+        let x = prionn_tensor::init::uniform([8, 32], -1.0, 1.0, &mut rng());
+        let mut s = Scratch::new();
+        let f32_out = d.forward(&x, false, &mut s).unwrap();
+        d.quantize();
+        assert!(d.is_quantized());
+        let q_out = d.forward(&x, false, &mut s).unwrap();
+        assert_eq!(q_out.dims(), f32_out.dims());
+        let max_abs = f32_out
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |a, &v| a.max(v.abs()));
+        for (&a, &b) in f32_out.as_slice().iter().zip(q_out.as_slice()) {
+            assert!(
+                (a - b).abs() <= max_abs * 0.02 + 1e-3,
+                "f32 {a} vs int8 {b}"
+            );
+        }
+        // Training passes ignore the quantized path entirely.
+        let train_out = d.forward(&x, true, &mut s).unwrap();
+        assert_eq!(train_out, f32_out);
+        d.dequantize();
+        assert_eq!(d.forward(&x, false, &mut s).unwrap(), f32_out);
+    }
+
+    #[test]
+    fn load_state_requantizes_when_quantized() {
+        let donor = Dense::new(6, 5, &mut ChaCha8Rng::seed_from_u64(42));
+        let mut d = Dense::new(6, 5, &mut rng());
+        d.quantize();
+        let x = prionn_tensor::init::uniform([3, 6], -1.0, 1.0, &mut rng());
+        let mut s = Scratch::new();
+        let before = d.forward(&x, false, &mut s).unwrap();
+        d.load_state(&donor.state()).unwrap();
+        assert!(d.is_quantized(), "quantization survives a hot-swap");
+        let after = d.forward(&x, false, &mut s).unwrap();
+        assert_ne!(before, after, "stale int8 codes served after swap");
+        // And the swapped codes reflect the donor's weights.
+        let mut fresh = Dense::new(6, 5, &mut ChaCha8Rng::seed_from_u64(42));
+        fresh.quantize();
+        assert_eq!(after, fresh.forward(&x, false, &mut s).unwrap());
     }
 }

@@ -88,6 +88,24 @@ pub enum Priority {
     Low,
 }
 
+/// Numeric precision replica workers serve predictions at.
+///
+/// The trainer's master model always stays f32 — precision only affects
+/// the forked replica copies. Int8 replicas quantize their dense-layer
+/// weights at spawn (via `Prionn::set_quantized_inference`) and re-quantize
+/// automatically on every weight hot-swap, so published f32 checkpoints
+/// never serve through stale int8 codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full-precision f32 inference (the default).
+    #[default]
+    F32,
+    /// Int8 quantized inference: ~4× smaller dense weights per replica and
+    /// an integer GEMM forward, at a small relative-accuracy cost (bounded
+    /// at ≤ 0.01 mean delta by the core acceptance test).
+    Int8,
+}
+
 /// Tuning knobs for [`Gateway::spawn`].
 #[derive(Clone)]
 pub struct GatewayConfig {
@@ -122,6 +140,9 @@ pub struct GatewayConfig {
     /// Forecast pressure probe; when present, admission tightens while it
     /// returns true (see [`Priority`]). `None` disables pre-shedding.
     pub pressure: Option<PressureProbe>,
+    /// Numeric precision for replica inference (see [`Precision`]). The
+    /// trainer keeps full f32 weights either way.
+    pub precision: Precision,
     /// Fraction of [`queue_cap`](Self::queue_cap) normal-priority requests
     /// may still fill while a burst is forecast (clamped to `(0, 1]`;
     /// the tightened cap never drops below 1).
@@ -145,6 +166,7 @@ impl std::fmt::Debug for GatewayConfig {
             .field("default_deadline", &self.default_deadline)
             .field("retrain_queue_cap", &self.retrain_queue_cap)
             .field("pressure", &self.pressure.as_ref().map(|_| "<probe>"))
+            .field("precision", &self.precision)
             .field("preshed_queue_frac", &self.preshed_queue_frac)
             .field("test_panic_marker", &self.test_panic_marker)
             .finish_non_exhaustive()
@@ -164,6 +186,7 @@ impl Default for GatewayConfig {
             tracer: None,
             drift: None,
             pressure: None,
+            precision: Precision::F32,
             preshed_queue_frac: 0.5,
             test_panic_marker: false,
         }
@@ -380,6 +403,11 @@ impl Gateway {
         for i in 0..cfg.replicas {
             let mut replica = Prionn::from_checkpoint(&master_ck).map_err(|e| spawn_err(&e))?;
             replica.set_telemetry(&telemetry);
+            if cfg.precision == Precision::Int8 {
+                // Quantize at fork time; every hot-swap applied below
+                // re-quantizes through `apply_weights_checkpoint`.
+                replica.set_quantized_inference(true);
+            }
             let rx = req_rx.clone();
             let bus = bus.clone();
             let stats = Arc::clone(&stats);
@@ -1253,6 +1281,77 @@ mod tests {
         assert_eq!(reply.epoch, 0);
         assert_eq!(gw.stats().requests_admitted.load(Ordering::SeqCst), 0);
         gw.shutdown();
+    }
+
+    /// The precision knob end to end: an Int8 gateway serves predictions
+    /// within the quantization accuracy bound of an f32 gateway forked
+    /// from the same master, and a weight hot-swap serves the *new*
+    /// weights through freshly re-quantized int8 codes — never stale ones
+    /// and never raw f32.
+    #[test]
+    fn int8_replicas_track_f32_and_requantize_on_hot_swap() {
+        let mut master = tiny_model();
+        let scripts = corpus();
+        let refs: Vec<&str> = scripts.iter().map(|s| s.as_str()).collect();
+        let minutes: Vec<f64> = (0..8).map(|i| 10.0 + 7.0 * i as f64).collect();
+        let reads: Vec<f64> = (0..8).map(|i| 1e6 * (i + 1) as f64).collect();
+        let writes: Vec<f64> = (0..8).map(|i| 5e5 * (i + 1) as f64).collect();
+        master.retrain(&refs, &minutes, &reads, &writes).unwrap();
+
+        let quick = |precision| GatewayConfig {
+            replicas: 1,
+            max_wait: Duration::from_micros(100),
+            precision,
+            ..GatewayConfig::default()
+        };
+        let f32_gw = Gateway::spawn(master.fork_replica().unwrap(), quick(Precision::F32)).unwrap();
+        let int8_gw =
+            Gateway::spawn(master.fork_replica().unwrap(), quick(Precision::Int8)).unwrap();
+
+        let f32_preds = f32_gw.predict(&scripts).unwrap();
+        let q_preds = int8_gw.predict(&scripts).unwrap();
+        for (a, b) in f32_preds.iter().zip(&q_preds) {
+            let ra = prionn_core::relative_accuracy(a.runtime_minutes, b.runtime_minutes);
+            assert!(
+                ra >= 0.99,
+                "int8 runtime {} too far from f32 {} (relative accuracy {ra})",
+                b.runtime_minutes,
+                a.runtime_minutes
+            );
+        }
+
+        // Train the master further, hot-swap the int8 gateway, and wait
+        // for the replica to apply the new epoch.
+        master.retrain(&refs, &minutes, &reads, &writes).unwrap();
+        let epoch = int8_gw.hot_swap(&master).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let post_swap = loop {
+            let reply = int8_gw.predict_detailed(&scripts, None).unwrap();
+            if reply.epoch == epoch {
+                break reply.predictions;
+            }
+            assert!(Instant::now() < deadline, "replica never applied epoch");
+            std::thread::yield_now();
+        };
+
+        // The swapped replica must match an int8-quantized fork of the
+        // *new* master: fresh codes for fresh weights.
+        let mut q_ref = master.fork_replica().unwrap();
+        q_ref.set_quantized_inference(true);
+        let expect = q_ref.predict(&refs).unwrap();
+        for (got, want) in post_swap.iter().zip(&expect) {
+            let rel = (got.runtime_minutes - want.runtime_minutes).abs()
+                / want.runtime_minutes.abs().max(1e-9);
+            assert!(
+                rel < 1e-5,
+                "post-swap int8 prediction {} diverges from requantized master {}",
+                got.runtime_minutes,
+                want.runtime_minutes
+            );
+        }
+
+        f32_gw.shutdown();
+        int8_gw.shutdown();
     }
 
     /// While the pressure probe reports a forecast burst, low-priority

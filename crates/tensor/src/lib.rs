@@ -19,6 +19,8 @@
 //! All randomness flows through caller-provided RNGs so experiments are
 //! reproducible bit-for-bit.
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod init;
 pub mod ops;

@@ -14,8 +14,7 @@
 //! ```
 //!
 //! * The 6×16 microkernel keeps a 6×16 accumulator block in registers
-//!   (12 YMM registers on AVX2) and streams packed A/B strips through it;
-//!   the inner loop is written so LLVM auto-vectorises it to FMAs.
+//!   (12 YMM registers on AVX2) and streams packed A/B strips through it.
 //! * Transposed operands are handled at *pack time* ([`Layout`]): packing
 //!   already walks every element once, so transposition is free and all
 //!   three `matmul` variants share this one core.
@@ -26,9 +25,24 @@
 //!   training never allocates; [`GemmStats`] records FLOPs and pack time for
 //!   the telemetry gauges.
 //!
-//! Dispatch: on x86_64 the block loop is compiled twice, once portably and
-//! once under `#[target_feature(enable = "avx2,fma")]`; the AVX2 path is
-//! selected once at runtime via `is_x86_feature_detected!`.
+//! Dispatch ([`KernelTier`], selected at runtime via
+//! `is_x86_feature_detected!` and overridable with the `PRIONN_GEMM_KERNEL`
+//! environment variable or [`force_kernel_tier`]):
+//!
+//! * **avx512** — an explicit AVX-512F microkernel that fuses two adjacent
+//!   packed B strips into one 6×32 register tile (12 ZMM accumulators, one
+//!   `_mm512_fmadd_ps` per strip per row per k-step).
+//! * **avx2** — an explicit AVX2+FMA microkernel written with `std::arch`
+//!   intrinsics (`_mm256_fmadd_ps` over 12 YMM accumulators).
+//! * **autovec** — the packed block loop compiled under
+//!   `#[target_feature(enable = "avx2,fma")]` and left to LLVM's
+//!   auto-vectoriser; this was the only AVX2 path before the explicit
+//!   microkernels landed and is kept as the bench comparison baseline.
+//! * **portable** — the same block loop compiled for the baseline target;
+//!   runs on any CPU and is the reference the SIMD tiers are tested against.
+//!
+//! Both explicit tiers also run a skip-packing direct path for small
+//! problems (n ≤ 96) where pack overhead used to lose to the naive kernel.
 
 use crate::scratch::Scratch;
 use rayon::prelude::*;
@@ -180,22 +194,32 @@ fn pack_a(
         let base = s * kc * MR;
         let row0 = i0 + s * MR;
         let mr_eff = MR.min(i0 + mc - row0);
-        for p in 0..kc {
-            let out = &mut dst[base + p * MR..base + p * MR + MR];
-            match layout {
-                Layout::RowMajor => {
-                    for (r, o) in out.iter_mut().enumerate().take(mr_eff) {
-                        *o = a[(row0 + r) * k + (p0 + p)];
+        match layout {
+            Layout::RowMajor => {
+                // Walk each source row contiguously and scatter into the
+                // MR-strided strip: sequential reads + store-buffer-friendly
+                // fixed-stride writes beat the strided-read transpose.
+                let strip = &mut dst[base..base + kc * MR];
+                if mr_eff < MR {
+                    strip.fill(0.0);
+                }
+                for r in 0..mr_eff {
+                    let src = &a[(row0 + r) * k + p0..(row0 + r) * k + p0 + kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        strip[p * MR + r] = v;
                     }
                 }
-                Layout::Transposed => {
+            }
+            Layout::Transposed => {
+                for p in 0..kc {
+                    let out = &mut dst[base + p * MR..base + p * MR + MR];
                     // Stored [k, m]: logical A[i, p] lives at a[p*m + i].
                     let src = &a[(p0 + p) * m + row0..(p0 + p) * m + row0 + mr_eff];
                     out[..mr_eff].copy_from_slice(src);
+                    for o in out.iter_mut().skip(mr_eff) {
+                        *o = 0.0;
+                    }
                 }
-            }
-            for o in out.iter_mut().skip(mr_eff) {
-                *o = 0.0;
             }
         }
     }
@@ -259,6 +283,86 @@ fn microkernel(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
     }
 }
 
+/// Explicit AVX2+FMA microkernel: a full `MR × NR` tile over `kc` using
+/// `std::arch` intrinsics.
+///
+/// Packed strips are zero-padded, so the kernel always sees complete 6×16
+/// tiles: per k-step it issues two 8-lane B loads, six A broadcasts and
+/// twelve `_mm256_fmadd_ps` into 12 resident YMM accumulators (15 of the 16
+/// architectural YMM registers live). Ragged edges and epilogues are handled
+/// by [`write_back`] on the spilled accumulator tile.
+///
+/// # Safety
+/// The caller must have verified AVX2+FMA support, and `a`/`b` must hold at
+/// least `kc * MR` / `kc * NR` elements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_avx2(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(a.len() >= kc * MR && b.len() >= kc * NR);
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut lo = [_mm256_setzero_ps(); MR];
+    let mut hi = [_mm256_setzero_ps(); MR];
+    for p in 0..kc {
+        let b0 = _mm256_loadu_ps(bp.add(p * NR));
+        let b1 = _mm256_loadu_ps(bp.add(p * NR + 8));
+        for i in 0..MR {
+            let ai = _mm256_broadcast_ss(&*ap.add(p * MR + i));
+            lo[i] = _mm256_fmadd_ps(ai, b0, lo[i]);
+            hi[i] = _mm256_fmadd_ps(ai, b1, hi[i]);
+        }
+    }
+    for i in 0..MR {
+        _mm256_storeu_ps(acc[i].as_mut_ptr(), lo[i]);
+        _mm256_storeu_ps(acc[i].as_mut_ptr().add(8), hi[i]);
+    }
+}
+
+/// Explicit AVX-512F microkernel over a *pair* of adjacent packed B strips:
+/// one `MR × 2·NR` register tile (6×32), accumulated in 12 ZMM registers.
+///
+/// Each `NR = 16`-float strip is exactly one ZMM vector, so a strip pair
+/// costs two loads plus six broadcasts per k-step and feeds twelve
+/// `_mm512_fmadd_ps` — the same FMA-chain count as the AVX2 kernel but with
+/// double the lanes. The packed-B format is unchanged; the pair is just two
+/// consecutive strips of the existing layout.
+///
+/// # Safety
+/// The caller must have verified AVX-512F support; `a` must hold at least
+/// `kc * MR` elements and `b0`/`b1` at least `kc * NR` elements each.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn microkernel_avx512_pair(
+    kc: usize,
+    a: &[f32],
+    b0: &[f32],
+    b1: &[f32],
+    acc0: &mut [[f32; NR]; MR],
+    acc1: &mut [[f32; NR]; MR],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(a.len() >= kc * MR && b0.len() >= kc * NR && b1.len() >= kc * NR);
+    let ap = a.as_ptr();
+    let b0p = b0.as_ptr();
+    let b1p = b1.as_ptr();
+    let mut c0 = [_mm512_setzero_ps(); MR];
+    let mut c1 = [_mm512_setzero_ps(); MR];
+    for p in 0..kc {
+        let v0 = _mm512_loadu_ps(b0p.add(p * NR));
+        let v1 = _mm512_loadu_ps(b1p.add(p * NR));
+        for i in 0..MR {
+            let ai = _mm512_set1_ps(*ap.add(p * MR + i));
+            c0[i] = _mm512_fmadd_ps(ai, v0, c0[i]);
+            c1[i] = _mm512_fmadd_ps(ai, v1, c1[i]);
+        }
+    }
+    for i in 0..MR {
+        _mm512_storeu_ps(acc0[i].as_mut_ptr(), c0[i]);
+        _mm512_storeu_ps(acc1[i].as_mut_ptr(), c1[i]);
+    }
+}
+
 /// Write one accumulator tile back to C, masking the ragged edges and
 /// applying the fused epilogue when this is the last K block.
 #[inline(always)]
@@ -291,6 +395,90 @@ fn write_back(
             };
             *out = v;
         }
+    }
+}
+
+/// Vectorised write-back for a full-width (`nr_eff == NR`) accumulator
+/// tile: two 8-lane vectors per row carry the accumulate/bias/ReLU fusion,
+/// replacing the scalar read-modify-write loop on the hot path.
+///
+/// # Safety
+/// AVX2+FMA must be available and the tile must span full `NR` columns
+/// inside `c`'s bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn write_back_avx2(
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    mr_eff: usize,
+    acc: &[[f32; NR]; MR],
+    overwrite: bool,
+    epi: Epilogue<'_>,
+) {
+    use std::arch::x86_64::*;
+    let zero = _mm256_setzero_ps();
+    for (r, acc_row) in acc.iter().enumerate().take(mr_eff) {
+        let cptr = c.as_mut_ptr().add((row0 + r) * ldc + col0);
+        let mut v0 = _mm256_loadu_ps(acc_row.as_ptr());
+        let mut v1 = _mm256_loadu_ps(acc_row.as_ptr().add(8));
+        if !overwrite {
+            v0 = _mm256_add_ps(v0, _mm256_loadu_ps(cptr));
+            v1 = _mm256_add_ps(v1, _mm256_loadu_ps(cptr.add(8)));
+        }
+        match epi {
+            Epilogue::None => {}
+            Epilogue::BiasCol(bias) => {
+                v0 = _mm256_add_ps(v0, _mm256_loadu_ps(bias.as_ptr().add(col0)));
+                v1 = _mm256_add_ps(v1, _mm256_loadu_ps(bias.as_ptr().add(col0 + 8)));
+            }
+            Epilogue::BiasColRelu(bias) => {
+                v0 = _mm256_add_ps(v0, _mm256_loadu_ps(bias.as_ptr().add(col0)));
+                v1 = _mm256_add_ps(v1, _mm256_loadu_ps(bias.as_ptr().add(col0 + 8)));
+                v0 = _mm256_max_ps(v0, zero);
+                v1 = _mm256_max_ps(v1, zero);
+            }
+            Epilogue::BiasRow(bias) => {
+                let br = _mm256_set1_ps(bias[row0 + r]);
+                v0 = _mm256_add_ps(v0, br);
+                v1 = _mm256_add_ps(v1, br);
+            }
+            Epilogue::BiasRowRelu(bias) => {
+                let br = _mm256_set1_ps(bias[row0 + r]);
+                v0 = _mm256_max_ps(_mm256_add_ps(v0, br), zero);
+                v1 = _mm256_max_ps(_mm256_add_ps(v1, br), zero);
+            }
+        }
+        _mm256_storeu_ps(cptr, v0);
+        _mm256_storeu_ps(cptr.add(8), v1);
+    }
+}
+
+/// Tile write-back used from the explicit-SIMD block loops: vector path for
+/// full-width tiles, scalar [`write_back`] for ragged column tails.
+///
+/// # Safety
+/// AVX2+FMA must be available; bounds as for [`write_back`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn write_back_simd(
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    acc: &[[f32; NR]; MR],
+    overwrite: bool,
+    epi: Epilogue<'_>,
+) {
+    if nr_eff == NR {
+        write_back_avx2(c, ldc, row0, col0, mr_eff, acc, overwrite, epi);
+    } else {
+        write_back(c, ldc, row0, col0, mr_eff, nr_eff, acc, overwrite, epi);
     }
 }
 
@@ -327,8 +515,10 @@ fn block_loop_impl(
     }
 }
 
-/// AVX2+FMA instantiation of the block loop (monomorphised through the
-/// `#[inline(always)]` helpers above, so the microkernel compiles to FMAs).
+/// Auto-vectorised AVX2+FMA instantiation of the block loop (monomorphised
+/// through the `#[inline(always)]` helpers above, so the portable microkernel
+/// compiles to FMAs). Retained as the [`KernelTier::Autovec`] comparison
+/// baseline for the explicit-intrinsics tier.
 ///
 /// # Safety
 /// The caller must have verified that the CPU supports AVX2 and FMA.
@@ -351,12 +541,241 @@ unsafe fn block_loop_avx2(
     block_loop_impl(apack, bpack, c, ldc, i0, j0, mc, nc, kc, overwrite, epi);
 }
 
-/// True when the AVX2+FMA block loop may be used (checked once per process).
+/// Explicit-intrinsics instantiation of the block loop: every full tile runs
+/// [`microkernel_avx2`]; write-back (with edge masking and fused epilogues)
+/// is shared with the portable path and inlines under the same features.
+///
+/// # Safety
+/// The caller must have verified that the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn block_loop_simd(
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    overwrite: bool,
+    epi: Epilogue<'_>,
+) {
+    let m_strips = mc.div_ceil(MR);
+    let n_strips = nc.div_ceil(NR);
+    for t in 0..n_strips {
+        let bstrip = &bpack[t * kc * NR..(t + 1) * kc * NR];
+        let col0 = j0 + t * NR;
+        let nr_eff = NR.min(j0 + nc - col0);
+        for s in 0..m_strips {
+            let astrip = &apack[s * kc * MR..(s + 1) * kc * MR];
+            let row0 = i0 + s * MR;
+            let mr_eff = MR.min(i0 + mc - row0);
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel_avx2(kc, astrip, bstrip, &mut acc);
+            write_back_simd(c, ldc, row0, col0, mr_eff, nr_eff, &acc, overwrite, epi);
+        }
+    }
+}
+
+/// AVX-512 instantiation of the block loop: strip pairs run the 6×32
+/// [`microkernel_avx512_pair`]; a ragged final strip falls back to the 6×16
+/// AVX2 microkernel (AVX-512F implies AVX2+FMA on every shipping CPU, and
+/// the dispatcher checks all three features anyway).
+///
+/// # Safety
+/// The caller must have verified AVX-512F, AVX2 and FMA support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn block_loop_avx512(
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    overwrite: bool,
+    epi: Epilogue<'_>,
+) {
+    let m_strips = mc.div_ceil(MR);
+    let n_strips = nc.div_ceil(NR);
+    let mut t = 0usize;
+    while t < n_strips {
+        let col0 = j0 + t * NR;
+        if t + 1 < n_strips {
+            // Strip t is full width (a later strip exists); only strip t+1
+            // can be ragged.
+            let b0 = &bpack[t * kc * NR..(t + 1) * kc * NR];
+            let b1 = &bpack[(t + 1) * kc * NR..(t + 2) * kc * NR];
+            let col1 = col0 + NR;
+            let nr1 = NR.min(j0 + nc - col1);
+            for s in 0..m_strips {
+                let astrip = &apack[s * kc * MR..(s + 1) * kc * MR];
+                let row0 = i0 + s * MR;
+                let mr_eff = MR.min(i0 + mc - row0);
+                let mut acc0 = [[0.0f32; NR]; MR];
+                let mut acc1 = [[0.0f32; NR]; MR];
+                microkernel_avx512_pair(kc, astrip, b0, b1, &mut acc0, &mut acc1);
+                write_back_avx2(c, ldc, row0, col0, mr_eff, &acc0, overwrite, epi);
+                write_back_simd(c, ldc, row0, col1, mr_eff, nr1, &acc1, overwrite, epi);
+            }
+            t += 2;
+        } else {
+            let bstrip = &bpack[t * kc * NR..(t + 1) * kc * NR];
+            let nr_eff = NR.min(j0 + nc - col0);
+            for s in 0..m_strips {
+                let astrip = &apack[s * kc * MR..(s + 1) * kc * MR];
+                let row0 = i0 + s * MR;
+                let mr_eff = MR.min(i0 + mc - row0);
+                let mut acc = [[0.0f32; NR]; MR];
+                microkernel_avx2(kc, astrip, bstrip, &mut acc);
+                write_back_simd(c, ldc, row0, col0, mr_eff, nr_eff, &acc, overwrite, epi);
+            }
+            t += 1;
+        }
+    }
+}
+
+/// True when the AVX2+FMA block loops may be used (checked once per process).
 #[cfg(target_arch = "x86_64")]
 fn avx2_fma_available() -> bool {
     use std::sync::OnceLock;
     static AVAILABLE: OnceLock<bool> = OnceLock::new();
     *AVAILABLE.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+}
+
+/// True when the AVX-512 block loop may be used (checked once per process).
+#[cfg(target_arch = "x86_64")]
+fn avx512_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx2")
+            && is_x86_feature_detected!("fma")
+    })
+}
+
+/// Which GEMM inner-kernel implementation the dispatcher runs.
+///
+/// The effective tier is chosen per call from, in priority order: a
+/// programmatic [`force_kernel_tier`] override, the `PRIONN_GEMM_KERNEL`
+/// environment variable (`avx512` / `avx2` / `autovec` / `portable`, read
+/// once), then runtime CPU-feature detection (best available tier).
+/// Requesting a tier the CPU cannot run silently degrades to the best
+/// supported one — forcing a tier can never make a correct program crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Explicit AVX-512F microkernel over B-strip pairs (6×32 ZMM tile).
+    Avx512,
+    /// Explicit AVX2+FMA `std::arch` microkernel (6×16 YMM tile).
+    Avx2,
+    /// Portable block loop compiled under `target_feature(avx2,fma)` and
+    /// auto-vectorised by LLVM (the pre-intrinsics kernel).
+    Autovec,
+    /// Portable block loop compiled for the baseline target; runs anywhere.
+    Portable,
+}
+
+impl KernelTier {
+    /// Stable lower-case name (`avx512`, `avx2`, `autovec`, `portable`) —
+    /// the same spelling `PRIONN_GEMM_KERNEL` accepts and the bench JSON
+    /// reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Avx512 => "avx512",
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Autovec => "autovec",
+            KernelTier::Portable => "portable",
+        }
+    }
+}
+
+/// Process-wide tier override set by [`force_kernel_tier`].
+/// 0 = none, 1 = avx512, 2 = avx2, 3 = autovec, 4 = portable.
+static TIER_OVERRIDE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Force every subsequent GEMM call in this process onto one kernel tier
+/// (or restore automatic selection with `None`).
+///
+/// Intended for benches and parity tests that compare tiers inside one
+/// process; the override still degrades to a supported tier on CPUs missing
+/// the requested features. All tiers produce results within the
+/// parity-suite tolerance of each other, so flipping this concurrently with
+/// running GEMMs affects performance only, never correctness.
+pub fn force_kernel_tier(tier: Option<KernelTier>) {
+    let v = match tier {
+        None => 0,
+        Some(KernelTier::Avx512) => 1,
+        Some(KernelTier::Avx2) => 2,
+        Some(KernelTier::Autovec) => 3,
+        Some(KernelTier::Portable) => 4,
+    };
+    TIER_OVERRIDE.store(v, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The tier requested by `PRIONN_GEMM_KERNEL`, if any (read once).
+fn env_tier() -> Option<KernelTier> {
+    use std::sync::OnceLock;
+    static ENV: OnceLock<Option<KernelTier>> = OnceLock::new();
+    *ENV.get_or_init(
+        || match std::env::var("PRIONN_GEMM_KERNEL").ok()?.as_str() {
+            "avx512" => Some(KernelTier::Avx512),
+            "avx2" => Some(KernelTier::Avx2),
+            "autovec" => Some(KernelTier::Autovec),
+            "portable" => Some(KernelTier::Portable),
+            other => {
+                eprintln!(
+                    "PRIONN_GEMM_KERNEL: unknown tier {other:?} ignored \
+                     (expected avx512, avx2, autovec or portable)"
+                );
+                None
+            }
+        },
+    )
+}
+
+/// The kernel tier the dispatcher will actually run on this CPU.
+pub fn kernel_tier() -> KernelTier {
+    let requested = match TIER_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => Some(KernelTier::Avx512),
+        2 => Some(KernelTier::Avx2),
+        3 => Some(KernelTier::Autovec),
+        4 => Some(KernelTier::Portable),
+        _ => env_tier(),
+    };
+    #[cfg(target_arch = "x86_64")]
+    {
+        let best = if avx512_available() {
+            KernelTier::Avx512
+        } else if avx2_fma_available() {
+            KernelTier::Avx2
+        } else {
+            KernelTier::Portable
+        };
+        match requested {
+            None => best,
+            // Degrade an unsupported request to the best supported tier;
+            // autovec additionally needs AVX2 (it is the AVX2-compiled
+            // portable loop).
+            Some(KernelTier::Avx512) if !avx512_available() => best,
+            Some(KernelTier::Avx2 | KernelTier::Autovec) if !avx2_fma_available() => {
+                KernelTier::Portable
+            }
+            Some(t) => t,
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = requested;
+        KernelTier::Portable
+    }
 }
 
 #[inline]
@@ -375,14 +794,249 @@ fn run_block_loop(
     epi: Epilogue<'_>,
 ) {
     #[cfg(target_arch = "x86_64")]
-    if avx2_fma_available() {
-        // SAFETY: feature presence verified at runtime above.
-        unsafe {
+    match kernel_tier() {
+        // SAFETY: kernel_tier only returns a SIMD tier after runtime
+        // feature detection succeeded.
+        KernelTier::Avx512 => unsafe {
+            block_loop_avx512(apack, bpack, c, ldc, i0, j0, mc, nc, kc, overwrite, epi);
+        },
+        KernelTier::Avx2 => unsafe {
+            block_loop_simd(apack, bpack, c, ldc, i0, j0, mc, nc, kc, overwrite, epi);
+        },
+        KernelTier::Autovec => unsafe {
             block_loop_avx2(apack, bpack, c, ldc, i0, j0, mc, nc, kc, overwrite, epi);
+        },
+        KernelTier::Portable => {
+            block_loop_impl(apack, bpack, c, ldc, i0, j0, mc, nc, kc, overwrite, epi)
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    block_loop_impl(apack, bpack, c, ldc, i0, j0, mc, nc, kc, overwrite, epi);
+}
+
+/// Upper bound on `n` for the skip-packing small path.
+pub const SMALL_N_MAX: usize = 96;
+/// Upper bound on `m` for the skip-packing small path.
+pub const SMALL_M_MAX: usize = 2 * MC;
+/// Upper bound on `k` for the skip-packing small path.
+pub const SMALL_K_MAX: usize = 2 * KC;
+
+/// True when [`gemm`] will run the skip-packing direct path: the whole
+/// problem fits the microkernel's register tiling without cache blocking
+/// (`m/n/k` small), B is row-major so its tile columns can be loaded
+/// straight from the operand, and the tier supports it (the autovec tier
+/// reproduces the pre-intrinsics kernel exactly, so it never short-cuts).
+///
+/// Packing exists to make the streamed panels contiguous in L1/L2; at these
+/// sizes the operands already fit in cache and the pack traffic is pure
+/// overhead — it is what made 64³ matmuls lose to the naive kernel.
+pub fn small_path_applies(m: usize, n: usize, k: usize, lb: Layout) -> bool {
+    lb == Layout::RowMajor
+        && k > 0
+        && m <= SMALL_M_MAX
+        && n <= SMALL_N_MAX
+        && k <= SMALL_K_MAX
+        && kernel_tier() != KernelTier::Autovec
+}
+
+/// Accumulate one `mr_eff × nr_eff` tile straight from the unpacked
+/// operands (no A/B packing). Shared by the portable small loop and the
+/// ragged edges of the SIMD small loop.
+///
+/// `a_base` points at logical `A[row0, 0]`; consecutive tile rows are
+/// `row_stride` apart and consecutive k steps `k_stride` apart, which
+/// encodes both [`Layout`]s of A.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn small_tile_scalar(
+    k: usize,
+    n: usize,
+    a_base: &[f32],
+    row_stride: usize,
+    k_stride: usize,
+    b_col: &[f32],
+    mr_eff: usize,
+    nr_eff: usize,
+    acc: &mut [[f32; NR]; MR],
+) {
+    for p in 0..k {
+        let brow = &b_col[p * n..p * n + nr_eff];
+        for (r, acc_row) in acc.iter_mut().enumerate().take(mr_eff) {
+            let av = a_base[r * row_stride + p * k_stride];
+            for (j, &bv) in brow.iter().enumerate() {
+                acc_row[j] += av * bv;
+            }
+        }
+    }
+}
+
+/// A-addressing for the small path: `(row_stride, k_stride, base offset of
+/// logical A[row0, 0])`.
+#[inline(always)]
+fn small_a_strides(la: Layout, m: usize, k: usize, row0: usize) -> (usize, usize, usize) {
+    match la {
+        Layout::RowMajor => (k, 1, row0 * k),
+        Layout::Transposed => (1, m, row0),
+    }
+}
+
+/// Portable skip-packing loop over all `MR × NR` tiles of C.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn small_loop_impl(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    la: Layout,
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+    epi: Epilogue<'_>,
+) {
+    for row0 in (0..m).step_by(MR) {
+        let mr_eff = MR.min(m - row0);
+        let (row_stride, k_stride, a_off) = small_a_strides(la, m, k, row0);
+        for col0 in (0..n).step_by(NR) {
+            let nr_eff = NR.min(n - col0);
+            let mut acc = [[0.0f32; NR]; MR];
+            small_tile_scalar(
+                k,
+                n,
+                &a[a_off..],
+                row_stride,
+                k_stride,
+                &b[col0..],
+                mr_eff,
+                nr_eff,
+                &mut acc,
+            );
+            write_back(c, n, row0, col0, mr_eff, nr_eff, &acc, !accumulate, epi);
+        }
+    }
+}
+
+/// Explicit AVX2+FMA tile for the small path: `MRE` full rows × 16 columns
+/// accumulated directly from the unpacked operands. `MRE` is const so the
+/// accumulators stay in registers for every ragged row count.
+///
+/// # Safety
+/// AVX2+FMA must be available; `a_base` must cover `MRE` rows over `k`
+/// steps with the given strides and `b` must cover `k` rows of `n` floats
+/// starting at the tile's first column.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn small_tile_avx2<const MRE: usize>(
+    k: usize,
+    n: usize,
+    a_base: *const f32,
+    row_stride: usize,
+    k_stride: usize,
+    b_col: *const f32,
+    acc: &mut [[f32; NR]; MR],
+) {
+    use std::arch::x86_64::*;
+    let mut lo = [_mm256_setzero_ps(); MRE];
+    let mut hi = [_mm256_setzero_ps(); MRE];
+    for p in 0..k {
+        let bp = b_col.add(p * n);
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        for r in 0..MRE {
+            let ai = _mm256_broadcast_ss(&*a_base.add(r * row_stride + p * k_stride));
+            lo[r] = _mm256_fmadd_ps(ai, b0, lo[r]);
+            hi[r] = _mm256_fmadd_ps(ai, b1, hi[r]);
+        }
+    }
+    for r in 0..MRE {
+        _mm256_storeu_ps(acc[r].as_mut_ptr(), lo[r]);
+        _mm256_storeu_ps(acc[r].as_mut_ptr().add(8), hi[r]);
+    }
+}
+
+/// SIMD skip-packing loop: full-width tiles run [`small_tile_avx2`]
+/// (specialised per ragged row count); column tails fall back to the scalar
+/// tile. Write-back/epilogues are shared with every other path.
+///
+/// # Safety
+/// The caller must have verified that the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn small_loop_avx2(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    la: Layout,
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+    epi: Epilogue<'_>,
+) {
+    for row0 in (0..m).step_by(MR) {
+        let mr_eff = MR.min(m - row0);
+        let (row_stride, k_stride, a_off) = small_a_strides(la, m, k, row0);
+        let a_base = a.as_ptr().add(a_off);
+        for col0 in (0..n).step_by(NR) {
+            let nr_eff = NR.min(n - col0);
+            let mut acc = [[0.0f32; NR]; MR];
+            if nr_eff == NR {
+                let b_col = b.as_ptr().add(col0);
+                match mr_eff {
+                    6 => small_tile_avx2::<6>(k, n, a_base, row_stride, k_stride, b_col, &mut acc),
+                    5 => small_tile_avx2::<5>(k, n, a_base, row_stride, k_stride, b_col, &mut acc),
+                    4 => small_tile_avx2::<4>(k, n, a_base, row_stride, k_stride, b_col, &mut acc),
+                    3 => small_tile_avx2::<3>(k, n, a_base, row_stride, k_stride, b_col, &mut acc),
+                    2 => small_tile_avx2::<2>(k, n, a_base, row_stride, k_stride, b_col, &mut acc),
+                    _ => small_tile_avx2::<1>(k, n, a_base, row_stride, k_stride, b_col, &mut acc),
+                }
+            } else {
+                small_tile_scalar(
+                    k,
+                    n,
+                    std::slice::from_raw_parts(
+                        a_base,
+                        (mr_eff - 1) * row_stride + (k - 1) * k_stride + 1,
+                    ),
+                    row_stride,
+                    k_stride,
+                    &b[col0..],
+                    mr_eff,
+                    nr_eff,
+                    &mut acc,
+                );
+            }
+            write_back_simd(c, n, row0, col0, mr_eff, nr_eff, &acc, !accumulate, epi);
+        }
+    }
+}
+
+/// Dispatch the skip-packing small path onto the effective kernel tier.
+#[allow(clippy::too_many_arguments)]
+fn run_small_loop(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    la: Layout,
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+    epi: Epilogue<'_>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if matches!(kernel_tier(), KernelTier::Avx512 | KernelTier::Avx2) {
+        // SAFETY: both explicit tiers imply AVX2+FMA per feature detection.
+        // The small path always uses the AVX2 tile: at n <= 96 the problem
+        // is load-latency bound, not FMA-width bound, so wider vectors buy
+        // nothing.
+        unsafe {
+            small_loop_avx2(m, n, k, a, la, b, c, accumulate, epi);
         }
         return;
     }
-    block_loop_impl(apack, bpack, c, ldc, i0, j0, mc, nc, kc, overwrite, epi);
+    small_loop_impl(m, n, k, a, la, b, c, accumulate, epi);
 }
 
 fn check_operands(
@@ -450,6 +1104,8 @@ pub fn gemm(
     let t0 = Instant::now();
     if k == 0 {
         gemm_k0(m, n, c, accumulate, epi);
+    } else if small_path_applies(m, n, k, lb) {
+        run_small_loop(m, n, k, a, la, b, c, accumulate, epi);
     } else {
         for j0 in (0..n).step_by(NC) {
             let nc = NC.min(n - j0);
@@ -867,6 +1523,59 @@ mod tests {
     }
 
     #[test]
+    fn small_path_matches_naive_for_both_a_layouts() {
+        // Shapes inside the skip-packing envelope (n <= SMALL_N_MAX),
+        // including ragged tiles and the 64^3 size that used to regress.
+        for &(m, n, k) in &[
+            (64usize, 64usize, 64usize),
+            (1, 96, 200),
+            (7, 13, 5),
+            (SMALL_M_MAX, SMALL_N_MAX, 31),
+            (50, 17, SMALL_K_MAX),
+        ] {
+            assert!(small_path_applies(m, n, k, Layout::RowMajor));
+            let a = fill(m * k, 21);
+            let b = fill(k * n, 22);
+            let bias = fill(n, 23);
+            let want: Vec<f32> = naive(m, n, k, &a, &b)
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (v + bias[i % n]).max(0.0))
+                .collect();
+            let mut at = vec![0.0f32; m * k];
+            for i in 0..m {
+                for p in 0..k {
+                    at[p * m + i] = a[i * k + p];
+                }
+            }
+            let mut ws = GemmWorkspace::new();
+            for (operand, layout) in [(&a, Layout::RowMajor), (&at, Layout::Transposed)] {
+                let mut c = vec![0.0f32; m * n];
+                gemm(
+                    &mut ws,
+                    m,
+                    n,
+                    k,
+                    operand,
+                    layout,
+                    &b,
+                    Layout::RowMajor,
+                    &mut c,
+                    false,
+                    Epilogue::BiasColRelu(&bias),
+                );
+                assert_close(&c, &want);
+            }
+            // The small path packs nothing, so the workspace buffers never
+            // grow.
+            assert_eq!(
+                ws.stats.pack_grows, 0,
+                "{m}x{n}x{k} packed despite small path"
+            );
+        }
+    }
+
+    #[test]
     fn grouped_split_matches_serial() {
         let (m, n, k) = (MC * 2 + 11, 130usize, KC + 17);
         let a = fill(m * k, 12);
@@ -911,7 +1620,9 @@ mod tests {
     #[test]
     fn stats_record_flops_and_pack_time() {
         let mut ws = GemmWorkspace::new();
-        let (m, n, k) = (64usize, 64, 64);
+        // n > SMALL_N_MAX so the call runs the packed block loop rather
+        // than the skip-packing small path.
+        let (m, n, k) = (64usize, 128, 64);
         let a = fill(m * k, 15);
         let b = fill(k * n, 16);
         let mut c = vec![0.0f32; m * n];

@@ -1,0 +1,547 @@
+//! Int8 quantized GEMM for the inference hot path.
+//!
+//! The serving fleet never trains: replica weights are frozen between
+//! hot-swaps, so the f32 matmul can be replaced by an integer one built at
+//! quantization time. The scheme is the standard asymmetric-activation /
+//! symmetric-weight design:
+//!
+//! * **Weights** are quantized per-tensor to `i8` with a symmetric scale
+//!   `sw = max|w| / 127` (zero-point 0), packed once into the kernel's
+//!   pair-interleaved strip layout, and their per-column sums precomputed.
+//! * **Activations** are quantized per-call to `u8` with an asymmetric
+//!   `(scale sa, zero_point za)` covering `[min(x, 0), max(x, 0)]`, so the
+//!   ubiquitous post-ReLU zero is exactly representable.
+//!
+//! With `qa = round(x/sa) + za` and `qw = round(w/sw)`, the f32 product
+//! expands to
+//!
+//! ```text
+//! y[i,j] = sa·sw · ( Σ_p qa[i,p]·qw[p,j]  −  za · Σ_p qw[p,j] )
+//!        = sa·sw · ( S[i,j] − za·col_sum[j] )
+//! ```
+//!
+//! so the kernel only computes the integer matrix `S` (widening
+//! `u8×i8 → i32` accumulation); the zero-point correction folds into the
+//! f32 write-back together with the bias and optional ReLU.
+//!
+//! ## Kernel layout
+//!
+//! Weights are packed like the f32 GEMM's B panels — strips of
+//! [`NR`] (= 16) columns — but with **consecutive k-pairs interleaved**:
+//! `packed[strip][k_pair][col][2]` holds `(qw[2t, j], qw[2t+1, j])` as
+//! adjacent bytes, zero-padded on both the last pair (odd `k`) and the last
+//! strip (ragged `n`). One 32-byte load then feeds AVX2's
+//! `_mm256_cvtepi8_epi16` + `_mm256_madd_epi16` against an activation-pair
+//! broadcast `(qa[2t] | qa[2t+1] << 16)`: each `madd` lane is
+//! `qa0·qw0 + qa1·qw1` with both products ≤ 255·127 = 32 385 < 2¹⁵, so the
+//! i16-pair multiply is **exact** — no `maddubs` saturation. The portable
+//! kernel walks the identical packed layout with plain integer arithmetic;
+//! because i32 addition is associative, every tier produces bit-identical
+//! `S` (asserted by the `portable_and_simd_tiers_bit_identical` test).
+//!
+//! Accumulator headroom: each k-pair contributes ≤ 2·32 385 to an `i32`
+//! lane, bounding `k` at ~33 000 — far above any layer here (checked by a
+//! debug assertion in [`QuantizedWeights::quantize`]).
+//!
+//! Tier selection reuses [`kernel_tier`]: `Avx512`/`Avx2` run the AVX2
+//! int8 kernel (no AVX-512 variant — without VNNI the ZMM form saves
+//! nothing), `Autovec`/`Portable` run the portable kernel, so
+//! `PRIONN_GEMM_KERNEL=portable` exercises the fallback end-to-end.
+
+use super::gemm::{kernel_tier, KernelTier, MR, NR};
+
+/// Per-call activation quantization parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActQuant {
+    /// Dequantization step: `x ≈ (q − zero_point) · scale`.
+    pub scale: f32,
+    /// The u8 code representing real zero.
+    pub zero_point: u8,
+}
+
+/// Quantize activations to `u8` into a caller-provided buffer (typically a
+/// pooled `Scratch` buffer) and return the scale/zero-point used.
+///
+/// The quantization grid always covers 0 so post-ReLU zeros are exact; an
+/// all-zero (or empty) input gets the identity grid `scale = 1, zp = 0`.
+///
+/// # Panics
+/// When `out.len() != x.len()`.
+pub fn quantize_activations_into(x: &[f32], out: &mut [u8]) -> ActQuant {
+    assert_eq!(x.len(), out.len(), "activation buffer length mismatch");
+    let mut lo = 0.0f32;
+    let mut hi = 0.0f32;
+    for &v in x {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo == hi {
+        out.fill(0);
+        return ActQuant {
+            scale: 1.0,
+            zero_point: 0,
+        };
+    }
+    let scale = (hi - lo) / 255.0;
+    let zero_point = (-lo / scale).round().clamp(0.0, 255.0) as u8;
+    let zp = zero_point as f32;
+    for (q, &v) in out.iter_mut().zip(x) {
+        *q = (v / scale + zp).round().clamp(0.0, 255.0) as u8;
+    }
+    ActQuant { scale, zero_point }
+}
+
+/// Convenience allocating form of [`quantize_activations_into`].
+pub fn quantize_activations(x: &[f32]) -> (Vec<u8>, ActQuant) {
+    let mut out = vec![0u8; x.len()];
+    let aq = quantize_activations_into(x, &mut out);
+    (out, aq)
+}
+
+/// A weight matrix quantized to `i8` and packed for [`qgemm`].
+///
+/// Built once per hot-swap from the row-major f32 `[k, n]` weights (the
+/// `Dense` orientation: `y = x · W`); serving then reuses it for every
+/// batch until the next swap.
+#[derive(Debug, Clone)]
+pub struct QuantizedWeights {
+    /// `[n_strips][k_pairs][NR][2]` pair-interleaved i8 codes, zero-padded.
+    packed: Vec<i8>,
+    /// Per-column code sums `Σ_p qw[p, j]` for the zero-point correction.
+    col_sums: Vec<i32>,
+    /// Symmetric dequantization scale: `w ≈ qw · scale`.
+    scale: f32,
+    k: usize,
+    n: usize,
+}
+
+impl QuantizedWeights {
+    /// Quantize a row-major `[k, n]` f32 matrix. All-zero matrices get
+    /// `scale = 1` (codes are all zero either way).
+    ///
+    /// # Panics
+    /// When `w.len() != k * n`, `k == 0`, or `n == 0`.
+    pub fn quantize(w: &[f32], k: usize, n: usize) -> QuantizedWeights {
+        assert_eq!(w.len(), k * n, "weight shape mismatch");
+        assert!(k > 0 && n > 0, "degenerate weight shape {k}x{n}");
+        debug_assert!(k < 33_000, "i32 accumulator headroom exceeded: k={k}");
+        let max_abs = w.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        let quant = |v: f32| (v / scale).round().clamp(-127.0, 127.0) as i8;
+
+        let n_strips = n.div_ceil(NR);
+        let k_pairs = k.div_ceil(2);
+        let mut packed = vec![0i8; n_strips * k_pairs * NR * 2];
+        let mut col_sums = vec![0i32; n];
+        for (j, sum) in col_sums.iter_mut().enumerate() {
+            let strip = j / NR;
+            let col = j % NR;
+            for t in 0..k_pairs {
+                let base = ((strip * k_pairs + t) * NR + col) * 2;
+                let q0 = quant(w[(2 * t) * n + j]);
+                packed[base] = q0;
+                *sum += q0 as i32;
+                if 2 * t + 1 < k {
+                    let q1 = quant(w[(2 * t + 1) * n + j]);
+                    packed[base + 1] = q1;
+                    *sum += q1 as i32;
+                }
+            }
+        }
+        QuantizedWeights {
+            packed,
+            col_sums,
+            scale,
+            k,
+            n,
+        }
+    }
+
+    /// Symmetric dequantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Input width (rows of the original matrix).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output width (columns of the original matrix).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes held by the packed codes + column sums (diagnostics; ≈ ¼ of
+    /// the f32 weights).
+    pub fn packed_bytes(&self) -> usize {
+        self.packed.len() + self.col_sums.len() * 4
+    }
+}
+
+/// One `MRE × NR` integer tile over the packed pair layout, portable.
+///
+/// `qa` is the row-major `[m, k]` u8 activation matrix; `row0` selects the
+/// tile's rows. Accumulates exact i32 sums into `acc`.
+#[allow(clippy::too_many_arguments)]
+fn qtile_portable(
+    qa: &[u8],
+    k: usize,
+    row0: usize,
+    mr_eff: usize,
+    strip: &[i8],
+    k_pairs: usize,
+    acc: &mut [[i32; NR]; MR],
+) {
+    for t in 0..k_pairs {
+        let wp = &strip[t * NR * 2..(t + 1) * NR * 2];
+        for (r, acc_row) in acc.iter_mut().enumerate().take(mr_eff) {
+            let arow = &qa[(row0 + r) * k..(row0 + r + 1) * k];
+            let qa0 = arow[2 * t] as i32;
+            let qa1 = if 2 * t + 1 < k {
+                arow[2 * t + 1] as i32
+            } else {
+                0
+            };
+            for c in 0..NR {
+                *unsafe { acc_row.get_unchecked_mut(c) } +=
+                    qa0 * wp[c * 2] as i32 + qa1 * wp[c * 2 + 1] as i32;
+            }
+        }
+    }
+}
+
+/// AVX2 variant of [`qtile_portable`]: one 32-byte weight load per k-pair
+/// feeds `MRE` rows via `cvtepi8_epi16` + `madd_epi16` against per-row
+/// activation-pair broadcasts — 12 resident i32 accumulator vectors at
+/// `MRE = 6`, mirroring the f32 microkernel's register budget.
+///
+/// # Safety
+/// Caller must ensure AVX2 is available, `row0 + MRE ≤ m`, and `strip`
+/// holds `k_pairs` packed pair-groups.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn qtile_avx2<const MRE: usize>(
+    qa: &[u8],
+    k: usize,
+    row0: usize,
+    strip: &[i8],
+    k_pairs: usize,
+    acc: &mut [[i32; NR]; MR],
+) {
+    use std::arch::x86_64::*;
+    let mut lo = [_mm256_setzero_si256(); MRE];
+    let mut hi = [_mm256_setzero_si256(); MRE];
+    let wp = strip.as_ptr();
+    let ap = qa.as_ptr();
+    for t in 0..k_pairs {
+        let wbytes = _mm256_loadu_si256(wp.add(t * NR * 2) as *const __m256i);
+        // Low 16 bytes: columns 0..7 (pair-interleaved); high: columns 8..15.
+        let wlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wbytes));
+        let whi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wbytes, 1));
+        for i in 0..MRE {
+            let arow = ap.add((row0 + i) * k);
+            let qa0 = *arow.add(2 * t) as u32;
+            let qa1 = if 2 * t + 1 < k {
+                *arow.add(2 * t + 1) as u32
+            } else {
+                0
+            };
+            let pair = _mm256_set1_epi32((qa0 | (qa1 << 16)) as i32);
+            lo[i] = _mm256_add_epi32(lo[i], _mm256_madd_epi16(wlo, pair));
+            hi[i] = _mm256_add_epi32(hi[i], _mm256_madd_epi16(whi, pair));
+        }
+    }
+    for i in 0..MRE {
+        _mm256_storeu_si256(acc[i].as_mut_ptr() as *mut __m256i, lo[i]);
+        _mm256_storeu_si256(acc[i].as_mut_ptr().add(8) as *mut __m256i, hi[i]);
+    }
+}
+
+/// Dequantize one integer tile into the f32 output with the zero-point
+/// correction, bias, and optional ReLU fused.
+#[allow(clippy::too_many_arguments)]
+fn qwrite_back(
+    out: &mut [f32],
+    n: usize,
+    row0: usize,
+    col0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    acc: &[[i32; NR]; MR],
+    qw: &QuantizedWeights,
+    aq: ActQuant,
+    bias: Option<&[f32]>,
+    relu: bool,
+) {
+    let dequant = aq.scale * qw.scale;
+    let za = aq.zero_point as i32;
+    for r in 0..mr_eff {
+        let orow = &mut out[(row0 + r) * n + col0..(row0 + r) * n + col0 + nr_eff];
+        for (c, o) in orow.iter_mut().enumerate() {
+            let j = col0 + c;
+            let mut v = dequant * (acc[r][c] - za * qw.col_sums[j]) as f32;
+            if let Some(b) = bias {
+                v += b[j];
+            }
+            *o = if relu { v.max(0.0) } else { v };
+        }
+    }
+}
+
+/// Quantized matmul: `out[m, n] = dequant(qa[m, k] · qw) (+ bias) (ReLU)`.
+///
+/// `qa` must be quantized with `aq` (see [`quantize_activations_into`]);
+/// `out` is fully overwritten. The integer core dispatches on
+/// [`kernel_tier`] but every tier computes the identical `S`, so results
+/// are bit-for-bit reproducible across hosts and `PRIONN_GEMM_KERNEL`
+/// settings.
+///
+/// # Panics
+/// On mismatched buffer lengths or `bias` shorter than `n`.
+pub fn qgemm(
+    qa: &[u8],
+    aq: ActQuant,
+    m: usize,
+    qw: &QuantizedWeights,
+    bias: Option<&[f32]>,
+    relu: bool,
+    out: &mut [f32],
+) {
+    let (k, n) = (qw.k, qw.n);
+    assert_eq!(qa.len(), m * k, "activation shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    if let Some(b) = bias {
+        assert!(b.len() >= n, "bias shorter than n");
+    }
+    let n_strips = n.div_ceil(NR);
+    let k_pairs = k.div_ceil(2);
+    let strip_len = k_pairs * NR * 2;
+    #[cfg(target_arch = "x86_64")]
+    let use_simd = matches!(kernel_tier(), KernelTier::Avx512 | KernelTier::Avx2);
+    #[cfg(not(target_arch = "x86_64"))]
+    let use_simd = false;
+
+    let mut row0 = 0usize;
+    while row0 < m {
+        let mr_eff = MR.min(m - row0);
+        for s in 0..n_strips {
+            let col0 = s * NR;
+            let nr_eff = NR.min(n - col0);
+            let strip = &qw.packed[s * strip_len..(s + 1) * strip_len];
+            let mut acc = [[0i32; NR]; MR];
+            if use_simd {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: tier check above guarantees AVX2; mr_eff rows are
+                // in bounds by construction.
+                unsafe {
+                    match mr_eff {
+                        6 => qtile_avx2::<6>(qa, k, row0, strip, k_pairs, &mut acc),
+                        5 => qtile_avx2::<5>(qa, k, row0, strip, k_pairs, &mut acc),
+                        4 => qtile_avx2::<4>(qa, k, row0, strip, k_pairs, &mut acc),
+                        3 => qtile_avx2::<3>(qa, k, row0, strip, k_pairs, &mut acc),
+                        2 => qtile_avx2::<2>(qa, k, row0, strip, k_pairs, &mut acc),
+                        _ => qtile_avx2::<1>(qa, k, row0, strip, k_pairs, &mut acc),
+                    }
+                }
+            } else {
+                qtile_portable(qa, k, row0, mr_eff, strip, k_pairs, &mut acc);
+            }
+            qwrite_back(out, n, row0, col0, mr_eff, nr_eff, &acc, qw, aq, bias, relu);
+        }
+        row0 += mr_eff;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::gemm::force_kernel_tier;
+
+    /// Deterministic pseudo-random f32s in [-range, range].
+    fn randf(seed: u64, len: usize, range: f32) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 11) as f32 / (1u64 << 53) as f32 * 2.0 - 1.0) * range
+            })
+            .collect()
+    }
+
+    fn f32_reference(x: &[f32], w: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a = x[i * k + p];
+                for j in 0..n {
+                    out[i * n + j] += a * w[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn activation_round_trip_error_is_bounded_by_half_a_step() {
+        for seed in 0..8u64 {
+            let x = randf(seed, 301, 3.0);
+            let (q, aq) = quantize_activations(&x);
+            for (&v, &code) in x.iter().zip(&q) {
+                let back = (code as f32 - aq.zero_point as f32) * aq.scale;
+                assert!(
+                    (v - back).abs() <= aq.scale * 0.5 + 1e-6,
+                    "seed {seed}: {v} -> {back} (scale {})",
+                    aq.scale
+                );
+            }
+            // Real zero must be exactly representable.
+            let zero_code = aq.zero_point;
+            assert_eq!((zero_code as f32 - aq.zero_point as f32) * aq.scale, 0.0);
+        }
+    }
+
+    #[test]
+    fn weight_round_trip_error_is_bounded_by_half_a_step() {
+        let (k, n) = (37, 29);
+        let w = randf(99, k * n, 0.8);
+        let qw = QuantizedWeights::quantize(&w, k, n);
+        // Recover codes through a unit activation: x = e_p row picks out
+        // row p of the dequantized weights.
+        let sw = qw.scale();
+        for (idx, &orig) in w.iter().enumerate() {
+            let code = (orig / sw).round().clamp(-127.0, 127.0);
+            assert!(
+                (orig - code * sw).abs() <= sw * 0.5 + 1e-6,
+                "w[{idx}] = {orig}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_inputs_use_identity_grids() {
+        let (q, aq) = quantize_activations(&[0.0; 16]);
+        assert_eq!(aq.scale, 1.0);
+        assert_eq!(aq.zero_point, 0);
+        assert!(q.iter().all(|&c| c == 0));
+        let qw = QuantizedWeights::quantize(&[0.0; 12], 3, 4);
+        assert_eq!(qw.scale(), 1.0);
+    }
+
+    /// qgemm must track the f32 product to within the propagated
+    /// quantization error on randomized shapes, including odd k, ragged n,
+    /// and ragged row tails.
+    #[test]
+    fn qgemm_matches_f32_reference_within_quant_error() {
+        let shapes = [
+            (1usize, 16usize, 16usize),
+            (6, 32, 48),
+            (7, 33, 17),
+            (13, 101, 50),
+            (32, 64, 240),
+            (5, 1, 3),
+        ];
+        for (si, &(m, k, n)) in shapes.iter().enumerate() {
+            let x = randf(si as u64 + 1, m * k, 2.0);
+            let w = randf(si as u64 + 101, k * n, 0.5);
+            let bias = randf(si as u64 + 201, n, 0.3);
+            let expect = f32_reference(&x, &w, m, k, n);
+
+            let qw = QuantizedWeights::quantize(&w, k, n);
+            let (qa, aq) = quantize_activations(&x);
+            let mut got = vec![0.0f32; m * n];
+            qgemm(&qa, aq, m, &qw, Some(&bias), false, &mut got);
+
+            // Error model: each of the k products carries at most
+            // |a|·(sw/2) + |w|·(sa/2) + (sa/2)(sw/2) absolute error.
+            let tol = k as f32
+                * (2.0 * qw.scale() / 2.0 + 0.5 * aq.scale / 2.0 + 1.0)
+                * f32::max(qw.scale(), aq.scale);
+            let max_abs = expect.iter().fold(0.0f32, |a, &v| a.max(v.abs())).max(1.0);
+            for (i, (&e, &g)) in expect.iter().zip(&got).enumerate() {
+                let eb = e + bias[i % n];
+                assert!(
+                    (eb - g).abs() <= tol.max(max_abs * 0.02),
+                    "shape {m}x{k}x{n} elem {i}: f32 {eb} vs int8 {g} (tol {tol})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negative_outputs() {
+        let (m, k, n) = (4usize, 20usize, 24usize);
+        let x = randf(7, m * k, 1.0);
+        let w = randf(8, k * n, 1.0);
+        let qw = QuantizedWeights::quantize(&w, k, n);
+        let (qa, aq) = quantize_activations(&x);
+        let mut plain = vec![0.0f32; m * n];
+        let mut relu = vec![0.0f32; m * n];
+        qgemm(&qa, aq, m, &qw, None, false, &mut plain);
+        qgemm(&qa, aq, m, &qw, None, true, &mut relu);
+        assert!(plain.iter().any(|&v| v < 0.0), "test needs negatives");
+        for (&p, &r) in plain.iter().zip(&relu) {
+            assert_eq!(r, p.max(0.0));
+        }
+    }
+
+    /// Integer accumulation is exact, so every dispatch tier must produce
+    /// bit-identical output — the property that makes quantized serving
+    /// reproducible across heterogeneous fleets.
+    #[test]
+    fn portable_and_simd_tiers_bit_identical() {
+        use crate::ops::gemm::KernelTier;
+        let (m, k, n) = (11usize, 53usize, 37usize);
+        let x = randf(21, m * k, 1.5);
+        let w = randf(22, k * n, 0.7);
+        let bias = randf(23, n, 0.2);
+        let qw = QuantizedWeights::quantize(&w, k, n);
+        let (qa, aq) = quantize_activations(&x);
+        let mut outputs = Vec::new();
+        for tier in [
+            KernelTier::Avx512,
+            KernelTier::Avx2,
+            KernelTier::Autovec,
+            KernelTier::Portable,
+        ] {
+            force_kernel_tier(Some(tier));
+            let mut out = vec![0.0f32; m * n];
+            qgemm(&qa, aq, m, &qw, Some(&bias), true, &mut out);
+            outputs.push((tier, out));
+        }
+        force_kernel_tier(None);
+        let (_, first) = &outputs[0];
+        for (tier, out) in &outputs[1..] {
+            assert_eq!(out, first, "tier {tier:?} diverged");
+        }
+    }
+
+    #[test]
+    fn packed_bytes_is_about_a_quarter_of_f32() {
+        let (k, n) = (128usize, 256usize);
+        let qw = QuantizedWeights::quantize(&vec![0.5; k * n], k, n);
+        let f32_bytes = k * n * 4;
+        assert!(qw.packed_bytes() < f32_bytes / 2, "{}", qw.packed_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "activation shape mismatch")]
+    fn qgemm_rejects_wrong_activation_length() {
+        let qw = QuantizedWeights::quantize(&[0.5; 8], 2, 4);
+        let mut out = vec![0.0; 4];
+        qgemm(
+            &[0u8; 3],
+            ActQuant {
+                scale: 1.0,
+                zero_point: 0,
+            },
+            1,
+            &qw,
+            None,
+            false,
+            &mut out,
+        );
+    }
+}

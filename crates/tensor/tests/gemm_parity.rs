@@ -116,6 +116,52 @@ fn randomized_shapes_match_reference() {
     }
 }
 
+/// Dispatch-fallback sweep: every kernel tier — forced in turn via
+/// `force_kernel_tier` — must match the reference on shapes that cover
+/// both the packed path and the skip-packing small path. Tiers the host
+/// cannot run degrade gracefully and exercise whatever tier dispatch
+/// lands on, so this test is meaningful on any x86-64 (and on other
+/// architectures, where every forced tier degrades to portable/autovec).
+#[test]
+fn every_kernel_tier_matches_reference() {
+    use prionn_tensor::ops::gemm::KernelTier;
+    let mut rng = ChaCha8Rng::seed_from_u64(0x71E5);
+    for tier in [
+        KernelTier::Avx512,
+        KernelTier::Avx2,
+        KernelTier::Autovec,
+        KernelTier::Portable,
+    ] {
+        gemm::force_kernel_tier(Some(tier));
+        let effective = gemm::kernel_tier();
+        for (m, n, k) in shapes() {
+            let a = rand_tensor(&mut rng, m, k);
+            let b = rand_tensor(&mut rng, k, n);
+            let bias = prionn_tensor::init::uniform([n], -1.0, 1.0, &mut rng);
+            let what = |op: &str| {
+                format!(
+                    "tier {} (effective {}) {op} {m}x{n}x{k}",
+                    tier.name(),
+                    effective.name()
+                )
+            };
+            assert_close(
+                ops::matmul(&a, &b).unwrap().as_slice(),
+                reference::matmul(&a, &b).unwrap().as_slice(),
+                &what("matmul"),
+            );
+            assert_close(
+                ops::matmul_bias_relu(&a, &b, &bias).unwrap().as_slice(),
+                reference::matmul_bias_relu(&a, &b, &bias)
+                    .unwrap()
+                    .as_slice(),
+                &what("matmul_bias_relu"),
+            );
+        }
+    }
+    gemm::force_kernel_tier(None);
+}
+
 #[test]
 fn grouped_parallel_path_matches_serial() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x9A97);
