@@ -1,0 +1,273 @@
+//! Fleet bench: aggregate throughput of a sharded 4-gateway fleet over
+//! the binary wire protocol versus a single gateway behind the same
+//! protocol, plus the shard-kill availability drill.
+//!
+//! Runs as a custom harness (`cargo bench -p prionn-bench --bench fleet`)
+//! and writes `BENCH_fleet.json` to the workspace root (override with
+//! `BENCH_FLEET_OUT`). Flags:
+//!
+//! * `--smoke`   — fewer requests, for CI;
+//! * `--enforce` — exit non-zero unless the drill invariants hold
+//!   (failover answers every request, typed sheds only, the fleet
+//!   recovers after a shard kill) and — on hosts with ≥4 cores, where a
+//!   4-shard fleet can actually run in parallel — the fleet sustains
+//!   ≥2.5× the single-gateway aggregate throughput. On smaller hosts the
+//!   scaling gate is recorded but not enforced (the same policy the
+//!   kernels bench uses for its SIMD gate off-AVX2): all shards contend
+//!   for one core, so the measurement would be noise, not scaling.
+//!
+//! Both sides serve identical weights from the shared demo checkpoint,
+//! over real TCP connections with pipelined framing, so the comparison
+//! isolates shard-level scale-out.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use prionn_fleet::router::{FleetError, Router, RouterConfig};
+use prionn_fleet::testkit::{demo_corpus, LocalFleet};
+use serde_json::json;
+
+const FLEET_SHARDS: usize = 4;
+/// Closed-loop clients per shard: enough in-flight requests to keep every
+/// shard's batch fusion fed.
+const CLIENTS_PER_SHARD: usize = 8;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct LoadStats {
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    ok: u64,
+    errors: u64,
+}
+
+/// Drive `total` requests through `router` from `clients` closed-loop
+/// threads, users striding the full id space.
+fn drive(router: &Router, scripts: &[String], total: usize, clients: usize) -> LoadStats {
+    let started = Instant::now();
+    let results: Vec<(u64, u64, Vec<f64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut errors = 0u64;
+                    let mut lat = Vec::with_capacity(total / clients + 1);
+                    let mut r = c;
+                    while r < total {
+                        let user = (r as u64).wrapping_mul(2_654_435_761) % 100_000;
+                        let one =
+                            std::slice::from_ref(&scripts[(user % scripts.len() as u64) as usize]);
+                        let t = Instant::now();
+                        match router.predict(user, one) {
+                            Ok(_) => {
+                                ok += 1;
+                                lat.push(t.elapsed().as_secs_f64());
+                            }
+                            Err(_) => errors += 1,
+                        }
+                        r += clients;
+                    }
+                    (ok, errors, lat)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let mut lat: Vec<f64> = Vec::new();
+    let (mut ok, mut errors) = (0u64, 0u64);
+    for (o, e, l) in results {
+        ok += o;
+        errors += e;
+        lat.extend(l);
+    }
+    lat.sort_by(|a, b| a.total_cmp(b));
+    LoadStats {
+        rps: ok as f64 / wall,
+        p50_ms: percentile(&lat, 0.50) * 1e3,
+        p99_ms: percentile(&lat, 0.99) * 1e3,
+        ok,
+        errors,
+    }
+}
+
+fn router_for(endpoints: Vec<String>) -> Router {
+    Router::new(RouterConfig {
+        request_timeout: Duration::from_secs(30),
+        down_backoff: Duration::from_millis(100),
+        ..RouterConfig::for_endpoints(endpoints)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let enforce = args.iter().any(|a| a == "--enforce");
+    let mode = if smoke { "smoke" } else { "full" };
+    let total = if smoke { 4_000 } else { 20_000 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let scripts = demo_corpus();
+    println!("fleet bench ({mode} mode): {total} requests, {cores} cores");
+
+    // Baseline: one gateway behind the wire protocol, loaded by the same
+    // per-shard client count the fleet gets.
+    let baseline_clients = CLIENTS_PER_SHARD;
+    let single = LocalFleet::spawn(1);
+    let router = router_for(single.endpoints());
+    router.predict(0, &scripts[..1]).unwrap(); // warm
+    let base = drive(&router, &scripts, total, baseline_clients);
+    drop(router);
+    drop(single);
+    println!(
+        "  single gateway: {:.0} req/s  p50 {:.2} ms  p99 {:.2} ms  ({} ok, {} errors)",
+        base.rps, base.p50_ms, base.p99_ms, base.ok, base.errors
+    );
+
+    // Fleet: four shards, client count scaled with the shard count.
+    let fleet_clients = CLIENTS_PER_SHARD * FLEET_SHARDS;
+    let mut fleet = LocalFleet::spawn(FLEET_SHARDS);
+    let router = Arc::new(router_for(fleet.endpoints()));
+    router.predict(0, &scripts[..1]).unwrap();
+    let agg = drive(&router, &scripts, total, fleet_clients);
+    let scaling = agg.rps / base.rps;
+    let efficiency = scaling / FLEET_SHARDS as f64;
+    println!(
+        "  {FLEET_SHARDS}-shard fleet: {:.0} req/s  p50 {:.2} ms  p99 {:.2} ms  ({} ok, {} errors)",
+        agg.rps, agg.p50_ms, agg.p99_ms, agg.ok, agg.errors
+    );
+    println!("  scaling vs single gateway: {scaling:.2}x  (efficiency {efficiency:.2}/shard)");
+
+    // Shard-kill drill: typed shed + failover answers everyone, then the
+    // fleet recovers a replacement shard without wedging.
+    let victim = FLEET_SHARDS - 1;
+    let probes: Vec<u64> = (0..10_000u64)
+        .filter(|&u| router.route(u) == Some(victim))
+        .take(100)
+        .collect();
+    fleet.kill(victim);
+    let mut failover_ok = 0u64;
+    let mut failover_lost = 0u64;
+    for &u in &probes {
+        match router.predict(u, &scripts[..1]) {
+            Ok(reply) if reply.shard != victim => failover_ok += 1,
+            Ok(_) => failover_lost += 1,
+            Err(FleetError::Rejected { .. }) => failover_lost += 1,
+            Err(_) => failover_lost += 1,
+        }
+    }
+    let endpoint = fleet.respawn(victim);
+    router.set_endpoint(victim, &endpoint);
+    router.mark_up(victim);
+    let recover_deadline = Instant::now() + Duration::from_secs(10);
+    let mut recovered = false;
+    while Instant::now() < recover_deadline {
+        if let Ok(reply) = router.predict(probes[0], &scripts[..1]) {
+            if reply.shard == victim {
+                recovered = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let drill_ok = failover_lost == 0 && failover_ok == probes.len() as u64 && recovered;
+    println!(
+        "  kill drill: {failover_ok}/{} failed over, recovered={recovered}",
+        probes.len()
+    );
+    drop(router);
+    fleet.shutdown();
+
+    // The ≥2.5x scaling gate needs one core per shard to be meaningful;
+    // below that every shard contends for the same CPU and aggregate
+    // throughput cannot exceed the single-gateway ceiling.
+    let scaling_gate_applies = cores >= FLEET_SHARDS;
+    let scaling_floor = 2.5;
+
+    let report = json!({
+        "bench": "fleet",
+        "mode": mode,
+        "cores": cores,
+        "requests": total,
+        "single_gateway": {
+            "clients": baseline_clients,
+            "throughput_rps": base.rps,
+            "p50_ms": base.p50_ms,
+            "p99_ms": base.p99_ms,
+            "errors": base.errors,
+        },
+        "fleet": {
+            "shards": FLEET_SHARDS,
+            "clients": fleet_clients,
+            "throughput_rps": agg.rps,
+            "p50_ms": agg.p50_ms,
+            "p99_ms": agg.p99_ms,
+            "errors": agg.errors,
+        },
+        "scaling_vs_single_gateway": scaling,
+        "per_shard_efficiency": efficiency,
+        "scaling_gate": {
+            "floor": scaling_floor,
+            "applies": scaling_gate_applies,
+            "reason": if scaling_gate_applies {
+                format!("{cores} cores >= {FLEET_SHARDS} shards: parallel scale-out measurable")
+            } else {
+                format!(
+                    "{cores} cores < {FLEET_SHARDS} shards: shards contend for one CPU, \
+                     scaling not measurable on this host"
+                )
+            },
+        },
+        "kill_drill": {
+            "probes": probes.len(),
+            "failed_over": failover_ok,
+            "lost": failover_lost,
+            "recovered": recovered,
+            "ok": drill_ok,
+        },
+    });
+
+    // Cargo runs bench binaries with the package dir as CWD; default to the
+    // workspace root so the committed JSON lands next to README.md.
+    let out = std::env::var("BENCH_FLEET_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json").into());
+    std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap()).unwrap();
+    println!("wrote {out}");
+
+    if enforce {
+        if !drill_ok {
+            eprintln!(
+                "FAIL: kill drill lost {failover_lost} of {} requests (recovered={recovered})",
+                probes.len()
+            );
+            std::process::exit(1);
+        }
+        if base.errors > 0 || agg.errors > 0 {
+            eprintln!(
+                "FAIL: load phases saw errors (single: {}, fleet: {})",
+                base.errors, agg.errors
+            );
+            std::process::exit(1);
+        }
+        if scaling_gate_applies && scaling < scaling_floor {
+            eprintln!(
+                "FAIL: fleet {:.0} req/s is only {scaling:.2}x the single gateway {:.0} req/s \
+                 (< {scaling_floor}x floor on a {cores}-core host)",
+                agg.rps, base.rps
+            );
+            std::process::exit(1);
+        }
+        let gate_note = if scaling_gate_applies {
+            format!("scaling {scaling:.2}x >= {scaling_floor}x")
+        } else {
+            format!("scaling gate skipped ({cores} cores < {FLEET_SHARDS} shards)")
+        };
+        println!("enforce: drill OK, zero lost requests, {gate_note}");
+    }
+}

@@ -145,6 +145,51 @@ fn main() {
     let batches = gateway.stats().batches_served.load(Ordering::SeqCst) - warm_batches;
     let fused = gateway.stats().scripts_predicted.load(Ordering::SeqCst) - warm_fused;
     gateway.shutdown();
+
+    // Replica sweep: the same load against 1, 2, and 4 replica workers,
+    // reporting per-replica scaling efficiency. On a single-core host the
+    // curve is honest and flat (replicas contend for one CPU); on real
+    // multi-core serving boxes it shows how far replica parallelism
+    // carries past batch fusion.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut sweep = Vec::new();
+    let mut rps_at_1 = 0.0f64;
+    for replicas in [1usize, 2, 4] {
+        let gw = Gateway::spawn_from_checkpoint(
+            &ck_path,
+            GatewayConfig {
+                replicas,
+                max_batch: CLIENTS,
+                max_wait: Duration::from_micros(500),
+                ..GatewayConfig::default()
+            },
+        )
+        .unwrap();
+        gw.predict(&scripts[..1]).unwrap();
+        let (wall, lat) = drive_clients(&scripts, reqs, |one| {
+            gw.predict(one).unwrap();
+        });
+        gw.shutdown();
+        let rps = (CLIENTS * reqs) as f64 / wall;
+        if replicas == 1 {
+            rps_at_1 = rps;
+        }
+        let scaling = rps / rps_at_1;
+        let efficiency = scaling / replicas as f64;
+        println!(
+            "  replicas={replicas}: {rps:.1} req/s  p50 {:.2} ms  scaling {scaling:.2}x  \
+             efficiency {efficiency:.2}",
+            percentile(&lat, 0.50) * 1e3
+        );
+        sweep.push(json!({
+            "replicas": replicas,
+            "throughput_rps": rps,
+            "p50_ms": percentile(&lat, 0.50) * 1e3,
+            "p95_ms": percentile(&lat, 0.95) * 1e3,
+            "scaling_vs_1": scaling,
+            "per_replica_efficiency": efficiency,
+        }));
+    }
     let _ = std::fs::remove_file(&ck_path);
 
     let total = (CLIENTS * reqs) as f64;
@@ -187,6 +232,8 @@ fn main() {
         },
         "throughput_speedup_vs_serialized": speedup,
         "p50_speedup_vs_serialized": service_p50 / gateway_p50,
+        "cores": cores,
+        "replica_sweep": sweep,
     });
 
     // Cargo runs bench binaries with the package dir as CWD; default to the

@@ -1,0 +1,472 @@
+//! Fleet load generator and failure-drill driver.
+//!
+//! ```text
+//! loadgen [--users N] [--shards N] [--clients N] [--smoke]
+//!         [--kill-drill] [--serve-seconds S] [--spawn PATH]
+//! ```
+//!
+//! Boots a local fleet (in-process by default; `--spawn
+//! path/to/prionn-shard` runs each shard as a separate OS process),
+//! drives scripted users through a consistent-hash [`Router`], and
+//! reports aggregate throughput and latency percentiles. With
+//! `--kill-drill` it additionally runs the availability drill: drain one
+//! shard gracefully (users fail over, nothing is lost), kill a shard
+//! abruptly (typed shed at the router, failover succeeds), then respawn
+//! it and verify traffic returns — the fleet recovers without wedging.
+//!
+//! Output contract (consumed by the CI fleet job):
+//! * `OPS_ADDR_<i>=<addr>` — one line per shard's ops endpoint;
+//! * `LOADGEN_OK` — printed only when load + every drill invariant held;
+//! * with `--serve-seconds S` the fleet then stays up for S seconds so
+//!   an outside process can scrape `/metrics`.
+//!
+//! Default scale is 100 000 scripted users; `--smoke` keeps the user id
+//! space but sends a reduced request sample, for CI.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use prionn_fleet::router::{FleetError, Router, RouterConfig};
+use prionn_fleet::testkit::{demo_corpus, LocalFleet};
+use prionn_observe::ops::{OpsOptions, OpsServer};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// The fleet under test: in-process shards or spawned child processes.
+/// Either way each shard exposes the wire port plus an ops endpoint.
+enum Backend {
+    InProcess {
+        fleet: LocalFleet,
+        ops: Vec<Option<OpsServer>>,
+    },
+    Spawned {
+        bin: String,
+        children: Vec<Option<ChildShard>>,
+    },
+}
+
+struct ChildShard {
+    child: Child,
+    stdin: ChildStdin,
+    shard_addr: String,
+    ops_addr: String,
+}
+
+fn spawn_child(bin: &str) -> ChildShard {
+    let mut child = Command::new(bin)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    let stdin = child.stdin.take().expect("child stdin");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let mut shard_addr = None;
+    let mut ops_addr = None;
+    while shard_addr.is_none() || ops_addr.is_none() {
+        let line = lines
+            .next()
+            .expect("child exited before printing addresses")
+            .expect("read child stdout");
+        if let Some(v) = line.strip_prefix("SHARD_ADDR=") {
+            shard_addr = Some(v.to_string());
+        } else if let Some(v) = line.strip_prefix("OPS_ADDR=") {
+            ops_addr = Some(v.to_string());
+        }
+    }
+    ChildShard {
+        child,
+        stdin,
+        shard_addr: shard_addr.unwrap(),
+        ops_addr: ops_addr.unwrap(),
+    }
+}
+
+impl Backend {
+    fn boot(shards: usize, spawn_bin: Option<String>) -> Backend {
+        match spawn_bin {
+            Some(bin) => {
+                let children = (0..shards).map(|_| Some(spawn_child(&bin))).collect();
+                Backend::Spawned { bin, children }
+            }
+            None => {
+                let fleet = LocalFleet::spawn(shards);
+                let ops = (0..shards)
+                    .map(|i| {
+                        let telemetry = fleet.shard(i).gateway.telemetry().clone();
+                        Some(
+                            OpsServer::start(
+                                "127.0.0.1:0",
+                                OpsOptions {
+                                    telemetry: Some(telemetry),
+                                    ..OpsOptions::default()
+                                },
+                            )
+                            .expect("start ops server"),
+                        )
+                    })
+                    .collect();
+                Backend::InProcess { fleet, ops }
+            }
+        }
+    }
+
+    fn endpoints(&self) -> Vec<String> {
+        match self {
+            Backend::InProcess { fleet, .. } => fleet.endpoints(),
+            Backend::Spawned { children, .. } => children
+                .iter()
+                .map(|c| c.as_ref().expect("shard killed").shard_addr.clone())
+                .collect(),
+        }
+    }
+
+    fn ops_addrs(&self) -> Vec<String> {
+        match self {
+            Backend::InProcess { ops, .. } => ops
+                .iter()
+                .map(|o| o.as_ref().expect("shard killed").addr().to_string())
+                .collect(),
+            Backend::Spawned { children, .. } => children
+                .iter()
+                .map(|c| c.as_ref().expect("shard killed").ops_addr.clone())
+                .collect(),
+        }
+    }
+
+    /// Abrupt loss: no drain, connections die mid-flight.
+    fn kill(&mut self, i: usize) {
+        match self {
+            Backend::InProcess { fleet, ops } => {
+                fleet.kill(i);
+                if let Some(o) = ops[i].take() {
+                    o.shutdown();
+                }
+            }
+            Backend::Spawned { children, .. } => {
+                if let Some(mut c) = children[i].take() {
+                    let _ = c.child.kill();
+                    let _ = c.child.wait();
+                }
+            }
+        }
+    }
+
+    /// Replacement shard on a fresh port; returns its new endpoint.
+    fn respawn(&mut self, i: usize) -> String {
+        match self {
+            Backend::InProcess { fleet, ops } => {
+                let endpoint = fleet.respawn(i);
+                let telemetry = fleet.shard(i).gateway.telemetry().clone();
+                ops[i] = Some(
+                    OpsServer::start(
+                        "127.0.0.1:0",
+                        OpsOptions {
+                            telemetry: Some(telemetry),
+                            ..OpsOptions::default()
+                        },
+                    )
+                    .expect("restart ops server"),
+                );
+                endpoint
+            }
+            Backend::Spawned { bin, children } => {
+                let child = spawn_child(bin);
+                let endpoint = child.shard_addr.clone();
+                children[i] = Some(child);
+                endpoint
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        match self {
+            Backend::InProcess { fleet, ops } => {
+                fleet.shutdown();
+                for o in ops.iter_mut().filter_map(|o| o.take()) {
+                    o.shutdown();
+                }
+            }
+            Backend::Spawned { children, .. } => {
+                for c in children.iter_mut().filter_map(|c| c.take()) {
+                    // Closing stdin asks the child to drain and exit.
+                    let ChildShard {
+                        mut child, stdin, ..
+                    } = c;
+                    drop(stdin);
+                    let deadline = Instant::now() + Duration::from_secs(5);
+                    loop {
+                        match child.try_wait() {
+                            Ok(Some(_)) => break,
+                            Ok(None) if Instant::now() < deadline => {
+                                std::thread::sleep(Duration::from_millis(20))
+                            }
+                            _ => {
+                                let _ = child.kill();
+                                let _ = child.wait();
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Read one counter value out of the router's Prometheus export.
+fn metric_value(prometheus: &str, needle: &str) -> f64 {
+    prometheus
+        .lines()
+        .filter(|l| l.starts_with(needle))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
+        .sum()
+}
+
+struct LoadReport {
+    ok: u64,
+    rejected: u64,
+    unavailable: u64,
+    wall: f64,
+    lat_sorted: Vec<f64>,
+}
+
+/// Drive `total` requests from `clients` closed-loop threads. User ids
+/// walk a deterministic stride over the full `users` id space, so shard
+/// assignment is stable run-to-run.
+fn drive(
+    router: &Router,
+    scripts: &[String],
+    users: u64,
+    total: usize,
+    clients: usize,
+) -> LoadReport {
+    let started = Instant::now();
+    let results: Vec<(u64, u64, u64, Vec<f64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut rejected = 0u64;
+                    let mut unavailable = 0u64;
+                    let mut lat = Vec::with_capacity(total / clients + 1);
+                    let mut r = c;
+                    while r < total {
+                        // Stride by a large odd constant: successive
+                        // requests land on different shards, like real
+                        // interleaved user traffic.
+                        let user = (r as u64).wrapping_mul(2_654_435_761) % users.max(1);
+                        let script =
+                            std::slice::from_ref(&scripts[(user % scripts.len() as u64) as usize]);
+                        let t = Instant::now();
+                        match router.predict(user, script) {
+                            Ok(_) => {
+                                ok += 1;
+                                lat.push(t.elapsed().as_secs_f64());
+                            }
+                            Err(FleetError::Rejected { .. }) => rejected += 1,
+                            Err(_) => unavailable += 1,
+                        }
+                        r += clients;
+                    }
+                    (ok, rejected, unavailable, lat)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let mut lat_sorted = Vec::new();
+    let (mut ok, mut rejected, mut unavailable) = (0, 0, 0);
+    for (o, rj, un, lat) in results {
+        ok += o;
+        rejected += rj;
+        unavailable += un;
+        lat_sorted.extend(lat);
+    }
+    lat_sorted.sort_by(|a, b| a.total_cmp(b));
+    LoadReport {
+        ok,
+        rejected,
+        unavailable,
+        wall,
+        lat_sorted,
+    }
+}
+
+/// Users (drawn from the load's id space) whose primary shard is `shard`.
+fn users_owned_by(router: &Router, users: u64, shard: usize, want: usize) -> Vec<u64> {
+    (0..users)
+        .filter(|&u| router.route(u) == Some(shard))
+        .take(want)
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let kill_drill = args.iter().any(|a| a == "--kill-drill");
+    let users: u64 = arg_value(&args, "--users")
+        .map(|v| v.parse().expect("--users must be an integer"))
+        .unwrap_or(100_000);
+    let shards: usize = arg_value(&args, "--shards")
+        .map(|v| v.parse().expect("--shards must be an integer"))
+        .unwrap_or(4);
+    let clients: usize = arg_value(&args, "--clients")
+        .map(|v| v.parse().expect("--clients must be an integer"))
+        .unwrap_or(8);
+    let serve_seconds: u64 = arg_value(&args, "--serve-seconds")
+        .map(|v| v.parse().expect("--serve-seconds must be an integer"))
+        .unwrap_or(0);
+    let spawn_bin = arg_value(&args, "--spawn");
+    let total: usize = match arg_value(&args, "--requests") {
+        Some(v) => v.parse().expect("--requests must be an integer"),
+        None if smoke => 2_000,
+        None => users as usize,
+    };
+
+    println!(
+        "loadgen: {shards} shards, {users} scripted users, {total} requests, {clients} clients{}",
+        if spawn_bin.is_some() {
+            " (spawned processes)"
+        } else {
+            " (in-process)"
+        }
+    );
+
+    let mut backend = Backend::boot(shards, spawn_bin);
+    let scripts = demo_corpus();
+    let router = Arc::new(Router::new(RouterConfig::for_endpoints(
+        backend.endpoints(),
+    )));
+
+    // Main load phase.
+    let report = drive(&router, &scripts, users, total, clients);
+    let rps = report.ok as f64 / report.wall;
+    println!(
+        "load: {} ok, {} rejected, {} unavailable in {:.2}s — {:.0} req/s, p50 {:.2} ms, p99 {:.2} ms",
+        report.ok,
+        report.rejected,
+        report.unavailable,
+        report.wall,
+        rps,
+        percentile(&report.lat_sorted, 0.50) * 1e3,
+        percentile(&report.lat_sorted, 0.99) * 1e3,
+    );
+
+    let mut all_ok = report.ok > 0 && report.unavailable == 0;
+    if !all_ok {
+        eprintln!("FAIL: load phase saw unavailable requests or no successes");
+    }
+
+    if kill_drill && all_ok {
+        let victim = shards - 1;
+        let probes = users_owned_by(&router, users.min(10_000), victim, 50);
+        assert!(
+            !probes.is_empty(),
+            "no users routed to shard {victim}; ring is broken"
+        );
+
+        // 1. Graceful drain: every probe fails over, nothing is lost.
+        println!("drill: draining shard {victim}");
+        router.drain_shard(victim).expect("drain command");
+        let mut drained_ok = true;
+        for &u in &probes {
+            match router.predict(u, std::slice::from_ref(&scripts[0])) {
+                Ok(reply) if reply.shard != victim => {}
+                Ok(reply) => {
+                    eprintln!("FAIL: drained shard {} still served user {u}", reply.shard);
+                    drained_ok = false;
+                }
+                Err(e) => {
+                    eprintln!("FAIL: user {u} lost during drain: {e}");
+                    drained_ok = false;
+                }
+            }
+        }
+        let draining_sheds = metric_value(
+            &router.telemetry().prometheus(),
+            "fleet_shed_total{reason=\"draining\"}",
+        );
+        if draining_sheds < 1.0 {
+            eprintln!("FAIL: no typed draining sheds observed at the router");
+            drained_ok = false;
+        }
+        println!("drill: drain ok={drained_ok} (typed draining sheds: {draining_sheds})");
+
+        // 2. Abrupt kill: connections die; failover still answers everyone.
+        println!("drill: killing shard {victim}");
+        backend.kill(victim);
+        let mut killed_ok = true;
+        for &u in &probes {
+            match router.predict(u, std::slice::from_ref(&scripts[0])) {
+                Ok(reply) if reply.shard != victim => {}
+                Ok(_) => {
+                    eprintln!("FAIL: killed shard answered");
+                    killed_ok = false;
+                }
+                Err(e) => {
+                    eprintln!("FAIL: user {u} lost after kill: {e}");
+                    killed_ok = false;
+                }
+            }
+        }
+        println!("drill: kill ok={killed_ok}");
+
+        // 3. Recovery: replacement process, traffic returns to the slot.
+        let endpoint = backend.respawn(victim);
+        router.set_endpoint(victim, &endpoint);
+        router.mark_up(victim);
+        println!("drill: respawned shard {victim} at {endpoint}");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut recovered = false;
+        while Instant::now() < deadline {
+            if let Ok(reply) = router.predict(probes[0], std::slice::from_ref(&scripts[0])) {
+                if reply.shard == victim {
+                    recovered = true;
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        if !recovered {
+            eprintln!("FAIL: traffic did not return to respawned shard {victim}");
+        }
+        println!("drill: recovery ok={recovered}");
+        all_ok = all_ok && drained_ok && killed_ok && recovered;
+    }
+
+    for (i, addr) in backend.ops_addrs().iter().enumerate() {
+        println!("OPS_ADDR_{i}={addr}");
+    }
+    if all_ok {
+        println!("LOADGEN_OK");
+    } else {
+        println!("LOADGEN_FAILED");
+    }
+    std::io::stdout().flush().ok();
+
+    if serve_seconds > 0 {
+        println!("holding fleet up for {serve_seconds}s for external scrapes");
+        std::io::stdout().flush().ok();
+        std::thread::sleep(Duration::from_secs(serve_seconds));
+    }
+
+    backend.shutdown();
+    std::process::exit(if all_ok { 0 } else { 1 });
+}

@@ -1,0 +1,182 @@
+//! Consistent-hash routing of user ids to shards.
+//!
+//! Each shard contributes `vnodes` points to a 64-bit hash ring; a user id
+//! is served by the first shard point at or clockwise-after its hash.
+//! Virtual nodes smooth the load split (128 points per shard keeps the
+//! per-shard share within a few percent of uniform for large user
+//! populations), and consistency means shard loss only remaps the lost
+//! shard's arc: users on surviving shards keep their assignment, so their
+//! shards keep warm per-user state (drift windows, cache locality) across
+//! fleet membership changes.
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and uniform enough for ring
+/// placement (the ring's balance comes from vnode count, not hash
+/// perfection).
+pub fn hash64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The splitmix64 finaliser: full-avalanche bit mixing. FNV over short,
+/// similar keys (`shard-0#0`, `shard-0#1`, ...) leaves the low-entropy
+/// structure of its input visible in the high bits, which skews ring arc
+/// lengths badly; a finalising mix restores uniform dispersion.
+fn mix64(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash point for one user id: mixing keeps sequential ids (user 0, 1,
+/// 2, ...) from clustering on the ring.
+fn user_point(user: u64) -> u64 {
+    mix64(user)
+}
+
+/// An immutable consistent-hash ring over shard indices `0..n`.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// (point, shard index), sorted by point.
+    points: Vec<(u64, u32)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Build a ring with `vnodes` points per shard id. Shard ids are
+    /// hashed by *name*, so the ring layout is stable across processes
+    /// and restarts as long as the names are.
+    pub fn new(shard_ids: &[String], vnodes: usize) -> Self {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(shard_ids.len() * vnodes);
+        for (idx, id) in shard_ids.iter().enumerate() {
+            for v in 0..vnodes {
+                let key = format!("{id}#{v}");
+                points.push((mix64(hash64(key.as_bytes())), idx as u32));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|(p, _)| *p);
+        HashRing {
+            points,
+            shards: shard_ids.len(),
+        }
+    }
+
+    /// Number of shards this ring routes over.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The owning shard index for a user id (ignores health).
+    pub fn owner(&self, user: u64) -> Option<usize> {
+        self.owners(user).next()
+    }
+
+    /// All shards in preference order for a user id: the owner first, then
+    /// each distinct shard met walking clockwise. Failover tries them in
+    /// this order, so a given user's fallback shard is deterministic too.
+    pub fn owners(&self, user: u64) -> impl Iterator<Item = usize> + '_ {
+        let start = match self.points.is_empty() {
+            true => 0,
+            false => self.points.partition_point(|(p, _)| *p < user_point(user)),
+        };
+        let n = self.points.len();
+        let mut seen = vec![false; self.shards];
+        let mut emitted = 0;
+        let shards = self.shards;
+        (0..n).filter_map(move |i| {
+            if emitted == shards {
+                return None;
+            }
+            let (_, shard) = self.points[(start + i) % n];
+            let shard = shard as usize;
+            if seen[shard] {
+                None
+            } else {
+                seen[shard] = true;
+                emitted += 1;
+                Some(shard)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("shard-{i}")).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = HashRing::new(&ids(4), 128);
+        for user in 0..1000u64 {
+            let a = ring.owner(user).unwrap();
+            let b = ring.owner(user).unwrap();
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+    }
+
+    #[test]
+    fn load_split_is_roughly_uniform() {
+        let ring = HashRing::new(&ids(4), 128);
+        let mut counts = [0usize; 4];
+        let users = 100_000u64;
+        for user in 0..users {
+            counts[ring.owner(user).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let share = c as f64 / users as f64;
+            assert!(
+                (0.15..=0.35).contains(&share),
+                "shard {i} got share {share:.3}, outside [0.15, 0.35]: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn owners_are_distinct_and_cover_every_shard() {
+        let ring = HashRing::new(&ids(4), 64);
+        for user in [0u64, 1, 99, 12345, u64::MAX] {
+            let order: Vec<usize> = ring.owners(user).collect();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "owners {order:?} must be distinct");
+            assert_eq!(order.len(), 4, "owners {order:?} must cover all shards");
+        }
+    }
+
+    #[test]
+    fn shard_loss_only_remaps_the_lost_arc() {
+        // Consistency: users whose owner survives keep their assignment
+        // when one shard leaves the ring entirely.
+        let four = HashRing::new(&ids(4), 128);
+        let three = HashRing::new(&ids(3), 128); // shard-3 removed
+        for user in 0..20_000u64 {
+            let before = four.owner(user).unwrap();
+            if before < 3 {
+                assert_eq!(
+                    three.owner(user).unwrap(),
+                    before,
+                    "user {user} moved although its shard survived"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = HashRing::new(&[], 128);
+        assert!(ring.owner(7).is_none());
+        assert_eq!(ring.owners(7).count(), 0);
+    }
+}

@@ -1,0 +1,536 @@
+//! The shard server: one gateway process's TCP front door.
+//!
+//! A [`ShardServer`] listens on a `std::net::TcpListener` (the same
+//! dependency-free pattern as the observe crate's `OpsServer`) and speaks
+//! the [`proto`](crate::proto) frame protocol. Each accepted connection
+//! gets:
+//!
+//! * a **reader** thread decoding frames and answering admin messages
+//!   (ping, stats, drain, weight swap) inline;
+//! * a bounded **work queue** feeding `workers_per_conn` threads that run
+//!   blocking [`Gateway::predict_prioritized`] calls — many workers
+//!   blocked in the gateway at once is exactly what feeds its micro-batch
+//!   fusion;
+//! * a **writer** thread that owns the send half behind a `BufWriter` and
+//!   flushes once per drain of its reply channel, so responses completing
+//!   close together share one syscall.
+//!
+//! Because every frame carries a correlation id, responses may be written
+//! in completion order: the connection is fully pipelined.
+//!
+//! **Drain semantics:** [`ShardServer::drain`] flips the shard into
+//! draining mode — new predict frames are answered with a typed
+//! [`ErrorCode::Draining`] error while in-flight requests finish
+//! normally. The listener keeps accepting connections (a client that
+//! dials in must learn the state through a typed answer, not a refused
+//! connection) and ops keeps serving `/metrics`, until
+//! [`ShardServer::shutdown`].
+
+use std::io::{BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use prionn_serve::{Gateway, Priority};
+use prionn_store::wire::{encode_frame, read_frame, Frame};
+use prionn_store::{Checkpoint, StoreError};
+use prionn_telemetry::{Counter, Gauge};
+
+use crate::proto::{
+    decode_predict, encode_error, encode_predictions, encode_stats, encode_swap_ack, ErrorCode,
+    ShardStats, KIND_DRAIN, KIND_DRAIN_ACK, KIND_ERROR, KIND_PING, KIND_PONG, KIND_PREDICT,
+    KIND_PREDICTIONS, KIND_STATS, KIND_STATS_REPLY, KIND_SWAP_ACK, KIND_SWAP_WEIGHTS,
+};
+
+/// Tuning knobs for [`ShardServer::spawn`].
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Bind address; use `127.0.0.1:0` for an ephemeral port.
+    pub bind: String,
+    /// Worker threads per connection running blocking gateway predicts.
+    /// More workers = more requests in flight per connection = larger
+    /// fused batches inside the gateway.
+    pub workers_per_conn: usize,
+    /// Cap on one frame's payload; oversized frames are answered with a
+    /// typed error and the connection is closed (framing is lost).
+    pub max_payload: usize,
+    /// Bound on the per-connection work queue (decoded predicts waiting
+    /// for a worker). Backpressures the reader instead of buffering
+    /// without bound.
+    pub work_queue_cap: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            bind: "127.0.0.1:0".to_string(),
+            workers_per_conn: 8,
+            max_payload: prionn_store::wire::MAX_FRAME_PAYLOAD,
+            work_queue_cap: 64,
+        }
+    }
+}
+
+/// Instruments registered in the gateway's telemetry registry, so one
+/// `/metrics` scrape shows the serve and fleet surfaces together.
+struct ShardMetrics {
+    connections: Gauge,
+    frames_rx: Counter,
+    frames_tx: Counter,
+    bytes_rx: Counter,
+    bytes_tx: Counter,
+    requests: Counter,
+    shed_draining: Counter,
+    decode_errors: Counter,
+    draining: Gauge,
+    in_flight: Gauge,
+}
+
+impl ShardMetrics {
+    fn build(gateway: &Gateway) -> Self {
+        let t = gateway.telemetry();
+        ShardMetrics {
+            connections: t.gauge("fleet_shard_connections", "Open fleet protocol connections"),
+            frames_rx: t.counter_with(
+                "fleet_shard_frames_total",
+                "Wire frames by direction",
+                &[("dir", "rx")],
+            ),
+            frames_tx: t.counter_with(
+                "fleet_shard_frames_total",
+                "Wire frames by direction",
+                &[("dir", "tx")],
+            ),
+            bytes_rx: t.counter_with(
+                "fleet_shard_bytes_total",
+                "Wire bytes by direction (headers included)",
+                &[("dir", "rx")],
+            ),
+            bytes_tx: t.counter_with(
+                "fleet_shard_bytes_total",
+                "Wire bytes by direction (headers included)",
+                &[("dir", "tx")],
+            ),
+            requests: t.counter(
+                "fleet_shard_requests_total",
+                "Predict requests received over the wire",
+            ),
+            shed_draining: t.counter_with(
+                "fleet_shard_shed_total",
+                "Requests shed at the shard server",
+                &[("reason", "draining")],
+            ),
+            decode_errors: t.counter(
+                "fleet_shard_decode_errors_total",
+                "Connections dropped on malformed frames",
+            ),
+            draining: t.gauge("fleet_shard_draining", "1 while draining, else 0"),
+            in_flight: t.gauge(
+                "fleet_shard_in_flight",
+                "Predict requests currently being served",
+            ),
+        }
+    }
+}
+
+struct ShardInner {
+    gateway: Arc<Gateway>,
+    cfg: ShardConfig,
+    draining: AtomicBool,
+    stopping: AtomicBool,
+    in_flight: AtomicUsize,
+    requests_served: AtomicU64,
+    /// Live connection streams keyed by token, for prompt close at
+    /// shutdown. A connection removes itself when its thread exits, so
+    /// the map does not grow with connection churn.
+    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    conn_tokens: AtomicU64,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    metrics: ShardMetrics,
+}
+
+/// A running shard server. Shuts down on drop (the gateway it fronts is
+/// shared and stays up — stop it separately).
+pub struct ShardServer {
+    addr: SocketAddr,
+    inner: Arc<ShardInner>,
+    accept_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ShardServer {
+    /// Bind and start serving `gateway` over the fleet protocol.
+    pub fn spawn(gateway: Arc<Gateway>, cfg: ShardConfig) -> std::io::Result<ShardServer> {
+        let listener = TcpListener::bind(&cfg.bind)?;
+        let addr = listener.local_addr()?;
+        let metrics = ShardMetrics::build(&gateway);
+        let inner = Arc::new(ShardInner {
+            gateway,
+            cfg,
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            requests_served: AtomicU64::new(0),
+            conns: Mutex::new(std::collections::HashMap::new()),
+            conn_tokens: AtomicU64::new(0),
+            conn_handles: Mutex::new(Vec::new()),
+            metrics,
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept_handle = std::thread::Builder::new()
+            .name(format!("prionn-shard-accept-{}", addr.port()))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_inner.stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_nodelay(true);
+                    accept_inner.metrics.connections.add(1.0);
+                    let token = accept_inner.conn_tokens.fetch_add(1, Ordering::Relaxed);
+                    accept_inner
+                        .conns
+                        .lock()
+                        .insert(token, stream.try_clone().expect("clone accepted stream"));
+                    let conn_inner = Arc::clone(&accept_inner);
+                    let handle = std::thread::Builder::new()
+                        .name("prionn-shard-conn".to_string())
+                        .spawn(move || {
+                            serve_connection(stream, &conn_inner);
+                            // Close our registry dup too, or the peer
+                            // never sees EOF; then forget the token.
+                            if let Some(s) = conn_inner.conns.lock().remove(&token) {
+                                let _ = s.shutdown(std::net::Shutdown::Both);
+                            }
+                            conn_inner.metrics.connections.add(-1.0);
+                        })
+                        .expect("spawn connection thread");
+                    let mut handles = accept_inner.conn_handles.lock();
+                    handles.retain(|h| !h.is_finished());
+                    handles.push(handle);
+                }
+            })?;
+        Ok(ShardServer {
+            addr,
+            inner,
+            accept_handle: Mutex::new(Some(accept_handle)),
+        })
+    }
+
+    /// The bound address (read the ephemeral port here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once [`drain`](Self::drain) has been called (locally or over
+    /// the wire).
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Predict requests currently inside the gateway.
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Predict requests answered since spawn.
+    pub fn requests_served(&self) -> u64 {
+        self.inner.requests_served.load(Ordering::SeqCst)
+    }
+
+    /// Enter draining mode and wait up to `grace` for in-flight requests
+    /// to finish. New predicts are answered with a typed
+    /// [`ErrorCode::Draining`] error. Returns true if the shard fully
+    /// quiesced within the grace period.
+    pub fn drain(&self, grace: Duration) -> bool {
+        self.enter_draining();
+        let deadline = Instant::now() + grace;
+        while self.inner.in_flight.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    fn enter_draining(&self) {
+        if !self.inner.draining.swap(true, Ordering::SeqCst) {
+            self.inner.metrics.draining.set(1.0);
+            self.inner.gateway.telemetry().events().record(
+                "fleet_shard_drain",
+                format!("addr={}", self.addr),
+                0,
+            );
+        }
+    }
+
+    /// Stop accepting, close every connection, join every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self.accept_handle.lock().take() {
+            let _ = h.join();
+        }
+        for (_, conn) in self.inner.conns.lock().drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let handles: Vec<_> = self.inner.conn_handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ShardServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// What the writer thread sends: an already-encoded frame.
+type OutFrame = Vec<u8>;
+
+/// One decoded predict waiting for a worker.
+struct WorkItem {
+    id: u64,
+    priority: Priority,
+    deadline: Option<Duration>,
+    scripts: Vec<String>,
+}
+
+fn serve_connection(stream: TcpStream, inner: &Arc<ShardInner>) {
+    let (reply_tx, reply_rx) = unbounded::<OutFrame>();
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+
+    // Writer: drain the reply channel, flush once per lull.
+    let writer_metrics_tx = inner.metrics.frames_tx.clone();
+    let writer_bytes_tx = inner.metrics.bytes_tx.clone();
+    let writer = std::thread::Builder::new()
+        .name("prionn-shard-writer".to_string())
+        .spawn(move || {
+            let mut out = BufWriter::new(write_stream);
+            while let Ok(frame) = reply_rx.recv() {
+                let mut wrote = frame.len();
+                if out.write_all(&frame).is_err() {
+                    return;
+                }
+                writer_metrics_tx.inc();
+                // Opportunistically batch everything already queued into
+                // the same flush.
+                while let Ok(next) = reply_rx.try_recv() {
+                    if out.write_all(&next).is_err() {
+                        return;
+                    }
+                    writer_metrics_tx.inc();
+                    wrote += next.len();
+                }
+                writer_bytes_tx.add(wrote as u64);
+                if out.flush().is_err() {
+                    return;
+                }
+            }
+            let _ = out.flush();
+        })
+        .expect("spawn writer thread");
+
+    // Workers: blocking gateway predicts.
+    let (work_tx, work_rx) = bounded::<WorkItem>(inner.cfg.work_queue_cap.max(1));
+    let workers: Vec<JoinHandle<()>> = (0..inner.cfg.workers_per_conn.max(1))
+        .map(|w| {
+            let rx: Receiver<WorkItem> = work_rx.clone();
+            let tx: Sender<OutFrame> = reply_tx.clone();
+            let inner = Arc::clone(inner);
+            std::thread::Builder::new()
+                .name(format!("prionn-shard-worker-{w}"))
+                .spawn(move || {
+                    while let Ok(item) = rx.recv() {
+                        let reply = match inner.gateway.predict_prioritized(
+                            &item.scripts,
+                            item.deadline,
+                            item.priority,
+                        ) {
+                            Ok(reply) => {
+                                inner.requests_served.fetch_add(1, Ordering::SeqCst);
+                                encode_frame(
+                                    KIND_PREDICTIONS,
+                                    item.id,
+                                    &encode_predictions(reply.epoch, &reply.predictions),
+                                )
+                            }
+                            Err(e) => encode_frame(
+                                KIND_ERROR,
+                                item.id,
+                                &encode_error(ErrorCode::from_serve_error(&e), &e.to_string()),
+                            ),
+                        };
+                        let left = inner.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
+                        inner.metrics.in_flight.set(left as f64);
+                        if tx.send(reply).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect();
+    drop(work_rx);
+
+    // Reader: decode frames until EOF, error, or shutdown closes the
+    // socket under us.
+    let mut read_stream = stream;
+    loop {
+        match read_frame(&mut read_stream, inner.cfg.max_payload) {
+            Ok(None) => break,
+            Ok(Some(frame)) => {
+                inner.metrics.frames_rx.inc();
+                inner
+                    .metrics
+                    .bytes_rx
+                    .add((prionn_store::wire::FRAME_HEADER_LEN + frame.payload.len()) as u64);
+                if !dispatch_frame(frame, inner, &work_tx, &reply_tx) {
+                    break;
+                }
+            }
+            Err(StoreError::FrameTooLarge { declared, cap }) => {
+                // Typed answer, then close: the oversized payload bytes
+                // are still in the pipe, so framing cannot be recovered.
+                inner.metrics.decode_errors.inc();
+                let _ = reply_tx.send(encode_frame(
+                    KIND_ERROR,
+                    0,
+                    &encode_error(
+                        ErrorCode::TooLarge,
+                        &format!("frame payload {declared} exceeds cap {cap}"),
+                    ),
+                ));
+                break;
+            }
+            Err(_) => {
+                // Truncated / corrupt / checksum-failed stream: nothing
+                // trustworthy left to answer to. Count and drop.
+                inner.metrics.decode_errors.inc();
+                break;
+            }
+        }
+    }
+
+    // Teardown: workers finish queued items, writer flushes their replies.
+    drop(work_tx);
+    for w in workers {
+        let _ = w.join();
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+/// Handle one decoded frame. Returns false when the connection must close.
+fn dispatch_frame(
+    frame: Frame,
+    inner: &Arc<ShardInner>,
+    work_tx: &Sender<WorkItem>,
+    reply_tx: &Sender<OutFrame>,
+) -> bool {
+    let id = frame.id;
+    let send = |f: OutFrame| reply_tx.send(f).is_ok();
+    match frame.kind {
+        KIND_PREDICT => {
+            inner.metrics.requests.inc();
+            if inner.draining.load(Ordering::SeqCst) || inner.stopping.load(Ordering::SeqCst) {
+                inner.metrics.shed_draining.inc();
+                return send(encode_frame(
+                    KIND_ERROR,
+                    id,
+                    &encode_error(ErrorCode::Draining, "shard is draining"),
+                ));
+            }
+            match decode_predict(&frame.payload) {
+                Ok((priority, deadline_ms, scripts)) => {
+                    let n = inner.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    inner.metrics.in_flight.set(n as f64);
+                    let item = WorkItem {
+                        id,
+                        priority,
+                        deadline: (deadline_ms > 0)
+                            .then(|| Duration::from_millis(deadline_ms as u64)),
+                        scripts,
+                    };
+                    if work_tx.send(item).is_err() {
+                        let left = inner.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
+                        inner.metrics.in_flight.set(left as f64);
+                        return false;
+                    }
+                    true
+                }
+                Err(e) => {
+                    inner.metrics.decode_errors.inc();
+                    send(encode_frame(
+                        KIND_ERROR,
+                        id,
+                        &encode_error(ErrorCode::BadRequest, &e.to_string()),
+                    ))
+                }
+            }
+        }
+        KIND_PING => send(encode_frame(KIND_PONG, id, &[])),
+        KIND_STATS => {
+            let gw = &inner.gateway;
+            let stats = ShardStats {
+                epoch: gw.epoch(),
+                live_replicas: gw.live_replicas() as u64,
+                queue_depth: gw.queue_depth() as u64,
+                requests_served: inner.requests_served.load(Ordering::SeqCst),
+                draining: inner.draining.load(Ordering::SeqCst),
+            };
+            send(encode_frame(KIND_STATS_REPLY, id, &encode_stats(&stats)))
+        }
+        KIND_SWAP_WEIGHTS => match Checkpoint::from_bytes(&frame.payload) {
+            Ok(ck) => {
+                let epoch = inner.gateway.hot_swap_checkpoint(ck);
+                inner.gateway.telemetry().events().record(
+                    "fleet_shard_swap",
+                    format!("epoch={epoch}"),
+                    0,
+                );
+                send(encode_frame(KIND_SWAP_ACK, id, &encode_swap_ack(epoch)))
+            }
+            Err(e) => {
+                inner.metrics.decode_errors.inc();
+                send(encode_frame(
+                    KIND_ERROR,
+                    id,
+                    &encode_error(ErrorCode::BadRequest, &format!("bad checkpoint: {e}")),
+                ))
+            }
+        },
+        KIND_DRAIN => {
+            if !inner.draining.swap(true, Ordering::SeqCst) {
+                inner.metrics.draining.set(1.0);
+                inner
+                    .gateway
+                    .telemetry()
+                    .events()
+                    .record("fleet_shard_drain", "remote", 0);
+            }
+            send(encode_frame(KIND_DRAIN_ACK, id, &[]))
+        }
+        other => {
+            inner.metrics.decode_errors.inc();
+            send(encode_frame(
+                KIND_ERROR,
+                id,
+                &encode_error(
+                    ErrorCode::BadRequest,
+                    &format!("unknown frame kind {other}"),
+                ),
+            ))
+        }
+    }
+}

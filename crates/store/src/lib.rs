@@ -76,6 +76,15 @@ pub enum StoreError {
     /// Structurally invalid contents (bad UTF-8 name, absurd lengths,
     /// malformed section payload, ...).
     Corrupt(String),
+    /// A wire frame declared a payload longer than the receiver's cap.
+    /// Distinct from [`StoreError::Corrupt`] so servers can answer it with
+    /// a typed protocol error instead of dropping the connection.
+    FrameTooLarge {
+        /// Payload length the frame header declared.
+        declared: u64,
+        /// The receiver's configured cap, in bytes.
+        cap: u64,
+    },
     /// `insert` was called twice with the same section name.
     DuplicateSection(String),
     /// A required section is absent.
@@ -98,6 +107,9 @@ impl fmt::Display for StoreError {
                 write!(f, "checksum mismatch in section '{section}'")
             }
             StoreError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            StoreError::FrameTooLarge { declared, cap } => {
+                write!(f, "frame payload of {declared} bytes exceeds cap {cap}")
+            }
             StoreError::DuplicateSection(name) => write!(f, "duplicate section '{name}'"),
             StoreError::MissingSection(name) => write!(f, "missing section '{name}'"),
         }

@@ -1,11 +1,19 @@
-//! Little-endian primitives for section payloads.
+//! Little-endian primitives for section payloads, plus the length-prefixed
+//! frame codec the serving fleet speaks over TCP.
 //!
 //! Sections hold structured data (configs, bin edges, tensor blobs); this
 //! module gives both sides a shared, bounds-checked encoding so a flipped
 //! byte inside a payload surfaces as a [`StoreError`] during decode, never
 //! as a panic or an out-of-bounds slice.
+//!
+//! [`Frame`] extends the same integrity story to a byte *stream*: every
+//! frame is magic-tagged, length-prefixed, capped, and CRC-checked, so a
+//! truncated, corrupt, or oversized frame read off a socket surfaces as a
+//! typed [`StoreError`] — never a panic, never a pathological allocation,
+//! and never silently-wrong bytes handed to the layer above.
 
-use crate::{Result, StoreError};
+use crate::{Crc32, Result, StoreError};
+use std::io::{Read, Write};
 
 /// Append one raw byte.
 pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
@@ -212,6 +220,142 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Frame magic: identifies one fleet wire frame. Distinct from the
+/// checkpoint magic so a stray checkpoint byte-stream (or HTTP request)
+/// aimed at a fleet port fails fast with a clear error.
+pub const FRAME_MAGIC: [u8; 4] = *b"PFR1";
+
+/// Bytes of frame header preceding the payload:
+/// magic (4) + kind (1) + id (8) + payload length (4) + CRC32 (4).
+pub const FRAME_HEADER_LEN: usize = 21;
+
+/// Default cap on a single frame's payload. Large enough for a full
+/// weight-checkpoint hot-swap frame, small enough that a corrupt length
+/// field cannot drive a pathological allocation.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+/// One length-prefixed, CRC-checked wire frame.
+///
+/// The layout on the wire (all integers little-endian):
+///
+/// ```text
+/// offset  size  field
+/// ------  ----  --------------------------------------
+///      0     4  magic "PFR1"
+///      4     1  kind (application-defined message type)
+///      5     8  id (request correlation tag)
+///     13     4  payload length (u32)
+///     17     4  CRC32 of kind + id + payload
+///     21     n  payload bytes
+/// ```
+///
+/// The id travels with every frame so responses can be matched to
+/// requests on a pipelined connection (many frames in flight at once,
+/// answered out of order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Application-defined message type.
+    pub kind: u8,
+    /// Request correlation id (echoed by responses).
+    pub id: u64,
+    /// Message payload, encoded with this module's primitives.
+    pub payload: Vec<u8>,
+}
+
+fn frame_crc(kind: u8, id: u64, payload: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(&[kind]);
+    crc.update(&id.to_le_bytes());
+    crc.update(payload);
+    crc.finish()
+}
+
+/// Encode one frame into a fresh buffer (header + payload).
+pub fn encode_frame(kind: u8, id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(kind);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_crc(kind, id, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Write one frame to `w`. Does not flush; callers batching several
+/// frames onto a `BufWriter` flush once at the end.
+pub fn write_frame(w: &mut impl Write, kind: u8, id: u64, payload: &[u8]) -> Result<()> {
+    w.write_all(&encode_frame(kind, id, payload))?;
+    Ok(())
+}
+
+/// Read exactly `buf.len()` bytes, mapping a mid-read EOF to
+/// [`StoreError::Truncated`]. Returns `Ok(false)` when the stream is at a
+/// clean EOF *before the first byte* and `eof_ok` allows it.
+fn read_exact_or_eof(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    eof_ok: bool,
+    what: &'static str,
+) -> Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && eof_ok {
+                    return Ok(false);
+                }
+                return Err(StoreError::Truncated(what));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(StoreError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame from `r`, enforcing `max_payload` and the CRC.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary (the peer closed
+/// an idle connection). Every malformed shape is a typed error:
+///
+/// * stream ends mid-header or mid-payload → [`StoreError::Truncated`];
+/// * wrong magic → [`StoreError::Corrupt`];
+/// * declared payload length over `max_payload` →
+///   [`StoreError::FrameTooLarge`] (raised *before* any allocation);
+/// * CRC mismatch → [`StoreError::ChecksumMismatch`].
+pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Option<Frame>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    if !read_exact_or_eof(r, &mut header, true, "frame header")? {
+        return Ok(None);
+    }
+    if header[..4] != FRAME_MAGIC {
+        return Err(StoreError::Corrupt(format!(
+            "bad frame magic {:02x}{:02x}{:02x}{:02x}",
+            header[0], header[1], header[2], header[3]
+        )));
+    }
+    let kind = header[4];
+    let id = u64::from_le_bytes(header[5..13].try_into().expect("sliced to 8"));
+    let len = u32::from_le_bytes(header[13..17].try_into().expect("sliced to 4")) as usize;
+    let crc = u32::from_le_bytes(header[17..21].try_into().expect("sliced to 4"));
+    if len > max_payload {
+        return Err(StoreError::FrameTooLarge {
+            declared: len as u64,
+            cap: max_payload as u64,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or_eof(r, &mut payload, false, "frame payload")?;
+    if frame_crc(kind, id, &payload) != crc {
+        return Err(StoreError::ChecksumMismatch {
+            section: format!("frame kind {kind} id {id}"),
+        });
+    }
+    Ok(Some(Frame { kind, id, payload }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +403,77 @@ mod tests {
     fn invalid_bool_is_corrupt_not_panic() {
         let mut r = Reader::new(&[2]);
         assert!(matches!(r.get_bool("flag"), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn frame_roundtrip_and_clean_eof() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, 3, 42, b"hello fleet").unwrap();
+        write_frame(&mut stream, 7, u64::MAX, &[]).unwrap();
+        let mut cursor = &stream[..];
+        let a = read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap().unwrap();
+        assert_eq!(
+            (a.kind, a.id, a.payload.as_slice()),
+            (3, 42, &b"hello fleet"[..])
+        );
+        let b = read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap().unwrap();
+        assert_eq!((b.kind, b.id, b.payload.len()), (7, u64::MAX, 0));
+        // Clean EOF at a frame boundary is Ok(None), not an error.
+        assert!(read_frame(&mut cursor, MAX_FRAME_PAYLOAD)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_typed_truncation() {
+        let frame = encode_frame(1, 9, b"payload bytes");
+        for len in 1..frame.len() {
+            let mut cursor = &frame[..len];
+            assert!(
+                matches!(
+                    read_frame(&mut cursor, MAX_FRAME_PAYLOAD),
+                    Err(StoreError::Truncated(_))
+                ),
+                "prefix {len} must be a typed truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        // A frame declaring a 4 GiB-ish payload against a small cap must
+        // fail typed without ever allocating the declared length.
+        let mut header = Vec::new();
+        header.extend_from_slice(&FRAME_MAGIC);
+        header.push(1);
+        header.extend_from_slice(&5u64.to_le_bytes());
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        let mut cursor = &header[..];
+        match read_frame(&mut cursor, 1024) {
+            Err(StoreError::FrameTooLarge { declared, cap }) => {
+                assert_eq!(declared, u32::MAX as u64);
+                assert_eq!(cap, 1024);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_flipped_payload_are_typed() {
+        let mut frame = encode_frame(2, 11, b"abcdef");
+        frame[0] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut &frame[..], MAX_FRAME_PAYLOAD),
+            Err(StoreError::Corrupt(_))
+        ));
+
+        let mut frame = encode_frame(2, 11, b"abcdef");
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        assert!(matches!(
+            read_frame(&mut &frame[..], MAX_FRAME_PAYLOAD),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
     }
 }

@@ -1,0 +1,160 @@
+//! Randomized corruption round-trips for the wire frame codec.
+//!
+//! The fleet protocol trusts `read_frame` to turn *any* byte-level damage —
+//! truncation, bit flips, garbage prefixes, oversized length fields — into
+//! a typed [`StoreError`], never a panic and never a frame whose payload
+//! differs from what was sent. These tests hammer that contract with
+//! seeded random frames and seeded random damage.
+
+use prionn_store::wire::{encode_frame, read_frame, Frame, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
+use prionn_store::StoreError;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_frame(rng: &mut ChaCha8Rng) -> (u8, u64, Vec<u8>) {
+    let kind = rng.gen_range(0u32..=255) as u8;
+    let id = rng.next_u64();
+    let len = rng.gen_range(0usize..2048);
+    let mut payload = vec![0u8; len];
+    rng.fill_bytes(&mut payload);
+    (kind, id, payload)
+}
+
+/// Decode every frame in `bytes` until EOF or the first error.
+fn drain(mut bytes: &[u8], max_payload: usize) -> Result<Vec<Frame>, StoreError> {
+    let mut out = Vec::new();
+    while let Some(frame) = read_frame(&mut bytes, max_payload)? {
+        out.push(frame);
+    }
+    Ok(out)
+}
+
+#[test]
+fn random_frames_roundtrip_exactly() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF1EE7);
+    for _ in 0..50 {
+        let n = rng.gen_range(1usize..8);
+        let mut stream = Vec::new();
+        let mut sent = Vec::new();
+        for _ in 0..n {
+            let (kind, id, payload) = random_frame(&mut rng);
+            stream.extend_from_slice(&encode_frame(kind, id, &payload));
+            sent.push(Frame { kind, id, payload });
+        }
+        let got = drain(&stream, MAX_FRAME_PAYLOAD).expect("clean stream decodes");
+        assert_eq!(got, sent);
+    }
+}
+
+#[test]
+fn random_single_byte_flips_never_panic_and_never_misdecode() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBADF00D);
+    for _ in 0..200 {
+        let (kind, id, payload) = random_frame(&mut rng);
+        let clean = encode_frame(kind, id, &payload);
+        let mut damaged = clean.clone();
+        let at = rng.gen_range(0..damaged.len());
+        let mut flip = 0u8;
+        while flip == 0 {
+            flip = rng.gen_range(0u32..=255) as u8;
+        }
+        damaged[at] ^= flip;
+
+        // The flipped stream either fails typed, or — when the flip landed
+        // in the length field and made the frame *shorter-looking* in a way
+        // that still checks out — decodes to something; but a decoded first
+        // frame must never silently differ from the original while claiming
+        // the same identity. CRC over kind+id+payload makes a silent
+        // payload mismatch impossible.
+        match drain(&damaged, MAX_FRAME_PAYLOAD) {
+            Ok(frames) => {
+                if let Some(first) = frames.first() {
+                    assert_eq!(
+                        (first.kind, first.id, &first.payload),
+                        (kind, id, &payload),
+                        "flip at {at} produced a silently different frame"
+                    );
+                }
+            }
+            Err(
+                StoreError::Truncated(_)
+                | StoreError::Corrupt(_)
+                | StoreError::ChecksumMismatch { .. }
+                | StoreError::FrameTooLarge { .. },
+            ) => {}
+            Err(other) => panic!("unexpected error class for a byte flip: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn random_truncation_is_always_typed() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7A7A);
+    for _ in 0..200 {
+        let (kind, id, payload) = random_frame(&mut rng);
+        let clean = encode_frame(kind, id, &payload);
+        let cut = rng.gen_range(1..clean.len());
+        match drain(&clean[..cut], MAX_FRAME_PAYLOAD) {
+            Err(StoreError::Truncated(_)) => {}
+            other => panic!(
+                "cut at {cut}/{} must be Truncated, got {other:?}",
+                clean.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn random_garbage_streams_fail_typed_without_panicking() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x6A5B);
+    for _ in 0..200 {
+        let len = rng.gen_range(0usize..512);
+        let mut garbage = vec![0u8; len];
+        rng.fill_bytes(&mut garbage);
+        // Whatever the bytes, decoding must terminate with Ok (pure luck:
+        // the garbage formed valid frames) or a typed error — never panic,
+        // never a pathological allocation.
+        let _ = drain(&garbage, MAX_FRAME_PAYLOAD);
+    }
+}
+
+#[test]
+fn oversized_declared_lengths_fail_before_payload_read() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x0515E);
+    for _ in 0..100 {
+        let (kind, id, payload) = random_frame(&mut rng);
+        let clean = encode_frame(kind, id, &payload);
+        let cap = rng.gen_range(0..payload.len().max(1));
+        match drain(&clean, cap) {
+            Err(StoreError::FrameTooLarge { declared, cap: c }) => {
+                assert_eq!(declared, payload.len() as u64);
+                assert_eq!(c, cap as u64);
+            }
+            // len == 0 payload with cap 0 decodes fine.
+            Ok(frames) => assert!(payload.is_empty() && frames.len() == 1),
+            other => panic!("expected FrameTooLarge under cap {cap}, got {other:?}"),
+        }
+    }
+}
+
+/// A frame stream interrupted mid-way and then resumed from the next
+/// frame boundary decodes the tail frames — the codec never needs state
+/// beyond one frame, which is what lets a server drop one bad connection
+/// without poisoning others.
+#[test]
+fn decoding_is_stateless_across_frames() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD15C0);
+    let frames: Vec<_> = (0..4).map(|_| random_frame(&mut rng)).collect();
+    let encoded: Vec<Vec<u8>> = frames
+        .iter()
+        .map(|(k, i, p)| encode_frame(*k, *i, p))
+        .collect();
+    // Decode only the last two frames as their own stream.
+    let tail: Vec<u8> = encoded[2..].concat();
+    let got = drain(&tail, MAX_FRAME_PAYLOAD).unwrap();
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0].payload, frames[2].2);
+    assert_eq!(got[1].payload, frames[3].2);
+    // Header length advertised by the module matches the layout.
+    assert_eq!(encoded[0].len(), FRAME_HEADER_LEN + frames[0].2.len());
+}

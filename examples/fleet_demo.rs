@@ -1,0 +1,121 @@
+//! The distributed serving fleet end to end: three gateway shards behind
+//! the binary wire protocol, a consistent-hash router spreading users
+//! across them, a staggered shard-by-shard weight rollout, and the
+//! drain → failover → recovery lifecycle of losing a shard.
+//!
+//! ```text
+//! cargo run --release --example fleet_demo
+//! ```
+//!
+//! Everything runs in one process over real TCP loopback connections —
+//! the same `ShardServer`/`Router`/`FleetCoordinator` types a multi-host
+//! deployment uses (see `docs/SERVING.md` § Distributed fleet). Prints
+//! `FLEET_DEMO_OK` when every phase checks out.
+
+use prionn::fleet::coordinator::FleetCoordinator;
+use prionn::fleet::router::{FleetError, Router, RouterConfig};
+use prionn::fleet::testkit::{demo_checkpoint, demo_corpus, LocalFleet};
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 3;
+const USERS: u64 = 1_000;
+
+fn main() {
+    // 1. Boot a local fleet: each shard is a micro-batching Gateway
+    //    wrapped in a ShardServer listening on its own TCP port.
+    let scripts = demo_corpus();
+    let mut fleet = LocalFleet::spawn(SHARDS);
+    let router = Router::new(RouterConfig {
+        request_timeout: Duration::from_secs(30),
+        down_backoff: Duration::from_millis(100),
+        ..RouterConfig::for_endpoints(fleet.endpoints())
+    });
+    println!("fleet up: {} shards at {:?}", SHARDS, fleet.endpoints());
+
+    // 2. Route predictions for a population of users. The consistent-hash
+    //    ring pins each user to a home shard; replies carry the serving
+    //    shard and its weight epoch so clients can see both.
+    let mut served_by = vec![0u64; SHARDS];
+    let mut first = None;
+    for user in 0..USERS {
+        let one = std::slice::from_ref(&scripts[(user % scripts.len() as u64) as usize]);
+        let reply = router.predict(user, one).expect("fleet predict");
+        assert_eq!(
+            Some(reply.shard),
+            router.route(user),
+            "reply from home shard"
+        );
+        served_by[reply.shard] += 1;
+        first.get_or_insert_with(|| (reply.predictions[0], reply.epoch));
+    }
+    let (pred, epoch0) = first.unwrap();
+    println!(
+        "served {USERS} users, spread {served_by:?}; first prediction: \
+         runtime {:.1} min (epoch {epoch0})",
+        pred.runtime_minutes
+    );
+    assert!(
+        served_by.iter().all(|&n| n > 0),
+        "every shard takes traffic"
+    );
+
+    // 3. Roll new weights across the fleet shard by shard. The coordinator
+    //    pushes the checkpoint over the wire and waits for each shard's
+    //    swap ack, so at most two adjacent epochs ever coexist.
+    let coordinator = FleetCoordinator::new(&router, Duration::from_secs(30));
+    let report = coordinator.rollout(&demo_checkpoint());
+    assert!(
+        report.fully_applied(),
+        "rollout failed: {:?}",
+        report.failed_shards()
+    );
+    for s in &report.shards {
+        println!("  rollout: shard {} now at epoch {:?}", s.shard, s.epoch);
+        assert_eq!(s.epoch, Some(epoch0 + 1));
+    }
+
+    // 4. Drain shard 0: it answers new predicts with a typed `Draining`
+    //    shed, and the router fails its users over to the survivors.
+    router.drain_shard(0).expect("drain");
+    let drained_user = (0..USERS)
+        .find(|&u| router.route(u) == Some(0))
+        .expect("some user homes on shard 0");
+    let reply = router
+        .predict(drained_user, &scripts[..1])
+        .expect("failover serves the drained user");
+    assert_ne!(reply.shard, 0, "drained shard must not serve");
+    println!(
+        "drained shard 0; user {drained_user} failed over to shard {}",
+        reply.shard
+    );
+
+    // 5. Kill it outright, then bring up a replacement on a fresh address.
+    //    `set_endpoint` + `mark_up` splice the new process into the same
+    //    ring slot, and traffic returns without any client-visible churn.
+    fleet.kill(0);
+    match router.predict(drained_user, &scripts[..1]) {
+        Ok(reply) => assert_ne!(reply.shard, 0),
+        Err(FleetError::Rejected { code, .. }) => {
+            panic!("availability failures must fail over, got typed {code}")
+        }
+        Err(e) => panic!("all-surviving-shards fleet must serve: {e}"),
+    }
+    let endpoint = fleet.respawn(0);
+    router.set_endpoint(0, &endpoint);
+    router.mark_up(0);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(reply) = router.predict(drained_user, &scripts[..1]) {
+            if reply.shard == 0 {
+                println!("replacement shard 0 at {endpoint} serving its users again");
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "replacement never took traffic");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    drop(router);
+    fleet.shutdown();
+    println!("FLEET_DEMO_OK");
+}

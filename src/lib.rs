@@ -28,6 +28,11 @@
 //! * [`serve`] — the sharded, micro-batching inference gateway: replica
 //!   workers, admission control with load shedding, and epoch-tagged
 //!   weight hot-swap (see `docs/SERVING.md`);
+//! * [`fleet`] — the distributed serving fleet: N gateway shards behind
+//!   a length-prefixed binary wire protocol over TCP, a consistent-hash
+//!   router with pipelined connections and typed shed/failover, and a
+//!   coordinator that rolls weight epochs shard-by-shard (see
+//!   `docs/SERVING.md` § Distributed fleet);
 //! * [`forecast`] — cluster-scale IO burst forecasting: the incremental
 //!   per-minute aggregator (O(log n) per job arrival/completion), the
 //!   EWMA / Holt / seasonal-naive forecaster family, and edge-triggered
@@ -62,6 +67,7 @@
 //! ```
 
 pub use prionn_core as core;
+pub use prionn_fleet as fleet;
 pub use prionn_forecast as forecast;
 pub use prionn_ml as ml;
 pub use prionn_nn as nn;
