@@ -40,7 +40,7 @@ pub mod shard;
 pub mod testkit;
 
 pub use coordinator::{FleetCoordinator, RolloutReport, ShardRollout};
-pub use proto::{ErrorCode, ShardStats};
+pub use proto::{ErrorCode, ReviseRequest, RevisionReply, ShardStats};
 pub use ring::HashRing;
-pub use router::{FleetError, FleetReply, Router, RouterConfig};
+pub use router::{FleetError, FleetReply, FleetRevision, Router, RouterConfig};
 pub use shard::{ShardConfig, ShardServer};

@@ -33,9 +33,10 @@ use prionn_store::wire::{encode_frame, read_frame, Frame, MAX_FRAME_PAYLOAD};
 use prionn_telemetry::{Counter, Gauge, Histogram, Telemetry};
 
 use crate::proto::{
-    decode_error, decode_predictions, decode_stats, decode_swap_ack, encode_predict, ErrorCode,
-    ShardStats, KIND_DRAIN, KIND_DRAIN_ACK, KIND_ERROR, KIND_PING, KIND_PONG, KIND_PREDICT,
-    KIND_PREDICTIONS, KIND_STATS, KIND_STATS_REPLY, KIND_SWAP_ACK, KIND_SWAP_WEIGHTS,
+    decode_error, decode_predictions, decode_revision, decode_stats, decode_swap_ack,
+    encode_predict, encode_revise, ErrorCode, ReviseRequest, RevisionReply, ShardStats, KIND_DRAIN,
+    KIND_DRAIN_ACK, KIND_ERROR, KIND_PING, KIND_PONG, KIND_PREDICT, KIND_PREDICTIONS, KIND_REVISE,
+    KIND_REVISION, KIND_STATS, KIND_STATS_REPLY, KIND_SWAP_ACK, KIND_SWAP_WEIGHTS,
 };
 use crate::ring::HashRing;
 
@@ -103,6 +104,15 @@ pub struct FleetReply {
     pub predictions: Vec<ResourcePrediction>,
     /// The weight epoch the serving shard used.
     pub epoch: u64,
+    /// Which shard served the request (after any failover).
+    pub shard: usize,
+}
+
+/// A successful fleet revision.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetRevision {
+    /// The revised intervals and the serving shard's weight epoch.
+    pub revision: RevisionReply,
     /// Which shard served the request (after any failover).
     pub shard: usize,
 }
@@ -494,6 +504,88 @@ impl Router {
                     self.metrics.count_shed(ErrorCode::Draining);
                     Err(TryError::Failover(format!("shard {shard} draining: {msg}")))
                 }
+                Ok((ErrorCode::Stopped, msg)) => {
+                    self.metrics.count_shed(ErrorCode::Stopped);
+                    Err(TryError::Failover(format!("shard {shard} stopped: {msg}")))
+                }
+                Ok((code, msg)) => Err(TryError::Reject(code, msg)),
+                Err(e) => Err(TryError::Failover(format!(
+                    "shard {shard}: bad error payload: {e}"
+                ))),
+            },
+            other => Err(TryError::Failover(format!(
+                "shard {shard}: unexpected frame kind {other}"
+            ))),
+        }
+    }
+
+    /// Route an in-flight revision request, hashing on the job id so a
+    /// job's revisions land on one shard (one drift window calibrates
+    /// all of its intervals). Fails over along the ring like predicts;
+    /// typed refusals surface unchanged.
+    pub fn revise(&self, req: &ReviseRequest) -> Result<FleetRevision, FleetError> {
+        if self.shards.is_empty() {
+            return Err(FleetError::EmptyFleet);
+        }
+        self.metrics.requests.inc();
+        let started = Instant::now();
+        let payload = encode_revise(req);
+        let mut attempts = 0usize;
+        let mut last = String::from("no shard tried");
+        let mut failed_over = false;
+        for shard in self.ring.owners(req.obs.job_id) {
+            attempts += 1;
+            match self.try_revise_on(shard, &payload) {
+                Ok(revision) => {
+                    if failed_over {
+                        self.metrics.failovers.inc();
+                    }
+                    self.metrics
+                        .latency
+                        .observe(started.elapsed().as_secs_f64());
+                    return Ok(FleetRevision { revision, shard });
+                }
+                Err(TryError::Reject(code, message)) => {
+                    self.metrics.count_shed(code);
+                    self.metrics
+                        .latency
+                        .observe(started.elapsed().as_secs_f64());
+                    return Err(FleetError::Rejected {
+                        shard,
+                        code,
+                        message,
+                    });
+                }
+                Err(TryError::Failover(reason)) => {
+                    last = reason;
+                    failed_over = true;
+                }
+            }
+        }
+        self.metrics.shed_unavailable.inc();
+        self.metrics
+            .latency
+            .observe(started.elapsed().as_secs_f64());
+        Err(FleetError::Unavailable { attempts, last })
+    }
+
+    fn try_revise_on(&self, shard: usize, payload: &[u8]) -> Result<RevisionReply, TryError> {
+        let conn = self.conn_for(shard).map_err(TryError::Failover)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = match conn.request(KIND_REVISE, id, payload, self.cfg.request_timeout) {
+            Ok(f) => f,
+            Err(fail) => {
+                if matches!(fail, ConnFailure::Closed) {
+                    self.mark_down(shard);
+                }
+                return Err(TryError::Failover(fail.describe(shard)));
+            }
+        };
+        match frame.kind {
+            KIND_REVISION => decode_revision(&frame.payload).map_err(|e| {
+                TryError::Failover(format!("shard {shard}: bad revision payload: {e}"))
+            }),
+            KIND_ERROR => match decode_error(&frame.payload) {
                 Ok((ErrorCode::Stopped, msg)) => {
                     self.metrics.count_shed(ErrorCode::Stopped);
                     Err(TryError::Failover(format!("shard {shard} stopped: {msg}")))

@@ -35,15 +35,18 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use prionn_observe::DriftHead;
+use prionn_revise::{ConformalCalibrator, PredictionInterval, ReviseConfig, Reviser};
 use prionn_serve::{Gateway, Priority};
 use prionn_store::wire::{encode_frame, read_frame, Frame};
 use prionn_store::{Checkpoint, StoreError};
 use prionn_telemetry::{Counter, Gauge};
 
 use crate::proto::{
-    decode_predict, encode_error, encode_predictions, encode_stats, encode_swap_ack, ErrorCode,
-    ShardStats, KIND_DRAIN, KIND_DRAIN_ACK, KIND_ERROR, KIND_PING, KIND_PONG, KIND_PREDICT,
-    KIND_PREDICTIONS, KIND_STATS, KIND_STATS_REPLY, KIND_SWAP_ACK, KIND_SWAP_WEIGHTS,
+    decode_predict, decode_revise, encode_error, encode_predictions, encode_revision, encode_stats,
+    encode_swap_ack, ErrorCode, RevisionReply, ShardStats, KIND_DRAIN, KIND_DRAIN_ACK, KIND_ERROR,
+    KIND_PING, KIND_PONG, KIND_PREDICT, KIND_PREDICTIONS, KIND_REVISE, KIND_REVISION, KIND_STATS,
+    KIND_STATS_REPLY, KIND_SWAP_ACK, KIND_SWAP_WEIGHTS,
 };
 
 /// Tuning knobs for [`ShardServer::spawn`].
@@ -84,6 +87,7 @@ struct ShardMetrics {
     bytes_rx: Counter,
     bytes_tx: Counter,
     requests: Counter,
+    revisions: Counter,
     shed_draining: Counter,
     decode_errors: Counter,
     draining: Gauge,
@@ -118,6 +122,10 @@ impl ShardMetrics {
             requests: t.counter(
                 "fleet_shard_requests_total",
                 "Predict requests received over the wire",
+            ),
+            revisions: t.counter(
+                "fleet_shard_revisions_total",
+                "In-flight revision requests answered over the wire",
             ),
             shed_draining: t.counter_with(
                 "fleet_shard_shed_total",
@@ -468,6 +476,41 @@ fn dispatch_frame(
                         return false;
                     }
                     true
+                }
+                Err(e) => {
+                    inner.metrics.decode_errors.inc();
+                    send(encode_frame(
+                        KIND_ERROR,
+                        id,
+                        &encode_error(ErrorCode::BadRequest, &e.to_string()),
+                    ))
+                }
+            }
+        }
+        KIND_REVISE => {
+            // Revisions are pure math over the drift window — no model
+            // inference, no queue. They are answered inline on the reader
+            // thread, and they keep serving while draining: in-flight
+            // jobs still need their intervals during a rollout.
+            inner.metrics.revisions.inc();
+            match decode_revise(&frame.payload) {
+                Ok(req) => {
+                    let reviser = Reviser::new(ReviseConfig::default());
+                    let revised = reviser.revise(&req.initial, &req.obs);
+                    let gw = &inner.gateway;
+                    let interval_for = |head: DriftHead, point: f64| match gw.drift() {
+                        Some(d) => ConformalCalibrator::from_window(&d.outcome_window(head))
+                            .interval(point, req.coverage),
+                        None => PredictionInterval::degenerate(point),
+                    };
+                    let reply = RevisionReply {
+                        epoch: gw.epoch(),
+                        runtime_minutes: interval_for(DriftHead::Runtime, revised.runtime_minutes),
+                        read_bytes: interval_for(DriftHead::Read, revised.read_bytes),
+                        write_bytes: interval_for(DriftHead::Write, revised.write_bytes),
+                    };
+                    inner.requests_served.fetch_add(1, Ordering::SeqCst);
+                    send(encode_frame(KIND_REVISION, id, &encode_revision(&reply)))
                 }
                 Err(e) => {
                     inner.metrics.decode_errors.inc();

@@ -62,6 +62,61 @@ impl DriftHead {
 
 const HEADS: [DriftHead; 3] = [DriftHead::Runtime, DriftHead::Read, DriftHead::Write];
 
+/// How an observed job left the system. Killed/requeued jobs still carry a
+/// truth-vs-prediction pair (truth is whatever was observed at termination),
+/// and folding them into the window keeps drift statistics and conformal
+/// calibration free of survivorship bias — a monitor that only ever sees
+/// jobs that ran to completion will happily report a well-calibrated model
+/// while the kill policy silently eats its worst mistakes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutcomeStatus {
+    /// Job ran to natural completion.
+    Completed,
+    /// Job was terminated by the kill policy (revised lo exceeded the
+    /// requested walltime) or by the user.
+    Killed,
+    /// Job was killed and put back on the queue for another attempt.
+    Requeued,
+}
+
+impl OutcomeStatus {
+    /// The metric label for this terminal status.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutcomeStatus::Completed => "completed",
+            OutcomeStatus::Killed => "killed",
+            OutcomeStatus::Requeued => "requeued",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OutcomeStatus::Completed => 0,
+            OutcomeStatus::Killed => 1,
+            OutcomeStatus::Requeued => 2,
+        }
+    }
+}
+
+const STATUSES: [OutcomeStatus; 3] = [
+    OutcomeStatus::Completed,
+    OutcomeStatus::Killed,
+    OutcomeStatus::Requeued,
+];
+
+/// One (truth, prediction) pair from a head's rolling window, exposed so
+/// the conformal calibrator in `prionn-revise` can reuse the monitor's
+/// window instead of maintaining a duplicate one.
+#[derive(Clone, Copy, Debug)]
+pub struct OutcomeSample {
+    /// Observed true value (minutes for the runtime head, bytes/s for IO).
+    pub truth: f64,
+    /// The prediction that was served for this job.
+    pub predicted: f64,
+    /// Calibration bin the truth fell into.
+    pub bin: usize,
+}
+
 /// Drift-monitor tuning.
 #[derive(Clone, Debug)]
 pub struct DriftConfig {
@@ -119,6 +174,7 @@ struct HeadState {
     calib_gauge: Gauge,
     sample_counter: Counter,
     alert_counter: Counter,
+    status_counters: [Counter; 3],
 }
 
 struct DriftInner {
@@ -174,6 +230,13 @@ impl DriftMonitor {
                     "Rolling accuracy fell below the alert threshold",
                     &l,
                 ),
+                status_counters: STATUSES.map(|st| {
+                    telemetry.counter_with(
+                        "drift_outcomes_total",
+                        "Observed outcomes folded into the drift monitor, by terminal status",
+                        &[("head", h.label()), ("status", st.label())],
+                    )
+                }),
             })
         };
         DriftMonitor {
@@ -219,6 +282,21 @@ impl DriftMonitor {
     /// for it) into `head`'s window, updating gauges and firing
     /// threshold-crossing events.
     pub fn record(&self, head: DriftHead, truth: f64, predicted: f64) {
+        self.record_with_status(head, truth, predicted, OutcomeStatus::Completed);
+    }
+
+    /// [`record`](Self::record) with an explicit terminal status. Killed
+    /// and requeued jobs enter the same rolling window as completed ones
+    /// (truth is whatever was observed at termination) so the statistics
+    /// downstream — drift gauges and conformal calibration — are not
+    /// survivorship-biased toward jobs the kill policy spared.
+    pub fn record_with_status(
+        &self,
+        head: DriftHead,
+        truth: f64,
+        predicted: f64,
+        status: OutcomeStatus,
+    ) {
         if !truth.is_finite() || !predicted.is_finite() {
             return;
         }
@@ -245,6 +323,7 @@ impl DriftMonitor {
         }
         s.samples += 1;
         s.sample_counter.inc();
+        s.status_counters[status.index()].inc();
 
         let rolling = s.sum_acc / s.window.len() as f64;
         s.acc_gauge.set(rolling);
@@ -296,6 +375,21 @@ impl DriftMonitor {
         let secs = lock(&self.inner.last_weight_update).elapsed().as_secs_f64();
         self.inner.staleness.set(secs);
         secs
+    }
+
+    /// Copy of `head`'s rolling outcome window, oldest first. This is the
+    /// accessor the split-conformal calibrator builds its score sample
+    /// from — one window, maintained here, consumed there.
+    pub fn outcome_window(&self, head: DriftHead) -> Vec<OutcomeSample> {
+        let s = lock(&self.inner.heads[head.index()]);
+        s.window
+            .iter()
+            .map(|&(_, (truth, predicted), bin)| OutcomeSample {
+                truth,
+                predicted,
+                bin,
+            })
+            .collect()
     }
 
     /// Point-in-time readout of every head plus the staleness clock.
@@ -508,6 +602,46 @@ mod tests {
         d.mark_weight_update();
         assert!(d.refresh_staleness() < 0.01);
         assert_eq!(d.snapshot().weight_updates, 1);
+    }
+
+    #[test]
+    fn outcome_window_exposes_truth_and_prediction_pairs() {
+        let t = Telemetry::new();
+        let d = DriftMonitor::new(
+            &t,
+            DriftConfig {
+                window: 4,
+                ..DriftConfig::default()
+            },
+        );
+        for i in 0..6u32 {
+            d.record(DriftHead::Runtime, 10.0 * f64::from(i), 5.0 * f64::from(i));
+        }
+        let w = d.outcome_window(DriftHead::Runtime);
+        assert_eq!(w.len(), 4, "window is bounded");
+        // Oldest-first: samples 2..6 survive the slide.
+        assert_eq!(w[0].truth, 20.0);
+        assert_eq!(w[0].predicted, 10.0);
+        assert_eq!(w[3].truth, 50.0);
+        assert!(d.outcome_window(DriftHead::Read).is_empty());
+    }
+
+    #[test]
+    fn killed_outcomes_enter_the_window_and_are_counted_by_status() {
+        let t = Telemetry::new();
+        let d = DriftMonitor::with_defaults(&t);
+        d.record(DriftHead::Runtime, 30.0, 30.0);
+        d.record_with_status(DriftHead::Runtime, 120.0, 20.0, OutcomeStatus::Killed);
+        d.record_with_status(DriftHead::Runtime, 90.0, 15.0, OutcomeStatus::Requeued);
+        assert_eq!(
+            d.outcome_window(DriftHead::Runtime).len(),
+            3,
+            "killed/requeued samples share the window with completed ones"
+        );
+        let prom = t.prometheus();
+        assert!(prom.contains("drift_outcomes_total{head=\"runtime\",status=\"completed\"} 1"));
+        assert!(prom.contains("drift_outcomes_total{head=\"runtime\",status=\"killed\"} 1"));
+        assert!(prom.contains("drift_outcomes_total{head=\"runtime\",status=\"requeued\"} 1"));
     }
 
     #[test]

@@ -51,9 +51,11 @@ pub mod flight;
 pub mod ops;
 pub mod trace;
 
-pub use drift::{DriftConfig, DriftHead, DriftMonitor, DriftSnapshot, HeadSnapshot};
+pub use drift::{
+    DriftConfig, DriftHead, DriftMonitor, DriftSnapshot, HeadSnapshot, OutcomeSample, OutcomeStatus,
+};
 pub use flight::{FlightConfig, FlightRecorder};
-pub use ops::{ForecastProbe, OpsOptions, OpsServer, Readiness, ReadyProbe};
+pub use ops::{ForecastProbe, OpsOptions, OpsServer, Readiness, ReadyProbe, ReviseProbe};
 pub use trace::{
     active, child_of_current, push_current, render_trace_tree, CurrentGuard, Span, SpanCtx,
     SpanRecord, Tracer,

@@ -13,6 +13,7 @@
 //! | `/traces`  | recent span trees from the flight recorder, as JSON |
 //! | `/flight`  | triggers a flight dump to disk, returns the path |
 //! | `/forecast`| live IO-forecast snapshot from the injected probe, as JSON |
+//! | `/revise`  | in-flight revision engine snapshot from the injected probe, as JSON |
 //!
 //! Anything else is `404`. The server binds before [`OpsServer::start`]
 //! returns, so tests and scripts can read the bound port immediately.
@@ -47,6 +48,12 @@ pub type ReadyProbe = Arc<dyn Fn() -> Readiness + Send + Sync>;
 /// crate in the dependency graph.
 pub type ForecastProbe = Arc<dyn Fn() -> String + Send + Sync>;
 
+/// The revision probe: called per `/revise` request, returns a JSON
+/// document (e.g. `prionn-revise`'s `ReviseEngine::ops_probe`). Same
+/// closure-over-type pattern as [`ForecastProbe`]: `observe` stays below
+/// the revise crate in the dependency graph.
+pub type ReviseProbe = Arc<dyn Fn() -> String + Send + Sync>;
+
 /// What the ops endpoint exposes. Every field is optional; absent sources
 /// degrade their route to a clear `404`/empty answer rather than an error.
 #[derive(Clone, Default)]
@@ -62,6 +69,8 @@ pub struct OpsOptions {
     pub readiness: Option<ReadyProbe>,
     /// Forecast snapshot probe behind `/forecast` (absent = `404`).
     pub forecast: Option<ForecastProbe>,
+    /// Revision-engine snapshot probe behind `/revise` (absent = `404`).
+    pub revise: Option<ReviseProbe>,
     /// Most recent traces returned by `/traces` (default 64).
     pub max_traces: usize,
 }
@@ -228,6 +237,10 @@ fn route(path: &str, opts: &OpsOptions) -> (&'static str, &'static str, String) 
                 "no forecast engine attached\n".into(),
             ),
         },
+        "/revise" => match &opts.revise {
+            Some(probe) => (OK, JSON, probe()),
+            None => ("404 Not Found", TEXT, "no revise engine attached\n".into()),
+        },
         "/flight" => match &opts.recorder {
             Some(rec) => match rec.dump_to_file("ops endpoint /flight") {
                 Ok(path) => (
@@ -361,6 +374,23 @@ mod tests {
         assert_eq!(status, "200 OK");
         assert_eq!(ctype, "application/json");
         assert_eq!(body, "{\"alerting\":false}");
+    }
+
+    #[test]
+    fn revise_route_serves_probe_json_or_404() {
+        let opts = OpsOptions::default();
+        let (status, _, body) = route("/revise", &opts);
+        assert_eq!(status, "404 Not Found");
+        assert!(body.contains("no revise engine"), "{body}");
+
+        let opts = OpsOptions {
+            revise: Some(Arc::new(|| "{\"inflight\":0}".to_string())),
+            ..OpsOptions::default()
+        };
+        let (status, ctype, body) = route("/revise", &opts);
+        assert_eq!(status, "200 OK");
+        assert_eq!(ctype, "application/json");
+        assert_eq!(body, "{\"inflight\":0}");
     }
 
     #[test]

@@ -58,6 +58,7 @@ fn wired() -> (OpsServer, Telemetry, FlightRecorder, DriftMonitor) {
                 detail: "live_replicas=2/2 queue=0/128".into(),
             })),
             forecast: None,
+            revise: None,
             max_traces: 16,
         },
     )
@@ -159,6 +160,10 @@ fn observe_metric_names_and_labels_are_pinned() {
         r#"drift_samples_total{head="read"} 4"#,
         r#"drift_samples_total{head="write"} 4"#,
         r#"drift_alerts_total{head="runtime"} 0"#,
+        "# TYPE drift_outcomes_total counter",
+        r#"drift_outcomes_total{head="runtime",status="completed"} 4"#,
+        r#"drift_outcomes_total{head="runtime",status="killed"} 0"#,
+        r#"drift_outcomes_total{head="runtime",status="requeued"} 0"#,
         "drift_weight_updates_total 1",
     ] {
         assert!(text.contains(series), "missing `{series}` in:\n{text}");

@@ -1,0 +1,119 @@
+//! The split-conformal guarantees, checked empirically and by property.
+//!
+//! * **Coverage** — a calibrator built on one sample of simulated job
+//!   outcomes must cover a *held-out* sample from the same distribution
+//!   at (close to) its nominal rate: within ±3% at 80/90/95%. This is
+//!   the marginal-coverage guarantee of split-conformal inference under
+//!   exchangeability; the tolerance absorbs finite-sample noise at the
+//!   fixed seeds below.
+//! * **Monotonicity** — raising the coverage level never narrows the
+//!   interval, for any score sample and any point estimate.
+
+use prionn_revise::{ConformalCalibrator, SCORE_EPSILON};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One simulated (truth, prediction) population: predictions spread over
+/// two orders of magnitude, truths off by a heavy-ish multiplicative
+/// error — a skewed model like the paper's runtime head.
+fn outcomes(rng: &mut ChaCha8Rng, n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|_| {
+            let predicted = rng.gen_range(5.0..500.0f64);
+            // Multiplicative error in [2^-1.5, 2^1.5], log-uniform.
+            let err = 2.0f64.powf(rng.gen_range(-1.5..1.5));
+            (predicted * err, predicted)
+        })
+        .collect()
+}
+
+fn calibrator_over(sample: &[(f64, f64)]) -> ConformalCalibrator {
+    ConformalCalibrator::from_scores(
+        sample
+            .iter()
+            .map(|(truth, pred)| truth / pred.max(SCORE_EPSILON))
+            .collect(),
+    )
+}
+
+#[test]
+fn held_out_coverage_is_within_three_points_of_nominal() {
+    for seed in [7u64, 1234, 987_654] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let calibration = outcomes(&mut rng, 2000);
+        let holdout = outcomes(&mut rng, 2000);
+        let cal = calibrator_over(&calibration);
+
+        for nominal in [0.80, 0.90, 0.95] {
+            let covered = holdout
+                .iter()
+                .filter(|(truth, pred)| cal.interval(*pred, nominal).contains(*truth))
+                .count();
+            let empirical = covered as f64 / holdout.len() as f64;
+            assert!(
+                (empirical - nominal).abs() <= 0.03,
+                "seed {seed}: empirical coverage {empirical:.4} strayed \
+                 more than 3 points from nominal {nominal}"
+            );
+        }
+    }
+}
+
+#[test]
+fn coverage_holds_even_for_a_systematically_biased_model() {
+    // Every prediction is 3x too low. The point estimates are useless,
+    // but the intervals — calibrated on the same biased model — must
+    // still cover the truth at the nominal rate.
+    let mut rng = ChaCha8Rng::seed_from_u64(55);
+    let biased = |rng: &mut ChaCha8Rng, n: usize| -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|_| {
+                let predicted = rng.gen_range(5.0..500.0f64);
+                let err = 2.0f64.powf(rng.gen_range(-0.5..0.5));
+                (3.0 * predicted * err, predicted)
+            })
+            .collect()
+    };
+    let cal = calibrator_over(&biased(&mut rng, 2000));
+    let holdout = biased(&mut rng, 2000);
+    let covered = holdout
+        .iter()
+        .filter(|(truth, pred)| cal.interval(*pred, 0.9).contains(*truth))
+        .count();
+    let empirical = covered as f64 / holdout.len() as f64;
+    assert!(
+        (empirical - 0.9).abs() <= 0.03,
+        "biased model: empirical coverage {empirical:.4}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Raising coverage never narrows the interval, and every interval
+    // stays ordered, for arbitrary score samples and points.
+    #[test]
+    fn intervals_are_monotone_in_coverage(
+        raw_scores in proptest::collection::vec(1u32..4_000_000, 1..200),
+        point_milli in 1u64..10_000_000,
+        cov_a_pct in 0u32..100,
+        cov_b_pct in 0u32..100,
+    ) {
+        let scores: Vec<f64> = raw_scores.iter().map(|&s| s as f64 / 1000.0).collect();
+        let cal = ConformalCalibrator::from_scores(scores);
+        let point = point_milli as f64 / 1000.0;
+        let (lo_cov, hi_cov) = if cov_a_pct <= cov_b_pct {
+            (cov_a_pct, cov_b_pct)
+        } else {
+            (cov_b_pct, cov_a_pct)
+        };
+        let narrow = cal.interval(point, lo_cov as f64 / 100.0);
+        let wide = cal.interval(point, hi_cov as f64 / 100.0);
+        prop_assert!(narrow.lo <= narrow.hi);
+        prop_assert!(wide.lo <= wide.hi);
+        prop_assert!(wide.lo <= narrow.lo, "lo must move down: {} -> {}", narrow.lo, wide.lo);
+        prop_assert!(wide.hi >= narrow.hi, "hi must move up: {} -> {}", narrow.hi, wide.hi);
+        prop_assert!(wide.width() >= narrow.width());
+    }
+}

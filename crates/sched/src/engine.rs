@@ -2,7 +2,7 @@
 
 use prionn_telemetry::{Counter, Histogram, Telemetry};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// A job as the simulator sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -64,12 +64,54 @@ struct Running {
     end_estimated: u64,
 }
 
+/// One running job's full placement view, for progress taps and kill
+/// policies that need more than the planning tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunningJob {
+    /// Job id.
+    pub id: u64,
+    /// Nodes held.
+    pub nodes: u32,
+    /// Start time, seconds.
+    pub start: u64,
+    /// Actual completion time (hidden from planning).
+    pub end_actual: u64,
+    /// Planned completion time (start + estimate, or start + interval `hi`
+    /// after a revision).
+    pub end_estimated: u64,
+}
+
+/// Record of a job terminated early by [`SimEngine::kill_running`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KilledJob {
+    /// Job id.
+    pub id: u64,
+    /// Nodes it was holding.
+    pub nodes: u32,
+    /// When it started.
+    pub started: u64,
+    /// When the kill landed (the engine's `now`).
+    pub killed_at: u64,
+    /// When it would have actually completed had it run on.
+    pub projected_end: u64,
+}
+
+impl KilledJob {
+    /// Node-seconds the kill reclaimed: the occupancy the job would have
+    /// burned between the kill and its actual completion.
+    pub fn node_seconds_saved(&self) -> u64 {
+        self.nodes as u64 * self.projected_end.saturating_sub(self.killed_at)
+    }
+}
+
 /// Simulator instruments, resolved once when telemetry is attached.
 #[derive(Debug, Clone)]
 struct SchedInstruments {
     jobs_submitted: Counter,
     jobs_started: Counter,
     jobs_backfilled: Counter,
+    jobs_killed: Counter,
+    jobs_requeued: Counter,
     sim_steps: Counter,
     submit_seconds: Histogram,
 }
@@ -82,6 +124,14 @@ impl SchedInstruments {
             jobs_backfilled: t.counter(
                 "sched_jobs_backfilled_total",
                 "Jobs started by EASY backfill ahead of the queue head",
+            ),
+            jobs_killed: t.counter(
+                "sched_jobs_killed_total",
+                "Running jobs terminated early by the kill policy",
+            ),
+            jobs_requeued: t.counter(
+                "sched_jobs_requeued_total",
+                "Killed jobs placed back on the queue for another attempt",
             ),
             sim_steps: t.counter(
                 "sched_sim_steps_total",
@@ -107,6 +157,12 @@ pub struct SimEngine {
     running: Vec<Running>,
     queue: VecDeque<SimJob>,
     finished: Vec<ScheduleEntry>,
+    /// Revised `[lo, hi]` runtime intervals by job id (seconds), kept as a
+    /// side-table so [`SimJob`] stays a stable `Copy` record. Backfill
+    /// fit-checks a candidate against its `lo` (optimistic: squeeze more
+    /// work into holes); reservations use `hi` via `end_estimated`
+    /// (pessimistic: never let backfill push the queue head back).
+    intervals: HashMap<u64, (u64, u64)>,
     telemetry: Option<SchedInstruments>,
 }
 
@@ -121,6 +177,7 @@ impl SimEngine {
             running: Vec::new(),
             queue: VecDeque::new(),
             finished: Vec::new(),
+            intervals: HashMap::new(),
             telemetry: None,
         }
     }
@@ -154,9 +211,102 @@ impl SimEngine {
             .map(|r| (r.id, r.nodes, r.end_actual, r.end_estimated))
     }
 
+    /// Jobs currently executing, with start times — the view progress taps
+    /// and kill policies consume.
+    pub fn running_info(&self) -> impl Iterator<Item = RunningJob> + '_ {
+        self.running.iter().map(|r| RunningJob {
+            id: r.id,
+            nodes: r.nodes,
+            start: r.start,
+            end_actual: r.end_actual,
+            end_estimated: r.end_estimated,
+        })
+    }
+
     /// Jobs waiting in the queue.
     pub fn queued_jobs(&self) -> impl Iterator<Item = &SimJob> + '_ {
         self.queue.iter()
+    }
+
+    /// Install a revised `[lo, hi]` runtime interval (seconds) for job
+    /// `id`. A running job's planned end moves to `start + hi` (the
+    /// reservation end backfill must respect); a queued job will
+    /// fit-check against `lo` when considered for backfill and reserve
+    /// `hi` once started. Re-calling replaces the previous interval.
+    /// Returns true if the job is currently running or queued.
+    pub fn set_estimate_interval(&mut self, id: u64, lo_seconds: u64, hi_seconds: u64) -> bool {
+        let lo = lo_seconds.max(1);
+        let hi = hi_seconds.max(lo);
+        self.intervals.insert(id, (lo, hi));
+        if let Some(r) = self.running.iter_mut().find(|r| r.id == id) {
+            // Never plan an end in the past: a job that already outlived
+            // `hi` is treated as ending imminently.
+            r.end_estimated = (r.start + hi).max(self.now + 1);
+            return true;
+        }
+        self.queue.iter().any(|q| q.id == id)
+    }
+
+    /// Terminate running job `id` now, freeing its nodes and running a
+    /// scheduling pass over the reclaimed space. The job's schedule entry
+    /// is truncated to the kill time (it occupied nodes only that long).
+    /// Returns what was reclaimed, or `None` if `id` is not running.
+    pub fn kill_running(&mut self, id: u64) -> Option<KilledJob> {
+        let idx = self.running.iter().position(|r| r.id == id)?;
+        let r = self.running.swap_remove(idx);
+        self.free_nodes += r.nodes;
+        self.intervals.remove(&id);
+        if let Some(tel) = &self.telemetry {
+            tel.jobs_killed.inc();
+        }
+        // The entry pushed at start assumed a natural completion; the job
+        // actually held its nodes only until now.
+        if let Some(e) = self
+            .finished
+            .iter_mut()
+            .rev()
+            .find(|e| e.id == id && e.start == r.start)
+        {
+            e.end = self.now.max(e.start);
+        }
+        let killed = KilledJob {
+            id: r.id,
+            nodes: r.nodes,
+            started: r.start,
+            killed_at: self.now,
+            projected_end: r.end_actual,
+        };
+        self.try_schedule();
+        Some(killed)
+    }
+
+    /// Kill running job `id` and put it back on the queue for a fresh
+    /// attempt (submitted at the current time, full runtime again, with
+    /// `estimate_seconds` as its new planning estimate). Returns the kill
+    /// record, or `None` if `id` is not running.
+    pub fn kill_and_requeue(&mut self, id: u64, estimate_seconds: u64) -> Option<KilledJob> {
+        let killed = self.kill_running(id)?;
+        if let Some(tel) = &self.telemetry {
+            tel.jobs_requeued.inc();
+        }
+        // Drop the truncated first-attempt entry: the retry's entry will
+        // replace it when the job starts again.
+        if let Some(pos) = self
+            .finished
+            .iter()
+            .rposition(|e| e.id == id && e.start == killed.started)
+        {
+            self.finished.remove(pos);
+        }
+        self.queue.push_back(SimJob {
+            id,
+            submit: self.now,
+            nodes: killed.nodes,
+            runtime: killed.projected_end - killed.started,
+            estimate: estimate_seconds.max(1),
+        });
+        self.try_schedule();
+        Some(killed)
     }
 
     /// Completed entries so far.
@@ -181,6 +331,7 @@ impl SimEngine {
                         if self.running[i].end_actual == end {
                             let r = self.running.swap_remove(i);
                             self.free_nodes += r.nodes;
+                            self.intervals.remove(&r.id);
                         } else {
                             i += 1;
                         }
@@ -237,9 +388,11 @@ impl SimEngine {
     /// imminent (one second from now).
     pub fn fork_with_predictions(&self, predicted: impl Fn(u64) -> u64) -> SimEngine {
         let mut fork = self.clone();
-        // Speculative what-if rollouts must not pollute the live metrics.
+        // Speculative what-if rollouts must not pollute the live metrics,
+        // and the supplied predictions supersede any revised intervals.
         fork.telemetry = None;
         fork.finished.clear();
+        fork.intervals.clear();
         for r in &mut fork.running {
             let end = r.start + predicted(r.id).max(1);
             let end = end.max(fork.now + 1);
@@ -281,12 +434,18 @@ impl SimEngine {
         }
         self.free_nodes -= job.nodes;
         let start = self.now;
+        // A revised interval's `hi` is the reservation the scheduler
+        // plans around once the job holds nodes.
+        let planning = match self.intervals.get(&job.id) {
+            Some(&(_, hi)) => hi,
+            None => job.estimate,
+        };
         self.running.push(Running {
             id: job.id,
             nodes: job.nodes,
             start,
             end_actual: start + job.runtime,
-            end_estimated: start + job.estimate,
+            end_estimated: start + planning,
         });
         self.finished.push(ScheduleEntry {
             id: job.id,
@@ -339,7 +498,14 @@ impl SimEngine {
         let mut i = 1;
         while i < self.queue.len() {
             let cand = self.queue[i];
-            if cand.nodes <= self.free_nodes && self.now.saturating_add(cand.estimate) <= shadow {
+            // With a revised interval, backfill fit-checks the optimistic
+            // `lo`: the hole-filling side of interval-aware scheduling.
+            // (`hi` still guards the reservation via start_job above.)
+            let fit = match self.intervals.get(&cand.id) {
+                Some(&(lo, _)) => lo,
+                None => cand.estimate,
+            };
+            if cand.nodes <= self.free_nodes && self.now.saturating_add(fit) <= shadow {
                 self.queue.remove(i);
                 if let Some(tel) = &self.telemetry {
                     tel.jobs_backfilled.inc();
@@ -555,6 +721,93 @@ mod tests {
             before,
             "fork rollout leaked into live metrics"
         );
+    }
+
+    #[test]
+    fn interval_lo_admits_backfill_the_point_estimate_refused() {
+        // Same shape as backfill_does_not_delay_head_reservation, but the
+        // candidate's revised interval says it is actually short: the
+        // optimistic lo lets it fill the hole.
+        let mut engine = SimEngine::new(10);
+        engine.submit(job(0, 0, 8, 100, 100));
+        engine.submit(job(1, 1, 8, 100, 100)); // head, reserved at t=100
+        let mut pessimist = engine.clone();
+        // Candidate requests 500s but a revision bounds it to [10, 40].
+        engine.set_estimate_interval(2, 10, 40);
+        engine.submit(job(2, 2, 2, 30, 500));
+        pessimist.submit(job(2, 2, 2, 30, 500));
+        let s = engine.drain();
+        assert_eq!(s.entries[2].start, 2, "lo admits the backfill");
+        let p = pessimist.drain();
+        assert!(p.entries[2].start >= 100, "without the interval it waits");
+    }
+
+    #[test]
+    fn interval_hi_extends_a_running_jobs_reservation() {
+        let mut engine = SimEngine::new(10);
+        engine.submit(job(0, 0, 8, 300, 100)); // will badly overrun
+        engine.submit(job(1, 1, 8, 100, 100)); // head, shadow at t=100
+                                               // Revision: job 0 actually ends near t=300, so the backfill window
+                                               // behind the head's new t=300 reservation is wide open.
+        assert!(engine.set_estimate_interval(0, 250, 320));
+        engine.submit(job(2, 2, 2, 150, 150));
+        let s = engine.drain();
+        assert_eq!(
+            s.entries[2].start, 2,
+            "hi moved the shadow out, the 150s candidate fits"
+        );
+    }
+
+    #[test]
+    fn kill_running_frees_nodes_and_truncates_the_entry() {
+        let t = Telemetry::default();
+        let mut engine = SimEngine::new(10);
+        engine.attach_telemetry(&t);
+        engine.submit(job(0, 0, 8, 1000, 1000));
+        engine.submit(job(1, 1, 8, 50, 50)); // blocked behind job 0
+        engine.advance_to(10);
+        let killed = engine.kill_running(0).expect("job 0 is running");
+        assert_eq!(killed.killed_at, 10);
+        assert_eq!(killed.projected_end, 1000);
+        assert_eq!(killed.node_seconds_saved(), 8 * 990);
+        assert_eq!(engine.kill_running(0), None, "idempotent: already gone");
+        let s = engine.drain();
+        assert_eq!(s.entries[0].end, 10, "entry truncated to the kill");
+        assert_eq!(
+            s.entries[1].start, 10,
+            "blocked job starts on the freed nodes"
+        );
+        let text = t.prometheus();
+        assert!(text.contains("sched_jobs_killed_total 1"), "{text}");
+        assert!(text.contains("sched_jobs_requeued_total 0"), "{text}");
+    }
+
+    #[test]
+    fn kill_and_requeue_reruns_the_job_from_scratch() {
+        let t = Telemetry::default();
+        let mut engine = SimEngine::new(10);
+        engine.attach_telemetry(&t);
+        engine.submit(job(0, 0, 10, 100, 100));
+        engine.advance_to(30);
+        let killed = engine.kill_and_requeue(0, 120).expect("running");
+        assert_eq!(killed.killed_at, 30);
+        let s = engine.drain();
+        assert_eq!(s.entries.len(), 1, "one entry for the successful attempt");
+        assert_eq!(s.entries[0].start, 30, "restarts at the kill time");
+        assert_eq!(s.entries[0].end, 130, "full runtime again");
+        assert!(t.prometheus().contains("sched_jobs_requeued_total 1"));
+    }
+
+    #[test]
+    fn running_info_exposes_start_times() {
+        let mut engine = SimEngine::new(10);
+        engine.submit(job(0, 5, 4, 100, 100));
+        engine.advance_to(20);
+        let info: Vec<RunningJob> = engine.running_info().collect();
+        assert_eq!(info.len(), 1);
+        assert_eq!(info[0].start, 5);
+        assert_eq!(info[0].end_actual, 105);
+        assert_eq!(engine.now() - info[0].start, 15, "elapsed is derivable");
     }
 
     #[test]

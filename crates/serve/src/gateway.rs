@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use prionn_core::{Prionn, PrionnService, ResourcePrediction, TrainingBatch};
-use prionn_observe::{trace, DriftHead, DriftMonitor, Span, SpanCtx, Tracer};
+use prionn_observe::{trace, DriftHead, DriftMonitor, OutcomeStatus, Span, SpanCtx, Tracer};
 use prionn_store::broadcast::WeightBus;
 use prionn_store::Checkpoint;
 use prionn_telemetry::{Counter, Gauge, Histogram, Telemetry};
@@ -769,14 +769,42 @@ impl Gateway {
         read_bytes: f64,
         write_bytes: f64,
     ) {
+        self.record_outcome_with_status(
+            prediction,
+            runtime_minutes,
+            read_bytes,
+            write_bytes,
+            OutcomeStatus::Completed,
+        );
+    }
+
+    /// [`record_outcome`](Self::record_outcome) with an explicit terminal
+    /// status. Jobs the kill/requeue policy terminated still carry an
+    /// observed (partial) truth; folding them into the drift windows keeps
+    /// the rolling statistics — and the conformal calibration built on
+    /// them — free of survivorship bias.
+    pub fn record_outcome_with_status(
+        &self,
+        prediction: &ResourcePrediction,
+        runtime_minutes: f64,
+        read_bytes: f64,
+        write_bytes: f64,
+        status: OutcomeStatus,
+    ) {
         let Some(d) = &self.drift else { return };
-        d.record(
+        d.record_with_status(
             DriftHead::Runtime,
             runtime_minutes,
             prediction.runtime_minutes,
+            status,
         );
-        d.record(DriftHead::Read, read_bytes, prediction.read_bytes);
-        d.record(DriftHead::Write, write_bytes, prediction.write_bytes);
+        d.record_with_status(DriftHead::Read, read_bytes, prediction.read_bytes, status);
+        d.record_with_status(
+            DriftHead::Write,
+            write_bytes,
+            prediction.write_bytes,
+            status,
+        );
     }
 
     /// Replica worker threads still alive (panics decrement this).

@@ -109,6 +109,7 @@ fn main() {
                 Readiness { ready, detail }
             })),
             forecast: None,
+            revise: None,
             max_traces: 64,
         },
     )

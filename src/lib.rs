@@ -37,7 +37,13 @@
 //!   per-minute aggregator (O(log n) per job arrival/completion), the
 //!   EWMA / Holt / seasonal-naive forecaster family, and edge-triggered
 //!   pre-burst alerts that tighten gateway admission (see `DESIGN.md`
-//!   §14).
+//!   §14);
+//! * [`revise`] — continuous in-flight re-prediction: progress taps on
+//!   the simulator, recency-weighted revision, split-conformal
+//!   `[lo, point, hi]` intervals calibrated on the drift window,
+//!   interval-aware backfill, and a kill/requeue policy for jobs whose
+//!   revised lower bound exceeds their walltime (see
+//!   `docs/REVISION.md`).
 //!
 //! # Example
 //!
@@ -72,6 +78,7 @@ pub use prionn_forecast as forecast;
 pub use prionn_ml as ml;
 pub use prionn_nn as nn;
 pub use prionn_observe as observe;
+pub use prionn_revise as revise;
 pub use prionn_sched as sched;
 pub use prionn_serve as serve;
 pub use prionn_store as store;
