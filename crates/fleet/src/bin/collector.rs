@@ -1,0 +1,116 @@
+//! The fleet observability collector as a standalone process: scrapes
+//! every shard's ops endpoint on a cadence, merges their metrics, and
+//! serves the federated view on its own ops endpoint's `/fleet/*`
+//! routes.
+//!
+//! ```text
+//! fleet-collector [--ops ADDR] [--quorum N] [--interval-ms M]
+//!                 [--slo-latency-ms T] <shard_ops_addr>...
+//! ```
+//!
+//! Positional arguments are the shard ops endpoints to federate, in
+//! shard order. `--quorum 0` (the default) requires a strict majority of
+//! shards up for `/fleet/healthz` to report 200. With `--slo-latency-ms`
+//! a p99-style predict-latency SLO (99% of predicts under T ms, judged
+//! on the merged `serve_predict_seconds` histogram) is evaluated with
+//! multi-window burn-rate alerting and exported as `slo_*` series.
+//!
+//! The bound address is printed as `COLLECTOR_ADDR=<addr>` so a parent
+//! process can harvest the ephemeral port; the collector then serves
+//! until stdin reaches EOF.
+
+use std::io::Read as _;
+use std::time::Duration;
+
+use prionn_observe::ops::{OpsOptions, OpsServer};
+use prionn_observe::{CollectorConfig, FleetCollector, ShardTarget, SloSource, SloSpec};
+use prionn_telemetry::Telemetry;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ops_bind = arg_value(&args, "--ops").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let quorum: usize = arg_value(&args, "--quorum")
+        .map(|v| v.parse().expect("--quorum must be an integer"))
+        .unwrap_or(0);
+    let interval_ms: u64 = arg_value(&args, "--interval-ms")
+        .map(|v| v.parse().expect("--interval-ms must be an integer"))
+        .unwrap_or(1_000);
+    let slo_latency_ms: Option<f64> =
+        arg_value(&args, "--slo-latency-ms").map(|v| v.parse().expect("--slo-latency-ms"));
+
+    // Positional args (skipping flags and their values) are shard ops
+    // endpoints, in shard order.
+    let mut shard_addrs = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            shard_addrs.push(args[i].clone());
+            i += 1;
+        }
+    }
+    assert!(
+        !shard_addrs.is_empty(),
+        "usage: fleet-collector [--ops ADDR] [--quorum N] [--interval-ms M] \
+         [--slo-latency-ms T] <shard_ops_addr>..."
+    );
+
+    let slos = slo_latency_ms
+        .map(|ms| {
+            vec![SloSpec::new(
+                "predict_p99",
+                0.99,
+                SloSource::LatencyBuckets {
+                    histogram: "serve_predict_seconds".into(),
+                    threshold: ms / 1e3,
+                },
+            )]
+        })
+        .unwrap_or_default();
+
+    let collector = FleetCollector::spawn(CollectorConfig {
+        shards: shard_addrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, ops_addr)| ShardTarget {
+                name: i.to_string(),
+                ops_addr,
+            })
+            .collect(),
+        interval: Duration::from_millis(interval_ms),
+        quorum,
+        telemetry: Some(Telemetry::new()),
+        slos,
+        ..CollectorConfig::default()
+    });
+
+    let ops = OpsServer::start(
+        &ops_bind,
+        OpsOptions {
+            telemetry: collector.telemetry().clone().into(),
+            fleet: Some(collector.clone()),
+            ..OpsOptions::default()
+        },
+    )
+    .expect("bind collector ops listener");
+
+    println!("COLLECTOR_ADDR={}", ops.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    // Serve until the parent closes our stdin.
+    let mut sink = [0u8; 256];
+    let mut stdin = std::io::stdin();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+
+    ops.shutdown();
+    collector.shutdown();
+}

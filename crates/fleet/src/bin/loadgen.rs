@@ -51,7 +51,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// Either way each shard exposes the wire port plus an ops endpoint.
 enum Backend {
     InProcess {
-        fleet: LocalFleet,
+        fleet: Box<LocalFleet>,
         ops: Vec<Option<OpsServer>>,
     },
     Spawned {
@@ -121,7 +121,10 @@ impl Backend {
                         )
                     })
                     .collect();
-                Backend::InProcess { fleet, ops }
+                Backend::InProcess {
+                    fleet: Box::new(fleet),
+                    ops,
+                }
             }
         }
     }
@@ -368,6 +371,32 @@ fn main() {
         percentile(&report.lat_sorted, 0.50) * 1e3,
         percentile(&report.lat_sorted, 0.99) * 1e3,
     );
+
+    // Per-shard health over the wire (no ops scrape needed): the Stats
+    // frame carries served/shed/failover/revision counters, so the shed
+    // ratio of every shard is one admin round-trip away.
+    for shard in 0..shards {
+        match router.shard_stats(shard) {
+            Ok(stats) => {
+                let attempts = stats.requests_served + stats.requests_shed;
+                let shed_pct = if attempts > 0 {
+                    stats.requests_shed as f64 / attempts as f64 * 100.0
+                } else {
+                    0.0
+                };
+                println!(
+                    "shard {shard}: {} served, {} shed ({shed_pct:.2}%), \
+                     {} failover arrivals, {} revisions, epoch {}",
+                    stats.requests_served,
+                    stats.requests_shed,
+                    stats.failover_arrivals,
+                    stats.revisions_served,
+                    stats.epoch,
+                );
+            }
+            Err(e) => println!("shard {shard}: stats unavailable ({e})"),
+        }
+    }
 
     let mut all_ok = report.ok > 0 && report.unavailable == 0;
     if !all_ok {

@@ -3,8 +3,14 @@
 //!
 //! ```text
 //! prionn-shard [--listen ADDR] [--ops ADDR] [--checkpoint PATH]
-//!              [--replicas N] [--workers N]
+//!              [--replicas N] [--workers N] [--trace-namespace N]
 //! ```
+//!
+//! The gateway records request span trees into a flight recorder served
+//! on `/traces`, with trace ids minted in `--trace-namespace` (give each
+//! shard of one fleet a distinct value, conventionally `2 + shard
+//! index`, so a collector can stitch cross-shard traces without id
+//! collisions; the router uses namespace 1).
 //!
 //! With `--checkpoint` the shard serves those weights; without it a small
 //! demo model is trained at startup (sub-second), which is what the CI
@@ -20,6 +26,7 @@ use std::time::Duration;
 use prionn_fleet::shard::{ShardConfig, ShardServer};
 use prionn_fleet::testkit;
 use prionn_observe::ops::{OpsOptions, OpsServer, Readiness};
+use prionn_observe::{FlightConfig, FlightRecorder, Tracer};
 use prionn_serve::Gateway;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -39,9 +46,14 @@ fn main() {
     let workers: usize = arg_value(&args, "--workers")
         .map(|v| v.parse().expect("--workers must be an integer"))
         .unwrap_or(8);
+    let trace_namespace: u16 = arg_value(&args, "--trace-namespace")
+        .map(|v| v.parse().expect("--trace-namespace must be a u16"))
+        .unwrap_or(2);
 
+    let recorder = FlightRecorder::new(FlightConfig::default());
     let mut gateway_cfg = testkit::demo_gateway_config();
     gateway_cfg.replicas = replicas;
+    gateway_cfg.tracer = Some(Tracer::with_namespace(&recorder, trace_namespace));
 
     let gateway = match arg_value(&args, "--checkpoint") {
         Some(path) => Gateway::spawn_from_checkpoint(&path, gateway_cfg)
@@ -65,6 +77,7 @@ fn main() {
         &ops_bind,
         OpsOptions {
             telemetry: Some(gateway.telemetry().clone()),
+            recorder: Some(recorder.clone()),
             readiness: Some(Arc::new(move || {
                 let (ready, detail) = ready_gateway.readiness();
                 Readiness { ready, detail }

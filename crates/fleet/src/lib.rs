@@ -24,7 +24,14 @@
 //! * **Coordinator** ([`FleetCoordinator`]) — rolls a new checkpoint
 //!   across the fleet shard-by-shard over each shard's all-or-nothing
 //!   `WeightBus` swap, bounding the mixed-epoch window to one shard;
-//!   drains shards gracefully before removal.
+//!   drains shards gracefully before removal. `rollout_gated` consults a
+//!   go/no-go gate (typically an SLO engine's burn-rate alert) before
+//!   every push.
+//! * **Observability plane** — the router opens a client span per call
+//!   and injects its trace context into the frame (see
+//!   [`proto::KIND_TRACE_FLAG`]); shards adopt it as the root of their
+//!   gateway span tree, so `prionn_observe::FleetCollector` can stitch
+//!   one fleet-wide trace and federate every shard's metrics.
 //!
 //! The `prionn-shard` binary serves one shard process; the `loadgen`
 //! binary drives scripted users against a local fleet, including a
@@ -40,7 +47,7 @@ pub mod shard;
 pub mod testkit;
 
 pub use coordinator::{FleetCoordinator, RolloutReport, ShardRollout};
-pub use proto::{ErrorCode, ReviseRequest, RevisionReply, ShardStats};
+pub use proto::{ErrorCode, ReviseRequest, RevisionReply, ShardStats, TraceContext};
 pub use ring::HashRing;
 pub use router::{FleetError, FleetReply, FleetRevision, Router, RouterConfig};
 pub use shard::{ShardConfig, ShardServer};

@@ -18,11 +18,16 @@
 //! | `0x10` | Ping            | empty |
 //! | `0x11` | Pong            | empty |
 //! | `0x12` | StatsRequest    | empty |
-//! | `0x13` | Stats           | epoch u64, live_replicas u64, queue_depth u64, requests_served u64, draining bool |
+//! | `0x13` | Stats           | epoch u64, live_replicas u64, queue_depth u64, requests_served u64, draining bool, requests_shed u64, failover_arrivals u64, revisions_served u64 (last three optional — absent from pre-observability shards) |
 //! | `0x20` | SwapWeights     | a full checkpoint byte image (self-verifying: magic + per-section CRC) |
 //! | `0x21` | SwapAck         | epoch u64 the shard's weight bus assigned |
 //! | `0x30` | Drain           | empty |
 //! | `0x31` | DrainAck        | empty |
+//!
+//! Any request kind may additionally carry the [`KIND_TRACE_FLAG`] high
+//! bit (`0x80`), marking a [`TraceContext`] extension prefixed to the
+//! payload: `version u8, body_len u8, trace_id u64, parent_span_id u64,
+//! hop u8`. See [`strip_trace`] for the version-gating rules.
 
 use prionn_core::ResourcePrediction;
 use prionn_revise::{PredictionInterval, ProgressObs};
@@ -56,6 +61,86 @@ pub const KIND_SWAP_ACK: u8 = 0x21;
 pub const KIND_DRAIN: u8 = 0x30;
 /// Frame kind: drain acknowledgement.
 pub const KIND_DRAIN_ACK: u8 = 0x31;
+
+/// High bit of the frame kind: set when the payload begins with a
+/// trace-context extension. All base kinds live below `0x80`, so a peer
+/// that predates tracing rejects flagged frames as an unknown kind rather
+/// than mis-parsing the payload, and unflagged frames are byte-identical
+/// to the pre-tracing wire format.
+pub const KIND_TRACE_FLAG: u8 = 0x80;
+
+/// Current trace-context extension version.
+pub const TRACE_EXT_VERSION: u8 = 1;
+
+/// Distributed trace context carried in front of a flagged payload.
+///
+/// Wire layout: `version u8, body_len u8`, then `body_len` bytes of body.
+/// Version 1's body is `trace_id u64, parent_span_id u64, hop u8` (17
+/// bytes). The explicit body length is the version gate: a decoder that
+/// sees a *newer* version can still skip the extension and recover the
+/// base payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Fleet-wide trace id (namespaced so shards never collide).
+    pub trace_id: u64,
+    /// Span id of the caller's span; the shard parents its root under it.
+    pub parent_span_id: u64,
+    /// Ring-walk hop index: 0 for the primary owner, `n > 0` when this
+    /// request arrived after `n` failovers — lets the shard count
+    /// failover arrivals without a side channel.
+    pub hop: u8,
+}
+
+const TRACE_EXT_BODY_LEN: usize = 17;
+
+/// Prefix `payload` with an encoded trace-context extension. The caller
+/// must also set [`KIND_TRACE_FLAG`] on the frame kind.
+pub fn encode_with_trace(ctx: &TraceContext, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(2 + TRACE_EXT_BODY_LEN + payload.len());
+    put_u8(&mut buf, TRACE_EXT_VERSION);
+    put_u8(&mut buf, TRACE_EXT_BODY_LEN as u8);
+    put_u64(&mut buf, ctx.trace_id);
+    put_u64(&mut buf, ctx.parent_span_id);
+    put_u8(&mut buf, ctx.hop);
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Split a received frame into its base kind, optional trace context, and
+/// base payload. Unflagged kinds pass through untouched; flagged frames
+/// with a future extension version drop the (unintelligible) context but
+/// keep the payload.
+pub fn strip_trace(kind: u8, payload: &[u8]) -> StoreResult<(u8, Option<TraceContext>, &[u8])> {
+    if kind & KIND_TRACE_FLAG == 0 {
+        return Ok((kind, None, payload));
+    }
+    let base = kind & !KIND_TRACE_FLAG;
+    if payload.len() < 2 {
+        return Err(StoreError::Truncated("trace extension header"));
+    }
+    let version = payload[0];
+    let body_len = payload[1] as usize;
+    if payload.len() < 2 + body_len {
+        return Err(StoreError::Truncated("trace extension body"));
+    }
+    let body = &payload[2..2 + body_len];
+    let rest = &payload[2 + body_len..];
+    if version != TRACE_EXT_VERSION {
+        return Ok((base, None, rest));
+    }
+    if body_len < TRACE_EXT_BODY_LEN {
+        return Err(StoreError::Corrupt(format!(
+            "trace extension v1 body is {body_len} bytes, need {TRACE_EXT_BODY_LEN}"
+        )));
+    }
+    let mut r = Reader::new(body);
+    let ctx = TraceContext {
+        trace_id: r.get_u64("trace extension trace id")?,
+        parent_span_id: r.get_u64("trace extension parent span id")?,
+        hop: r.get_u8("trace extension hop")?,
+    };
+    Ok((base, Some(ctx), rest))
+}
 
 /// Typed error codes a shard can answer with. The numeric values are wire
 /// format — append-only, never renumber.
@@ -141,6 +226,15 @@ pub struct ShardStats {
     pub requests_served: u64,
     /// True once the shard has been told to drain.
     pub draining: bool,
+    /// Predict requests refused with a typed error (any code) since
+    /// spawn. With `requests_served` this yields a per-shard shed ratio
+    /// without an ops-endpoint scrape.
+    pub requests_shed: u64,
+    /// Requests that arrived with a ring-walk hop index > 0 — i.e. after
+    /// at least one other shard refused them.
+    pub failover_arrivals: u64,
+    /// In-flight revision requests answered since spawn.
+    pub revisions_served: u64,
 }
 
 /// Encode a predict request payload.
@@ -242,25 +336,38 @@ pub fn decode_error(payload: &[u8]) -> StoreResult<(ErrorCode, String)> {
 
 /// Encode a shard stats payload.
 pub fn encode_stats(s: &ShardStats) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(33);
+    let mut buf = Vec::with_capacity(57);
     put_u64(&mut buf, s.epoch);
     put_u64(&mut buf, s.live_replicas);
     put_u64(&mut buf, s.queue_depth);
     put_u64(&mut buf, s.requests_served);
     put_bool(&mut buf, s.draining);
+    put_u64(&mut buf, s.requests_shed);
+    put_u64(&mut buf, s.failover_arrivals);
+    put_u64(&mut buf, s.revisions_served);
     buf
 }
 
-/// Decode a shard stats payload.
+/// Decode a shard stats payload. The shed/failover/revision counters were
+/// appended after the first release: a 33-byte payload from an old shard
+/// still decodes, with those counters reported as zero.
 pub fn decode_stats(payload: &[u8]) -> StoreResult<ShardStats> {
     let mut r = Reader::new(payload);
-    let stats = ShardStats {
+    let mut stats = ShardStats {
         epoch: r.get_u64("stats epoch")?,
         live_replicas: r.get_u64("stats live replicas")?,
         queue_depth: r.get_u64("stats queue depth")?,
         requests_served: r.get_u64("stats requests served")?,
         draining: r.get_bool("stats draining")?,
+        requests_shed: 0,
+        failover_arrivals: 0,
+        revisions_served: 0,
     };
+    if r.remaining() > 0 {
+        stats.requests_shed = r.get_u64("stats requests shed")?;
+        stats.failover_arrivals = r.get_u64("stats failover arrivals")?;
+        stats.revisions_served = r.get_u64("stats revisions served")?;
+    }
     r.expect_end("stats response")?;
     Ok(stats)
 }
@@ -454,8 +561,110 @@ mod tests {
             queue_depth: 3,
             requests_served: 999,
             draining: true,
+            requests_shed: 41,
+            failover_arrivals: 6,
+            revisions_served: 17,
         };
         assert_eq!(decode_stats(&encode_stats(&stats)).unwrap(), stats);
+    }
+
+    #[test]
+    fn legacy_33_byte_stats_payload_still_decodes() {
+        // A pre-observability shard sends only the first five fields; the
+        // appended counters must read back as zero, not as Truncated.
+        let full = encode_stats(&ShardStats {
+            epoch: 7,
+            live_replicas: 2,
+            queue_depth: 3,
+            requests_served: 999,
+            draining: false,
+            requests_shed: 41,
+            failover_arrivals: 6,
+            revisions_served: 17,
+        });
+        let legacy = &full[..33];
+        let stats = decode_stats(legacy).unwrap();
+        assert_eq!(stats.requests_served, 999);
+        assert_eq!(stats.requests_shed, 0);
+        assert_eq!(stats.failover_arrivals, 0);
+        assert_eq!(stats.revisions_served, 0);
+    }
+
+    #[test]
+    fn malformed_stats_payloads_are_typed() {
+        let full = encode_stats(&ShardStats::default());
+        // Cut inside the appended counters: Truncated, not zeros.
+        assert!(matches!(
+            decode_stats(&full[..40]),
+            Err(StoreError::Truncated(_))
+        ));
+        // Trailing garbage past the full layout is Corrupt.
+        let mut padded = full.clone();
+        padded.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(decode_stats(&padded), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trace_context_roundtrip_and_passthrough() {
+        let ctx = TraceContext {
+            trace_id: (3u64 << 48) | 12,
+            parent_span_id: (1u64 << 48) | 99,
+            hop: 2,
+        };
+        let base = encode_predict(Priority::Normal, 250, &["job".to_string()]);
+        let framed = encode_with_trace(&ctx, &base);
+        let (kind, got, rest) = strip_trace(KIND_PREDICT | KIND_TRACE_FLAG, &framed).unwrap();
+        assert_eq!(kind, KIND_PREDICT);
+        assert_eq!(got, Some(ctx));
+        assert_eq!(rest, &base[..]);
+        // Unflagged kinds pass straight through.
+        let (kind, got, rest) = strip_trace(KIND_PREDICT, &base).unwrap();
+        assert_eq!(kind, KIND_PREDICT);
+        assert_eq!(got, None);
+        assert_eq!(rest, &base[..]);
+    }
+
+    #[test]
+    fn future_trace_extension_version_is_skipped_not_fatal() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            parent_span_id: 2,
+            hop: 0,
+        };
+        let base = encode_predict(Priority::Normal, 250, &["job".to_string()]);
+        let mut framed = encode_with_trace(&ctx, &base);
+        framed[0] = TRACE_EXT_VERSION + 1; // a version we cannot parse
+        let (kind, got, rest) = strip_trace(KIND_PREDICT | KIND_TRACE_FLAG, &framed).unwrap();
+        assert_eq!(kind, KIND_PREDICT);
+        assert_eq!(got, None, "unknown version drops the context");
+        assert_eq!(rest, &base[..], "but the base payload survives");
+    }
+
+    #[test]
+    fn malformed_trace_extensions_are_typed() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            parent_span_id: 2,
+            hop: 1,
+        };
+        let framed = encode_with_trace(&ctx, b"payload");
+        // Cut inside the extension header and body.
+        for cut in [0, 1, 5, 18] {
+            assert!(
+                matches!(
+                    strip_trace(KIND_PREDICT | KIND_TRACE_FLAG, &framed[..cut]),
+                    Err(StoreError::Truncated(_))
+                ),
+                "cut at {cut} should be Truncated"
+            );
+        }
+        // A v1 extension claiming a too-short body is Corrupt.
+        let mut short = framed.clone();
+        short[1] = 8;
+        assert!(matches!(
+            strip_trace(KIND_PREDICT | KIND_TRACE_FLAG, &short),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -28,15 +28,17 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use prionn_core::ResourcePrediction;
+use prionn_observe::Tracer;
 use prionn_serve::Priority;
 use prionn_store::wire::{encode_frame, read_frame, Frame, MAX_FRAME_PAYLOAD};
 use prionn_telemetry::{Counter, Gauge, Histogram, Telemetry};
 
 use crate::proto::{
     decode_error, decode_predictions, decode_revision, decode_stats, decode_swap_ack,
-    encode_predict, encode_revise, ErrorCode, ReviseRequest, RevisionReply, ShardStats, KIND_DRAIN,
-    KIND_DRAIN_ACK, KIND_ERROR, KIND_PING, KIND_PONG, KIND_PREDICT, KIND_PREDICTIONS, KIND_REVISE,
-    KIND_REVISION, KIND_STATS, KIND_STATS_REPLY, KIND_SWAP_ACK, KIND_SWAP_WEIGHTS,
+    encode_predict, encode_revise, encode_with_trace, ErrorCode, ReviseRequest, RevisionReply,
+    ShardStats, TraceContext, KIND_DRAIN, KIND_DRAIN_ACK, KIND_ERROR, KIND_PING, KIND_PONG,
+    KIND_PREDICT, KIND_PREDICTIONS, KIND_REVISE, KIND_REVISION, KIND_STATS, KIND_STATS_REPLY,
+    KIND_SWAP_ACK, KIND_SWAP_WEIGHTS, KIND_TRACE_FLAG,
 };
 use crate::ring::HashRing;
 
@@ -118,7 +120,7 @@ pub struct FleetRevision {
 }
 
 /// Router construction knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RouterConfig {
     /// One endpoint (`host:port`) per shard, indexed by shard id.
     pub endpoints: Vec<String>,
@@ -140,6 +142,14 @@ pub struct RouterConfig {
     pub down_backoff: Duration,
     /// Registry for `fleet_*` router metrics; a fresh one when `None`.
     pub telemetry: Option<Telemetry>,
+    /// Tracer for client-side request spans. When set, every predict
+    /// opens a `fleet_predict` root with one `hop` child per shard tried,
+    /// and the trace context rides the wire to the serving shard (the
+    /// frame kind gains [`KIND_TRACE_FLAG`]). Give it a distinct
+    /// namespace from the shards' tracers
+    /// ([`Tracer::with_namespace`]) so stitched ids never collide.
+    /// Disabled (and zero-overhead on the wire) when `None`.
+    pub tracer: Option<Tracer>,
 }
 
 impl Default for RouterConfig {
@@ -153,7 +163,24 @@ impl Default for RouterConfig {
             request_timeout: Duration::from_secs(10),
             down_backoff: Duration::from_millis(250),
             telemetry: None,
+            tracer: None,
         }
+    }
+}
+
+impl std::fmt::Debug for RouterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Manual impl: Tracer is an opaque handle.
+        f.debug_struct("RouterConfig")
+            .field("endpoints", &self.endpoints)
+            .field("shard_names", &self.shard_names)
+            .field("vnodes", &self.vnodes)
+            .field("conns_per_shard", &self.conns_per_shard)
+            .field("connect_timeout", &self.connect_timeout)
+            .field("request_timeout", &self.request_timeout)
+            .field("down_backoff", &self.down_backoff)
+            .field("tracer", &self.tracer.as_ref().map(|_| "<tracer>"))
+            .finish_non_exhaustive()
     }
 }
 
@@ -268,6 +295,9 @@ struct ShardState {
     rr: AtomicUsize,
     down_until: Mutex<Option<Instant>>,
     up: Gauge,
+    /// Requests this shard ultimately served, failovers included — the
+    /// per-shard attribution the federated view aggregates.
+    served: Counter,
 }
 
 struct RouterMetrics {
@@ -339,6 +369,7 @@ pub struct Router {
     shards: Vec<ShardState>,
     cfg: RouterConfig,
     telemetry: Telemetry,
+    tracer: Tracer,
     next_id: AtomicU64,
     metrics: RouterMetrics,
 }
@@ -374,14 +405,21 @@ impl Router {
                     "1 while the router considers the shard reachable",
                     &[("shard", &i.to_string())],
                 ),
+                served: telemetry.counter_with(
+                    "fleet_served_total",
+                    "Requests served, by the shard that ultimately answered",
+                    &[("shard", &i.to_string())],
+                ),
             })
             .collect();
         let ring = HashRing::new(&names, cfg.vnodes);
+        let tracer = cfg.tracer.clone().unwrap_or_default();
         Router {
             ring,
             shards,
             cfg,
             telemetry,
+            tracer,
             next_id: AtomicU64::new(1),
             metrics,
         }
@@ -430,15 +468,36 @@ impl Router {
             None => self.cfg.request_timeout,
         };
 
+        // Client-side trace root: one `hop` child per shard tried. The
+        // hop span's context rides the wire so the shard's Gateway tree
+        // parents under it — one stitched fleet-wide trace.
+        let mut root = self.tracer.root("fleet_predict");
+        if root.is_recording() {
+            root.set_detail(format!("user={user} scripts={}", scripts.len()));
+        }
         let mut attempts = 0usize;
         let mut last = String::from("no shard tried");
         let mut failed_over = false;
         for shard in self.ring.owners(user) {
+            let mut hop = root.child("hop");
+            let trace = hop.is_recording().then(|| TraceContext {
+                trace_id: hop.ctx().trace_id,
+                parent_span_id: hop.ctx().span_id,
+                hop: attempts.min(u8::MAX as usize) as u8,
+            });
             attempts += 1;
-            match self.try_predict_on(shard, &payload, timeout) {
+            match self.try_predict_on(shard, &payload, timeout, trace) {
                 Ok((epoch, predictions)) => {
                     if failed_over {
                         self.metrics.failovers.inc();
+                    }
+                    self.shards[shard].served.inc();
+                    if hop.is_recording() {
+                        hop.set_detail(format!("shard={shard} served"));
+                        root.set_detail(format!(
+                            "user={user} scripts={} served_by={shard}",
+                            scripts.len()
+                        ));
                     }
                     self.metrics
                         .latency
@@ -451,6 +510,9 @@ impl Router {
                 }
                 Err(TryError::Reject(code, message)) => {
                     self.metrics.count_shed(code);
+                    if hop.is_recording() {
+                        hop.set_detail(format!("shard={shard} reject={code}"));
+                    }
                     self.metrics
                         .latency
                         .observe(started.elapsed().as_secs_f64());
@@ -461,12 +523,18 @@ impl Router {
                     });
                 }
                 Err(TryError::Failover(reason)) => {
+                    if hop.is_recording() {
+                        hop.set_detail(format!("shard={shard} failover: {reason}"));
+                    }
                     last = reason;
                     failed_over = true;
                 }
             }
         }
         self.metrics.shed_unavailable.inc();
+        if root.is_recording() {
+            root.set_detail(format!("user={user} unavailable after {attempts} attempts"));
+        }
         self.metrics
             .latency
             .observe(started.elapsed().as_secs_f64());
@@ -478,10 +546,19 @@ impl Router {
         shard: usize,
         payload: &[u8],
         timeout: Duration,
+        trace: Option<TraceContext>,
     ) -> Result<(u64, Vec<ResourcePrediction>), TryError> {
         let conn = self.conn_for(shard).map_err(TryError::Failover)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let frame = match conn.request(KIND_PREDICT, id, payload, timeout) {
+        let framed;
+        let (kind, bytes): (u8, &[u8]) = match &trace {
+            Some(ctx) => {
+                framed = encode_with_trace(ctx, payload);
+                (KIND_PREDICT | KIND_TRACE_FLAG, &framed)
+            }
+            None => (KIND_PREDICT, payload),
+        };
+        let frame = match conn.request(kind, id, bytes, timeout) {
             Ok(f) => f,
             Err(fail) => {
                 if matches!(fail, ConnFailure::Closed) {
@@ -540,6 +617,7 @@ impl Router {
                     if failed_over {
                         self.metrics.failovers.inc();
                     }
+                    self.shards[shard].served.inc();
                     self.metrics
                         .latency
                         .observe(started.elapsed().as_secs_f64());

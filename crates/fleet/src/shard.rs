@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use prionn_observe::DriftHead;
+use prionn_observe::{DriftHead, SpanCtx};
 use prionn_revise::{ConformalCalibrator, PredictionInterval, ReviseConfig, Reviser};
 use prionn_serve::{Gateway, Priority};
 use prionn_store::wire::{encode_frame, read_frame, Frame};
@@ -44,9 +44,9 @@ use prionn_telemetry::{Counter, Gauge};
 
 use crate::proto::{
     decode_predict, decode_revise, encode_error, encode_predictions, encode_revision, encode_stats,
-    encode_swap_ack, ErrorCode, RevisionReply, ShardStats, KIND_DRAIN, KIND_DRAIN_ACK, KIND_ERROR,
-    KIND_PING, KIND_PONG, KIND_PREDICT, KIND_PREDICTIONS, KIND_REVISE, KIND_REVISION, KIND_STATS,
-    KIND_STATS_REPLY, KIND_SWAP_ACK, KIND_SWAP_WEIGHTS,
+    encode_swap_ack, strip_trace, ErrorCode, RevisionReply, ShardStats, TraceContext, KIND_DRAIN,
+    KIND_DRAIN_ACK, KIND_ERROR, KIND_PING, KIND_PONG, KIND_PREDICT, KIND_PREDICTIONS, KIND_REVISE,
+    KIND_REVISION, KIND_STATS, KIND_STATS_REPLY, KIND_SWAP_ACK, KIND_SWAP_WEIGHTS,
 };
 
 /// Tuning knobs for [`ShardServer::spawn`].
@@ -89,6 +89,7 @@ struct ShardMetrics {
     requests: Counter,
     revisions: Counter,
     shed_draining: Counter,
+    failover_arrivals: Counter,
     decode_errors: Counter,
     draining: Gauge,
     in_flight: Gauge,
@@ -132,6 +133,10 @@ impl ShardMetrics {
                 "Requests shed at the shard server",
                 &[("reason", "draining")],
             ),
+            failover_arrivals: t.counter(
+                "fleet_shard_failover_arrivals_total",
+                "Predict requests that arrived after another shard refused them (trace hop > 0)",
+            ),
             decode_errors: t.counter(
                 "fleet_shard_decode_errors_total",
                 "Connections dropped on malformed frames",
@@ -152,6 +157,9 @@ struct ShardInner {
     stopping: AtomicBool,
     in_flight: AtomicUsize,
     requests_served: AtomicU64,
+    requests_shed: AtomicU64,
+    failover_arrivals: AtomicU64,
+    revisions_served: AtomicU64,
     /// Live connection streams keyed by token, for prompt close at
     /// shutdown. A connection removes itself when its thread exits, so
     /// the map does not grow with connection churn.
@@ -182,6 +190,9 @@ impl ShardServer {
             stopping: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             requests_served: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
+            failover_arrivals: AtomicU64::new(0),
+            revisions_served: AtomicU64::new(0),
             conns: Mutex::new(std::collections::HashMap::new()),
             conn_tokens: AtomicU64::new(0),
             conn_handles: Mutex::new(Vec::new()),
@@ -309,6 +320,8 @@ struct WorkItem {
     priority: Priority,
     deadline: Option<Duration>,
     scripts: Vec<String>,
+    /// Trace context from the frame's extension, if the caller sent one.
+    trace: Option<TraceContext>,
 }
 
 fn serve_connection(stream: TcpStream, inner: &Arc<ShardInner>) {
@@ -360,10 +373,20 @@ fn serve_connection(stream: TcpStream, inner: &Arc<ShardInner>) {
                 .name(format!("prionn-shard-worker-{w}"))
                 .spawn(move || {
                     while let Ok(item) = rx.recv() {
-                        let reply = match inner.gateway.predict_prioritized(
+                        // Adopt the caller's trace so the gateway span
+                        // tree stitches under the router's hop span.
+                        let parent = item
+                            .trace
+                            .map(|t| SpanCtx {
+                                trace_id: t.trace_id,
+                                span_id: t.parent_span_id,
+                            })
+                            .unwrap_or(SpanCtx::NONE);
+                        let reply = match inner.gateway.predict_traced(
                             &item.scripts,
                             item.deadline,
                             item.priority,
+                            parent,
                         ) {
                             Ok(reply) => {
                                 inner.requests_served.fetch_add(1, Ordering::SeqCst);
@@ -373,11 +396,14 @@ fn serve_connection(stream: TcpStream, inner: &Arc<ShardInner>) {
                                     &encode_predictions(reply.epoch, &reply.predictions),
                                 )
                             }
-                            Err(e) => encode_frame(
-                                KIND_ERROR,
-                                item.id,
-                                &encode_error(ErrorCode::from_serve_error(&e), &e.to_string()),
-                            ),
+                            Err(e) => {
+                                inner.requests_shed.fetch_add(1, Ordering::SeqCst);
+                                encode_frame(
+                                    KIND_ERROR,
+                                    item.id,
+                                    &encode_error(ErrorCode::from_serve_error(&e), &e.to_string()),
+                                )
+                            }
                         };
                         let left = inner.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
                         inner.metrics.in_flight.set(left as f64);
@@ -448,18 +474,39 @@ fn dispatch_frame(
 ) -> bool {
     let id = frame.id;
     let send = |f: OutFrame| reply_tx.send(f).is_ok();
-    match frame.kind {
+    // Peel the optional trace-context extension off the payload before
+    // kind dispatch; a malformed extension is a typed refusal, not a
+    // dropped connection (the frame itself passed its checksum).
+    let (kind, trace, payload) = match strip_trace(frame.kind, &frame.payload) {
+        Ok(parts) => parts,
+        Err(e) => {
+            inner.metrics.decode_errors.inc();
+            return send(encode_frame(
+                KIND_ERROR,
+                id,
+                &encode_error(ErrorCode::BadRequest, &format!("bad trace extension: {e}")),
+            ));
+        }
+    };
+    match kind {
         KIND_PREDICT => {
             inner.metrics.requests.inc();
+            if let Some(t) = &trace {
+                if t.hop > 0 {
+                    inner.failover_arrivals.fetch_add(1, Ordering::SeqCst);
+                    inner.metrics.failover_arrivals.inc();
+                }
+            }
             if inner.draining.load(Ordering::SeqCst) || inner.stopping.load(Ordering::SeqCst) {
                 inner.metrics.shed_draining.inc();
+                inner.requests_shed.fetch_add(1, Ordering::SeqCst);
                 return send(encode_frame(
                     KIND_ERROR,
                     id,
                     &encode_error(ErrorCode::Draining, "shard is draining"),
                 ));
             }
-            match decode_predict(&frame.payload) {
+            match decode_predict(payload) {
                 Ok((priority, deadline_ms, scripts)) => {
                     let n = inner.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                     inner.metrics.in_flight.set(n as f64);
@@ -469,6 +516,7 @@ fn dispatch_frame(
                         deadline: (deadline_ms > 0)
                             .then(|| Duration::from_millis(deadline_ms as u64)),
                         scripts,
+                        trace,
                     };
                     if work_tx.send(item).is_err() {
                         let left = inner.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
@@ -479,6 +527,7 @@ fn dispatch_frame(
                 }
                 Err(e) => {
                     inner.metrics.decode_errors.inc();
+                    inner.requests_shed.fetch_add(1, Ordering::SeqCst);
                     send(encode_frame(
                         KIND_ERROR,
                         id,
@@ -493,7 +542,7 @@ fn dispatch_frame(
             // thread, and they keep serving while draining: in-flight
             // jobs still need their intervals during a rollout.
             inner.metrics.revisions.inc();
-            match decode_revise(&frame.payload) {
+            match decode_revise(payload) {
                 Ok(req) => {
                     let reviser = Reviser::new(ReviseConfig::default());
                     let revised = reviser.revise(&req.initial, &req.obs);
@@ -510,6 +559,7 @@ fn dispatch_frame(
                         write_bytes: interval_for(DriftHead::Write, revised.write_bytes),
                     };
                     inner.requests_served.fetch_add(1, Ordering::SeqCst);
+                    inner.revisions_served.fetch_add(1, Ordering::SeqCst);
                     send(encode_frame(KIND_REVISION, id, &encode_revision(&reply)))
                 }
                 Err(e) => {
@@ -531,10 +581,13 @@ fn dispatch_frame(
                 queue_depth: gw.queue_depth() as u64,
                 requests_served: inner.requests_served.load(Ordering::SeqCst),
                 draining: inner.draining.load(Ordering::SeqCst),
+                requests_shed: inner.requests_shed.load(Ordering::SeqCst),
+                failover_arrivals: inner.failover_arrivals.load(Ordering::SeqCst),
+                revisions_served: inner.revisions_served.load(Ordering::SeqCst),
             };
             send(encode_frame(KIND_STATS_REPLY, id, &encode_stats(&stats)))
         }
-        KIND_SWAP_WEIGHTS => match Checkpoint::from_bytes(&frame.payload) {
+        KIND_SWAP_WEIGHTS => match Checkpoint::from_bytes(payload) {
             Ok(ck) => {
                 let epoch = inner.gateway.hot_swap_checkpoint(ck);
                 inner.gateway.telemetry().events().record(

@@ -11,10 +11,17 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use prionn_core::{Prionn, PrionnConfig};
+use prionn_observe::{FlightConfig, FlightRecorder, OpsOptions, OpsServer, Tracer};
 use prionn_serve::{Gateway, GatewayConfig};
 use prionn_store::Checkpoint;
+use prionn_telemetry::Telemetry;
 
 use crate::shard::{ShardConfig, ShardServer};
+
+/// Trace-id namespace of the fleet router (shard `i` gets `2 + i`), so
+/// span ids allocated on different processes of one fleet never collide
+/// when the collector stitches them back together.
+pub const ROUTER_TRACE_NAMESPACE: u16 = 1;
 
 /// A small mixed corpus of short and long job scripts.
 pub fn demo_corpus() -> Vec<String> {
@@ -79,6 +86,11 @@ pub struct LocalShard {
     pub gateway: Arc<Gateway>,
     /// The TCP front door.
     pub server: ShardServer,
+    /// The shard's flight recorder, when booted observed.
+    pub recorder: Option<FlightRecorder>,
+    /// The shard's ops endpoint (`/metrics`, `/traces`, …), when booted
+    /// observed.
+    pub ops: Option<OpsServer>,
 }
 
 /// An N-shard fleet running in this process on ephemeral loopback ports.
@@ -89,6 +101,7 @@ pub struct LocalFleet {
     checkpoint: Checkpoint,
     gateway_cfg: GatewayConfig,
     shard_cfg: ShardConfig,
+    observed: bool,
     shards: Vec<Option<LocalShard>>,
 }
 
@@ -103,27 +116,75 @@ impl LocalFleet {
     /// are kept as templates so [`respawn`](Self::respawn) rebuilds a
     /// shard identically.
     pub fn spawn_with(n: usize, gateway_cfg: GatewayConfig, shard_cfg: ShardConfig) -> LocalFleet {
+        Self::spawn_inner(n, gateway_cfg, shard_cfg, false)
+    }
+
+    /// Boot `n` *observed* shards: each gets its own telemetry registry,
+    /// flight recorder, namespaced [`Tracer`] (`2 + i`, so stitched span
+    /// ids never collide with the router's namespace `1`), and an ops
+    /// endpoint on an ephemeral port — everything a [`FleetCollector`]
+    /// (`prionn_observe::FleetCollector`) needs to scrape.
+    pub fn spawn_observed(n: usize) -> LocalFleet {
+        Self::spawn_inner(n, demo_gateway_config(), ShardConfig::default(), true)
+    }
+
+    fn spawn_inner(
+        n: usize,
+        gateway_cfg: GatewayConfig,
+        shard_cfg: ShardConfig,
+        observed: bool,
+    ) -> LocalFleet {
         let checkpoint = demo_checkpoint();
         let mut fleet = LocalFleet {
             checkpoint,
             gateway_cfg,
             shard_cfg,
+            observed,
             shards: Vec::new(),
         };
-        for _ in 0..n {
-            let shard = fleet.boot_shard();
+        for i in 0..n {
+            let shard = fleet.boot_shard(i);
             fleet.shards.push(Some(shard));
         }
         fleet
     }
 
-    fn boot_shard(&self) -> LocalShard {
+    fn boot_shard(&self, i: usize) -> LocalShard {
         let model = Prionn::from_checkpoint(&self.checkpoint).expect("model from checkpoint");
-        let gateway =
-            Arc::new(Gateway::spawn(model, self.gateway_cfg.clone()).expect("spawn gateway"));
+        let mut gateway_cfg = self.gateway_cfg.clone();
+        let observability = self.observed.then(|| {
+            let telemetry = Telemetry::new();
+            let recorder = FlightRecorder::new(FlightConfig::default());
+            recorder.attach_telemetry(&telemetry);
+            let namespace = ROUTER_TRACE_NAMESPACE + 1 + u16::try_from(i).expect("shard index");
+            gateway_cfg.telemetry = Some(telemetry.clone());
+            gateway_cfg.tracer = Some(Tracer::with_namespace(&recorder, namespace));
+            (telemetry, recorder)
+        });
+        let gateway = Arc::new(Gateway::spawn(model, gateway_cfg).expect("spawn gateway"));
         let server = ShardServer::spawn(Arc::clone(&gateway), self.shard_cfg.clone())
             .expect("spawn shard server");
-        LocalShard { gateway, server }
+        let (recorder, ops) = match observability {
+            Some((telemetry, recorder)) => {
+                let ops = OpsServer::start(
+                    "127.0.0.1:0",
+                    OpsOptions {
+                        telemetry: Some(telemetry),
+                        recorder: Some(recorder.clone()),
+                        ..OpsOptions::default()
+                    },
+                )
+                .expect("start shard ops endpoint");
+                (Some(recorder), Some(ops))
+            }
+            None => (None, None),
+        };
+        LocalShard {
+            gateway,
+            server,
+            recorder,
+            ops,
+        }
     }
 
     /// Number of shard slots (killed shards still count).
@@ -150,6 +211,22 @@ impl LocalFleet {
             .collect()
     }
 
+    /// Ops-endpoint addresses in shard order. Panics unless the fleet
+    /// was booted with [`spawn_observed`](Self::spawn_observed) and all
+    /// shards are up.
+    pub fn ops_endpoints(&self) -> Vec<String> {
+        (0..self.shards.len())
+            .map(|i| {
+                self.shard(i)
+                    .ops
+                    .as_ref()
+                    .expect("fleet was not spawned observed")
+                    .addr()
+                    .to_string()
+            })
+            .collect()
+    }
+
     /// Abruptly kill shard `i`: close its listener and connections and
     /// stop its gateway, with no drain. Simulates process loss.
     pub fn kill(&mut self, i: usize) {
@@ -159,6 +236,9 @@ impl LocalFleet {
             // thread joins cannot wedge.
             shard.gateway.shutdown();
             shard.server.shutdown();
+            if let Some(ops) = shard.ops {
+                ops.shutdown();
+            }
         }
     }
 
@@ -166,7 +246,7 @@ impl LocalFleet {
     /// process). Returns the new endpoint.
     pub fn respawn(&mut self, i: usize) -> String {
         assert!(self.shards[i].is_none(), "shard {i} is still running");
-        let shard = self.boot_shard();
+        let shard = self.boot_shard(i);
         let endpoint = shard.server.addr().to_string();
         self.shards[i] = Some(shard);
         endpoint
@@ -178,6 +258,9 @@ impl LocalFleet {
             if let Some(shard) = slot.take() {
                 shard.gateway.shutdown();
                 shard.server.shutdown();
+                if let Some(ops) = shard.ops {
+                    ops.shutdown();
+                }
             }
         }
     }

@@ -20,7 +20,14 @@
 //!   weight-epoch staleness, and edge-triggered threshold events.
 //! * [`ops`] — a dependency-free `std::net` HTTP endpoint serving
 //!   `/metrics`, `/healthz`, `/readyz`, `/traces`, and `/flight` from one
-//!   background thread.
+//!   background thread — plus `/fleet/metrics`, `/fleet/healthz`, and
+//!   `/fleet/traces` when a [`FleetCollector`] is attached.
+//! * [`collector`] — the fleet plane: scrapes every shard's ops endpoint
+//!   on a cadence, merges counters/gauges/histograms bucket-exactly, and
+//!   stitches cross-shard traces back into one tree by trace id.
+//! * [`slo`] — declarative SLO specs evaluated with multi-window
+//!   burn-rate alerting (fast 5m/1h pair, slow 6h), exported as `slo_*`
+//!   metrics and edge-triggered events a rollout can gate on.
 //!
 //! ```
 //! use prionn_observe::{FlightConfig, FlightRecorder, Tracer};
@@ -46,16 +53,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod collector;
 pub mod drift;
 pub mod flight;
 pub mod ops;
+pub mod slo;
 pub mod trace;
 
+pub use collector::{CollectorConfig, FleetCollector, ShardTarget};
 pub use drift::{
     DriftConfig, DriftHead, DriftMonitor, DriftSnapshot, HeadSnapshot, OutcomeSample, OutcomeStatus,
 };
 pub use flight::{FlightConfig, FlightRecorder};
 pub use ops::{ForecastProbe, OpsOptions, OpsServer, Readiness, ReadyProbe, ReviseProbe};
+pub use slo::{BurnWindows, SloEngine, SloSource, SloSpec, SloStatus};
 pub use trace::{
     active, child_of_current, push_current, render_trace_tree, CurrentGuard, Span, SpanCtx,
     SpanRecord, Tracer,

@@ -14,6 +14,9 @@
 //! | `/flight`  | triggers a flight dump to disk, returns the path |
 //! | `/forecast`| live IO-forecast snapshot from the injected probe, as JSON |
 //! | `/revise`  | in-flight revision engine snapshot from the injected probe, as JSON |
+//! | `/fleet/metrics` | merged fleet-wide exposition from the attached [`FleetCollector`] |
+//! | `/fleet/healthz` | quorum-aware fleet health: `200` while enough shards scrape |
+//! | `/fleet/traces?trace_id=N` | one trace's spans stitched across every shard |
 //!
 //! Anything else is `404`. The server binds before [`OpsServer::start`]
 //! returns, so tests and scripts can read the bound port immediately.
@@ -26,6 +29,7 @@ use std::time::Duration;
 
 use prionn_telemetry::Telemetry;
 
+use crate::collector::FleetCollector;
 use crate::drift::DriftMonitor;
 use crate::flight::{json_str, span_json, FlightRecorder};
 use crate::trace::SpanRecord;
@@ -71,6 +75,8 @@ pub struct OpsOptions {
     pub forecast: Option<ForecastProbe>,
     /// Revision-engine snapshot probe behind `/revise` (absent = `404`).
     pub revise: Option<ReviseProbe>,
+    /// Fleet collector behind the `/fleet/*` routes (absent = `404`).
+    pub fleet: Option<FleetCollector>,
     /// Most recent traces returned by `/traces` (default 64).
     pub max_traces: usize,
 }
@@ -160,7 +166,10 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> io::Result<(
     let mut parts = request.split_whitespace();
     let method = parts.next().unwrap_or("");
     let path_full = parts.next().unwrap_or("/");
-    let path = path_full.split('?').next().unwrap_or("/");
+    let (path, query) = match path_full.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (path_full, None),
+    };
 
     let (status, content_type, body) = if method != "GET" {
         (
@@ -169,7 +178,7 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> io::Result<(
             "only GET is served here\n".to_string(),
         )
     } else {
-        route(path, &state.opts)
+        route(path, query, &state.opts)
     };
 
     let response = format!(
@@ -180,7 +189,11 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> io::Result<(
     stream.flush()
 }
 
-fn route(path: &str, opts: &OpsOptions) -> (&'static str, &'static str, String) {
+fn route(
+    path: &str,
+    query: Option<&str>,
+    opts: &OpsOptions,
+) -> (&'static str, &'static str, String) {
     const OK: &str = "200 OK";
     const TEXT: &str = "text/plain; charset=utf-8";
     const JSON: &str = "application/json";
@@ -266,8 +279,60 @@ fn route(path: &str, opts: &OpsOptions) -> (&'static str, &'static str, String) 
                 "no flight recorder attached\n".into(),
             ),
         },
+        "/fleet/metrics" => match &opts.fleet {
+            Some(fleet) => (
+                OK,
+                "text/plain; version=0.0.4; charset=utf-8",
+                fleet.merged_prometheus(),
+            ),
+            None => (
+                "404 Not Found",
+                TEXT,
+                "no fleet collector attached\n".into(),
+            ),
+        },
+        "/fleet/healthz" => match &opts.fleet {
+            Some(fleet) => {
+                let (healthy, detail) = fleet.healthz();
+                if healthy {
+                    (OK, TEXT, format!("ok: {detail}\n"))
+                } else {
+                    (
+                        "503 Service Unavailable",
+                        TEXT,
+                        format!("degraded: {detail}\n"),
+                    )
+                }
+            }
+            None => (
+                "404 Not Found",
+                TEXT,
+                "no fleet collector attached\n".into(),
+            ),
+        },
+        "/fleet/traces" => match &opts.fleet {
+            Some(fleet) => match query_param(query, "trace_id").and_then(|v| v.parse::<u64>().ok())
+            {
+                Some(trace_id) => (OK, JSON, fleet.trace_json(trace_id)),
+                None => ("400 Bad Request", TEXT, "pass ?trace_id=<u64>\n".into()),
+            },
+            None => (
+                "404 Not Found",
+                TEXT,
+                "no fleet collector attached\n".into(),
+            ),
+        },
         _ => ("404 Not Found", TEXT, "unknown route\n".into()),
     }
+}
+
+/// Pull one `key=value` pair out of a raw query string.
+fn query_param<'a>(query: Option<&'a str>, key: &str) -> Option<&'a str> {
+    query?
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
 }
 
 /// Group spans by trace and render the most recent `max` traces as JSON.
@@ -336,9 +401,9 @@ mod tests {
     #[test]
     fn unknown_route_is_404_and_health_is_200() {
         let opts = OpsOptions::default();
-        assert_eq!(route("/healthz", &opts).0, "200 OK");
-        assert_eq!(route("/nope", &opts).0, "404 Not Found");
-        assert_eq!(route("/metrics", &opts).0, "404 Not Found");
+        assert_eq!(route("/healthz", None, &opts).0, "200 OK");
+        assert_eq!(route("/nope", None, &opts).0, "404 Not Found");
+        assert_eq!(route("/metrics", None, &opts).0, "404 Not Found");
     }
 
     #[test]
@@ -352,9 +417,9 @@ mod tests {
             })),
             ..OpsOptions::default()
         };
-        assert_eq!(route("/readyz", &opts).0, "503 Service Unavailable");
+        assert_eq!(route("/readyz", None, &opts).0, "503 Service Unavailable");
         flag.store(true, Ordering::SeqCst);
-        let (status, _, body) = route("/readyz", &opts);
+        let (status, _, body) = route("/readyz", None, &opts);
         assert_eq!(status, "200 OK");
         assert!(body.contains("live=1"), "{body}");
     }
@@ -362,7 +427,7 @@ mod tests {
     #[test]
     fn forecast_route_serves_probe_json_or_404() {
         let opts = OpsOptions::default();
-        let (status, _, body) = route("/forecast", &opts);
+        let (status, _, body) = route("/forecast", None, &opts);
         assert_eq!(status, "404 Not Found");
         assert!(body.contains("no forecast engine"), "{body}");
 
@@ -370,7 +435,7 @@ mod tests {
             forecast: Some(Arc::new(|| "{\"alerting\":false}".to_string())),
             ..OpsOptions::default()
         };
-        let (status, ctype, body) = route("/forecast", &opts);
+        let (status, ctype, body) = route("/forecast", None, &opts);
         assert_eq!(status, "200 OK");
         assert_eq!(ctype, "application/json");
         assert_eq!(body, "{\"alerting\":false}");
@@ -379,7 +444,7 @@ mod tests {
     #[test]
     fn revise_route_serves_probe_json_or_404() {
         let opts = OpsOptions::default();
-        let (status, _, body) = route("/revise", &opts);
+        let (status, _, body) = route("/revise", None, &opts);
         assert_eq!(status, "404 Not Found");
         assert!(body.contains("no revise engine"), "{body}");
 
@@ -387,7 +452,7 @@ mod tests {
             revise: Some(Arc::new(|| "{\"inflight\":0}".to_string())),
             ..OpsOptions::default()
         };
-        let (status, ctype, body) = route("/revise", &opts);
+        let (status, ctype, body) = route("/revise", None, &opts);
         assert_eq!(status, "200 OK");
         assert_eq!(ctype, "application/json");
         assert_eq!(body, "{\"inflight\":0}");

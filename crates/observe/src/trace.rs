@@ -100,10 +100,20 @@ impl Tracer {
 
     /// A tracer recording into `recorder`.
     pub fn new(recorder: &FlightRecorder) -> Self {
+        Self::with_namespace(recorder, 0)
+    }
+
+    /// A tracer whose trace/span ids carry `namespace` in their top 16
+    /// bits. Ids are allocated from a per-process counter starting at 1,
+    /// so two processes' tracers hand out *colliding* ids — fatal once
+    /// their spans are stitched into one fleet-wide trace. Give the
+    /// router and every shard a distinct namespace and the low 48 bits
+    /// (2^48 ids) never overlap across the fleet.
+    pub fn with_namespace(recorder: &FlightRecorder, namespace: u16) -> Self {
         Tracer {
             inner: Some(Arc::new(TracerInner {
                 recorder: recorder.clone(),
-                next_id: AtomicU64::new(1),
+                next_id: AtomicU64::new(((namespace as u64) << 48) | 1),
             })),
         }
     }
@@ -484,6 +494,24 @@ mod tests {
         // Disabled tracers never push, so `active` stays a cheap gate.
         let _g = push_current(&Tracer::disabled(), SpanCtx::NONE);
         assert!(!active());
+    }
+
+    #[test]
+    fn namespaced_tracers_allocate_disjoint_ids() {
+        let rec = recorder();
+        let router = Tracer::with_namespace(&rec, 1);
+        let shard = Tracer::with_namespace(&rec, 2);
+        let a = router.root("r");
+        let b = shard.root("s");
+        assert_eq!(a.ctx().trace_id >> 48, 1);
+        assert_eq!(b.ctx().trace_id >> 48, 2);
+        assert_ne!(a.ctx().trace_id, b.ctx().trace_id);
+        assert_ne!(a.ctx().span_id, b.ctx().span_id);
+        // Adopting a foreign context keeps the foreign trace id while the
+        // new span id stays in the adopter's namespace.
+        let adopted = shard.span_within(a.ctx(), "adopted");
+        assert_eq!(adopted.ctx().trace_id, a.ctx().trace_id);
+        assert_eq!(adopted.ctx().span_id >> 48, 2);
     }
 
     #[test]

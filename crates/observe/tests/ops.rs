@@ -59,6 +59,7 @@ fn wired() -> (OpsServer, Telemetry, FlightRecorder, DriftMonitor) {
             })),
             forecast: None,
             revise: None,
+            fleet: None,
             max_traces: 16,
         },
     )
@@ -168,6 +169,61 @@ fn observe_metric_names_and_labels_are_pinned() {
     ] {
         assert!(text.contains(series), "missing `{series}` in:\n{text}");
     }
+}
+
+/// The fleet plane's metric surface is pinned the same way: the
+/// collector's `fleet_obs_*` instruments and the SLO engine's `slo_*`
+/// series must keep exactly the documented names and labels — they are
+/// what fleet dashboards and the burn-rate alert rules key on.
+#[test]
+fn fleet_plane_metric_names_and_labels_are_pinned() {
+    use prionn_observe::{CollectorConfig, FleetCollector, ShardTarget, SloSource, SloSpec};
+
+    let telemetry = Telemetry::new();
+    let collector = FleetCollector::new(CollectorConfig {
+        shards: vec![ShardTarget {
+            name: "0".into(),
+            // Nothing listens here: the surface must exist (with up=0)
+            // even when every scrape fails.
+            ops_addr: "127.0.0.1:1".into(),
+        }],
+        telemetry: Some(telemetry.clone()),
+        slos: vec![SloSpec::new(
+            "predict_p99",
+            0.99,
+            SloSource::LatencyBuckets {
+                histogram: "serve_predict_seconds".into(),
+                threshold: 0.25,
+            },
+        )],
+        scrape_timeout: std::time::Duration::from_millis(200),
+        ..CollectorConfig::default()
+    });
+    assert_eq!(collector.scrape_once(), 0, "dead target scrapes as down");
+
+    let text = telemetry.prometheus();
+    for series in [
+        "# TYPE fleet_obs_shard_up gauge",
+        "# TYPE fleet_obs_scrape_age_seconds gauge",
+        "# TYPE fleet_obs_scrapes_total counter",
+        "# TYPE fleet_obs_rounds_total counter",
+        "# TYPE fleet_obs_shards_up gauge",
+        "# TYPE slo_burn_rate gauge",
+        "# TYPE slo_alert gauge",
+        "# TYPE slo_alerts_total counter",
+        r#"fleet_obs_shard_up{shard="0"} 0"#,
+        r#"fleet_obs_scrapes_total{outcome="error",shard="0"} 1"#,
+        "fleet_obs_rounds_total 1",
+        "fleet_obs_shards_up 0",
+        r#"slo_burn_rate{slo="predict_p99",window="fast_short"}"#,
+        r#"slo_burn_rate{slo="predict_p99",window="fast_long"}"#,
+        r#"slo_burn_rate{slo="predict_p99",window="slow"}"#,
+        r#"slo_alert{slo="predict_p99"} 0"#,
+        r#"slo_alerts_total{slo="predict_p99"} 0"#,
+    ] {
+        assert!(text.contains(series), "missing `{series}` in:\n{text}");
+    }
+    collector.shutdown();
 }
 
 /// The forecast_* metric surface is pinned the same way: the forecast

@@ -597,6 +597,22 @@ impl Gateway {
         deadline: Option<Duration>,
         priority: Priority,
     ) -> ServeResult<PredictionReply> {
+        self.predict_traced(scripts, deadline, priority, SpanCtx::NONE)
+    }
+
+    /// [`predict_prioritized`](Self::predict_prioritized) with a foreign
+    /// trace parent: when `parent` is set (e.g. extracted from a fleet
+    /// frame's trace-context extension), the request's root span adopts
+    /// the caller's trace id and parents under the caller's span, so the
+    /// shard-side tree stitches into the fleet-wide trace instead of
+    /// starting a disconnected one.
+    pub fn predict_traced(
+        &self,
+        scripts: &[String],
+        deadline: Option<Duration>,
+        priority: Priority,
+        parent: SpanCtx,
+    ) -> ServeResult<PredictionReply> {
         if scripts.is_empty() {
             return Ok(PredictionReply {
                 predictions: Vec::new(),
@@ -616,7 +632,11 @@ impl Gateway {
         }
         // The request's trace root: records on every exit path (shed,
         // stopped, served) so failed requests leave evidence too.
-        let mut root = self.tracer.root("predict");
+        let mut root = if parent.is_none() {
+            self.tracer.root("predict")
+        } else {
+            self.tracer.span_within(parent, "predict")
+        };
         if root.is_recording() {
             root.set_detail(format!("scripts={}", scripts.len()));
         }

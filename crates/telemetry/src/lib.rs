@@ -47,8 +47,10 @@
 
 mod events;
 mod instrument;
+pub mod merge;
 mod registry;
 
 pub use events::{SpanEvent, SpanGuard, SpanLog};
 pub use instrument::{Counter, Gauge, HistTimer, Histogram};
+pub use merge::{merge_histograms, merge_shards, MergedMetrics, MetricsSnapshot};
 pub use registry::{Labels, Telemetry};

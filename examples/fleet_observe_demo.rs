@@ -1,0 +1,158 @@
+//! The fleet observability plane end to end: a 2-shard in-process fleet
+//! with per-shard ops endpoints, a tracing router, a `FleetCollector`
+//! federating both shards' metrics, one traced request driven through a
+//! *forced failover* (its home shard is draining), the stitched
+//! cross-shard span tree printed, and an SLO burn-rate alert firing
+//! under an injected latency objective no real request can meet.
+//!
+//! ```text
+//! cargo run --release --example fleet_observe_demo
+//! ```
+//!
+//! Prints `FLEET_OBSERVE_DEMO_OK` when every phase checks out. See
+//! `docs/OBSERVABILITY.md` § Fleet plane.
+
+use prionn::fleet::router::{Router, RouterConfig};
+use prionn::fleet::testkit::{demo_corpus, LocalFleet, ROUTER_TRACE_NAMESPACE};
+use prionn::observe::{
+    render_trace_tree, CollectorConfig, FleetCollector, FlightConfig, FlightRecorder, ShardTarget,
+    SloSource, SloSpec, Tracer,
+};
+use prionn::telemetry::Telemetry;
+use std::time::Duration;
+
+fn main() {
+    // 1. Boot an observed fleet: each shard gets its own telemetry
+    //    registry, flight recorder, namespaced tracer, and ops endpoint
+    //    — exactly what a multi-host shard process would expose.
+    let scripts = demo_corpus();
+    let mut fleet = LocalFleet::spawn_observed(2);
+    let recorder = FlightRecorder::new(FlightConfig::default());
+    let router = Router::new(RouterConfig {
+        request_timeout: Duration::from_secs(30),
+        down_backoff: Duration::from_millis(100),
+        tracer: Some(Tracer::with_namespace(&recorder, ROUTER_TRACE_NAMESPACE)),
+        ..RouterConfig::for_endpoints(fleet.endpoints())
+    });
+    println!(
+        "observed fleet up: shards at {:?}, ops at {:?}",
+        fleet.endpoints(),
+        fleet.ops_endpoints()
+    );
+
+    // 2. A collector over both shards, with two SLOs: one sane (every
+    //    predict under an hour) and one impossible (99% under 1ns) that
+    //    any real traffic violates — the injected burn.
+    let collector = FleetCollector::new(CollectorConfig {
+        shards: fleet
+            .ops_endpoints()
+            .into_iter()
+            .enumerate()
+            .map(|(i, ops_addr)| ShardTarget {
+                name: i.to_string(),
+                ops_addr,
+            })
+            .collect(),
+        telemetry: Some(Telemetry::new()),
+        slos: vec![
+            SloSpec::new(
+                "predict_p99",
+                0.99,
+                SloSource::LatencyBuckets {
+                    histogram: "serve_predict_seconds".into(),
+                    threshold: 1e-9,
+                },
+            ),
+            SloSpec::new(
+                "predict_sane",
+                0.99,
+                SloSource::LatencyBuckets {
+                    histogram: "serve_predict_seconds".into(),
+                    threshold: 3600.0,
+                },
+            ),
+        ],
+        local_recorder: Some(recorder.clone()),
+        ..CollectorConfig::default()
+    });
+    collector.scrape_once(); // cumulative baseline for the SLO deltas
+
+    // 3. Force a failover: drain a user's home shard, then predict. The
+    //    router's first hop gets the typed Draining refusal and walks
+    //    the ring; the second hop serves. Both hops — and the serving
+    //    shard's whole gateway span tree — share one trace id.
+    let user = (0..u64::MAX).find(|&u| router.route(u) == Some(0)).unwrap();
+    router.drain_shard(0).expect("drain shard 0");
+    let reply = router
+        .predict(user, &scripts[..1])
+        .expect("failover predict");
+    assert_ne!(reply.shard, 0, "drained shard must not serve");
+    println!(
+        "traced request for user {user}: home shard 0 draining, served by shard {} \
+         (runtime {:.0} min)",
+        reply.shard, reply.predictions[0].runtime_minutes
+    );
+
+    // 4. Stitch the trace: router spans from the local recorder, shard
+    //    spans from each shard's recorder — one tree, one trace id.
+    let router_spans = recorder.snapshot();
+    let root = router_spans
+        .iter()
+        .find(|s| s.name == "fleet_predict")
+        .expect("router root span");
+    let trace_id = root.trace_id;
+    let mut stitched = router_spans.clone();
+    for i in 0..fleet.len() {
+        if let Some(rec) = &fleet.shard(i).recorder {
+            stitched.extend(rec.snapshot());
+        }
+    }
+    println!("\nstitched span tree (trace id {trace_id:#x}):");
+    print!("{}", render_trace_tree(&stitched, trace_id));
+    let hops = stitched
+        .iter()
+        .filter(|s| s.trace_id == trace_id && s.name == "hop")
+        .count();
+    assert!(hops >= 2, "failover should record >= 2 hops, got {hops}");
+    assert!(
+        stitched
+            .iter()
+            .any(|s| s.trace_id == trace_id && s.name == "predict"),
+        "serving shard's gateway spans adopt the router's trace id"
+    );
+
+    // The same tree is retrievable over HTTP by trace id (the CI fleet
+    // job curls /fleet/traces on a collector ops endpoint for this).
+    let doc = collector.trace_json(trace_id);
+    assert!(doc.contains("fleet_predict") && doc.contains("\"hop\""));
+    println!("/fleet/traces view: {} bytes of stitched JSON", doc.len());
+
+    // 5. Burn the error budget: the violating traffic since the baseline
+    //    scrape becomes the delta the next scrape judges. The impossible
+    //    SLO pages (fast 5m/1h windows both past 14.4x); the sane one
+    //    stays quiet.
+    for u in 0..32u64 {
+        let _ = router.predict(u, &scripts[..1]);
+    }
+    collector.scrape_once();
+    let (healthy, detail) = collector.healthz();
+    println!(
+        "\nfleet health: {} ({detail})",
+        if healthy { "ok" } else { "degraded" }
+    );
+    assert!(collector.slo().alert_active("predict_p99"));
+    assert!(!collector.slo().alert_active("predict_sane"));
+    println!("burning SLO: {:?}", collector.slo().any_alert());
+    for line in collector
+        .merged_prometheus()
+        .lines()
+        .filter(|l| l.starts_with("slo_alert") || l.starts_with("slo_burn_rate"))
+    {
+        println!("  {line}");
+    }
+
+    collector.shutdown();
+    drop(router);
+    fleet.shutdown();
+    println!("\nFLEET_OBSERVE_DEMO_OK");
+}

@@ -110,6 +110,7 @@ fn main() {
             })),
             forecast: None,
             revise: None,
+            fleet: None,
             max_traces: 64,
         },
     )
